@@ -1,0 +1,76 @@
+//! Benchmarks for the derivation pipeline (experiment E9): attribute
+//! evaluation, restriction checking, and the full `T_p` derivation,
+//! swept over specification size and place count.
+
+use bench::{corpus_spec, scaled_spec, spec_size, EXAMPLE2, EXAMPLE3, TRANSPORT3};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_attribute_evaluation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("attributes");
+    for scale in [2u32, 3, 4, 5] {
+        let spec = scaled_spec(4, scale, 42);
+        let size = spec_size(&spec);
+        g.bench_with_input(BenchmarkId::new("evaluate", size), &spec, |b, s| {
+            b.iter(|| black_box(lotos::attributes::evaluate(s)))
+        });
+    }
+    // recursive fixpoint iteration
+    let rec = corpus_spec(EXAMPLE3);
+    g.bench_function("evaluate/example3_fixpoint", |b| {
+        b.iter(|| black_box(lotos::attributes::evaluate(&rec)))
+    });
+    g.finish();
+}
+
+fn bench_derivation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("derive");
+    for scale in [2u32, 3, 4, 5] {
+        let spec = scaled_spec(4, scale, 42);
+        let size = spec_size(&spec);
+        g.bench_with_input(BenchmarkId::new("size", size), &spec, |b, s| {
+            b.iter(|| black_box(protogen::derive::derive(s).unwrap()))
+        });
+    }
+    for places in [2u8, 3, 4, 6, 8] {
+        let spec = scaled_spec(places, 3, 7);
+        g.bench_with_input(BenchmarkId::new("places", places), &spec, |b, s| {
+            b.iter(|| black_box(protogen::derive::derive(s).unwrap()))
+        });
+    }
+    for (name, src) in [
+        ("example2", EXAMPLE2),
+        ("example3", EXAMPLE3),
+        ("transport3", TRANSPORT3),
+    ] {
+        let spec = corpus_spec(src);
+        g.bench_function(BenchmarkId::new("paper", name), |b| {
+            b.iter(|| black_box(protogen::derive::derive(&spec).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_parse_print(c: &mut Criterion) {
+    let mut g = c.benchmark_group("language");
+    let spec = scaled_spec(4, 5, 42);
+    let printed = lotos::printer::print_spec(&spec);
+    g.bench_function("parse", |b| {
+        b.iter(|| black_box(lotos::parser::parse_spec(&printed).unwrap()))
+    });
+    g.bench_function("print", |b| {
+        b.iter(|| black_box(lotos::printer::print_spec(&spec)))
+    });
+    g.bench_function("restrictions", |b| {
+        let attrs = lotos::attributes::evaluate(&spec);
+        b.iter(|| black_box(lotos::restrictions::check(&spec, &attrs)))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_attribute_evaluation, bench_derivation, bench_parse_print
+}
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Benchmarks for the semantics substrate: SOS transition derivation,
+//! LTS construction, weak saturation, and bisimulation checking.
+
+use bench::{corpus_spec, EXAMPLE3, TRANSPORT2};
+use criterion::{criterion_group, criterion_main, Criterion};
+use semantics::bisim::weak_equiv;
+use semantics::lts::{build_term_lts, build_term_lts_bounded};
+use semantics::sos::transitions;
+use semantics::term::Env;
+use std::hint::black_box;
+
+fn bench_transitions(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sos");
+    let env = Env::new(corpus_spec(EXAMPLE3));
+    let root = env.root();
+    g.bench_function("transitions/example3_root", |b| {
+        b.iter(|| black_box(transitions(&env, &root)))
+    });
+    // a wide interleaving: 6 parallel branches
+    let wide = lotos::parser::parse_spec(
+        "SPEC a1;exit ||| b2;exit ||| c3;exit ||| d4;exit ||| e5;exit ||| f6;exit ENDSPEC",
+    )
+    .unwrap();
+    let env_w = Env::new(wide);
+    let root_w = env_w.root();
+    g.bench_function("transitions/six_way_parallel", |b| {
+        b.iter(|| black_box(transitions(&env_w, &root_w)))
+    });
+    g.finish();
+}
+
+fn bench_lts(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lts");
+    g.sample_size(10);
+    let wide = lotos::parser::parse_spec(
+        "SPEC (a1;b1;exit ||| c2;d2;exit ||| e3;f3;exit) >> g1;exit ENDSPEC",
+    )
+    .unwrap();
+    let env = Env::new(wide);
+    g.bench_function("build/parallel_service", |b| {
+        b.iter(|| black_box(build_term_lts(&env, env.root(), 100_000)))
+    });
+    let rec = Env::new(corpus_spec(bench::EXAMPLE2));
+    g.bench_function("build/anbn_bounded_depth40", |b| {
+        b.iter(|| black_box(build_term_lts_bounded(&rec, rec.root(), 100_000, 40)))
+    });
+    g.finish();
+}
+
+fn bench_bisim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bisim");
+    g.sample_size(10);
+    let env = Env::new(corpus_spec(TRANSPORT2));
+    // finite fragment: bounded unfolding of the transport service
+    let (lts, _) = build_term_lts_bounded(&env, env.root(), 20_000, 30);
+    let sat = lts.clone();
+    g.bench_function("saturate", |b| b.iter(|| black_box(sat.saturate())));
+    let (l2, _) = build_term_lts_bounded(&env, env.root(), 20_000, 30);
+    g.bench_function("weak_equiv/self", |b| {
+        b.iter(|| black_box(weak_equiv(&lts, &l2)))
+    });
+    g.finish();
+}
+
+fn bench_traces(c: &mut Criterion) {
+    let mut g = c.benchmark_group("traces");
+    g.sample_size(10);
+    let env = Env::new(corpus_spec(bench::EXAMPLE2));
+    let (lts, _) = build_term_lts_bounded(&env, env.root(), 100_000, 40);
+    for len in [4usize, 6, 8] {
+        g.bench_function(format!("observable/anbn_len{len}"), |b| {
+            b.iter(|| black_box(semantics::traces::observable_traces(&lts, len)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_transitions, bench_lts, bench_bisim, bench_traces
+}
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Benchmarks for the discrete-event simulator: end-to-end session
+//! throughput and per-action cost on the paper's examples and the
+//! transport case study.
+
+use bench::{corpus_spec, EXAMPLE2, EXAMPLE3, TRANSPORT2, TRANSPORT3};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use protogen::derive::derive;
+use sim::{simulate, SimConfig};
+use std::hint::black_box;
+
+fn bench_sessions(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulate");
+    g.sample_size(20);
+    for (name, src) in [
+        ("example2", EXAMPLE2),
+        ("example3", EXAMPLE3),
+        ("transport2", TRANSPORT2),
+        ("transport3", TRANSPORT3),
+    ] {
+        let d = derive(&corpus_spec(src)).unwrap();
+        g.bench_function(BenchmarkId::new("session", name), |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed = seed.wrapping_add(1);
+                black_box(simulate(
+                    &d,
+                    SimConfig {
+                        seed,
+                        max_steps: 2000,
+                        ..SimConfig::default()
+                    },
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_monitor(c: &mut Criterion) {
+    let mut g = c.benchmark_group("monitor");
+    let spec = corpus_spec(TRANSPORT2);
+    g.bench_function("long_data_phase", |b| {
+        b.iter(|| {
+            let mut m = sim::ServiceMonitor::new(spec.clone());
+            assert!(m.step("conreq", 1));
+            assert!(m.step("conind", 2));
+            assert!(m.step("conresp", 2));
+            assert!(m.step("conconf", 1));
+            for _ in 0..50 {
+                assert!(m.step("dtreq", 1));
+                assert!(m.step("dtind", 2));
+            }
+            assert!(m.step("disreq", 1));
+            assert!(m.step("disind", 2));
+            black_box(m.may_terminate())
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_sessions, bench_monitor
+}
+criterion_main!(benches);

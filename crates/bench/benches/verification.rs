@@ -1,0 +1,61 @@
+//! Benchmarks for the Section 5 correctness harness (experiment E5's
+//! cost): composition exploration and full verification runs.
+
+use bench::{corpus_spec, scaled_spec, EXAMPLE2, TRANSPORT2};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use medium::MediumConfig;
+use protogen::derive::derive;
+use std::hint::black_box;
+use verify::composition::Composition;
+use verify::explorer::{explore, explore_full};
+use verify::harness::{verify_derivation, VerifyOptions};
+
+fn bench_composition_exploration(c: &mut Criterion) {
+    let mut g = c.benchmark_group("composition");
+    g.sample_size(10);
+    for places in [2u8, 3, 4] {
+        let spec = scaled_spec(places, 2, 11);
+        let d = derive(&spec).unwrap();
+        let comp = Composition::new(&d, MediumConfig::default());
+        // shallow finite systems: no big-stack thread needed
+        g.bench_with_input(BenchmarkId::new("explore_full", places), &comp, |b, comp| {
+            b.iter(|| black_box(explore_full(comp, 100_000).states.len()))
+        });
+    }
+    // bounded exploration of the infinite-state aⁿbⁿ composition
+    let d = derive(&corpus_spec(EXAMPLE2)).unwrap();
+    let comp = Composition::new(&d, MediumConfig::default());
+    for obs in [4usize, 6] {
+        g.bench_with_input(BenchmarkId::new("explore_anbn_obs", obs), &obs, |b, &obs| {
+            b.iter(|| black_box(explore(&comp, obs, 100_000).states.len()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_full_verification(c: &mut Criterion) {
+    let mut g = c.benchmark_group("verify");
+    g.sample_size(10);
+    for (name, src) in [("example2", EXAMPLE2), ("transport2", TRANSPORT2)] {
+        let d = derive(&corpus_spec(src)).unwrap();
+        g.bench_function(BenchmarkId::new("harness", name), |b| {
+            b.iter(|| {
+                black_box(verify_derivation(
+                    &d,
+                    VerifyOptions {
+                        trace_len: 5,
+                        ..VerifyOptions::default()
+                    },
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_composition_exploration, bench_full_verification
+}
+criterion_main!(benches);

@@ -1,0 +1,326 @@
+//! The Protocol Generator (PG) command-line tool — the Rust counterpart of
+//! the Prolog prototype described in paper Section 4.2.
+//!
+//! ```text
+//! protogen check    <spec.lotos>          syntax + attribute + R1-R3 report
+//! protogen attrs    <spec.lotos>          SP/EP/AP/N table (paper Fig. 4)
+//! protogen derive   <spec.lotos> [-p P]   derived entity specifications
+//! protogen verify   <spec.lotos> [-l N]   Section 5 theorem instance check
+//! protogen simulate <spec.lotos> [--seed S] [--runs K]
+//! protogen gen      [--seed S] [--places N] [--depth D] [--disable] [--rec]
+//! protogen central  <spec.lotos> [--server P]   §3 centralized baseline
+//! protogen lts      <spec.lotos> [-m]           service LTS (minimized with -m)
+//! ```
+//!
+//! `<spec.lotos>` may be `-` for standard input.
+
+use lotos::attributes::evaluate;
+use lotos::parser::parse_spec;
+use lotos::printer::{print_expr, print_spec};
+use lotos::restrictions::check;
+use protogen::derive::derive;
+use protogen::stats::{message_stats, operator_counts};
+use sim::{simulate, SimConfig};
+use std::io::Read;
+use std::process::ExitCode;
+use verify::harness::{verify_service, VerifyOptions};
+
+fn main() -> ExitCode {
+    // Exit quietly when stdout is closed early (`protogen ... | head`):
+    // a broken pipe is normal Unix operation, not a crash.
+    std::panic::set_hook(Box::new(|info| {
+        let msg = info
+            .payload()
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| info.payload().downcast_ref::<&str>().copied())
+            .unwrap_or("");
+        if msg.contains("Broken pipe") {
+            std::process::exit(0);
+        }
+        eprintln!("{info}");
+    }));
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("protogen: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() -> String {
+    "usage: protogen <check|attrs|derive|verify|simulate|gen> [options] <spec.lotos|->\n\
+     \n\
+     check     parse and report restriction violations (R1, R2, R3, ...)\n\
+     attrs     print the SP/EP/AP attribute table and node numbering\n\
+     derive    print the derived protocol entity specifications\n\
+               -p <place>    only this place\n\
+     verify    check  S = hide G in ((T1 ||| ... ||| Tn) |[G]| Medium)\n\
+               -l <len>      observable-trace bound (default 6)\n\
+               -s <states>   state cap (default 60000)\n\
+     simulate  run the derived protocol through the event simulator\n\
+               --seed <s>    RNG seed       --runs <k>   number of runs\n\
+               --loss <p>    frame-loss probability (unreliable link, §6)\n\
+               --no-arq      disable the ARQ recovery layer\n\
+     gen       emit a random well-formed service specification\n\
+               --seed <s> --places <n> --depth <d> --disable --rec\n\
+     central   derive the Section-3 centralized-server baseline\n\
+               --server <p>  server place (default: lowest place)\n\
+     lts       print the service's labelled transition system\n\
+               -m            minimize by strong bisimilarity first\n\
+               --dot         emit Graphviz DOT instead of text"
+        .to_string()
+}
+
+fn read_spec_arg(args: &[String]) -> Result<lotos::Spec, String> {
+    let path = args
+        .iter().rfind(|a| !a.starts_with('-') || a.as_str() == "-")
+        .ok_or_else(usage)?;
+    let src = if path == "-" {
+        let mut s = String::new();
+        std::io::stdin()
+            .read_to_string(&mut s)
+            .map_err(|e| e.to_string())?;
+        s
+    } else {
+        std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?
+    };
+    parse_spec(&src).map_err(|e| e.to_string())
+}
+
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.as_str())
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let cmd = args.first().ok_or_else(usage)?.as_str();
+    let rest = &args[1..];
+    match cmd {
+        "check" => {
+            let spec = read_spec_arg(rest)?;
+            let attrs = evaluate(&spec);
+            let violations = check(&spec, &attrs);
+            let ops = operator_counts(&spec);
+            println!(
+                "places: {}   operators: {} prefix, {} choice, {} par, {} enable, {} disable, {} call",
+                attrs.all, ops.prefix, ops.choice, ops.par, ops.enable, ops.disable, ops.call
+            );
+            if violations.is_empty() {
+                println!("OK: specification satisfies R1, R2, R3 and the service grammar");
+                Ok(())
+            } else {
+                for v in &violations {
+                    println!("VIOLATION: {v}");
+                }
+                Err(format!("{} violation(s)", violations.len()))
+            }
+        }
+        "attrs" => {
+            let spec = read_spec_arg(rest)?;
+            let attrs = evaluate(&spec);
+            println!("ALL = {}   (fixpoint passes: {})", attrs.all, attrs.passes);
+            for (pi, p) in spec.procs.iter().enumerate() {
+                println!(
+                    "PROC {}: SP = {}  EP = {}  AP = {}",
+                    p.name, attrs.proc_sp[pi], attrs.proc_ep[pi], attrs.proc_ap[pi]
+                );
+            }
+            println!("{:>4} {:>10} {:>10} {:>10}  expression", "N", "SP", "EP", "AP");
+            let mut rows: Vec<(u32, lotos::NodeId)> = spec
+                .iter_nodes()
+                .filter(|(id, _)| attrs.num(*id) > 0)
+                .map(|(id, _)| (attrs.num(id), id))
+                .collect();
+            rows.sort_unstable();
+            for (n, id) in rows {
+                let mut text = print_expr(&spec, id);
+                if text.len() > 48 {
+                    text.truncate(45);
+                    text.push_str("...");
+                }
+                println!(
+                    "{:>4} {:>10} {:>10} {:>10}  {}",
+                    n,
+                    attrs.sp(id).to_string(),
+                    attrs.ep(id).to_string(),
+                    attrs.ap(id).to_string(),
+                    text
+                );
+            }
+            Ok(())
+        }
+        "derive" => {
+            let spec = read_spec_arg(rest)?;
+            let d = derive(&spec).map_err(|e| e.to_string())?;
+            let only: Option<u8> = flag_value(rest, "-p").map(|v| v.parse().unwrap_or(0));
+            for (p, entity) in &d.entities {
+                if let Some(q) = only {
+                    if *p != q {
+                        continue;
+                    }
+                }
+                println!("-- place {p}");
+                println!("{}", print_spec(entity));
+            }
+            let stats = message_stats(&d);
+            println!(
+                "-- synchronization messages: {} sends, {} receives",
+                stats.total, stats.recv_total
+            );
+            for (kind, count) in &stats.per_kind {
+                println!("--   {kind}: {count}");
+            }
+            Ok(())
+        }
+        "verify" => {
+            let spec = read_spec_arg(rest)?;
+            let mut opts = VerifyOptions::default();
+            if let Some(l) = flag_value(rest, "-l") {
+                opts.trace_len = l.parse().map_err(|_| "bad -l value")?;
+            }
+            if let Some(s) = flag_value(rest, "-s") {
+                opts.max_states = s.parse().map_err(|_| "bad -s value")?;
+            }
+            let report = verify_service(&spec, opts).map_err(|e| e.to_string())?;
+            print!("{report}");
+            if report.passed() {
+                Ok(())
+            } else {
+                Err("verification failed".to_string())
+            }
+        }
+        "simulate" => {
+            let spec = read_spec_arg(rest)?;
+            let d = derive(&spec).map_err(|e| e.to_string())?;
+            let mut cfg = SimConfig::default();
+            if let Some(s) = flag_value(rest, "--seed") {
+                cfg.seed = s.parse().map_err(|_| "bad --seed value")?;
+            }
+            if let Some(l) = flag_value(rest, "--loss") {
+                let loss: f64 = l.parse().map_err(|_| "bad --loss value")?;
+                cfg.link = Some(sim::LinkConfig {
+                    loss,
+                    arq: !rest.iter().any(|a| a == "--no-arq"),
+                    ..sim::LinkConfig::default()
+                });
+            }
+            let runs: usize = flag_value(rest, "--runs")
+                .map(|v| v.parse().unwrap_or(1))
+                .unwrap_or(1);
+            let mut ok = true;
+            for r in 0..runs {
+                let outcome = simulate(
+                    &d,
+                    SimConfig {
+                        seed: cfg.seed.wrapping_add(r as u64),
+                        ..cfg.clone()
+                    },
+                );
+                let trace: Vec<String> = outcome
+                    .trace
+                    .iter()
+                    .map(|(n, p)| format!("{n}{p}"))
+                    .collect();
+                let link_info = if cfg.link.is_some() {
+                    format!(
+                        " lost={} retx={}",
+                        outcome.metrics.frames_lost, outcome.metrics.retransmissions
+                    )
+                } else {
+                    String::new()
+                };
+                println!(
+                    "run {r}: {:?} conforms={} prims={} msgs={} (ratio {:.2}) t={:.1}{link_info} trace={}",
+                    outcome.result,
+                    outcome.conforms(),
+                    outcome.metrics.primitives,
+                    outcome.metrics.messages,
+                    outcome.metrics.overhead_ratio(),
+                    outcome.metrics.end_time,
+                    trace.join(".")
+                );
+                ok &= outcome.conforms();
+            }
+            if ok {
+                Ok(())
+            } else {
+                Err("simulation found service violations".to_string())
+            }
+        }
+        "gen" => {
+            let mut cfg = specgen::GenConfig::default();
+            if let Some(s) = flag_value(rest, "--seed") {
+                cfg.seed = s.parse().map_err(|_| "bad --seed value")?;
+            }
+            if let Some(p) = flag_value(rest, "--places") {
+                cfg.places = p.parse().map_err(|_| "bad --places value")?;
+            }
+            if let Some(d) = flag_value(rest, "--depth") {
+                cfg.max_depth = d.parse().map_err(|_| "bad --depth value")?;
+            }
+            cfg.allow_disable = rest.iter().any(|a| a == "--disable");
+            cfg.allow_recursion = rest.iter().any(|a| a == "--rec");
+            let spec = specgen::generate(cfg);
+            println!("{}", print_spec(&spec));
+            Ok(())
+        }
+        "central" => {
+            let spec = read_spec_arg(rest)?;
+            let attrs = evaluate(&spec);
+            let server: u8 = match flag_value(rest, "--server") {
+                Some(v) => v.parse().map_err(|_| "bad --server value")?,
+                None => attrs.all.min_place().ok_or("service mentions no place")?,
+            };
+            let d = protogen::centralized::centralize(&spec, server)
+                .map_err(|e| e.to_string())?;
+            for (p, entity) in &d.entities {
+                println!(
+                    "-- place {p}{}",
+                    if *p == server { " (server)" } else { "" }
+                );
+                println!("{}", print_spec(entity));
+            }
+            let stats = message_stats(&d);
+            println!("-- synchronization messages: {} sends", stats.total);
+            Ok(())
+        }
+        "lts" => {
+            let spec = read_spec_arg(rest)?;
+            let minimize = rest.iter().any(|a| a == "-m");
+            let env = semantics::term::Env::new(spec);
+            let root = env.root();
+            let (lts, _) =
+                semantics::lts::build_term_lts_bounded(&env, root, 20_000, 2_000);
+            if !lts.complete {
+                eprintln!("note: state space truncated at {} states", lts.len());
+            }
+            let lts = if minimize { lts.minimize() } else { lts };
+            if rest.iter().any(|a| a == "--dot") {
+                print!("{}", semantics::dot::to_dot(&lts, "service"));
+                return Ok(());
+            }
+            println!(
+                "states: {}   transitions: {}   initial: {}",
+                lts.len(),
+                lts.transition_count(),
+                lts.initial
+            );
+            for (s, edges) in lts.trans.iter().enumerate() {
+                for (l, t) in edges {
+                    println!("  {s} --{l}--> {t}");
+                }
+            }
+            Ok(())
+        }
+        "help" | "--help" | "-h" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{}", usage())),
+    }
+}

@@ -1,0 +1,198 @@
+//! End-to-end tests of the `protogen` command-line tool.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+const EXAMPLE3: &str = "SPEC S [> interrupt3 ; exit WHERE\n\
+    PROC S = (read1; push2; S >> pop2; write3; exit)\n\
+          [] (eof1; make3; exit) END ENDSPEC\n";
+
+fn protogen(args: &[&str], stdin: Option<&str>) -> (String, String, bool) {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_protogen"));
+    cmd.args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped());
+    let mut child = cmd.spawn().expect("spawn protogen");
+    if let Some(input) = stdin {
+        child
+            .stdin
+            .as_mut()
+            .unwrap()
+            .write_all(input.as_bytes())
+            .unwrap();
+    }
+    drop(child.stdin.take());
+    let out = child.wait_with_output().expect("wait protogen");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn check_accepts_example3() {
+    let (stdout, _, ok) = protogen(&["check", "-"], Some(EXAMPLE3));
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("OK"), "{stdout}");
+    assert!(stdout.contains("places: {1,2,3}"), "{stdout}");
+}
+
+#[test]
+fn check_rejects_r1_violation() {
+    let (stdout, _, ok) = protogen(
+        &["check", "-"],
+        Some("SPEC a1;c3;exit [] b2;c3;exit ENDSPEC"),
+    );
+    assert!(!ok);
+    assert!(stdout.contains("R1"), "{stdout}");
+}
+
+#[test]
+fn attrs_prints_fixpoint() {
+    let (stdout, _, ok) = protogen(&["attrs", "-"], Some(EXAMPLE3));
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("PROC S: SP = {1}  EP = {3}  AP = {1,2,3}"), "{stdout}");
+    assert!(stdout.contains("ALL = {1,2,3}"), "{stdout}");
+}
+
+#[test]
+fn derive_prints_three_entities() {
+    let (stdout, _, ok) = protogen(&["derive", "-"], Some(EXAMPLE3));
+    assert!(ok, "{stdout}");
+    for p in 1..=3 {
+        assert!(stdout.contains(&format!("-- place {p}")), "{stdout}");
+    }
+    assert!(stdout.contains("synchronization messages: 14 sends"), "{stdout}");
+    // -p filters to one place
+    let (one, _, ok) = protogen(&["derive", "-p", "2", "-"], Some(EXAMPLE3));
+    assert!(ok);
+    assert!(one.contains("-- place 2") && !one.contains("-- place 1"), "{one}");
+}
+
+#[test]
+fn verify_passes_for_simple_service() {
+    let (stdout, _, ok) = protogen(
+        &["verify", "-l", "5", "-"],
+        Some("SPEC a1; b2; c3; exit ENDSPEC"),
+    );
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("EQUAL"), "{stdout}");
+    assert!(stdout.contains("weak bisimulation: EQUIVALENT"), "{stdout}");
+}
+
+#[test]
+fn verify_fails_for_r1_violation() {
+    let (_, stderr, ok) = protogen(
+        &["verify", "-"],
+        Some("SPEC a1;c3;exit [] b2;c3;exit ENDSPEC"),
+    );
+    assert!(!ok);
+    assert!(stderr.contains("R1"), "{stderr}");
+}
+
+#[test]
+fn simulate_reports_runs() {
+    let (stdout, _, ok) = protogen(
+        &["simulate", "--runs", "3", "--seed", "7", "-"],
+        Some("SPEC a1; b2; exit ENDSPEC"),
+    );
+    assert!(ok, "{stdout}");
+    assert_eq!(stdout.matches("conforms=true").count(), 3, "{stdout}");
+    assert!(stdout.contains("trace=a1.b2"), "{stdout}");
+}
+
+#[test]
+fn gen_produces_derivable_spec() {
+    let (stdout, _, ok) = protogen(&["gen", "--seed", "5", "--places", "3", "--rec"], None);
+    assert!(ok, "{stdout}");
+    // the generated text round-trips through check
+    let (check_out, _, check_ok) = protogen(&["check", "-"], Some(&stdout));
+    assert!(check_ok, "{check_out}\n{stdout}");
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let (_, stderr, ok) = protogen(&["frobnicate"], None);
+    assert!(!ok);
+    assert!(stderr.contains("usage:"), "{stderr}");
+}
+
+#[test]
+fn help_prints_usage() {
+    let (stdout, _, ok) = protogen(&["help"], None);
+    assert!(ok);
+    assert!(stdout.contains("usage:"));
+}
+
+#[test]
+fn central_derives_server_and_clients() {
+    let (stdout, _, ok) = protogen(
+        &["central", "--server", "1", "-"],
+        Some("SPEC a1; b2; c3; exit ENDSPEC"),
+    );
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("place 1 (server)"), "{stdout}");
+    assert!(stdout.contains("PROC CLIENT"), "{stdout}");
+}
+
+#[test]
+fn central_defaults_to_lowest_place() {
+    let (stdout, _, ok) = protogen(&["central", "-"], Some("SPEC b2; c3; exit ENDSPEC"));
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("place 2 (server)"), "{stdout}");
+}
+
+#[test]
+fn lts_prints_transitions() {
+    let (stdout, _, ok) = protogen(&["lts", "-"], Some("SPEC a1; b2; exit ENDSPEC"));
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("states: 4"), "{stdout}");
+    assert!(stdout.contains("--a1-->"), "{stdout}");
+    assert!(stdout.contains("--\u{3b4}-->") || stdout.contains("δ"), "{stdout}");
+}
+
+#[test]
+fn lts_minimize_reduces_duplicates() {
+    let (full, _, _) = protogen(
+        &["lts", "-"],
+        Some("SPEC a1;c1;exit [] a1;c1;exit ENDSPEC"),
+    );
+    let (min, _, ok) = protogen(
+        &["lts", "-m", "-"],
+        Some("SPEC a1;c1;exit [] a1;c1;exit ENDSPEC"),
+    );
+    assert!(ok);
+    let states = |s: &str| -> usize {
+        s.lines()
+            .find(|l| l.starts_with("states:"))
+            .and_then(|l| l.split_whitespace().nth(1))
+            .and_then(|v| v.parse().ok())
+            .unwrap()
+    };
+    assert!(states(&min) <= states(&full), "{min}\n{full}");
+    assert_eq!(states(&min), 4, "{min}");
+}
+
+#[test]
+fn lts_dot_output() {
+    let (stdout, _, ok) = protogen(
+        &["lts", "-m", "--dot", "-"],
+        Some("SPEC a1; b2; exit ENDSPEC"),
+    );
+    assert!(ok, "{stdout}");
+    assert!(stdout.starts_with("digraph"), "{stdout}");
+    assert!(stdout.contains("label=\"a1\""), "{stdout}");
+}
+
+#[test]
+fn simulate_with_lossy_link() {
+    let (stdout, _, ok) = protogen(
+        &["simulate", "--loss", "0.3", "--runs", "2", "-"],
+        Some("SPEC a1; b2; a1; b2; exit ENDSPEC"),
+    );
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("lost="), "{stdout}");
+    assert_eq!(stdout.matches("conforms=true").count(), 2, "{stdout}");
+}

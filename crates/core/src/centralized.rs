@@ -1,0 +1,300 @@
+//! The centralized-control baseline of paper Section 3.
+//!
+//! > *"If we assume the existence of a central controller (a server PE),
+//! > we can derive a trivial solution where only one PE (the server PE)
+//! > has a copy of the given service specification and it informs all
+//! > other PE's (client PE's) when each action should be executed by
+//! > exchanging messages, and where all the client PE's execute their
+//! > actions after they receive the messages from the server PE and they
+//! > return a message to the server PE after each action is executed.
+//! > Although this solution is simple, such a centralized control method
+//! > requires many synchronization messages and the load for the server
+//! > PE becomes large."*
+//!
+//! This module implements exactly that strawman, so the paper's
+//! motivating comparison can be measured (experiment E10 in
+//! EXPERIMENTS.md):
+//!
+//! * the **server** entity is the service specification with every
+//!   foreign primitive `a_q` replaced by
+//!   `s_q(N) ; r_q(N) ; …` — "execute the primitive of synchronization
+//!   point `N`", then wait for completion (the two messages travel on
+//!   opposite channels, so one identifier suffices);
+//! * each **client** is a flat reactive loop
+//!   `CLIENT = r_srv(N₁); a; s_srv(N₁); CLIENT [] … [] r_srv(0); exit` —
+//!   execute whatever the server orders, report back, and stop on the
+//!   broadcast end-marker `0`.
+//!
+//! The result is returned as an ordinary [`Derivation`], so the `verify`
+//! harness and the `sim` simulator run on it unchanged. Note the known
+//! semantic weakening the paper's distributed algorithm avoids: a service
+//! choice between primitives of one place is resolved *by the server*
+//! (internally) rather than offered to the user — the baseline is
+//! trace-equivalent to the service but not observation-congruent.
+
+use crate::derive::{Derivation, DeriveError};
+use lotos::ast::{DefBlock, Expr, NodeId, Spec};
+use lotos::attributes::evaluate;
+use lotos::event::{Event, SyncKind};
+use lotos::place::PlaceId;
+use lotos::prefixform::to_prefix_form;
+
+/// The message id broadcast by the server to shut the clients down.
+pub const STOP_ID: u32 = 0;
+
+/// Derive the centralized baseline: `server` executes the service logic,
+/// every other place becomes a thin command-following client.
+pub fn centralize(service: &Spec, server: PlaceId) -> Result<Derivation, DeriveError> {
+    let mut service = service.clone();
+    to_prefix_form(&mut service)?;
+    let attrs = evaluate(&service);
+    let all = attrs.all;
+    if all.is_empty() {
+        return Err(DeriveError::NoPlaces);
+    }
+    if !all.contains(server) {
+        return Err(DeriveError::NoPlaces);
+    }
+
+    let mut entities = Vec::new();
+    for p in all.iter() {
+        let spec = if p == server {
+            build_server(&service, &attrs, server, all)
+        } else {
+            build_client(&service, &attrs, server, p)
+        };
+        entities.push((p, spec));
+    }
+    Ok(Derivation {
+        entities,
+        attrs,
+        all,
+        occ: false,
+        service,
+    })
+}
+
+/// The server: the service tree with foreign primitives replaced by
+/// command/completion exchanges, followed by the STOP broadcast.
+fn build_server(
+    service: &Spec,
+    attrs: &lotos::attributes::Attributes,
+    server: PlaceId,
+    all: lotos::place::PlaceSet,
+) -> Spec {
+    let mut out = Spec::new();
+    for proc in &service.procs {
+        out.define_proc(&proc.name, DefBlock::default(), proc.parent);
+    }
+    for (pi, proc) in service.procs.iter().enumerate() {
+        let body = server_tx(service, attrs, server, proc.body.expr, &mut out);
+        out.procs[pi].body = DefBlock {
+            expr: body,
+            procs: proc.body.procs.clone(),
+        };
+    }
+    let main = server_tx(service, attrs, server, service.top.expr, &mut out);
+    // after the service completes: broadcast STOP to every client
+    let mut stop: Option<NodeId> = None;
+    let places_rev: Vec<PlaceId> = {
+        let mut v: Vec<PlaceId> = all.iter().collect();
+        v.reverse();
+        v
+    };
+    for q in places_rev {
+        if q == server {
+            continue;
+        }
+        let e = out.exit();
+        let snd = out.prefix(Event::send_node(q, STOP_ID, false, SyncKind::Proc), e);
+        stop = Some(match stop {
+            None => snd,
+            Some(rest) => out.interleave(snd, rest),
+        });
+    }
+    let top = match stop {
+        Some(s) => out.enable(main, s),
+        None => main,
+    };
+    out.top = DefBlock {
+        expr: top,
+        procs: service.top.procs.clone(),
+    };
+    let unresolved = out.resolve();
+    debug_assert!(unresolved.is_empty());
+    out
+}
+
+fn server_tx(
+    service: &Spec,
+    attrs: &lotos::attributes::Attributes,
+    server: PlaceId,
+    node: NodeId,
+    out: &mut Spec,
+) -> NodeId {
+    match service.node(node).clone() {
+        Expr::Exit => out.exit(),
+        Expr::Stop => out.stop(),
+        Expr::Empty => out.empty(),
+        Expr::Prefix { event, then } => {
+            let cont = server_tx(service, attrs, server, then, out);
+            match event.place() {
+                Some(q) if q != server => {
+                    // order q to run the primitive, await completion
+                    let n = attrs.num(node);
+                    let recv = out.prefix(Event::recv_node(q, n, false, SyncKind::Seq), cont);
+                    out.prefix(Event::send_node(q, n, false, SyncKind::Seq), recv)
+                }
+                _ => out.prefix(event, cont),
+            }
+        }
+        Expr::Choice { left, right } => {
+            let l = server_tx(service, attrs, server, left, out);
+            let r = server_tx(service, attrs, server, right, out);
+            out.choice(l, r)
+        }
+        Expr::Par { sync, left, right } => {
+            let l = server_tx(service, attrs, server, left, out);
+            let r = server_tx(service, attrs, server, right, out);
+            // gate synchronization between branches happens inside the
+            // server itself; the clients only see the linearized orders
+            out.par(sync.select(server), l, r)
+        }
+        Expr::Enable { left, right } => {
+            let l = server_tx(service, attrs, server, left, out);
+            let r = server_tx(service, attrs, server, right, out);
+            out.enable(l, r)
+        }
+        Expr::Disable { left, right } => {
+            let l = server_tx(service, attrs, server, left, out);
+            let r = server_tx(service, attrs, server, right, out);
+            out.disable(l, r)
+        }
+        Expr::Call { name, proc, .. } => out.call_tagged(&name, proc, attrs.num(node)),
+    }
+}
+
+/// A client: a reactive loop offering one alternative per synchronization
+/// point the server may order at this place, plus the STOP end-marker.
+fn build_client(
+    service: &Spec,
+    attrs: &lotos::attributes::Attributes,
+    server: PlaceId,
+    p: PlaceId,
+) -> Spec {
+    let mut out = Spec::new();
+    // collect every (N, primitive) located at p, in numbering order
+    let mut cmds: Vec<(u32, Event)> = Vec::new();
+    let mut roots = vec![service.top.expr];
+    roots.extend(service.procs.iter().map(|pr| pr.body.expr));
+    let mut seen = vec![false; service.node_count()];
+    for root in roots {
+        for id in service.preorder(root) {
+            if std::mem::replace(&mut seen[id as usize], true) {
+                continue;
+            }
+            if let Expr::Prefix { event, .. } = service.node(id) {
+                if event.place() == Some(p) {
+                    cmds.push((attrs.num(id), event.clone()));
+                }
+            }
+        }
+    }
+    cmds.sort_by_key(|(n, _)| *n);
+
+    // CLIENT = [ r_srv(N); a; s_srv(N); CLIENT ]* [] r_srv(STOP); exit
+    let stop_exit = out.exit();
+    let mut body = out.prefix(
+        Event::recv_node(server, STOP_ID, false, SyncKind::Proc),
+        stop_exit,
+    );
+    for (n, prim) in cmds.into_iter().rev() {
+        let loop_call = out.call("CLIENT");
+        let ack = out.prefix(Event::send_node(server, n, false, SyncKind::Seq), loop_call);
+        let run = out.prefix(prim, ack);
+        let alt = out.prefix(Event::recv_node(server, n, false, SyncKind::Seq), run);
+        body = out.choice(alt, body);
+    }
+    let client = out.define_proc(
+        "CLIENT",
+        DefBlock {
+            expr: body,
+            procs: vec![],
+        },
+        None,
+    );
+    let top = out.call("CLIENT");
+    out.top = DefBlock {
+        expr: top,
+        procs: vec![client],
+    };
+    let unresolved = out.resolve();
+    debug_assert!(unresolved.is_empty());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lotos::parser::parse_spec;
+    use lotos::printer::print_spec;
+
+    fn central(src: &str, server: PlaceId) -> Derivation {
+        centralize(&parse_spec(src).unwrap(), server).unwrap()
+    }
+
+    #[test]
+    fn server_orders_foreign_primitives() {
+        let d = central("SPEC a1; b2; c3; exit ENDSPEC", 1);
+        let server = d.entity(1).unwrap();
+        let text = print_spec(server);
+        // a1 runs locally; b2 and c3 become order/ack exchanges
+        assert!(text.contains("a1"), "{text}");
+        assert!(text.contains("s2(") && text.contains("r2("), "{text}");
+        assert!(text.contains("s3(") && text.contains("r3("), "{text}");
+        assert!(!text.contains("b2") && !text.contains("c3"), "{text}");
+    }
+
+    #[test]
+    fn clients_are_reactive_loops() {
+        let d = central("SPEC a1; b2; c2; exit ENDSPEC", 1);
+        let c2 = d.entity(2).unwrap();
+        let text = print_spec(c2);
+        assert!(text.contains("PROC CLIENT"), "{text}");
+        assert!(text.contains("b2") && text.contains("c2"), "{text}");
+        assert!(text.contains("r1(0)"), "stop marker missing: {text}");
+    }
+
+    #[test]
+    fn two_messages_per_foreign_primitive() {
+        let d = central("SPEC a1; b2; c3; b2; exit ENDSPEC", 1);
+        let stats = crate::stats::message_stats(&d);
+        // 3 foreign primitives → 3 orders + 3 acks (static send events:
+        // server has 3 sends + 2 STOP broadcasts; clients have 1 ack send
+        // per distinct command alternative)
+        assert!(stats.total >= 3 + 2);
+    }
+
+    #[test]
+    fn single_place_service_has_no_clients_messaging() {
+        let d = central("SPEC a1; b1; exit ENDSPEC", 1);
+        assert_eq!(d.entities.len(), 1);
+        let stats = crate::stats::message_stats(&d);
+        assert_eq!(stats.total, 0);
+    }
+
+    #[test]
+    fn recursion_is_preserved_on_the_server() {
+        let d = central(
+            "SPEC A WHERE PROC A = (a1 ; A >> b2 ; exit) [] (a1 ; b2 ; exit) END ENDSPEC",
+            1,
+        );
+        let server = d.entity(1).unwrap();
+        assert_eq!(server.procs.len(), 1);
+        assert_eq!(server.procs[0].name, "A");
+        // the client for place 2 stays a flat loop regardless
+        let c2 = d.entity(2).unwrap();
+        assert_eq!(c2.procs.len(), 1);
+        assert_eq!(c2.procs[0].name, "CLIENT");
+    }
+}

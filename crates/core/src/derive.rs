@@ -1,0 +1,625 @@
+//! The protocol derivation function `T_p` — paper Section 4.2, Table 3.
+//!
+//! For every place `p` of the service specification, [`derive()`] produces a
+//! protocol entity specification by *projection*: service primitives
+//! located at `p` are kept, all others are dropped, and synchronization
+//! messages are inserted for the sequencing operators (`;`, `>>`), choice
+//! (`[]`), disabling (`[>`) and process instantiation — exactly following
+//! the rules of Tables 3 and 4.
+//!
+//! The derived entities preserve the structure of the service: the same
+//! process definitions (same names, same nesting) and the same operator
+//! skeleton, with `empty` fragments eliminated by the Protocol Generator
+//! cleanup rules.
+
+use crate::helpers::Ctx;
+use lotos::ast::{DefBlock, Expr, NodeId, Spec};
+use lotos::attributes::{evaluate, Attributes};
+use lotos::event::SyncKind;
+use lotos::place::{PlaceId, PlaceSet};
+use lotos::prefixform::{to_prefix_form, PrefixFormError};
+use lotos::restrictions::{check, Violation};
+use std::fmt;
+
+/// The result of deriving a full protocol from a service specification.
+#[derive(Debug)]
+pub struct Derivation {
+    /// One derived protocol entity per place, ascending by place.
+    pub entities: Vec<(PlaceId, Spec)>,
+    /// The service specification actually derived from (after the
+    /// action-prefix-form transformation of disable right-hand sides).
+    pub service: Spec,
+    /// Attributes of `service`.
+    pub attrs: Attributes,
+    /// `ALL` — every place of the service.
+    pub all: PlaceSet,
+    /// Whether messages are parameterized by the occurrence variable `s`.
+    pub occ: bool,
+}
+
+impl Derivation {
+    /// The derived entity for place `p`, if `p ∈ ALL`.
+    pub fn entity(&self, p: PlaceId) -> Option<&Spec> {
+        self.entities
+            .iter()
+            .find(|(q, _)| *q == p)
+            .map(|(_, s)| s)
+    }
+}
+
+/// Errors reported by the derivation pipeline.
+#[derive(Debug)]
+pub enum DeriveError {
+    /// A disable right-hand side could not be brought to prefix form.
+    PrefixForm(PrefixFormError),
+    /// The service violates the paper's restrictions (R1–R3, grammar).
+    Restrictions(Vec<Violation>),
+    /// The service mentions no place at all — nothing to derive.
+    NoPlaces,
+}
+
+impl fmt::Display for DeriveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeriveError::PrefixForm(e) => write!(f, "prefix-form transformation failed: {e}"),
+            DeriveError::Restrictions(vs) => {
+                writeln!(f, "service specification violates derivation restrictions:")?;
+                for v in vs {
+                    writeln!(f, "  - {v}")?;
+                }
+                Ok(())
+            }
+            DeriveError::NoPlaces => write!(f, "service specification mentions no place"),
+        }
+    }
+}
+
+impl std::error::Error for DeriveError {}
+
+impl From<PrefixFormError> for DeriveError {
+    fn from(e: PrefixFormError) -> Self {
+        DeriveError::PrefixForm(e)
+    }
+}
+
+/// Derivation options.
+#[derive(Clone, Copy, Debug)]
+pub struct Options {
+    /// Reject services violating R1–R3 (default `true`). Disabling the
+    /// check lets experiments observe *why* the restrictions exist.
+    pub enforce_restrictions: bool,
+    /// How `[>` is implemented in the derived protocol (paper §3.3).
+    pub disable_mode: DisableMode,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            enforce_restrictions: true,
+            disable_mode: DisableMode::Broadcast,
+        }
+    }
+}
+
+/// The two distributed interrupt implementations discussed in §3.3.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum DisableMode {
+    /// The paper's main design: the interrupting place executes the
+    /// disabling event immediately and *broadcasts* the interruption
+    /// (`Interr`). Deviations (i)/(ii) from the LOTOS semantics are
+    /// possible (events already in flight may land after the interrupt),
+    /// but the protocol never blocks.
+    #[default]
+    Broadcast,
+    /// The alternative sketched at the end of §3.3: "before `ai` can be
+    /// executed, a request for interruption must be issued first. This
+    /// request is followed by messages sent to all involved sites to
+    /// interrupt the progress of the events belonging to `e1` and to
+    /// return an acknowledgment. When all these acknowledgments are
+    /// received the interrupt event `ai` may occur." This satisfies the
+    /// LOTOS properties (a) and (b) — no `e1` event ever follows the
+    /// interrupt — at the price the paper implies: when the request races
+    /// the normal completion of `e1`, the requester can block forever
+    /// (measured in experiment E12).
+    RequestAck,
+}
+
+/// Run the complete derivation algorithm of Section 4 on a service
+/// specification:
+///
+/// 1. transform disable right-hand sides to action-prefix form;
+/// 2. evaluate the attributes `SP`, `EP`, `AP` and the numbering `N`;
+/// 3. check the restrictions R1–R3 (unless disabled);
+/// 4. apply `T_p` for every place `p ∈ ALL`.
+pub fn derive(service: &Spec) -> Result<Derivation, DeriveError> {
+    derive_with(service, Options::default())
+}
+
+/// [`derive()`] with explicit [`Options`].
+pub fn derive_with(service: &Spec, opts: Options) -> Result<Derivation, DeriveError> {
+    let mut service = service.clone();
+    to_prefix_form(&mut service)?;
+    let attrs = evaluate(&service);
+    if opts.enforce_restrictions {
+        let violations = check(&service, &attrs);
+        if !violations.is_empty() {
+            return Err(DeriveError::Restrictions(violations));
+        }
+    }
+    let all = attrs.all;
+    if all.is_empty() {
+        return Err(DeriveError::NoPlaces);
+    }
+    let occ = !service.procs.is_empty();
+    let ctx = Ctx {
+        service: &service,
+        attrs: &attrs,
+        all,
+        occ,
+    };
+    let mode = opts.disable_mode;
+    let mut entities = Vec::new();
+    for p in all.iter() {
+        entities.push((p, derive_entity(&ctx, p, mode)));
+    }
+    Ok(Derivation {
+        entities,
+        service,
+        attrs,
+        all,
+        occ,
+    })
+}
+
+/// Derive the protocol entity for a single place (`T_p` applied to the
+/// root and to every process definition, preserving structure).
+fn derive_entity(ctx: &Ctx<'_>, p: PlaceId, mode: DisableMode) -> Spec {
+    let mut out = Spec::new();
+    // Mirror the process table so indices and parents carry over.
+    for proc in &ctx.service.procs {
+        out.define_proc(&proc.name, DefBlock::default(), proc.parent);
+    }
+    for (pi, proc) in ctx.service.procs.iter().enumerate() {
+        let body = tp(ctx, &mut out, p, proc.body.expr, false, mode);
+        out.procs[pi].body = DefBlock {
+            expr: body,
+            procs: proc.body.procs.clone(),
+        };
+    }
+    let top = tp(ctx, &mut out, p, ctx.service.top.expr, false, mode);
+    out.top = DefBlock {
+        expr: top,
+        procs: ctx.service.top.procs.clone(),
+    };
+    let unresolved = out.resolve();
+    debug_assert!(unresolved.is_empty(), "derived entity lost process bindings");
+    out
+}
+
+/// `T_p` — Table 3. `in_mc` is true when `node` is (an alternative of) the
+/// action-prefix-form right-hand side of a disable, where rule 9₄ applies
+/// (the leading event of each alternative triggers `Interr`).
+fn tp(
+    ctx: &Ctx<'_>,
+    out: &mut Spec,
+    p: PlaceId,
+    node: NodeId,
+    in_mc: bool,
+    mode: DisableMode,
+) -> NodeId {
+    match ctx.service.node(node).clone() {
+        Expr::Exit => out.exit(),
+        Expr::Stop => out.stop(),
+        Expr::Empty => out.empty(),
+
+        // Rules 16/17 (plus 9₄ when inside a disable RHS): project the
+        // event, then synchronize with the continuation's starting places.
+        Expr::Prefix { event, then } => {
+            // §3.3 alternative implementation: the leading event of a
+            // disable alternative is preceded by a request/acknowledgment
+            // round — the interrupting place may only execute it once
+            // every other place has stopped and acknowledged.
+            if in_mc && mode == DisableMode::RequestAck {
+                return tp_mc_request_ack(ctx, out, p, node, &event, then, mode);
+            }
+            let interr = if in_mc {
+                // rule 9₄: Interr_p(Event_Id, Seq)
+                let sp_e1 = event
+                    .place()
+                    .map(PlaceSet::singleton)
+                    .unwrap_or(PlaceSet::EMPTY);
+                let sp_e2 = ctx.attrs.sp(then);
+                ctx.interr(out, p, sp_e1, sp_e2, ctx.attrs.num(node))
+            } else {
+                None
+            };
+            // Synch_Left/Synch_Right between the event (EP = its place,
+            // N = this prefix node) and the continuation.
+            let (sl, sr) = match event.place() {
+                Some(q) => {
+                    let n = ctx.attrs.num(node);
+                    let sl = if p == q {
+                        let targets = ctx.attrs.sp(then).minus_place(p);
+                        ctx.send(out, targets, n, SyncKind::Seq)
+                    } else {
+                        None
+                    };
+                    let sr = if ctx.attrs.sp(then).contains(p) {
+                        let sources = PlaceSet::singleton(q).minus_place(p);
+                        ctx.receive(out, sources, n, SyncKind::Seq)
+                    } else {
+                        None
+                    };
+                    (sl, sr)
+                }
+                None => (None, None),
+            };
+            let cont = tp(ctx, out, p, then, false, mode);
+            let chain = ctx.enable_chain(out, vec![interr, sl, sr, Some(cont)]);
+            match event.place() {
+                Some(q) if q == p => out.prefix(event, chain),
+                Some(_) => chain, // Proj_p = empty; `empty ; e = e`
+                // `i`/message events are not in the service grammar; if
+                // derivation is forced on them, keep them verbatim.
+                None => out.prefix(event, chain),
+            }
+        }
+
+        // Rule 14 (and 9₂ inside a disable RHS): each alternative is
+        // followed by the `Alternative` notification.
+        Expr::Choice { left, right } => {
+            let tl = tp(ctx, out, p, left, in_mc, mode);
+            let al = ctx.alternative(out, p, left, right);
+            let l = ctx.enable_chain(out, vec![Some(tl), al]);
+            let tr = tp(ctx, out, p, right, in_mc, mode);
+            let ar = ctx.alternative(out, p, right, left);
+            let r = ctx.enable_chain(out, vec![Some(tr), ar]);
+            // `exit [] exit` arises where this place ignores both
+            // alternatives — collapse (law C3).
+            if matches!(out.node(l), Expr::Exit) && matches!(out.node(r), Expr::Exit) {
+                l
+            } else {
+                out.choice(l, r)
+            }
+        }
+
+        // Rules 11–13: project the synchronization set onto `p`
+        // (`select_p`); parallelism itself needs no messages.
+        Expr::Par { sync, left, right } => {
+            let l = tp(ctx, out, p, left, false, mode);
+            let r = tp(ctx, out, p, right, false, mode);
+            let ssel = sync.select(p);
+            let l_gone = matches!(out.node(l), Expr::Exit | Expr::Empty);
+            let r_gone = matches!(out.node(r), Expr::Exit | Expr::Empty);
+            // `e ||| empty = e` — also applied to fully-projected-away
+            // sides, which the projection leaves as `exit` (`e ||| exit ≈ e`
+            // since `exit` is always ready to terminate). Only valid for
+            // pure interleaving: under `|[G]|` an exit side blocks G.
+            if matches!(ssel, lotos::event::SyncSet::Interleave) && (l_gone || r_gone) {
+                if l_gone && r_gone {
+                    l
+                } else if l_gone {
+                    r
+                } else {
+                    l
+                }
+            } else {
+                out.par(ssel, l, r)
+            }
+        }
+
+        // Rule 7: sequencing synchronization between `e1` and `e2`,
+        // identified by the `>>` node's own number.
+        Expr::Enable { left, right } => {
+            let n = ctx.attrs.num(node);
+            let tl = tp(ctx, out, p, left, false, mode);
+            let sl = ctx.synch_left(out, p, left, right, n);
+            let sr = ctx.synch_right(out, p, left, right, n);
+            let tr = tp(ctx, out, p, right, false, mode);
+            ctx.enable_chain(out, vec![Some(tl), sl, sr, Some(tr)])
+        }
+
+        // Rule 9₁: the disabled expression is followed by the `Rel`
+        // termination barrier; the disable RHS is derived in Mc context.
+        Expr::Disable { left, right } => {
+            let tl = tp(ctx, out, p, left, false, mode);
+            let rel = ctx.rel(out, p, left, ctx.attrs.num(node));
+            let l = ctx.enable_chain(out, vec![Some(tl), rel]);
+            let r = tp(ctx, out, p, right, true, mode);
+            out.disable(l, r)
+        }
+
+        // Rule 18: process instantiation, preceded by `Proc_Synch`. The
+        // call carries the service-tree number `N` as its site tag so that
+        // all entities agree on process occurrence numbers (§3.5).
+        //
+        // A place that does not participate in the process at all
+        // (`p ∉ AP(P)`) has no primitives and — with the corrected
+        // `Proc_Synch` (see `helpers::Ctx::proc_synch`) — no messages
+        // inside it either; its projection of the invocation is simply
+        // `exit`. Keeping the bare call instead would create *unguarded*
+        // recursion in the derived entity (`PROC P = P [] exit`), which
+        // diverges.
+        Expr::Call { name, proc, .. } => {
+            if !ctx.attrs.ap(node).contains(p) {
+                return out.exit();
+            }
+            let ps = ctx.proc_synch(out, p, node);
+            let call = out.call_tagged(&name, proc, ctx.attrs.num(node));
+            ctx.enable_chain(out, vec![ps, Some(call)])
+        }
+    }
+}
+
+
+/// The §3.3 request/acknowledgment interrupt (see [`DisableMode::RequestAck`])
+/// for one disable-RHS alternative `a_q ; Seq`:
+///
+/// * at the interrupting place `q`: send a request to every other place,
+///   collect their acknowledgments, and only then execute `a_q` (followed
+///   by the ordinary sequencing synchronization towards `Seq`);
+/// * at every other place: the request-receive guards the alternative;
+///   on reception the place stops its normal behaviour (the `[>` resolves)
+///   and returns the acknowledgment.
+///
+/// The request and its acknowledgment reuse the alternative's node number
+/// `N` — they travel on opposite channels, and the request precedes any
+/// later `Synch_Left` message with the same `N` on the same channel, so
+/// FIFO order keeps identities unambiguous.
+fn tp_mc_request_ack(
+    ctx: &Ctx<'_>,
+    out: &mut Spec,
+    p: PlaceId,
+    node: NodeId,
+    event: &lotos::event::Event,
+    then: NodeId,
+    mode: DisableMode,
+) -> NodeId {
+    let n = ctx.attrs.num(node);
+    let q = event
+        .place()
+        .expect("disable alternatives start with placed primitives (rule 9₄)");
+    let others = ctx.all.minus_place(q);
+    // ordinary event-level sequencing towards the continuation
+    let sl = if p == q {
+        let targets = ctx.attrs.sp(then).minus_place(p);
+        ctx.send(out, targets, n, SyncKind::Seq)
+    } else {
+        None
+    };
+    let sr = if ctx.attrs.sp(then).contains(p) {
+        let sources = PlaceSet::singleton(q).minus_place(p);
+        ctx.receive(out, sources, n, SyncKind::Seq)
+    } else {
+        None
+    };
+    let cont = tp(ctx, out, p, then, false, mode);
+
+    if p == q {
+        // request >> acks >> a_q ; (SL >> SR >> cont)
+        let req = ctx.send(out, others, n, SyncKind::Interr);
+        let acks = ctx.receive(out, others, n, SyncKind::Interr);
+        let inner = ctx.enable_chain(out, vec![sl, sr, Some(cont)]);
+        let prim = out.prefix(event.clone(), inner);
+        ctx.enable_chain(out, vec![req, acks, Some(prim)])
+    } else {
+        // r_q(N) guards the alternative; ack, then continue if involved
+        let ack = ctx.send(out, PlaceSet::singleton(q), n, SyncKind::Interr);
+        let chain = ctx.enable_chain(out, vec![ack, sr, Some(cont)]);
+        out.prefix(
+            lotos::event::Event::recv_node(q, n, ctx.occ, SyncKind::Interr),
+            chain,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lotos::parser::parse_spec;
+    use lotos::printer::{print_expr, print_spec};
+
+    fn derive_src(src: &str) -> Derivation {
+        derive(&parse_spec(src).unwrap()).unwrap()
+    }
+
+    fn entity_str(d: &Derivation, p: PlaceId) -> String {
+        print_spec(d.entity(p).unwrap())
+    }
+
+    /// Example 4 (§3.1): `a1 ; exit >> b2 ; ...` — the basic sequencing
+    /// synchronization.
+    #[test]
+    fn example4_sequencing() {
+        let d = derive_src("SPEC a1;exit >> b2;exit ENDSPEC");
+        let e1 = entity_str(&d, 1);
+        let e2 = entity_str(&d, 2);
+        // place 1: a1 ; s2(N) ; exit        (send after finishing)
+        // place 2: r1(N) ; exit >> b2 ; exit (wait before starting)
+        assert!(e1.contains("a1; "), "{e1}");
+        assert!(e1.contains("s2("), "{e1}");
+        assert!(!e1.contains("b2"), "{e1}");
+        assert!(e2.contains("r1("), "{e2}");
+        assert!(e2.contains("b2; exit"), "{e2}");
+        assert!(!e2.contains("a1"), "{e2}");
+        // no occurrence parameter without process definitions
+        assert!(!d.occ);
+        assert!(!e1.contains("(s,"), "{e1}");
+    }
+
+    /// The prefix operator `;` synchronizes exactly like `>>` (§3.1).
+    #[test]
+    fn prefix_sequencing_messages() {
+        let d = derive_src("SPEC a1; b2; exit ENDSPEC");
+        let e1 = entity_str(&d, 1);
+        let e2 = entity_str(&d, 2);
+        assert!(e1.contains("a1; "), "{e1}");
+        assert!(e1.contains("s2("), "{e1}");
+        assert!(e2.contains("r1("), "{e2}");
+        assert!(e2.contains("b2; exit"), "{e2}");
+    }
+
+    /// No synchronization for pure interleaving (§3: `|||` sets no
+    /// sequential constraint).
+    #[test]
+    fn interleaving_needs_no_messages() {
+        let d = derive_src("SPEC a1;exit ||| b2;exit ENDSPEC");
+        let e1 = entity_str(&d, 1);
+        let e2 = entity_str(&d, 2);
+        assert!(!e1.contains("s2(") && !e1.contains("r2("), "{e1}");
+        assert!(!e2.contains("s1(") && !e2.contains("r1("), "{e2}");
+        assert!(e1.contains("a1; exit"), "{e1}");
+        assert!(e2.contains("b2; exit"), "{e2}");
+    }
+
+    /// A place not involved in a parallel side sees only its own side.
+    #[test]
+    fn parallel_projection_drops_foreign_side() {
+        let d = derive_src("SPEC a1;exit ||| b2;exit ENDSPEC");
+        let e1 = d.entity(1).unwrap();
+        // entity 1's top is just `a1; exit` — no `||| exit` remnant
+        assert_eq!(print_expr(e1, e1.top.expr), "a1; exit");
+    }
+
+    /// `select_p` keeps only local gates in `|[G]|` (Table 4).
+    #[test]
+    fn sync_set_projected_per_place() {
+        let d = derive_src("SPEC a1;b2;exit |[b2]| b2;c3;exit ENDSPEC");
+        let e2 = entity_str(&d, 2);
+        assert!(e2.contains("|[b2]|"), "{e2}");
+        let e1 = entity_str(&d, 1);
+        assert!(!e1.contains("|[b2]|"), "{e1}");
+    }
+
+    /// Example 5 (§3.2): empty-alternative avoidance messages.
+    #[test]
+    fn example5_choice_alternative_sync() {
+        let d = derive_src(
+            "SPEC A WHERE PROC A = (a1 ; b2 ; A >> c2 ; d3 ; exit) [] (e1 ; f3 ; exit) END ENDSPEC",
+        );
+        // place 1 starts both alternatives; in the right alternative it
+        // must notify place 2 (which only occurs in the left alternative).
+        let e1 = entity_str(&d, 1);
+        assert!(e1.contains("e1; "), "{e1}");
+        assert!(e1.contains("s2("), "{e1}");
+        // place 2 receives the notification in its right alternative
+        let e2 = entity_str(&d, 2);
+        assert!(e2.contains("[] r1("), "{e2}");
+        // place 3 participates in both alternatives — no Alternative msg
+        // beyond ordinary sequencing; it keeps d3 and f3.
+        let e3 = entity_str(&d, 3);
+        assert!(e3.contains("d3") && e3.contains("f3"), "{e3}");
+        // occurrence parameters present (process definitions exist)
+        assert!(d.occ);
+        assert!(e1.contains("(s,"), "{e1}");
+    }
+
+    /// Example 2 (§3.4): process synchronization at every invocation.
+    #[test]
+    fn example2_process_synchronization() {
+        let d = derive_src(
+            "SPEC A WHERE PROC A = (a1 ; A >> b2 ; exit) [] (a1 ; b2 ; exit) END ENDSPEC",
+        );
+        let e1 = entity_str(&d, 1);
+        let e2 = entity_str(&d, 2);
+        // place 1 (the starting place of A) sends the proc-synch message
+        // before invoking A; place 2 receives it before its own A.
+        assert!(e1.contains("s2(s,") && e1.contains(">> A"), "{e1}");
+        assert!(e2.contains("r1(s,") && e2.contains(">> A"), "{e2}");
+    }
+
+    /// Example 6 (§3.3): disabling — Rel termination barrier and Interr
+    /// interrupt broadcast.
+    #[test]
+    fn example6_disable_rel_and_interr() {
+        let d = derive_src("SPEC (a1 ; b2 ; c3 ; exit) [> (d3 ; c3 ; exit) ENDSPEC");
+        let e1 = entity_str(&d, 1);
+        let e2 = entity_str(&d, 2);
+        let e3 = entity_str(&d, 3);
+        // EP(lhs) = {3}: place 3 broadcasts the Rel barrier...
+        assert!(e3.contains("s1(") && e3.contains("s2("), "{e3}");
+        // ...and the interrupt d3 triggers the Interr broadcast to 1 and 2
+        assert!(e3.contains("d3; "), "{e3}");
+        // places 1 and 2 wait for both the barrier and a possible interrupt
+        assert!(e1.matches("r3(").count() >= 2, "{e1}");
+        assert!(e2.matches("r3(").count() >= 2, "{e2}");
+        // both have the disable skeleton preserved
+        assert!(e1.contains("[>") && e2.contains("[>") && e3.contains("[>"));
+    }
+
+    /// Structure preservation: same process names in every entity.
+    #[test]
+    fn structure_preserved() {
+        let d = derive_src(
+            "SPEC S [> interrupt3 ; exit WHERE \
+             PROC S = (read1; push2; S >> pop2; write3; exit) \
+                   [] (eof1; make3; exit) END ENDSPEC",
+        );
+        for (_, e) in &d.entities {
+            assert_eq!(e.procs.len(), 1);
+            assert_eq!(e.procs[0].name, "S");
+        }
+        assert_eq!(d.all, lotos::place::places([1, 2, 3]));
+    }
+
+    /// Restriction violations abort the derivation.
+    #[test]
+    fn restriction_violation_rejected() {
+        let err = derive(&parse_spec("SPEC a1;c3;exit [] b2;c3;exit ENDSPEC").unwrap())
+            .unwrap_err();
+        assert!(matches!(err, DeriveError::Restrictions(_)));
+        // ...unless explicitly disabled
+        let d = derive_with(
+            &parse_spec("SPEC a1;c3;exit [] b2;c3;exit ENDSPEC").unwrap(),
+            Options {
+                enforce_restrictions: false,
+                ..Options::default()
+            },
+        );
+        assert!(d.is_ok());
+    }
+
+    /// The derivation applies the prefix-form transformation itself.
+    #[test]
+    fn disable_rhs_auto_normalized() {
+        let d = derive_src("SPEC a1;b2;c2;exit [> (d2;exit ||| e2;exit) ENDSPEC");
+        let e2 = entity_str(&d, 2);
+        assert!(e2.contains("d2") && e2.contains("e2"), "{e2}");
+    }
+
+    /// A single-place service derives to itself (no messages at all).
+    #[test]
+    fn single_place_service_is_identity_like() {
+        let d = derive_src("SPEC a1; b1; exit [] c1; exit ENDSPEC");
+        let e1 = entity_str(&d, 1);
+        assert!(!e1.contains("s1(") && !e1.contains("r1("), "{e1}");
+        assert!(e1.contains("a1; b1; exit [] c1; exit"), "{e1}");
+        assert_eq!(d.entities.len(), 1);
+    }
+
+    /// Places receive Alternative notifications with consistent numbering:
+    /// the same service node N appears in the sender and receiver events.
+    #[test]
+    fn message_ids_pair_up() {
+        let d = derive_src("SPEC a1;exit >> b2;exit ENDSPEC");
+        let e1 = entity_str(&d, 1);
+        let e2 = entity_str(&d, 2);
+        // extract N from s2(N) in entity 1 and r1(N) in entity 2
+        let n1: String = e1
+            .split("s2(")
+            .nth(1)
+            .unwrap()
+            .chars()
+            .take_while(|c| c.is_ascii_digit())
+            .collect();
+        let n2: String = e2
+            .split("r1(")
+            .nth(1)
+            .unwrap()
+            .chars()
+            .take_while(|c| c.is_ascii_digit())
+            .collect();
+        assert_eq!(n1, n2);
+        assert!(!n1.is_empty());
+    }
+}

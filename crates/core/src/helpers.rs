@@ -1,0 +1,236 @@
+//! The synchronization-message helper functions of paper Table 4.
+//!
+//! Each helper decides, for a given place `p` and service-tree context,
+//! which synchronization messages the derived entity at `p` must send or
+//! receive, and builds the corresponding behaviour fragment in the output
+//! arena. A helper returns `None` for the paper's `"empty"` — no actions
+//! at this place — which the chain builders simply drop (implementing the
+//! `empty`-elimination rules of Section 4.2 at construction time).
+
+use lotos::ast::{NodeId, Spec};
+use lotos::attributes::Attributes;
+use lotos::event::{Event, SyncKind};
+use lotos::place::{PlaceId, PlaceSet};
+
+/// Shared context for one entity derivation: the service spec, its
+/// attributes, the global place set `ALL`, and whether messages carry the
+/// symbolic occurrence parameter `s` (paper §3.5: yes iff the service
+/// declares processes; otherwise the default occurrence `0` is implied).
+pub struct Ctx<'a> {
+    pub service: &'a Spec,
+    pub attrs: &'a Attributes,
+    pub all: PlaceSet,
+    pub occ: bool,
+}
+
+impl<'a> Ctx<'a> {
+    /// `send(P, N)` of Table 4: `( s_i(s,N);exit ||| ... ||| s_k(s,N);exit )`,
+    /// or `None` when `P = {}`.
+    pub fn send(
+        &self,
+        out: &mut Spec,
+        places: PlaceSet,
+        n: u32,
+        kind: SyncKind,
+    ) -> Option<NodeId> {
+        self.msgs(out, places, n, kind, true)
+    }
+
+    /// `receive(P, N)` of Table 4: `( r_i(s,N);exit ||| ... )`, or `None`.
+    pub fn receive(
+        &self,
+        out: &mut Spec,
+        places: PlaceSet,
+        n: u32,
+        kind: SyncKind,
+    ) -> Option<NodeId> {
+        self.msgs(out, places, n, kind, false)
+    }
+
+    fn msgs(
+        &self,
+        out: &mut Spec,
+        places: PlaceSet,
+        n: u32,
+        kind: SyncKind,
+        sending: bool,
+    ) -> Option<NodeId> {
+        let mut acc: Option<NodeId> = None;
+        // Build right-nested interleaving in descending place order so the
+        // printed form lists places ascending (matching the paper).
+        let ps: Vec<PlaceId> = places.iter().collect();
+        for &k in ps.iter().rev() {
+            let ev = if sending {
+                Event::send_node(k, n, self.occ, kind)
+            } else {
+                Event::recv_node(k, n, self.occ, kind)
+            };
+            let e = out.exit();
+            let pref = out.prefix(ev, e);
+            acc = Some(match acc {
+                None => pref,
+                Some(rest) => out.interleave(pref, rest),
+            });
+        }
+        acc
+    }
+
+    /// `Synch_Left_p(e1, e2)` (§3.1, Table 4): after finishing `e1`, an
+    /// ending place of `e1` notifies every starting place of `e2`.
+    ///
+    /// `n` identifies the synchronization point. The paper writes
+    /// `N(e1)`; we pass the *operator* node's number instead (the `>>` or
+    /// `;` introducing the constraint) — a pure relabeling that keeps
+    /// message identities collision-free even without relying on channel
+    /// FIFO order (an `e1` node would otherwise share its number between
+    /// its own prefix-level synchronization and the operator-level one).
+    pub fn synch_left(
+        &self,
+        out: &mut Spec,
+        p: PlaceId,
+        e1: NodeId,
+        e2: NodeId,
+        n: u32,
+    ) -> Option<NodeId> {
+        if self.attrs.ep(e1).contains(p) {
+            let targets = self.attrs.sp(e2).minus_place(p);
+            self.send(out, targets, n, SyncKind::Seq)
+        } else {
+            None
+        }
+    }
+
+    /// `Synch_Right_p(e1, e2)`: a starting place of `e2` waits for the
+    /// notification from every ending place of `e1`.
+    pub fn synch_right(
+        &self,
+        out: &mut Spec,
+        p: PlaceId,
+        e1: NodeId,
+        e2: NodeId,
+        n: u32,
+    ) -> Option<NodeId> {
+        if self.attrs.sp(e2).contains(p) {
+            let sources = self.attrs.ep(e1).minus_place(p);
+            self.receive(out, sources, n, SyncKind::Seq)
+        } else {
+            None
+        }
+    }
+
+    /// `Rel_p(e)` (§3.3, Table 4): the termination barrier of a disabled
+    /// expression. Ending places broadcast "done" to everyone and wait for
+    /// the other ending places; all other places wait for every ending
+    /// place. `n` is the disable node's number (see [`Ctx::synch_left`]).
+    pub fn rel(&self, out: &mut Spec, p: PlaceId, e: NodeId, n: u32) -> Option<NodeId> {
+        let ep = self.attrs.ep(e);
+        if ep.contains(p) {
+            let snd = self.send(out, self.all.minus_place(p), n, SyncKind::Rel);
+            let rcv = self.receive(out, ep.minus_place(p), n, SyncKind::Rel);
+            match (snd, rcv) {
+                (Some(s), Some(r)) => Some(out.interleave(s, r)),
+                (Some(s), None) => Some(s),
+                (None, Some(r)) => Some(r),
+                (None, None) => None,
+            }
+        } else {
+            self.receive(out, ep, n, SyncKind::Rel)
+        }
+    }
+
+    /// `Interr_p(e1, e2)` (§3.3, Table 4): when the disabling event `e1`
+    /// (an `Event_Id` located at `SP(e1)`) occurs, its place broadcasts the
+    /// interruption to every place that will not hear about it through the
+    /// ordinary sequencing messages towards `SP(e2)`.
+    pub fn interr(
+        &self,
+        out: &mut Spec,
+        p: PlaceId,
+        sp_e1: PlaceSet,
+        sp_e2: PlaceSet,
+        n: u32,
+    ) -> Option<NodeId> {
+        let others = self.all.minus(sp_e1).minus(sp_e2);
+        if sp_e1.contains(p) {
+            self.send(out, others, n, SyncKind::Interr)
+        } else if others.contains(p) {
+            self.receive(out, sp_e1, n, SyncKind::Interr)
+        } else {
+            None
+        }
+    }
+
+    /// `Alternative_p(e1, e2)` (§3.2, Table 4): empty-alternative
+    /// avoidance. After alternative `e1` completes, its starting place
+    /// tells the places that occur only in the *other* alternative which
+    /// way the choice went.
+    pub fn alternative(
+        &self,
+        out: &mut Spec,
+        p: PlaceId,
+        e1: NodeId,
+        e2: NodeId,
+    ) -> Option<NodeId> {
+        let sp1 = self.attrs.sp(e1);
+        let only_other = self.attrs.ap(e2).minus(self.attrs.ap(e1));
+        let n = self.attrs.num(e1);
+        if sp1.contains(p) {
+            self.send(out, only_other, n, SyncKind::Alt)
+        } else if only_other.contains(p) {
+            self.receive(out, sp1, n, SyncKind::Alt)
+        } else {
+            None
+        }
+    }
+
+    /// `Proc_Synch_p(e)` (§3.4, Table 4): process-invocation barrier. The
+    /// starting places of the process tell the other *participating*
+    /// places that a new instance begins; those places wait for the
+    /// message.
+    ///
+    /// **Correction to Table 4** (documented in DESIGN.md/EXPERIMENTS.md):
+    /// the paper broadcasts to `ALL − SP(e)`; we narrow the barrier to
+    /// `AP(e) − SP(e)`. A place `p ∉ AP(P)` has no actions in `P`, so its
+    /// projection of a choice alternative containing the recursive call
+    /// collapses to `exit` — under the paper's rule such a place still
+    /// receives one proc-synch message per instance, but (participating in
+    /// no alternative's `AP`) gets no `Alternative` notification telling
+    /// it when the recursion stops. It can then internally commit to the
+    /// `exit` branch while a proc-synch message is still in flight, and
+    /// that orphan blocks the FIFO channel ahead of later messages —
+    /// deadlock (found by randomized conformance testing, see
+    /// `tests/property_based.rs`). Restricting the barrier to the places
+    /// that actually take part in the process removes the message and the
+    /// deadlock, and coincides with the paper's rule whenever
+    /// `AP(P) = ALL` — which holds for every example in the paper.
+    pub fn proc_synch(&self, out: &mut Spec, p: PlaceId, call: NodeId) -> Option<NodeId> {
+        let sp = self.attrs.sp(call);
+        let ap = self.attrs.ap(call);
+        let n = self.attrs.num(call);
+        if sp.contains(p) {
+            self.send(out, ap.minus(sp), n, SyncKind::Proc)
+        } else if ap.contains(p) {
+            self.receive(out, sp, n, SyncKind::Proc)
+        } else {
+            None
+        }
+    }
+
+    /// Sequence parts with `>>`, dropping `None` ("empty") parts — the
+    /// `empty >> e = e` / `e >> empty = e` rules — and collapsing the
+    /// Protocol Generator's cleanup rules `exit >> e = e` / `e >> exit = e`
+    /// (the paper's PG "automatically eliminates un-necessary or
+    /// irrelevant sequences"; see `simplify` for why `exit >> e = e` is
+    /// required for correct choice guarding, not just cosmetic).
+    pub fn enable_chain(&self, out: &mut Spec, parts: Vec<Option<NodeId>>) -> NodeId {
+        let mut kept: Vec<NodeId> = parts.into_iter().flatten().collect();
+        kept.retain(|&id| !matches!(out.node(id), lotos::ast::Expr::Exit | lotos::ast::Expr::Empty));
+        let Some(mut acc) = kept.pop() else {
+            return out.exit();
+        };
+        while let Some(prev) = kept.pop() {
+            acc = out.enable(prev, acc);
+        }
+        acc
+    }
+}

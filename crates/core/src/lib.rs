@@ -1,0 +1,51 @@
+//! # `protogen` — protocol derivation from service specifications
+//!
+//! The paper's primary contribution: an algorithm that, given a service
+//! specification written in the Basic-LOTOS-like language of the `lotos`
+//! crate, derives one **protocol entity specification per service access
+//! point** such that the entities — exchanging synchronization messages
+//! through a reliable FIFO medium — jointly provide exactly the specified
+//! service (paper Sections 3–4, Tables 3–4).
+//!
+//! ## Pipeline
+//!
+//! ```text
+//! parse ──► prefix-form ──► attributes ──► restrictions ──► T_p per place
+//!           (disable RHS)   (SP/EP/AP/N)   (R1,R2,R3)       (Tables 3+4)
+//! ```
+//!
+//! All steps are run by [`derive::derive`]; the individual pieces are also
+//! exported for tools that want partial pipelines.
+//!
+//! ## Example — the paper's Example 4
+//!
+//! ```
+//! use lotos::parser::parse_spec;
+//! use lotos::printer::print_expr;
+//! use protogen::derive;
+//!
+//! let service = parse_spec("SPEC a1;exit >> b2;exit ENDSPEC").unwrap();
+//! let d = derive(&service).unwrap();
+//!
+//! // place 1 executes a1 and then notifies place 2 ...
+//! let e1 = d.entity(1).unwrap();
+//! assert_eq!(print_expr(e1, e1.top.expr), "a1; exit >> s2(1); exit");
+//! // ... which waits for the message before executing b2.
+//! let e2 = d.entity(2).unwrap();
+//! assert_eq!(print_expr(e2, e2.top.expr), "r1(1); exit >> b2; exit");
+//! ```
+//!
+//! (Message identifiers are the preorder numbers `N` of the service syntax
+//! tree; the paper's printed examples use its own numbering — compare with
+//! [`lotos::compare::spec_eq_mod_msgs`].)
+
+pub mod centralized;
+pub mod derive;
+pub mod helpers;
+pub mod simplify;
+pub mod stats;
+
+pub use centralized::centralize;
+pub use derive::{derive, derive_with, Derivation, DeriveError, DisableMode, Options};
+pub use simplify::simplify;
+pub use stats::{message_stats, operator_counts, MessageStats, OperatorCounts};

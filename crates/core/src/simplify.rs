@@ -1,0 +1,192 @@
+//! The Protocol Generator's cleanup pass (paper Section 4.2).
+//!
+//! The derivation rules produce `"empty"` placeholders wherever a place
+//! has no action; the paper eliminates them with
+//!
+//! ```text
+//! empty ; e  = e          empty >> e = e
+//! e >> empty = e          e ||| empty = e
+//! ```
+//!
+//! and the PG prototype "automatically eliminates un-necessary or
+//! irrelevant sequences" beyond that. Matching the paper's *printed*
+//! outputs requires two further rules:
+//!
+//! * `exit >> e = e` — **required for correctness**, not cosmetics: a
+//!   fully-projected-away choice alternative reduces to `exit`, and
+//!   `exit >> (r1(N);exit)` inside a choice could *internally* commit to
+//!   the alternative (law E1 turns the δ into an `i`) before the deciding
+//!   message arrives, deadlocking the entity. Exposing the receive as the
+//!   alternative's guard — as the paper's Example 5 / Example 3 outputs do
+//!   — makes the choice externally driven by the message.
+//! * `e >> exit = e` — cosmetic (`B >> exit ≈ B`), matching e.g. the
+//!   paper's `pop2; (s3(11);exit)` for Example 3, place 2.
+//!
+//! The derivation in [`crate::derive()`] applies these rules during
+//! construction; this module provides the same rewriting as a standalone
+//! pass for hand-written or parsed protocol specifications, plus the
+//! `exit [] exit = exit` collapse (law C3) and `e ||| exit = e`.
+
+use lotos::ast::{DefBlock, Expr, NodeId, Spec};
+use lotos::event::SyncSet;
+
+/// Rewrite `spec` bottom-up with the PG cleanup rules, returning a fresh,
+/// compacted specification (unreachable arena nodes are dropped).
+pub fn simplify(spec: &Spec) -> Spec {
+    let mut out = Spec::new();
+    for p in &spec.procs {
+        out.define_proc(&p.name, DefBlock::default(), p.parent);
+    }
+    for (pi, p) in spec.procs.iter().enumerate() {
+        let body = simp(spec, p.body.expr, &mut out);
+        out.procs[pi].body = DefBlock {
+            expr: body,
+            procs: p.body.procs.clone(),
+        };
+    }
+    let top = simp(spec, spec.top.expr, &mut out);
+    out.top = DefBlock {
+        expr: top,
+        procs: spec.top.procs.clone(),
+    };
+    let unresolved = out.resolve();
+    debug_assert!(unresolved.is_empty());
+    out
+}
+
+fn is_unit(out: &Spec, id: NodeId) -> bool {
+    matches!(out.node(id), Expr::Exit | Expr::Empty)
+}
+
+fn simp(src: &Spec, id: NodeId, out: &mut Spec) -> NodeId {
+    match src.node(id).clone() {
+        Expr::Exit => out.exit(),
+        Expr::Stop => out.stop(),
+        Expr::Empty => out.empty(),
+        Expr::Prefix { event, then } => {
+            let t = simp(src, then, out);
+            // `event ; empty` has no defined meaning; normalize the
+            // continuation to exit so the prefix stays well-formed.
+            let t = if matches!(out.node(t), Expr::Empty) {
+                out.exit()
+            } else {
+                t
+            };
+            out.prefix(event, t)
+        }
+        Expr::Choice { left, right } => {
+            let l = simp(src, left, out);
+            let r = simp(src, right, out);
+            // exit [] exit = exit (law C3)
+            if matches!(out.node(l), Expr::Exit) && matches!(out.node(r), Expr::Exit) {
+                l
+            } else {
+                out.choice(l, r)
+            }
+        }
+        Expr::Par { sync, left, right } => {
+            let l = simp(src, left, out);
+            let r = simp(src, right, out);
+            let interleave = matches!(sync, SyncSet::Interleave);
+            match (is_unit(out, l), is_unit(out, r)) {
+                // e ||| empty = e ; e ||| exit ≈ e (only for pure
+                // interleaving — under |[G]| a unit side blocks G)
+                (true, true) if interleave => out.exit(),
+                (true, false) if interleave => r,
+                (false, true) if interleave => l,
+                _ => out.par(sync, l, r),
+            }
+        }
+        Expr::Enable { left, right } => {
+            let l = simp(src, left, out);
+            let r = simp(src, right, out);
+            match (is_unit(out, l), is_unit(out, r)) {
+                (true, true) => out.exit(),
+                // empty >> e = e ; exit >> e = e (guard exposure)
+                (true, false) => r,
+                // e >> empty = e ; e >> exit = e
+                (false, true) => l,
+                (false, false) => out.enable(l, r),
+            }
+        }
+        Expr::Disable { left, right } => {
+            let l = simp(src, left, out);
+            let r = simp(src, right, out);
+            // e [> empty = e (an interrupt that can never fire)
+            if matches!(out.node(r), Expr::Empty) {
+                l
+            } else {
+                out.disable(l, r)
+            }
+        }
+        Expr::Call { name, proc, tag } => out.add(Expr::Call { name, proc, tag }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lotos::parser::parse_spec;
+    use lotos::printer::print_expr;
+
+    fn simp_str(src: &str) -> String {
+        let spec = parse_spec(src).unwrap();
+        let s = simplify(&spec);
+        print_expr(&s, s.top.expr)
+    }
+
+    #[test]
+    fn paper_rules() {
+        assert_eq!(simp_str("SPEC empty >> a1;exit ENDSPEC"), "a1; exit");
+        assert_eq!(simp_str("SPEC a1;exit >> empty ENDSPEC"), "a1; exit");
+        assert_eq!(simp_str("SPEC a1;exit ||| empty ENDSPEC"), "a1; exit");
+        assert_eq!(simp_str("SPEC empty ||| a1;exit ENDSPEC"), "a1; exit");
+    }
+
+    #[test]
+    fn pg_cleanup_rules() {
+        assert_eq!(simp_str("SPEC exit >> r1(5);exit ENDSPEC"), "r1(5); exit");
+        assert_eq!(simp_str("SPEC s2(5);exit >> exit ENDSPEC"), "s2(5); exit");
+        assert_eq!(simp_str("SPEC exit [] exit ENDSPEC"), "exit");
+        assert_eq!(simp_str("SPEC a1;exit ||| exit ENDSPEC"), "a1; exit");
+    }
+
+    #[test]
+    fn nested_collapse() {
+        // (empty >> exit) >> a1;exit collapses in two steps
+        assert_eq!(simp_str("SPEC (empty >> exit) >> a1;exit ENDSPEC"), "a1; exit");
+        assert_eq!(simp_str("SPEC (exit [] exit) >> a1;exit ENDSPEC"), "a1; exit");
+    }
+
+    #[test]
+    fn gated_parallel_not_collapsed() {
+        // exit |[a1]| a1;exit must NOT collapse (a1 is blocked)
+        let s = simp_str("SPEC exit |[a1]| a1;exit ENDSPEC");
+        assert!(s.contains("|[a1]|"), "{s}");
+    }
+
+    #[test]
+    fn real_behaviour_untouched() {
+        let s = simp_str("SPEC a1; (s2(3);exit >> r2(4);exit >> b1;exit) ENDSPEC");
+        assert_eq!(s, "a1; (s2(3); exit >> r2(4); exit >> b1; exit)");
+    }
+
+    #[test]
+    fn processes_simplified_too() {
+        let spec = parse_spec("SPEC A WHERE PROC A = a1; (exit >> r2(7);exit) END ENDSPEC")
+            .unwrap();
+        let s = simplify(&spec);
+        assert_eq!(print_expr(&s, s.procs[0].body.expr), "a1; r2(7); exit");
+    }
+
+    #[test]
+    fn idempotent() {
+        let spec = parse_spec(
+            "SPEC (exit >> r1(5);exit) [] (a1;exit >> exit) WHERE PROC A = a1;A END ENDSPEC",
+        )
+        .unwrap();
+        let once = simplify(&spec);
+        let twice = simplify(&once);
+        assert!(lotos::compare::spec_eq_exact(&once, &twice));
+    }
+}

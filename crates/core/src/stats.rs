@@ -1,0 +1,213 @@
+//! Static message-complexity accounting — paper Section 4.3.
+//!
+//! The paper bounds the number of synchronization messages the algorithm
+//! generates *per occurrence of each service operator*:
+//!
+//! * each `;` / `>>`: at most 1 message (multiplied when an operand is a
+//!   parallel composition: `|EP(e1)| × |SP(e2)|` sender/receiver pairs);
+//! * each `[]`: at most `n` messages (worst case: disjoint alternatives);
+//! * each `[>`: at most `n − 1` (Rel) + `n − 2` (Interr) = `2n − 3`;
+//! * each process instantiation: at most `n − 1`;
+//! * parallel operators: no messages of their own.
+//!
+//! This module counts the *send* interactions of a [`Derivation`] — each
+//! static send event transmits exactly one message per execution of its
+//! synchronization point, so static counts grouped by the service-node
+//! number `N` measure exactly what §4.3 bounds.
+
+use crate::derive::Derivation;
+use lotos::ast::Expr;
+use lotos::event::{Event, MsgId, SyncKind};
+use std::collections::BTreeMap;
+
+/// Message counts for one derivation.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MessageStats {
+    /// Total send interactions across all entities.
+    pub total: usize,
+    /// Send interactions per Table 4 helper kind.
+    pub per_kind: BTreeMap<SyncKind, usize>,
+    /// Send interactions per `(kind, service node N)` — i.e. per
+    /// synchronization point.
+    pub per_point: BTreeMap<(SyncKind, u32), usize>,
+    /// Receive interactions across all entities (should pair 1:1 with
+    /// sends for a well-formed derivation).
+    pub recv_total: usize,
+}
+
+impl MessageStats {
+    /// The largest per-point count for a given kind (the quantity §4.3
+    /// bounds).
+    pub fn max_per_point(&self, kind: SyncKind) -> usize {
+        self.per_point
+            .iter()
+            .filter(|((k, _), _)| *k == kind)
+            .map(|(_, c)| *c)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Number of distinct synchronization points of a given kind.
+    pub fn points(&self, kind: SyncKind) -> usize {
+        self.per_point.iter().filter(|((k, _), _)| *k == kind).count()
+    }
+}
+
+/// Count the synchronization messages of a derivation.
+pub fn message_stats(d: &Derivation) -> MessageStats {
+    let mut stats = MessageStats::default();
+    for (_, entity) in &d.entities {
+        for (_, e) in entity.iter_nodes() {
+            let Expr::Prefix { event, .. } = e else { continue };
+            match event {
+                Event::Send { msg, kind, .. } => {
+                    stats.total += 1;
+                    *stats.per_kind.entry(*kind).or_default() += 1;
+                    if let MsgId::Node(n) = msg {
+                        *stats.per_point.entry((*kind, *n)).or_default() += 1;
+                    }
+                }
+                Event::Recv { .. } => stats.recv_total += 1,
+                _ => {}
+            }
+        }
+    }
+    stats
+}
+
+/// Count occurrences of each operator in the *service* specification
+/// (reachable nodes only) — the denominators of the §4.3 bounds.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct OperatorCounts {
+    pub prefix: usize,
+    pub choice: usize,
+    pub par: usize,
+    pub enable: usize,
+    pub disable: usize,
+    pub call: usize,
+}
+
+/// Tally the service operators of a specification.
+pub fn operator_counts(spec: &lotos::Spec) -> OperatorCounts {
+    let mut c = OperatorCounts::default();
+    let mut roots = vec![spec.top.expr];
+    roots.extend(spec.procs.iter().map(|p| p.body.expr));
+    let mut seen = vec![false; spec.node_count()];
+    for root in roots {
+        for id in spec.preorder(root) {
+            if std::mem::replace(&mut seen[id as usize], true) {
+                continue;
+            }
+            match spec.node(id) {
+                Expr::Prefix { .. } => c.prefix += 1,
+                Expr::Choice { .. } => c.choice += 1,
+                Expr::Par { .. } => c.par += 1,
+                Expr::Enable { .. } => c.enable += 1,
+                Expr::Disable { .. } => c.disable += 1,
+                Expr::Call { .. } => c.call += 1,
+                _ => {}
+            }
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+#[allow(clippy::int_plus_one)] // bounds written as `≤ n−1` to mirror §4.3
+mod tests {
+    use super::*;
+    use crate::derive::derive;
+    use lotos::parser::parse_spec;
+
+    fn stats_for(src: &str) -> (MessageStats, u32) {
+        let spec = parse_spec(src).unwrap();
+        let d = derive(&spec).unwrap();
+        let n = d.all.len();
+        (message_stats(&d), n)
+    }
+
+    #[test]
+    fn sequencing_costs_one_message() {
+        let (s, _) = stats_for("SPEC a1;exit >> b2;exit ENDSPEC");
+        assert_eq!(s.per_kind.get(&SyncKind::Seq), Some(&1));
+        assert_eq!(s.total, 1);
+        assert_eq!(s.recv_total, 1);
+    }
+
+    #[test]
+    fn sends_and_receives_pair_up() {
+        let (s, _) = stats_for(
+            "SPEC (a1 ; b2 ; c3 ; exit) [> (d3 ; c3 ; exit) ENDSPEC",
+        );
+        assert_eq!(s.total, s.recv_total);
+    }
+
+    #[test]
+    fn parallel_multiplies_sequencing_messages() {
+        // e1 >> (e2 ||| e3) >> e4 with places 1 / 2,3 / 4:
+        // first >> costs 2 (SP of the parallel = {2,3}), second costs 2
+        // (EP of the parallel = {2,3}) — §4.3's multiplication example.
+        let (s, _) = stats_for(
+            "SPEC a1;exit >> (b2;exit ||| c3;exit) >> d4;exit ENDSPEC",
+        );
+        assert_eq!(s.per_kind.get(&SyncKind::Seq), Some(&4));
+        assert_eq!(s.max_per_point(SyncKind::Seq), 2);
+    }
+
+    #[test]
+    fn choice_within_bound_n() {
+        // AP(left) = {1,2}, AP(right) = {1,3}: one Alternative message in
+        // each direction-set; n = 3 is the §4.3 bound.
+        let (s, n) = stats_for(
+            "SPEC (a1;b2;c3;exit) [] (e1;f3;c3;exit) ENDSPEC",
+        );
+        let alt = s.per_kind.get(&SyncKind::Alt).copied().unwrap_or(0);
+        assert!(alt as u32 <= n, "alt = {alt}, n = {n}");
+        assert!(alt >= 1);
+    }
+
+    #[test]
+    fn disable_within_bound_2n_minus_3() {
+        let (s, n) = stats_for("SPEC (a1 ; b2 ; c3 ; exit) [> (d3 ; c3 ; exit) ENDSPEC");
+        let rel = s.max_per_point(SyncKind::Rel);
+        let interr = s.max_per_point(SyncKind::Interr);
+        assert!(rel as u32 <= n - 1, "rel = {rel}");
+        assert!(interr as u32 <= n - 2 + 1, "interr = {interr}"); // ≤ n−2 when SP(e2)≠∅
+        assert!((rel + interr) as u32 <= 2 * n - 3 + 1);
+        // exact values for this example: Rel from 3 to {1,2} = 2 sends,
+        // Interr from 3 to {1,2} = 2 sends... except SP(e2)={3} excluded:
+        assert_eq!(rel, 2);
+        assert_eq!(interr, 2);
+    }
+
+    #[test]
+    fn process_instantiation_within_bound() {
+        let (s, n) = stats_for(
+            "SPEC A WHERE PROC A = (a1 ; A >> b2 ; exit) [] (a1 ; b2 ; exit) END ENDSPEC",
+        );
+        assert!(s.max_per_point(SyncKind::Proc) as u32 <= n - 1);
+        assert!(s.points(SyncKind::Proc) >= 1);
+    }
+
+    #[test]
+    fn pure_interleaving_is_free() {
+        let (s, _) = stats_for("SPEC a1;exit ||| b2;exit ||| c3;exit ENDSPEC");
+        assert_eq!(s.total, 0);
+    }
+
+    #[test]
+    fn operator_tally() {
+        let spec = parse_spec(
+            "SPEC S [> interrupt3 ; exit WHERE \
+             PROC S = (read1; push2; S >> pop2; write3; exit) \
+                   [] (eof1; make3; exit) END ENDSPEC",
+        )
+        .unwrap();
+        let c = operator_counts(&spec);
+        assert_eq!(c.disable, 1);
+        assert_eq!(c.choice, 1);
+        assert_eq!(c.enable, 1);
+        assert_eq!(c.call, 2); // top-level S and the recursive S
+        assert_eq!(c.prefix, 7); // read,push,pop,write,eof,make,interrupt
+    }
+}

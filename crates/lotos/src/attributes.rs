@@ -1,0 +1,359 @@
+//! Synthesized attribute evaluation — paper Section 4.1, Table 2.
+//!
+//! For every node `x` of the syntax tree three attributes are computed:
+//!
+//! * `SP(x)` — the *starting places*: where the first actions of `x` occur;
+//! * `EP(x)` — the *ending places*: where the last actions of `x` occur;
+//! * `AP(x)` — *all places* involved in `x`;
+//!
+//! plus the specification-wide `ALL` (the `AP` of the root) and the
+//! preorder node numbering `N` that identifies synchronization messages.
+//!
+//! Process references make the attribute equations recursive; following
+//! the paper, they are solved by iteration: all process attributes start
+//! at ∅ and the bottom-up evaluation is repeated until the process root
+//! values stop changing. The evaluation functions are monotone in the
+//! process attributes, so the iteration reaches the least fixed point —
+//! which implements the paper's rule that `SP(A) := SP(A) ∪ X` has the
+//! solution `SP(A) := X`.
+//!
+//! ### Translation notes (Table 2 → this AST)
+//!
+//! The grammar's chain productions collapse into one expression type, so
+//! Table 2's per-rule equations become per-constructor equations:
+//!
+//! * rules 16/17 merge into [`Expr::Prefix`]: `EP(a_q ; B)` is `{q}` when
+//!   `B` is literally `exit` (rule 17) and `EP(B)` otherwise (rule 16);
+//! * choice and parallel take component-wise unions (rules 9₂, 11–15);
+//! * `SP(Dis) = SP(Par) ∪ SP(Mc)` (rule 9₁); `EP` of a disable is the
+//!   union of both sides, which equals either side under restriction R2;
+//! * `i`-prefixes, `stop`, `empty` and message events are not part of the
+//!   service grammar; they get neutral attributes (documented inline) and
+//!   are rejected for service specifications by the restriction checker.
+
+use crate::ast::{Expr, NodeId, Spec};
+use crate::place::PlaceSet;
+
+/// The result of attribute evaluation over a specification.
+#[derive(Clone, Debug)]
+pub struct Attributes {
+    /// `SP(x)` per node.
+    pub sp: Vec<PlaceSet>,
+    /// `EP(x)` per node.
+    pub ep: Vec<PlaceSet>,
+    /// `AP(x)` per node.
+    pub ap: Vec<PlaceSet>,
+    /// Preorder node numbering `N(x)` per node (0 = unreachable).
+    pub n: Vec<u32>,
+    /// Per-process attributes, indexed by `ProcIdx`.
+    pub proc_sp: Vec<PlaceSet>,
+    pub proc_ep: Vec<PlaceSet>,
+    pub proc_ap: Vec<PlaceSet>,
+    /// `ALL` — the set of all places of the specification (`AP` of the
+    /// root expression).
+    pub all: PlaceSet,
+    /// Number of fixpoint passes performed (≥ 1; exposed for benches).
+    pub passes: u32,
+}
+
+impl Attributes {
+    /// `SP` of a node.
+    pub fn sp(&self, id: NodeId) -> PlaceSet {
+        self.sp[id as usize]
+    }
+    /// `EP` of a node.
+    pub fn ep(&self, id: NodeId) -> PlaceSet {
+        self.ep[id as usize]
+    }
+    /// `AP` of a node.
+    pub fn ap(&self, id: NodeId) -> PlaceSet {
+        self.ap[id as usize]
+    }
+    /// `N` of a node.
+    pub fn num(&self, id: NodeId) -> u32 {
+        self.n[id as usize]
+    }
+}
+
+/// Evaluate SP/EP/AP/N for every node of `spec` (paper §4.1, Step 2 of the
+/// derivation algorithm).
+pub fn evaluate(spec: &Spec) -> Attributes {
+    let nn = spec.node_count();
+    let mut attrs = Attributes {
+        sp: vec![PlaceSet::EMPTY; nn],
+        ep: vec![PlaceSet::EMPTY; nn],
+        ap: vec![PlaceSet::EMPTY; nn],
+        n: spec.number_nodes(),
+        proc_sp: vec![PlaceSet::EMPTY; spec.procs.len()],
+        proc_ep: vec![PlaceSet::EMPTY; spec.procs.len()],
+        proc_ap: vec![PlaceSet::EMPTY; spec.procs.len()],
+        all: PlaceSet::EMPTY,
+        passes: 0,
+    };
+
+    // Roots to evaluate each pass: the top expression and every process
+    // body. Postorder = reversed preorder (children before parents).
+    let mut roots: Vec<NodeId> = vec![spec.top.expr];
+    roots.extend(spec.procs.iter().map(|p| p.body.expr));
+
+    // Safety bound: each pass can only grow the 3·|procs| place sets, each
+    // of at most 64 bits, so 3*64*|procs|+2 passes always suffice.
+    let max_passes = 3 * 64 * spec.procs.len() as u32 + 2;
+
+    loop {
+        attrs.passes += 1;
+        for &root in &roots {
+            let order = spec.preorder(root);
+            for &id in order.iter().rev() {
+                eval_node(spec, id, &mut attrs);
+            }
+        }
+        // Update process attributes from their body roots.
+        let mut changed = false;
+        for (pi, p) in spec.procs.iter().enumerate() {
+            let b = p.body.expr as usize;
+            if attrs.proc_sp[pi] != attrs.sp[b]
+                || attrs.proc_ep[pi] != attrs.ep[b]
+                || attrs.proc_ap[pi] != attrs.ap[b]
+            {
+                attrs.proc_sp[pi] = attrs.sp[b];
+                attrs.proc_ep[pi] = attrs.ep[b];
+                attrs.proc_ap[pi] = attrs.ap[b];
+                changed = true;
+            }
+        }
+        if !changed || attrs.passes >= max_passes {
+            break;
+        }
+    }
+    attrs.all = attrs.ap[spec.top.expr as usize];
+    attrs
+}
+
+fn eval_node(spec: &Spec, id: NodeId, attrs: &mut Attributes) {
+    let i = id as usize;
+    let (sp, ep, ap) = match spec.node(id) {
+        // `exit`, `stop`, `empty` have no located actions. (`exit` occurs
+        // in the service grammar only as `Event ; exit`, handled below.)
+        Expr::Exit | Expr::Stop | Expr::Empty => {
+            (PlaceSet::EMPTY, PlaceSet::EMPTY, PlaceSet::EMPTY)
+        }
+        Expr::Prefix { event, then } => {
+            let t = *then as usize;
+            match event.place() {
+                // rules 16/17: a placed primitive starts (and, if the
+                // continuation is `exit`, ends) at its own place.
+                Some(q) => {
+                    let sp = PlaceSet::singleton(q);
+                    let ep = if matches!(spec.node(*then), Expr::Exit) {
+                        PlaceSet::singleton(q) // rule 17
+                    } else {
+                        attrs.ep[t] // rule 16
+                    };
+                    let ap = PlaceSet::singleton(q).union(attrs.ap[t]);
+                    (sp, ep, ap)
+                }
+                // `i` / message prefixes are transparent: not part of the
+                // service grammar, but giving them their continuation's
+                // attributes keeps evaluation total on protocol specs.
+                None => (attrs.sp[t], attrs.ep[t], attrs.ap[t]),
+            }
+        }
+        // rules 14/9₂ — the union is exact under restrictions R1/R2.
+        Expr::Choice { left, right } => pairwise_union(attrs, *left, *right),
+        // rules 11–12.
+        Expr::Par { left, right, .. } => pairwise_union(attrs, *left, *right),
+        // rule 7: `SP(Dis >> e) = SP(Dis)`, `EP = EP(e)`, `AP` is the union.
+        Expr::Enable { left, right } => {
+            let (l, r) = (*left as usize, *right as usize);
+            (
+                attrs.sp[l],
+                attrs.ep[r],
+                attrs.ap[l].union(attrs.ap[r]),
+            )
+        }
+        // rule 9₁: `SP(Par [> Mc) = SP(Par) ∪ SP(Mc)`; EP equal under R2.
+        Expr::Disable { left, right } => {
+            let (l, r) = (*left as usize, *right as usize);
+            (
+                attrs.sp[l].union(attrs.sp[r]),
+                attrs.ep[l].union(attrs.ep[r]),
+                attrs.ap[l].union(attrs.ap[r]),
+            )
+        }
+        // rule 18: a process reference takes the (current iterate of) the
+        // referenced definition's attributes.
+        Expr::Call { proc, .. } => match proc {
+            Some(pi) => (
+                attrs.proc_sp[*pi as usize],
+                attrs.proc_ep[*pi as usize],
+                attrs.proc_ap[*pi as usize],
+            ),
+            None => (PlaceSet::EMPTY, PlaceSet::EMPTY, PlaceSet::EMPTY),
+        },
+    };
+    attrs.sp[i] = sp;
+    attrs.ep[i] = ep;
+    attrs.ap[i] = ap;
+}
+
+fn pairwise_union(attrs: &Attributes, l: NodeId, r: NodeId) -> (PlaceSet, PlaceSet, PlaceSet) {
+    let (l, r) = (l as usize, r as usize);
+    (
+        attrs.sp[l].union(attrs.sp[r]),
+        attrs.ep[l].union(attrs.ep[r]),
+        attrs.ap[l].union(attrs.ap[r]),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_expr, parse_spec};
+    use crate::place::places;
+
+    /// Example 3 of the paper (the reverse file-copy service).
+    const EXAMPLE3: &str = "SPEC S [> interrupt3 ; exit WHERE \
+         PROC S = (read1; push2; S >> pop2; write3; exit) \
+               [] (eof1; make3; exit) END ENDSPEC";
+
+    #[test]
+    fn fig4_fixpoint_for_process_s() {
+        // Paper §4.1: "We find immediately SP(S) = {1}, EP(S) = {3} and
+        // AP(S) = {1,2,3}."
+        let spec = parse_spec(EXAMPLE3).unwrap();
+        let a = evaluate(&spec);
+        assert_eq!(a.proc_sp[0], places([1]));
+        assert_eq!(a.proc_ep[0], places([3]));
+        assert_eq!(a.proc_ap[0], places([1, 2, 3]));
+        assert_eq!(a.all, places([1, 2, 3]));
+    }
+
+    #[test]
+    fn fig4_root_attributes() {
+        let spec = parse_spec(EXAMPLE3).unwrap();
+        let a = evaluate(&spec);
+        let root = spec.top.expr;
+        // rule 9₁: SP = SP(S) ∪ SP(interrupt3;exit) = {1} ∪ {3}
+        assert_eq!(a.sp(root), places([1, 3]));
+        assert_eq!(a.ep(root), places([3]));
+        assert_eq!(a.ap(root), places([1, 2, 3]));
+    }
+
+    #[test]
+    fn simple_sequence_attributes() {
+        // Example 4: a1 ; exit >> b2 ; exit
+        let (spec, root) = parse_expr("a1;exit >> b2;exit").unwrap();
+        let a = evaluate(&spec);
+        assert_eq!(a.sp(root), places([1]));
+        assert_eq!(a.ep(root), places([2]));
+        assert_eq!(a.ap(root), places([1, 2]));
+    }
+
+    #[test]
+    fn prefix_rule16_vs_rule17() {
+        let (spec, root) = parse_expr("a1; b2; exit").unwrap();
+        let a = evaluate(&spec);
+        // EP flows from the deepest Event;exit (rule 17 then rule 16)
+        assert_eq!(a.sp(root), places([1]));
+        assert_eq!(a.ep(root), places([2]));
+        assert_eq!(a.ap(root), places([1, 2]));
+    }
+
+    #[test]
+    fn parallel_unions() {
+        let (spec, root) = parse_expr("a1;exit ||| b2;c3;exit").unwrap();
+        let a = evaluate(&spec);
+        assert_eq!(a.sp(root), places([1, 2]));
+        assert_eq!(a.ep(root), places([1, 3]));
+        assert_eq!(a.ap(root), places([1, 2, 3]));
+    }
+
+    #[test]
+    fn choice_unions() {
+        let (spec, root) = parse_expr("a1;b3;exit [] c1;d3;exit").unwrap();
+        let a = evaluate(&spec);
+        assert_eq!(a.sp(root), places([1]));
+        assert_eq!(a.ep(root), places([3]));
+        assert_eq!(a.ap(root), places([1, 3]));
+    }
+
+    #[test]
+    fn example2_recursive_fixpoint() {
+        // SPEC A WHERE PROC A = a1;A >> b2;exit [] a1;b2;exit END
+        let spec = parse_spec(
+            "SPEC A WHERE PROC A = (a1 ; A >> b2 ; exit) [] (a1 ; b2 ; exit) END ENDSPEC",
+        )
+        .unwrap();
+        let a = evaluate(&spec);
+        assert_eq!(a.proc_sp[0], places([1]));
+        assert_eq!(a.proc_ep[0], places([2]));
+        assert_eq!(a.proc_ap[0], places([1, 2]));
+        // more than one pass needed for the recursion to stabilize
+        assert!(a.passes >= 2);
+    }
+
+    #[test]
+    fn mutually_recursive_processes() {
+        let spec = parse_spec(
+            "SPEC A WHERE \
+               PROC A = a1 ; B END \
+               PROC B = b2 ; A [] c3 ; exit END \
+             ENDSPEC",
+        )
+        .unwrap();
+        let a = evaluate(&spec);
+        // A = a1;B : SP {1}, EP = EP(B), AP {1} ∪ AP(B)
+        // B = b2;A [] c3;exit : SP {2,3}, EP = EP(A) ∪ {3}, AP = ...
+        // least fixpoint: EP(B) = {3}, EP(A) = {3}
+        assert_eq!(a.proc_sp[0], places([1]));
+        assert_eq!(a.proc_ep[0], places([3]));
+        assert_eq!(a.proc_ap[0], places([1, 2, 3]));
+        assert_eq!(a.proc_sp[1], places([2, 3]));
+        assert_eq!(a.proc_ep[1], places([3]));
+        assert_eq!(a.proc_ap[1], places([1, 2, 3]));
+    }
+
+    #[test]
+    fn nonterminating_recursion_has_empty_ep() {
+        // PROC A = a1 ; A — never terminates; least fixpoint gives EP = ∅.
+        let spec = parse_spec("SPEC A WHERE PROC A = a1 ; A END ENDSPEC").unwrap();
+        let a = evaluate(&spec);
+        assert_eq!(a.proc_sp[0], places([1]));
+        assert_eq!(a.proc_ep[0], PlaceSet::EMPTY);
+        assert_eq!(a.proc_ap[0], places([1]));
+    }
+
+    #[test]
+    fn enable_attributes() {
+        let (spec, root) = parse_expr("(a1;exit ||| b2;exit) >> c3;exit").unwrap();
+        let a = evaluate(&spec);
+        assert_eq!(a.sp(root), places([1, 2]));
+        assert_eq!(a.ep(root), places([3]));
+        assert_eq!(a.ap(root), places([1, 2, 3]));
+    }
+
+    #[test]
+    fn numbering_follows_preorder() {
+        let spec = parse_spec(EXAMPLE3).unwrap();
+        let a = evaluate(&spec);
+        // root gets 1; its left child (the S call) gets 2
+        assert_eq!(a.num(spec.top.expr), 1);
+        let kids = spec.children(spec.top.expr);
+        assert_eq!(a.num(kids[0]), 2);
+        // every reachable node is numbered uniquely
+        let mut nums: Vec<u32> = a.n.iter().copied().filter(|&x| x > 0).collect();
+        nums.sort_unstable();
+        nums.dedup();
+        assert_eq!(nums.len(), a.n.iter().filter(|&&x| x > 0).count());
+    }
+
+    #[test]
+    fn internal_prefix_is_transparent() {
+        let (spec, root) = parse_expr("i; a1; exit").unwrap();
+        let a = evaluate(&spec);
+        assert_eq!(a.sp(root), places([1]));
+        assert_eq!(a.ep(root), places([1]));
+        assert_eq!(a.ap(root), places([1]));
+    }
+}

@@ -1,0 +1,353 @@
+//! Lexer for the specification language of paper Table 1.
+//!
+//! Terminal symbols: `SPEC`, `ENDSPEC`, `PROC`, `END`, `WHERE`, `>>`,
+//! `[>`, `|[`, `]|`, `|||`, `||`, `[]`, `(`, `)`, `;`, `exit` — plus the
+//! extensions `stop`, `empty`, `,` (message parameters) and `=`.
+//!
+//! Identifiers starting with a lower-case letter are event identifiers
+//! (service primitives like `read1`, message interactions like `s2(x)`,
+//! or the internal action `i`); identifiers starting with an upper-case
+//! letter are process identifiers (Section 2 convention).
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Tok {
+    // keywords
+    Spec,
+    EndSpec,
+    Proc,
+    End,
+    Where,
+    Exit,
+    Stop,
+    Empty,
+    // operators / punctuation
+    Enable,     // >>
+    DisableOp,  // [>
+    LSync,      // |[
+    RSync,      // ]|
+    Interleave, // |||
+    FullSync,   // ||
+    ChoiceOp,   // []
+    LParen,
+    RParen,
+    Semi,
+    Comma,
+    Equals,
+    /// Identifier (event or process, distinguished by first-letter case).
+    Ident(String),
+    /// Integer literal (node numbers in derived messages).
+    Int(u32),
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Spec => write!(f, "SPEC"),
+            Tok::EndSpec => write!(f, "ENDSPEC"),
+            Tok::Proc => write!(f, "PROC"),
+            Tok::End => write!(f, "END"),
+            Tok::Where => write!(f, "WHERE"),
+            Tok::Exit => write!(f, "exit"),
+            Tok::Stop => write!(f, "stop"),
+            Tok::Empty => write!(f, "empty"),
+            Tok::Enable => write!(f, ">>"),
+            Tok::DisableOp => write!(f, "[>"),
+            Tok::LSync => write!(f, "|["),
+            Tok::RSync => write!(f, "]|"),
+            Tok::Interleave => write!(f, "|||"),
+            Tok::FullSync => write!(f, "||"),
+            Tok::ChoiceOp => write!(f, "[]"),
+            Tok::LParen => write!(f, "("),
+            Tok::RParen => write!(f, ")"),
+            Tok::Semi => write!(f, ";"),
+            Tok::Comma => write!(f, ","),
+            Tok::Equals => write!(f, "="),
+            Tok::Ident(s) => write!(f, "{s}"),
+            Tok::Int(n) => write!(f, "{n}"),
+        }
+    }
+}
+
+/// A token with its source position (1-based line and column).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpannedTok {
+    pub tok: Tok,
+    pub line: u32,
+    pub col: u32,
+}
+
+/// A lexical error with position information.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LexError {
+    pub msg: String,
+    pub line: u32,
+    pub col: u32,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at {}:{}: {}", self.line, self.col, self.msg)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenize a specification source text.
+///
+/// Comments run from `--` to end of line (LOTOS style).
+pub fn lex(src: &str) -> Result<Vec<SpannedTok>, LexError> {
+    let mut out = Vec::new();
+    let bytes: Vec<char> = src.chars().collect();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+
+    macro_rules! err {
+        ($($a:tt)*) => {
+            return Err(LexError { msg: format!($($a)*), line, col })
+        };
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        let (tl, tc) = (line, col);
+        let push = |tok: Tok, out: &mut Vec<SpannedTok>| {
+            out.push(SpannedTok {
+                tok,
+                line: tl,
+                col: tc,
+            })
+        };
+        match c {
+            '\n' => {
+                i += 1;
+                line += 1;
+                col = 1;
+            }
+            c if c.is_whitespace() => {
+                i += 1;
+                col += 1;
+            }
+            '-' if i + 1 < bytes.len() && bytes[i + 1] == '-' => {
+                // comment to end of line
+                while i < bytes.len() && bytes[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                push(Tok::LParen, &mut out);
+                i += 1;
+                col += 1;
+            }
+            ')' => {
+                push(Tok::RParen, &mut out);
+                i += 1;
+                col += 1;
+            }
+            ';' => {
+                push(Tok::Semi, &mut out);
+                i += 1;
+                col += 1;
+            }
+            ',' => {
+                push(Tok::Comma, &mut out);
+                i += 1;
+                col += 1;
+            }
+            '=' => {
+                push(Tok::Equals, &mut out);
+                i += 1;
+                col += 1;
+            }
+            '>' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == '>' {
+                    push(Tok::Enable, &mut out);
+                    i += 2;
+                    col += 2;
+                } else {
+                    err!("unexpected '>'");
+                }
+            }
+            '[' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == ']' {
+                    push(Tok::ChoiceOp, &mut out);
+                    i += 2;
+                    col += 2;
+                } else if i + 1 < bytes.len() && bytes[i + 1] == '>' {
+                    push(Tok::DisableOp, &mut out);
+                    i += 2;
+                    col += 2;
+                } else {
+                    err!("unexpected '[' (expected '[]' or '[>')");
+                }
+            }
+            ']' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == '|' {
+                    push(Tok::RSync, &mut out);
+                    i += 2;
+                    col += 2;
+                } else {
+                    err!("unexpected ']' (expected ']|')");
+                }
+            }
+            '|' => {
+                if i + 2 < bytes.len() && bytes[i + 1] == '|' && bytes[i + 2] == '|' {
+                    push(Tok::Interleave, &mut out);
+                    i += 3;
+                    col += 3;
+                } else if i + 1 < bytes.len() && bytes[i + 1] == '|' {
+                    push(Tok::FullSync, &mut out);
+                    i += 2;
+                    col += 2;
+                } else if i + 1 < bytes.len() && bytes[i + 1] == '[' {
+                    push(Tok::LSync, &mut out);
+                    i += 2;
+                    col += 2;
+                } else {
+                    err!("unexpected '|'");
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                    col += 1;
+                }
+                let text: String = bytes[start..i].iter().collect();
+                match text.parse::<u32>() {
+                    Ok(n) => push(Tok::Int(n), &mut out),
+                    Err(_) => err!("integer literal too large: {text}"),
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '_' || bytes[i] == '\'')
+                {
+                    i += 1;
+                    col += 1;
+                }
+                let text: String = bytes[start..i].iter().collect();
+                let tok = match text.as_str() {
+                    "SPEC" => Tok::Spec,
+                    "ENDSPEC" => Tok::EndSpec,
+                    "PROC" => Tok::Proc,
+                    "END" => Tok::End,
+                    "WHERE" => Tok::Where,
+                    "exit" => Tok::Exit,
+                    "stop" => Tok::Stop,
+                    "empty" => Tok::Empty,
+                    _ => Tok::Ident(text),
+                };
+                push(tok, &mut out);
+            }
+            other => err!("unexpected character {other:?}"),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn keywords_and_operators() {
+        assert_eq!(
+            toks("SPEC ENDSPEC PROC END WHERE exit stop empty"),
+            vec![
+                Tok::Spec,
+                Tok::EndSpec,
+                Tok::Proc,
+                Tok::End,
+                Tok::Where,
+                Tok::Exit,
+                Tok::Stop,
+                Tok::Empty
+            ]
+        );
+        assert_eq!(
+            toks(">> [> |[ ]| ||| || [] ( ) ; , ="),
+            vec![
+                Tok::Enable,
+                Tok::DisableOp,
+                Tok::LSync,
+                Tok::RSync,
+                Tok::Interleave,
+                Tok::FullSync,
+                Tok::ChoiceOp,
+                Tok::LParen,
+                Tok::RParen,
+                Tok::Semi,
+                Tok::Comma,
+                Tok::Equals
+            ]
+        );
+    }
+
+    #[test]
+    fn greedy_pipe_disambiguation() {
+        // ||| must not lex as || then | ; a1|||b2 contains idents around it
+        assert_eq!(
+            toks("a1|||b2"),
+            vec![
+                Tok::Ident("a1".into()),
+                Tok::Interleave,
+                Tok::Ident("b2".into())
+            ]
+        );
+        assert_eq!(toks("|| |["), vec![Tok::FullSync, Tok::LSync]);
+    }
+
+    #[test]
+    fn identifiers_and_ints() {
+        assert_eq!(
+            toks("read1 A s2 42"),
+            vec![
+                Tok::Ident("read1".into()),
+                Tok::Ident("A".into()),
+                Tok::Ident("s2".into()),
+                Tok::Int(42)
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(
+            toks("a1 -- this is a comment [] |||\n;"),
+            vec![Tok::Ident("a1".into()), Tok::Semi]
+        );
+    }
+
+    #[test]
+    fn positions_tracked() {
+        let ts = lex("a1\n  b2").unwrap();
+        assert_eq!((ts[0].line, ts[0].col), (1, 1));
+        assert_eq!((ts[1].line, ts[1].col), (2, 3));
+    }
+
+    #[test]
+    fn lone_bracket_is_error() {
+        assert!(lex("[x").is_err());
+        assert!(lex("] x").is_err());
+        assert!(lex("| x").is_err());
+        assert!(lex("> x").is_err());
+        assert!(lex("a1 # b").is_err());
+    }
+
+    #[test]
+    fn example3_source_lexes() {
+        let src = "SPEC S [> interrupt3 ; exit WHERE\n\
+                   PROC S = (read1; push2; S >> pop2; write3; exit)\n\
+                   [] (eof1; make3; exit) END ENDSPEC";
+        assert!(lex(src).is_ok());
+    }
+}

@@ -1,0 +1,62 @@
+//! # `lotos` — specification-language substrate
+//!
+//! The specification language of *"Deriving Protocol Specifications from
+//! Service Specifications Written in LOTOS"* (Kant, Higashino, Bochmann):
+//! a Basic-LOTOS-like process language with action prefix `;`, choice
+//! `[]`, parallel composition `|||` / `|[G]|` / `||`, enabling `>>`,
+//! disabling `[>`, `exit`, and (mutually) recursive process definitions
+//! (paper Table 1).
+//!
+//! This crate provides everything *about the language itself*:
+//!
+//! * [`ast`] — arena-based syntax trees ([`ast::Spec`], [`ast::Expr`]);
+//! * [`lexer`] / [`parser`] — concrete syntax (paper Table 1 plus the
+//!   extension rules 9₁–9₄ and derived-output conveniences);
+//! * [`printer`] — pretty-printing back to concrete syntax;
+//! * [`attributes`] — the synthesized attributes `SP`/`EP`/`AP` and node
+//!   numbering `N` of paper Section 4.1 (Table 2), with the fixed-point
+//!   iteration for recursive process references;
+//! * [`restrictions`] — the derivability restrictions R1–R3 and service
+//!   well-formedness checks;
+//! * [`prefixform`] — the action-prefix-form rewriting of disable
+//!   right-hand sides (expansion theorems of Annex A);
+//! * [`compare`] — structural equality, exact or modulo a bijection of
+//!   message identifiers.
+//!
+//! The derivation algorithm itself (paper Tables 3–4) lives in the
+//! `protogen` crate; the operational semantics in `semantics`.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use lotos::parser::parse_spec;
+//! use lotos::attributes::evaluate;
+//! use lotos::place::places;
+//!
+//! // Example 3 of the paper: the reverse file-copy service.
+//! let spec = parse_spec(
+//!     "SPEC S [> interrupt3 ; exit WHERE \
+//!        PROC S = (read1; push2; S >> pop2; write3; exit) \
+//!              [] (eof1; make3; exit) END ENDSPEC",
+//! ).unwrap();
+//! let attrs = evaluate(&spec);
+//! assert_eq!(attrs.proc_sp[0], places([1]));   // SP(S) = {1}
+//! assert_eq!(attrs.proc_ep[0], places([3]));   // EP(S) = {3}
+//! assert_eq!(attrs.all, places([1, 2, 3]));    // ALL = {1,2,3}
+//! ```
+
+pub mod ast;
+pub mod attributes;
+pub mod compare;
+pub mod event;
+pub mod lexer;
+pub mod parser;
+pub mod place;
+pub mod prefixform;
+pub mod printer;
+pub mod restrictions;
+
+pub use ast::{DefBlock, Expr, NodeId, ProcDef, ProcIdx, Spec};
+pub use attributes::{evaluate, Attributes};
+pub use event::{Event, Gate, MsgId, SyncKind, SyncSet};
+pub use place::{PlaceId, PlaceSet};

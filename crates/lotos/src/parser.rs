@@ -1,0 +1,749 @@
+//! Recursive-descent parser for the specification language (paper Table 1,
+//! with the extension rules 9₁–9₄ and the conveniences needed to read back
+//! derived protocol specifications: bare `exit`/`stop`/`empty`, message
+//! events `s2(x)` / `r3(s,7)`, and `--` comments).
+//!
+//! Operator precedence follows the stratified grammar exactly:
+//! `>>` binds loosest, then `[>`, then the parallel operators, then `[]`,
+//! then action prefix `;`. `>>`, `[]` and the parallel operators are
+//! right-associative (matching the right-recursive rules 7, 11–12, 14);
+//! `[>` associates left (law D1 of Annex A makes it associative anyway).
+
+use crate::ast::{DefBlock, NodeId, ProcIdx, Spec};
+use crate::event::{Event, Gate, MsgId, SyncKind, SyncSet};
+use crate::lexer::{lex, SpannedTok, Tok};
+use crate::place::{PlaceId, MAX_PLACES};
+use std::fmt;
+
+/// A parse error with position information.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    pub msg: String,
+    pub line: u32,
+    pub col: u32,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}:{}: {}", self.line, self.col, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse a complete specification `SPEC Def_block ENDSPEC`, resolving all
+/// process references.
+pub fn parse_spec(src: &str) -> Result<Spec, ParseError> {
+    let toks = lex(src).map_err(|e| ParseError {
+        msg: e.msg,
+        line: e.line,
+        col: e.col,
+    })?;
+    let mut p = Parser::new(toks);
+    let mut spec = Spec::new();
+    p.expect(&Tok::Spec)?;
+    let top = p.def_block(&mut spec, None)?;
+    p.expect(&Tok::EndSpec)?;
+    p.expect_eof()?;
+    spec.top = top;
+    let unresolved = spec.resolve();
+    if let Some(name) = unresolved.first() {
+        return Err(ParseError {
+            msg: format!("undefined process: {name}"),
+            line: 0,
+            col: 0,
+        });
+    }
+    Ok(spec)
+}
+
+/// Parse a bare behaviour expression (no `SPEC`/`ENDSPEC` wrapper, no
+/// `WHERE` clause). Intended for tests and embedding; process calls are
+/// left unresolved.
+pub fn parse_expr(src: &str) -> Result<(Spec, NodeId), ParseError> {
+    let toks = lex(src).map_err(|e| ParseError {
+        msg: e.msg,
+        line: e.line,
+        col: e.col,
+    })?;
+    let mut p = Parser::new(toks);
+    let mut spec = Spec::new();
+    let root = p.expr(&mut spec)?;
+    p.expect_eof()?;
+    spec.top = DefBlock {
+        expr: root,
+        procs: vec![],
+    };
+    Ok((spec, root))
+}
+
+/// Maximum expression-nesting depth accepted by the parser. Recursive
+/// descent uses the call stack; pathological inputs (thousands of nested
+/// parentheses) would otherwise overflow it.
+const MAX_NESTING: u32 = 500;
+
+struct Parser {
+    toks: Vec<SpannedTok>,
+    pos: usize,
+    depth: u32,
+}
+
+impl Parser {
+    fn new(toks: Vec<SpannedTok>) -> Parser {
+        Parser {
+            toks,
+            pos: 0,
+            depth: 0,
+        }
+    }
+
+    fn enter(&mut self) -> Result<(), ParseError> {
+        self.depth += 1;
+        if self.depth > MAX_NESTING {
+            return self.err(format!(
+                "expression nesting exceeds {MAX_NESTING} levels"
+            ));
+        }
+        Ok(())
+    }
+
+    fn leave(&mut self) {
+        self.depth -= 1;
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|t| &t.tok)
+    }
+
+    fn advance(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|t| t.tok.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn here(&self) -> (u32, u32) {
+        self.toks
+            .get(self.pos.min(self.toks.len().saturating_sub(1)))
+            .map(|t| (t.line, t.col))
+            .unwrap_or((0, 0))
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, ParseError> {
+        let (line, col) = self.here();
+        Err(ParseError {
+            msg: msg.into(),
+            line,
+            col,
+        })
+    }
+
+    fn expect(&mut self, t: &Tok) -> Result<(), ParseError> {
+        match self.peek() {
+            Some(x) if x == t => {
+                self.pos += 1;
+                Ok(())
+            }
+            Some(x) => {
+                let x = x.clone();
+                self.err(format!("expected `{t}`, found `{x}`"))
+            }
+            None => self.err(format!("expected `{t}`, found end of input")),
+        }
+    }
+
+    fn expect_eof(&mut self) -> Result<(), ParseError> {
+        match self.peek() {
+            None => Ok(()),
+            Some(t) => {
+                let t = t.clone();
+                self.err(format!("expected end of input, found `{t}`"))
+            }
+        }
+    }
+
+    /// `Def_block := e (WHERE Process_def+)?` (rules 2–3).
+    fn def_block(
+        &mut self,
+        spec: &mut Spec,
+        parent: Option<ProcIdx>,
+    ) -> Result<DefBlock, ParseError> {
+        let expr = self.expr(spec)?;
+        let mut procs = Vec::new();
+        if self.peek() == Some(&Tok::Where) {
+            self.advance();
+            while self.peek() == Some(&Tok::Proc) {
+                procs.push(self.proc_def(spec, parent)?);
+            }
+            if procs.is_empty() {
+                return self.err("WHERE clause must contain at least one PROC definition");
+            }
+        }
+        Ok(DefBlock { expr, procs })
+    }
+
+    /// `Process_def := PROC Proc_Id = Def_block END` (rule 6).
+    fn proc_def(
+        &mut self,
+        spec: &mut Spec,
+        parent: Option<ProcIdx>,
+    ) -> Result<ProcIdx, ParseError> {
+        self.expect(&Tok::Proc)?;
+        let name = match self.advance() {
+            Some(Tok::Ident(n)) => {
+                if !n.chars().next().is_some_and(|c| c.is_ascii_uppercase()) {
+                    return self.err(format!(
+                        "process identifier `{n}` must start with an upper-case letter"
+                    ));
+                }
+                n
+            }
+            other => {
+                return self.err(format!(
+                    "expected process identifier, found {:?}",
+                    other.map(|t| t.to_string())
+                ))
+            }
+        };
+        self.expect(&Tok::Equals)?;
+        // Pre-register the process so its own body (and nested definitions)
+        // can refer to it; fill the body in afterwards.
+        let idx = spec.define_proc(&name, DefBlock::default(), parent);
+        let body = self.def_block(spec, Some(idx))?;
+        self.expect(&Tok::End)?;
+        spec.procs[idx as usize].body = body;
+        Ok(idx)
+    }
+
+    /// `e := Dis (>> e)?` (rules 7–8), right-associative.
+    fn expr(&mut self, spec: &mut Spec) -> Result<NodeId, ParseError> {
+        self.enter()?;
+        let result = (|| {
+            let left = self.dis(spec)?;
+            if self.peek() == Some(&Tok::Enable) {
+                self.advance();
+                let right = self.expr(spec)?;
+                Ok(spec.enable(left, right))
+            } else {
+                Ok(left)
+            }
+        })();
+        self.leave();
+        result
+    }
+
+    /// `Dis := Par ([> Mc)*` (rule 9₁; chained `[>` allowed, law D1).
+    fn dis(&mut self, spec: &mut Spec) -> Result<NodeId, ParseError> {
+        let mut left = self.par(spec)?;
+        while self.peek() == Some(&Tok::DisableOp) {
+            self.advance();
+            let right = self.par(spec)?;
+            left = spec.disable(left, right);
+        }
+        Ok(left)
+    }
+
+    /// `Par := Choice (parop Par)?` (rules 11–13), right-associative.
+    fn par(&mut self, spec: &mut Spec) -> Result<NodeId, ParseError> {
+        let left = self.choice(spec)?;
+        let sync = match self.peek() {
+            Some(Tok::Interleave) => {
+                self.advance();
+                SyncSet::Interleave
+            }
+            Some(Tok::FullSync) => {
+                self.advance();
+                SyncSet::Full
+            }
+            Some(Tok::LSync) => {
+                self.advance();
+                let gates = self.gate_list(spec)?;
+                self.expect(&Tok::RSync)?;
+                if gates.is_empty() {
+                    SyncSet::Interleave // |[]| ≡ ||| (law P5)
+                } else {
+                    SyncSet::Gates(gates)
+                }
+            }
+            _ => return Ok(left),
+        };
+        let right = self.par(spec)?;
+        Ok(spec.par(sync, left, right))
+    }
+
+    /// Comma-separated gate list inside `|[ ... ]|`.
+    fn gate_list(&mut self, _spec: &mut Spec) -> Result<Vec<Gate>, ParseError> {
+        let mut gates = Vec::new();
+        if self.peek() == Some(&Tok::RSync) {
+            return Ok(gates);
+        }
+        loop {
+            match self.advance() {
+                Some(Tok::Ident(id)) => match split_place_suffix(&id) {
+                    Some((name, place)) => gates.push(Gate {
+                        name: name.to_string(),
+                        place,
+                    }),
+                    None => {
+                        return self.err(format!(
+                            "gate `{id}` in event subset must be a placed primitive (e.g. a2)"
+                        ))
+                    }
+                },
+                other => {
+                    return self.err(format!(
+                        "expected gate identifier in event subset, found {:?}",
+                        other.map(|t| t.to_string())
+                    ))
+                }
+            }
+            if self.peek() == Some(&Tok::Comma) {
+                self.advance();
+            } else {
+                break;
+            }
+        }
+        Ok(gates)
+    }
+
+    /// `Choice := Seq ([] Choice)?` (rules 14–15), right-associative.
+    fn choice(&mut self, spec: &mut Spec) -> Result<NodeId, ParseError> {
+        let left = self.seq_term(spec)?;
+        if self.peek() == Some(&Tok::ChoiceOp) {
+            self.advance();
+            let right = self.choice(spec)?;
+            Ok(spec.choice(left, right))
+        } else {
+            Ok(left)
+        }
+    }
+
+    /// `Seq := Event_Id ; Seq | Event_Id ; exit | Proc_Id | (e)`
+    /// (rules 16–19) plus bare `exit` / `stop` / `empty`.
+    fn seq_term(&mut self, spec: &mut Spec) -> Result<NodeId, ParseError> {
+        match self.peek() {
+            Some(Tok::Exit) => {
+                self.advance();
+                Ok(spec.exit())
+            }
+            Some(Tok::Stop) => {
+                self.advance();
+                Ok(spec.stop())
+            }
+            Some(Tok::Empty) => {
+                self.advance();
+                Ok(spec.empty())
+            }
+            Some(Tok::LParen) => {
+                self.advance();
+                let e = self.expr(spec)?;
+                self.expect(&Tok::RParen)?;
+                Ok(e)
+            }
+            Some(Tok::Ident(id)) => {
+                let id = id.clone();
+                if id.chars().next().is_some_and(|c| c.is_ascii_uppercase()) {
+                    self.advance();
+                    Ok(spec.call(&id))
+                } else {
+                    let event = self.event(&id)?;
+                    self.expect(&Tok::Semi)?;
+                    let then = self.seq_term(spec)?;
+                    Ok(spec.prefix(event, then))
+                }
+            }
+            other => {
+                let d = other.map(|t| t.to_string());
+                self.err(format!(
+                    "expected behaviour expression, found {:?}",
+                    d.unwrap_or_else(|| "end of input".into())
+                ))
+            }
+        }
+    }
+
+    /// Parse an event identifier that has already been consumed as `id`;
+    /// handles the three `Event_Id` forms of Section 2 plus `i`.
+    fn event(&mut self, id: &str) -> Result<Event, ParseError> {
+        self.advance(); // consume the identifier token itself
+        if id == "i" {
+            return Ok(Event::Internal);
+        }
+        // send/receive: s<place>( payload ) / r<place>( payload )
+        if (id.starts_with('s') || id.starts_with('r')) && self.peek() == Some(&Tok::LParen) {
+            if let Some((kind, place)) = split_place_suffix(id)
+                .filter(|(name, _)| *name == "s" || *name == "r")
+                .map(|(name, place)| (name.to_string(), place))
+            {
+                self.advance(); // (
+                let (msg, occ) = self.msg_payload()?;
+                self.expect(&Tok::RParen)?;
+                return Ok(if kind == "s" {
+                    Event::Send {
+                        to: place,
+                        msg,
+                        occ,
+                        kind: SyncKind::User,
+                    }
+                } else {
+                    Event::Recv {
+                        from: place,
+                        msg,
+                        occ,
+                        kind: SyncKind::User,
+                    }
+                });
+            }
+        }
+        match split_place_suffix(id) {
+            Some((name, place)) => Ok(Event::prim(name, place)),
+            None => self.err(format!(
+                "service primitive `{id}` must end with its place number (e.g. `{id}1`)"
+            )),
+        }
+    }
+
+    /// Message payload: `x` | `7` | `s,7`.
+    fn msg_payload(&mut self) -> Result<(MsgId, bool), ParseError> {
+        match self.advance() {
+            Some(Tok::Int(n)) => Ok((MsgId::Node(n), false)),
+            Some(Tok::Ident(x)) => {
+                if self.peek() == Some(&Tok::Comma) {
+                    if x != "s" {
+                        return self.err(format!(
+                            "occurrence-parameterized message must be written `(s,N)`, found `({x},...)`"
+                        ));
+                    }
+                    self.advance(); // ,
+                    match self.advance() {
+                        Some(Tok::Int(n)) => Ok((MsgId::Node(n), true)),
+                        other => self.err(format!(
+                            "expected node number after `s,`, found {:?}",
+                            other.map(|t| t.to_string())
+                        )),
+                    }
+                } else {
+                    Ok((MsgId::Named(x), false))
+                }
+            }
+            other => self.err(format!(
+                "expected message identifier, found {:?}",
+                other.map(|t| t.to_string())
+            )),
+        }
+    }
+}
+
+/// Split a trailing place number off an identifier: `read1` → `("read", 1)`.
+/// Returns `None` when there is no digit suffix or the place is out of
+/// range (`1..=MAX_PLACES`).
+pub fn split_place_suffix(id: &str) -> Option<(&str, PlaceId)> {
+    let digits_start = id.find(|c: char| c.is_ascii_digit())?;
+    let (name, digits) = id.split_at(digits_start);
+    if name.is_empty() || !digits.chars().all(|c| c.is_ascii_digit()) {
+        return None;
+    }
+    let place: u64 = digits.parse().ok()?;
+    if place >= 1 && place <= MAX_PLACES as u64 {
+        Some((name, place as PlaceId))
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Expr;
+
+    fn root(src: &str) -> (Spec, NodeId) {
+        parse_expr(src).unwrap()
+    }
+
+    #[test]
+    fn split_place_suffix_cases() {
+        assert_eq!(split_place_suffix("read1"), Some(("read", 1)));
+        assert_eq!(split_place_suffix("a64"), Some(("a", 64)));
+        assert_eq!(split_place_suffix("a0"), None); // place 0 invalid
+        assert_eq!(split_place_suffix("a65"), None); // out of range
+        assert_eq!(split_place_suffix("abc"), None); // no digits
+        assert_eq!(split_place_suffix("1ab"), None); // no name
+        assert_eq!(split_place_suffix("x2y3"), None); // digits not a suffix
+    }
+
+    #[test]
+    fn parse_simple_prefix() {
+        let (s, r) = root("a1 ; b2 ; exit");
+        match s.node(r) {
+            Expr::Prefix { event, then } => {
+                assert_eq!(*event, Event::prim("a", 1));
+                match s.node(*then) {
+                    Expr::Prefix { event, then } => {
+                        assert_eq!(*event, Event::prim("b", 2));
+                        assert_eq!(s.node(*then), &Expr::Exit);
+                    }
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence_enable_loosest() {
+        // a1;exit >> b2;exit [] c2;exit parses as a1;exit >> (b2;exit [] c2;exit)
+        let (s, r) = root("a1;exit >> b2;exit [] c2;exit");
+        match s.node(r) {
+            Expr::Enable { right, .. } => {
+                assert!(matches!(s.node(*right), Expr::Choice { .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence_disable_over_enable() {
+        // a1;exit [> b2;exit >> c3;exit = (a1;exit [> b2;exit) >> c3;exit
+        let (s, r) = root("a1;exit [> b2;exit >> c3;exit");
+        match s.node(r) {
+            Expr::Enable { left, .. } => {
+                assert!(matches!(s.node(*left), Expr::Disable { .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence_choice_tighter_than_par() {
+        // a1;exit ||| b2;exit [] c2;exit = a1;exit ||| (b2;exit [] c2;exit)
+        let (s, r) = root("a1;exit ||| b2;exit [] c2;exit");
+        match s.node(r) {
+            Expr::Par { sync, right, .. } => {
+                assert_eq!(*sync, SyncSet::Interleave);
+                assert!(matches!(s.node(*right), Expr::Choice { .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn right_associative_choice_and_par() {
+        let (s, r) = root("a1;exit [] b1;exit [] c1;exit");
+        match s.node(r) {
+            Expr::Choice { left, right } => {
+                assert!(matches!(s.node(*left), Expr::Prefix { .. }));
+                assert!(matches!(s.node(*right), Expr::Choice { .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let (s, r) = root("a1;exit ||| b2;exit ||| c3;exit");
+        match s.node(r) {
+            Expr::Par { right, .. } => {
+                assert!(matches!(s.node(*right), Expr::Par { .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sync_sets() {
+        let (s, r) = root("a1;exit |[a1,b2]| a1;b2;exit");
+        match s.node(r) {
+            Expr::Par { sync, .. } => match sync {
+                SyncSet::Gates(gs) => {
+                    assert_eq!(gs.len(), 2);
+                    assert_eq!(gs[0].name, "a");
+                    assert_eq!(gs[0].place, 1);
+                }
+                other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+        // full sync and empty subset
+        let (s, r) = root("a1;exit || a1;exit");
+        assert!(matches!(
+            s.node(r),
+            Expr::Par {
+                sync: SyncSet::Full,
+                ..
+            }
+        ));
+        let (s, r) = root("a1;exit |[]| b2;exit");
+        assert!(matches!(
+            s.node(r),
+            Expr::Par {
+                sync: SyncSet::Interleave,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn message_events() {
+        let (s, r) = root("s2(x) ; exit");
+        match s.node(r) {
+            Expr::Prefix { event, .. } => {
+                assert_eq!(
+                    *event,
+                    Event::Send {
+                        to: 2,
+                        msg: MsgId::Named("x".into()),
+                        occ: false,
+                        kind: SyncKind::User
+                    }
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let (s, r) = root("r3(s,17) ; exit");
+        match s.node(r) {
+            Expr::Prefix { event, .. } => {
+                assert_eq!(
+                    *event,
+                    Event::Recv {
+                        from: 3,
+                        msg: MsgId::Node(17),
+                        occ: true,
+                        kind: SyncKind::User
+                    }
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let (s, r) = root("r1(7) ; exit");
+        match s.node(r) {
+            Expr::Prefix { event, .. } => {
+                assert_eq!(
+                    *event,
+                    Event::Recv {
+                        from: 1,
+                        msg: MsgId::Node(7),
+                        occ: false,
+                        kind: SyncKind::User
+                    }
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn internal_action() {
+        let (s, r) = root("i ; a1 ; exit");
+        match s.node(r) {
+            Expr::Prefix { event, .. } => assert_eq!(*event, Event::Internal),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn spec_with_where_clause() {
+        let src = "SPEC A WHERE PROC A = read1 ; A [] eof1 ; exit END ENDSPEC";
+        let spec = parse_spec(src).unwrap();
+        assert_eq!(spec.procs.len(), 1);
+        assert_eq!(spec.procs[0].name, "A");
+        // the top-level call and the recursive call both resolve
+        if let Expr::Call { proc, .. } = spec.node(spec.top.expr) {
+            assert_eq!(*proc, Some(0));
+        } else {
+            panic!("top should be a call");
+        }
+    }
+
+    #[test]
+    fn example3_parses() {
+        let src = "SPEC S [> interrupt3 ; exit WHERE\n\
+                   PROC S = (read1; push2; S >> pop2; write3; exit)\n\
+                        [] (eof1; make3; exit)\n\
+                   END ENDSPEC";
+        let spec = parse_spec(src).unwrap();
+        assert!(matches!(spec.node(spec.top.expr), Expr::Disable { .. }));
+        assert_eq!(spec.procs.len(), 1);
+        assert!(matches!(
+            spec.node(spec.procs[0].body.expr),
+            Expr::Choice { .. }
+        ));
+    }
+
+    #[test]
+    fn derived_output_round_trips_through_parser() {
+        // place-1 output for Example 3 from Section 4.2 of the paper
+        let src = "SPEC ( ( (s2(1);exit ||| s3(1);exit) >> A ) >> (r3(1);exit) ) [> (r3(2);exit)\n\
+                   WHERE PROC A = ( read1;( (s2(6);exit) >> (r2(7);exit) >> (s2(8);exit ||| s3(8);exit) >> A ) )\n\
+                   [] ( read1; (s3(16);exit) >> (s2(19);exit)) END ENDSPEC";
+        assert!(parse_spec(src).is_ok());
+    }
+
+    #[test]
+    fn nested_where_scoping() {
+        let src = "SPEC X WHERE \
+                     PROC X = Y WHERE PROC Y = a1 ; exit END END \
+                     PROC Y = b2 ; exit END \
+                   ENDSPEC";
+        let spec = parse_spec(src).unwrap();
+        assert_eq!(spec.procs.len(), 3);
+        // X's internal call to Y must resolve to the nested definition
+        let x = &spec.procs[0];
+        assert_eq!(x.name, "X");
+        if let Expr::Call { proc, .. } = spec.node(x.body.expr) {
+            let target = proc.unwrap();
+            assert_eq!(spec.procs[target as usize].parent, Some(0));
+        } else {
+            panic!("X body should be a call");
+        }
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(parse_spec("SPEC a1 ; exit").is_err()); // missing ENDSPEC
+        assert!(parse_spec("SPEC ab ; exit ENDSPEC").is_err()); // no place
+        assert!(parse_spec("SPEC B ENDSPEC").is_err()); // undefined process
+        assert!(parse_spec("SPEC a1 ; exit WHERE ENDSPEC").is_err()); // empty WHERE
+        assert!(parse_spec("SPEC PROC ENDSPEC").is_err());
+        assert!(parse_expr("a1 ;").is_err());
+        assert!(parse_expr("a1 ; exit )").is_err()); // trailing junk
+        assert!(parse_expr("( a1 ; exit").is_err()); // unclosed paren
+        assert!(parse_expr("s2(s,x) ; exit").is_err()); // bad occ payload
+        assert!(parse_expr("a1;exit |[ b ]| exit").is_err()); // unplaced gate
+    }
+
+    #[test]
+    fn proc_id_must_be_uppercase() {
+        assert!(parse_spec("SPEC a1;exit WHERE PROC foo = a1;exit END ENDSPEC").is_err());
+    }
+
+    #[test]
+    fn deep_nesting_rejected_gracefully() {
+        // 10_000 nested parens must error, not overflow the stack
+        let src = format!("{}a1;exit{}", "(".repeat(10_000), ")".repeat(10_000));
+        let err = parse_expr(&src).unwrap_err();
+        assert!(err.msg.contains("nesting"), "{}", err.msg);
+        // moderate nesting is fine
+        let ok = format!("{}a1;exit{}", "(".repeat(100), ")".repeat(100));
+        assert!(parse_expr(&ok).is_ok());
+    }
+
+    #[test]
+    fn random_token_soup_never_panics() {
+        // pseudo-random garbage built from valid tokens: the parser must
+        // return Err, never panic
+        let toks = [
+            "SPEC", "ENDSPEC", "PROC", "END", "WHERE", ">>", "[>", "|||",
+            "||", "[]", "(", ")", ";", "exit", "a1", "B", "s2(x)", "i", "=",
+        ];
+        let mut state = 0x9E3779B97F4A7C15u64;
+        for case in 0..500 {
+            let mut src = String::new();
+            let len = 1 + (case % 30);
+            for _ in 0..len {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let idx = (state >> 33) as usize % toks.len();
+                src.push_str(toks[idx]);
+                src.push(' ');
+            }
+            let _ = parse_spec(&src); // must not panic
+            let _ = parse_expr(&src);
+        }
+    }
+}

@@ -1,0 +1,312 @@
+//! Service access points ("places") and compact place sets.
+//!
+//! The paper's architectural model (Fig. 1) locates every service primitive
+//! at a *service access point*, identified by a small positive integer and
+//! called a *place*. The attribute evaluation of Section 4.1 manipulates
+//! sets of places (`SP`, `EP`, `AP`); those sets are represented here as a
+//! 64-bit bitset so the set algebra used by the derivation functions of
+//! Table 4 (`AP(e2) - AP(e1)`, `ALL - SP(e)`, ...) is branch-free and O(1).
+
+use std::fmt;
+
+/// Identifier of a service access point (paper: "place").
+///
+/// Places are numbered starting at 1, matching the paper's notation
+/// (`a1` is primitive `a` at place 1). Place 0 is never used.
+pub type PlaceId = u8;
+
+/// Maximum number of distinct places supported by [`PlaceSet`].
+pub const MAX_PLACES: u8 = 64;
+
+/// A set of places, stored as a bitmask (bit `p-1` set ⇔ place `p` present).
+///
+/// This is the carrier type for the synthesized attributes `SP(x)`, `EP(x)`
+/// and `AP(x)` of paper Table 2, and for the global attribute `ALL`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct PlaceSet(u64);
+
+impl PlaceSet {
+    /// The empty set of places.
+    pub const EMPTY: PlaceSet = PlaceSet(0);
+
+    /// Create an empty set.
+    pub const fn new() -> Self {
+        PlaceSet(0)
+    }
+
+    /// The singleton set `{p}`.
+    ///
+    /// # Panics
+    /// Panics if `p` is 0 or exceeds [`MAX_PLACES`].
+    pub fn singleton(p: PlaceId) -> Self {
+        assert!((1..=MAX_PLACES).contains(&p), "place {p} out of range 1..=64");
+        PlaceSet(1u64 << (p - 1))
+    }
+
+    /// Build a set from an iterator of places.
+    #[allow(clippy::should_implement_trait)] // also provided via FromIterator below
+    pub fn from_iter<I: IntoIterator<Item = PlaceId>>(iter: I) -> Self {
+        let mut s = PlaceSet(0);
+        for p in iter {
+            s.insert(p);
+        }
+        s
+    }
+
+    /// The set `{1, 2, ..., n}` — the paper's `ALL` for an `n`-place service.
+    pub fn all_up_to(n: PlaceId) -> Self {
+        assert!(n <= MAX_PLACES);
+        if n == 0 {
+            PlaceSet(0)
+        } else {
+            PlaceSet(u64::MAX >> (64 - n as u32))
+        }
+    }
+
+    /// Insert place `p`.
+    pub fn insert(&mut self, p: PlaceId) {
+        assert!((1..=MAX_PLACES).contains(&p), "place {p} out of range 1..=64");
+        self.0 |= 1u64 << (p - 1);
+    }
+
+    /// Remove place `p` (no-op if absent).
+    pub fn remove(&mut self, p: PlaceId) {
+        if (1..=MAX_PLACES).contains(&p) {
+            self.0 &= !(1u64 << (p - 1));
+        }
+    }
+
+    /// Does the set contain place `p`?
+    pub fn contains(&self, p: PlaceId) -> bool {
+        (1..=MAX_PLACES).contains(&p) && self.0 & (1u64 << (p - 1)) != 0
+    }
+
+    /// Set union.
+    pub fn union(self, other: PlaceSet) -> PlaceSet {
+        PlaceSet(self.0 | other.0)
+    }
+
+    /// Set intersection.
+    pub fn intersect(self, other: PlaceSet) -> PlaceSet {
+        PlaceSet(self.0 & other.0)
+    }
+
+    /// Set difference `self - other` (paper notation: `A - B`).
+    pub fn minus(self, other: PlaceSet) -> PlaceSet {
+        PlaceSet(self.0 & !other.0)
+    }
+
+    /// `self - {p}` — the ubiquitous `X - {p}` of Table 4.
+    pub fn minus_place(self, p: PlaceId) -> PlaceSet {
+        let mut s = self;
+        s.remove(p);
+        s
+    }
+
+    /// Is the set empty?
+    pub fn is_empty(&self) -> bool {
+        self.0 == 0
+    }
+
+    /// Number of places in the set.
+    pub fn len(&self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// Is `self` a subset of `other`?
+    pub fn is_subset(&self, other: &PlaceSet) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    /// Is `self` a superset of `other` (paper's `⊃` in restriction R3,
+    /// which per context means `⊇`)?
+    pub fn is_superset(&self, other: &PlaceSet) -> bool {
+        other.is_subset(self)
+    }
+
+    /// Iterate places in ascending order.
+    pub fn iter(&self) -> PlaceIter {
+        PlaceIter(self.0)
+    }
+
+    /// The single element of a singleton set, if `|self| == 1`.
+    pub fn as_singleton(&self) -> Option<PlaceId> {
+        if self.len() == 1 {
+            Some(self.0.trailing_zeros() as PlaceId + 1)
+        } else {
+            None
+        }
+    }
+
+    /// Smallest place in the set, if non-empty.
+    pub fn min_place(&self) -> Option<PlaceId> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(self.0.trailing_zeros() as PlaceId + 1)
+        }
+    }
+
+    /// Largest place in the set, if non-empty.
+    pub fn max_place(&self) -> Option<PlaceId> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(64 - self.0.leading_zeros() as PlaceId)
+        }
+    }
+}
+
+/// Iterator over the places of a [`PlaceSet`] in ascending order.
+pub struct PlaceIter(u64);
+
+impl Iterator for PlaceIter {
+    type Item = PlaceId;
+    fn next(&mut self) -> Option<PlaceId> {
+        if self.0 == 0 {
+            None
+        } else {
+            let p = self.0.trailing_zeros();
+            self.0 &= self.0 - 1;
+            Some(p as PlaceId + 1)
+        }
+    }
+}
+
+impl FromIterator<PlaceId> for PlaceSet {
+    fn from_iter<I: IntoIterator<Item = PlaceId>>(iter: I) -> Self {
+        PlaceSet::from_iter(iter)
+    }
+}
+
+impl IntoIterator for PlaceSet {
+    type Item = PlaceId;
+    type IntoIter = PlaceIter;
+    fn into_iter(self) -> PlaceIter {
+        PlaceIter(self.0)
+    }
+}
+
+impl IntoIterator for &PlaceSet {
+    type Item = PlaceId;
+    type IntoIter = PlaceIter;
+    fn into_iter(self) -> PlaceIter {
+        PlaceIter(self.0)
+    }
+}
+
+impl fmt::Debug for PlaceSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        let mut first = true;
+        for p in self.iter() {
+            if !first {
+                write!(f, ",")?;
+            }
+            write!(f, "{p}")?;
+            first = false;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl fmt::Display for PlaceSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// Convenience macro-free constructor: `places([1, 3])` = `{1,3}`.
+pub fn places<const K: usize>(ps: [PlaceId; K]) -> PlaceSet {
+    PlaceSet::from_iter(ps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_set_basics() {
+        let s = PlaceSet::new();
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        assert!(!s.contains(1));
+        assert_eq!(s.iter().count(), 0);
+        assert_eq!(s.as_singleton(), None);
+        assert_eq!(s.min_place(), None);
+        assert_eq!(s.max_place(), None);
+    }
+
+    #[test]
+    fn singleton_and_contains() {
+        let s = PlaceSet::singleton(3);
+        assert!(s.contains(3));
+        assert!(!s.contains(2));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.as_singleton(), Some(3));
+    }
+
+    #[test]
+    fn boundary_places() {
+        let s1 = PlaceSet::singleton(1);
+        let s64 = PlaceSet::singleton(64);
+        assert!(s1.contains(1));
+        assert!(s64.contains(64));
+        assert_eq!(s64.max_place(), Some(64));
+        assert_eq!(s1.min_place(), Some(1));
+    }
+
+    #[test]
+    #[should_panic]
+    fn place_zero_rejected() {
+        PlaceSet::singleton(0);
+    }
+
+    #[test]
+    fn union_intersect_minus() {
+        let a = places([1, 2, 3]);
+        let b = places([2, 3, 4]);
+        assert_eq!(a.union(b), places([1, 2, 3, 4]));
+        assert_eq!(a.intersect(b), places([2, 3]));
+        assert_eq!(a.minus(b), places([1]));
+        assert_eq!(b.minus(a), places([4]));
+        assert_eq!(a.minus_place(2), places([1, 3]));
+    }
+
+    #[test]
+    fn all_up_to() {
+        assert_eq!(PlaceSet::all_up_to(3), places([1, 2, 3]));
+        assert_eq!(PlaceSet::all_up_to(0), PlaceSet::EMPTY);
+        assert_eq!(PlaceSet::all_up_to(64).len(), 64);
+    }
+
+    #[test]
+    fn subset_superset() {
+        let a = places([1, 2]);
+        let b = places([1, 2, 3]);
+        assert!(a.is_subset(&b));
+        assert!(b.is_superset(&a));
+        assert!(!b.is_subset(&a));
+        assert!(a.is_subset(&a));
+        assert!(PlaceSet::EMPTY.is_subset(&a));
+    }
+
+    #[test]
+    fn iteration_order_ascending() {
+        let s = places([5, 1, 9, 3]);
+        let v: Vec<_> = s.iter().collect();
+        assert_eq!(v, vec![1, 3, 5, 9]);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(format!("{}", places([1, 3])), "{1,3}");
+        assert_eq!(format!("{}", PlaceSet::EMPTY), "{}");
+    }
+
+    #[test]
+    fn from_iterator_trait() {
+        let s: PlaceSet = vec![2u8, 4, 2].into_iter().collect();
+        assert_eq!(s, places([2, 4]));
+    }
+}

@@ -1,0 +1,422 @@
+//! Action-prefix-form transformation for disabling expressions.
+//!
+//! Paper Section 2: *"we will consider in the following that, if a service
+//! specification contains disabling expressions, they are transformed in
+//! action prefix forms, before any processing by our algorithm"* — i.e.
+//! the right-hand side of every `[>` must have the shape
+//! `[]_{i=1..n} (Event_Id_i ; Seq_i)` (rules 9₂–9₄).
+//!
+//! This module rewrites arbitrary *finitely branching* disable right-hand
+//! sides into that shape by computing their head normal form with the
+//! expansion theorems T1–T3 of Annex A. Continuations are left
+//! unexpanded (the `Seq_i` of rule 9₄ may be arbitrary expressions).
+//!
+//! Process invocations inside a disable RHS are supported when guarded:
+//! the referenced body is deep-copied and unfolded until an action prefix
+//! is reached. Expressions whose *initial* behaviour cannot be expressed
+//! in prefix form — an immediately possible termination (`exit` offers δ,
+//! which is not an `Event_Id`), an initial internal action from `i ;` or
+//! `exit >> e`, or `stop` (no alternative at all) — are rejected with a
+//! descriptive error.
+
+use crate::ast::{Expr, NodeId, ProcIdx, Spec};
+use crate::event::Event;
+use std::fmt;
+
+/// Why an expression could not be transformed to action-prefix form.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PrefixFormError {
+    /// The expression can terminate immediately; δ is not an `Event_Id`.
+    InitialExit { node: NodeId },
+    /// The expression has an initial internal action (e.g. `exit >> e` or
+    /// an explicit `i ;` prefix) — `i` is not an `Event_Id` (Table 1).
+    InitialInternal { node: NodeId },
+    /// No initial action at all (`stop`, or a fully blocked `|[G]|`), but
+    /// rule 9₂ requires at least one alternative.
+    NoAlternatives { node: NodeId },
+    /// Unguarded recursion encountered while unfolding.
+    UnguardedRecursion { proc: String },
+    /// Unresolved process reference.
+    UnresolvedCall { name: String },
+}
+
+impl fmt::Display for PrefixFormError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PrefixFormError::InitialExit { node } => write!(
+                f,
+                "expression at node {node} may terminate immediately; \
+                 its prefix form would need a δ alternative"
+            ),
+            PrefixFormError::InitialInternal { node } => write!(
+                f,
+                "expression at node {node} has an initial internal action; \
+                 `i` is not an Event_Id"
+            ),
+            PrefixFormError::NoAlternatives { node } => write!(
+                f,
+                "expression at node {node} offers no initial event; \
+                 rule 9\u{2082} requires at least one alternative"
+            ),
+            PrefixFormError::UnguardedRecursion { proc } => {
+                write!(f, "unguarded recursion through process `{proc}` while unfolding")
+            }
+            PrefixFormError::UnresolvedCall { name } => {
+                write!(f, "unresolved process `{name}` while unfolding")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PrefixFormError {}
+
+/// Rewrite the right-hand side of every reachable `[>` into action-prefix
+/// form. Returns `true` if the specification was modified.
+///
+/// Attributes must be (re-)evaluated after a successful transformation.
+pub fn to_prefix_form(spec: &mut Spec) -> Result<bool, PrefixFormError> {
+    let mut changed = false;
+    let mut roots = vec![spec.top.expr];
+    roots.extend(spec.procs.iter().map(|p| p.body.expr));
+    // Collect disable nodes first (the arena grows during rewriting).
+    let mut disables = Vec::new();
+    for &root in &roots {
+        for id in spec.preorder(root) {
+            if let Expr::Disable { right, .. } = spec.node(id) {
+                if !crate::restrictions::is_prefix_form(spec, *right) {
+                    disables.push(id);
+                }
+            }
+        }
+    }
+    for d in disables {
+        let rhs = match spec.node(d) {
+            Expr::Disable { right, .. } => *right,
+            _ => unreachable!(),
+        };
+        let (alts, delta) = head_normal_form(spec, rhs, &mut Vec::new())?;
+        if delta {
+            return Err(PrefixFormError::InitialExit { node: rhs });
+        }
+        if alts.is_empty() {
+            return Err(PrefixFormError::NoAlternatives { node: rhs });
+        }
+        let new_rhs = build_choice(spec, alts);
+        if let Expr::Disable { right, .. } = spec.node_mut(d) {
+            *right = new_rhs;
+        }
+        changed = true;
+    }
+    Ok(changed)
+}
+
+/// Compute the head normal form of `id`: its initial alternatives
+/// `(event, continuation)` plus whether δ (immediate successful
+/// termination) is initially possible — following the expansion theorems
+/// T1–T3 of Annex A. `unfolding` tracks the processes currently being
+/// unfolded (cycle detection).
+pub fn head_normal_form(
+    spec: &mut Spec,
+    id: NodeId,
+    unfolding: &mut Vec<ProcIdx>,
+) -> Result<(Vec<(Event, NodeId)>, bool), PrefixFormError> {
+    match spec.node(id).clone() {
+        Expr::Exit => Ok((vec![], true)),
+        Expr::Stop | Expr::Empty => Ok((vec![], false)),
+        Expr::Prefix { event, then } => {
+            if event.is_internal() {
+                return Err(PrefixFormError::InitialInternal { node: id });
+            }
+            Ok((vec![(event, then)], false))
+        }
+        Expr::Choice { left, right } => {
+            let (mut l, dl) = head_normal_form(spec, left, unfolding)?;
+            let (r, dr) = head_normal_form(spec, right, unfolding)?;
+            l.extend(r);
+            Ok((l, dl || dr))
+        }
+        Expr::Par { sync, left, right } => {
+            // Expansion theorem T1: unsynchronized initials interleave,
+            // synchronized initials must match on both sides, and the pair
+            // terminates only when both sides do.
+            let (l, dl) = head_normal_form(spec, left, unfolding)?;
+            let (r, dr) = head_normal_form(spec, right, unfolding)?;
+            let mut out = Vec::new();
+            for (e, cont) in &l {
+                if !sync.requires_sync(e) {
+                    let n = spec.par(sync.clone(), *cont, right);
+                    out.push((e.clone(), n));
+                }
+            }
+            for (e, cont) in &r {
+                if !sync.requires_sync(e) {
+                    let n = spec.par(sync.clone(), left, *cont);
+                    out.push((e.clone(), n));
+                }
+            }
+            for (el, cl) in &l {
+                if sync.requires_sync(el) {
+                    for (er, cr) in &r {
+                        if el == er {
+                            let n = spec.par(sync.clone(), *cl, *cr);
+                            out.push((el.clone(), n));
+                        }
+                    }
+                }
+            }
+            Ok((out, dl && dr))
+        }
+        Expr::Enable { left, right } => {
+            // B1 >> B2: initial events are B1's; an initial δ of B1 would
+            // become an initial i (law E1) — not expressible in prefix form.
+            let (l, dl) = head_normal_form(spec, left, unfolding)?;
+            if dl {
+                return Err(PrefixFormError::InitialInternal { node: id });
+            }
+            let alts = l
+                .into_iter()
+                .map(|(e, cont)| {
+                    let n = spec.enable(cont, right);
+                    (e, n)
+                })
+                .collect();
+            Ok((alts, false))
+        }
+        Expr::Disable { left, right } => {
+            // Expansion theorem T2: B1 [> B2 = B2 [] Σ b_i ; (B1_i [> B2),
+            // and δ of B1 passes through (law D2: exit [> B = exit [] B).
+            let (l, dl) = head_normal_form(spec, left, unfolding)?;
+            let (r, dr) = head_normal_form(spec, right, unfolding)?;
+            let mut out: Vec<(Event, NodeId)> = r;
+            for (e, cont) in l {
+                let n = spec.disable(cont, right);
+                out.push((e, n));
+            }
+            Ok((out, dl || dr))
+        }
+        Expr::Call { name, proc, .. } => {
+            let pi = proc.ok_or(PrefixFormError::UnresolvedCall { name: name.clone() })?;
+            if unfolding.contains(&pi) {
+                return Err(PrefixFormError::UnguardedRecursion {
+                    proc: spec.procs[pi as usize].name.clone(),
+                });
+            }
+            unfolding.push(pi);
+            // Deep-copy the body so node numbers stay unique per use site.
+            let body = spec.procs[pi as usize].body.expr;
+            let copy = deep_copy(spec, body);
+            let r = head_normal_form(spec, copy, unfolding);
+            unfolding.pop();
+            r
+        }
+    }
+}
+
+/// Deep-copy the subtree rooted at `id` into fresh arena nodes.
+pub fn deep_copy(spec: &mut Spec, id: NodeId) -> NodeId {
+    match spec.node(id).clone() {
+        Expr::Exit => spec.exit(),
+        Expr::Stop => spec.stop(),
+        Expr::Empty => spec.empty(),
+        Expr::Prefix { event, then } => {
+            let t = deep_copy(spec, then);
+            spec.prefix(event, t)
+        }
+        Expr::Choice { left, right } => {
+            let l = deep_copy(spec, left);
+            let r = deep_copy(spec, right);
+            spec.choice(l, r)
+        }
+        Expr::Par { sync, left, right } => {
+            let l = deep_copy(spec, left);
+            let r = deep_copy(spec, right);
+            spec.par(sync, l, r)
+        }
+        Expr::Enable { left, right } => {
+            let l = deep_copy(spec, left);
+            let r = deep_copy(spec, right);
+            spec.enable(l, r)
+        }
+        Expr::Disable { left, right } => {
+            let l = deep_copy(spec, left);
+            let r = deep_copy(spec, right);
+            spec.disable(l, r)
+        }
+        Expr::Call { name, proc, tag } => spec.add(Expr::Call { name, proc, tag }),
+    }
+}
+
+/// Rebuild `[] (e_i ; cont_i)` as a right-nested choice of prefixes.
+fn build_choice(spec: &mut Spec, alts: Vec<(Event, NodeId)>) -> NodeId {
+    let mut prefixes: Vec<NodeId> = alts
+        .into_iter()
+        .map(|(e, cont)| spec.prefix(e, cont))
+        .collect();
+    let mut acc = prefixes.pop().expect("build_choice requires ≥1 alternative");
+    while let Some(p) = prefixes.pop() {
+        acc = spec.choice(p, acc);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_expr, parse_spec};
+    use crate::printer::print_expr;
+    use crate::restrictions::is_prefix_form;
+
+    fn transform(src: &str) -> Result<(Spec, String), PrefixFormError> {
+        let mut spec = parse_spec(src).unwrap();
+        to_prefix_form(&mut spec)?;
+        let s = print_expr(&spec, spec.top.expr);
+        Ok((spec, s))
+    }
+
+    #[test]
+    fn already_prefix_form_untouched() {
+        let src = "SPEC a1;b2;exit [> c2;exit ENDSPEC";
+        let mut spec = parse_spec(src).unwrap();
+        let before = print_expr(&spec, spec.top.expr);
+        assert!(!to_prefix_form(&mut spec).unwrap());
+        assert_eq!(print_expr(&spec, spec.top.expr), before);
+    }
+
+    #[test]
+    fn parallel_rhs_expanded() {
+        // (d2;exit ||| e2;exit) expands to
+        //   d2;(exit ||| e2;exit) [] e2;(d2;exit ||| exit)
+        let (spec, _) =
+            transform("SPEC a1;b2;c2;exit [> (d2;exit ||| e2;exit) ENDSPEC").unwrap();
+        if let Expr::Disable { right, .. } = spec.node(spec.top.expr) {
+            assert!(is_prefix_form(&spec, *right));
+            let printed = print_expr(&spec, *right);
+            assert!(printed.starts_with("d2; "), "{printed}");
+            assert!(printed.contains("[] e2; "), "{printed}");
+        } else {
+            panic!("expected disable at top");
+        }
+    }
+
+    #[test]
+    fn exit_inside_parallel_is_fine() {
+        // exit ||| d2;exit still has an initial d2 and cannot δ alone
+        let (spec, _) = transform("SPEC a1;d2;exit [> (exit ||| d2;exit) ENDSPEC").unwrap();
+        if let Expr::Disable { right, .. } = spec.node(spec.top.expr) {
+            assert!(is_prefix_form(&spec, *right));
+        } else {
+            panic!();
+        }
+    }
+
+    #[test]
+    fn synchronized_parallel_rhs() {
+        // (d2;exit |[d2]| d2;e2;exit): only the synchronized d2 initial
+        let (spec, _) =
+            transform("SPEC a1;e2;exit [> (d2;exit |[d2]| d2;e2;exit) ENDSPEC").unwrap();
+        if let Expr::Disable { right, .. } = spec.node(spec.top.expr) {
+            assert!(is_prefix_form(&spec, *right));
+            // exactly one alternative: d2 ; (exit |[d2]| e2;exit)
+            assert!(matches!(spec.node(*right), Expr::Prefix { .. }));
+        } else {
+            panic!();
+        }
+    }
+
+    #[test]
+    fn fully_blocked_sync_rejected() {
+        // d2 on the left can never synchronize with e2 on the right
+        let e = transform("SPEC a1;e2;exit [> (d2;exit |[d2,e2]| e2;exit) ENDSPEC").unwrap_err();
+        assert!(matches!(e, PrefixFormError::NoAlternatives { .. }));
+    }
+
+    #[test]
+    fn enable_rhs_expanded() {
+        let (spec, _) =
+            transform("SPEC a1;c2;exit [> (d2;exit >> c2;exit) ENDSPEC").unwrap();
+        if let Expr::Disable { right, .. } = spec.node(spec.top.expr) {
+            assert!(is_prefix_form(&spec, *right));
+            let printed = print_expr(&spec, *right);
+            assert!(printed.starts_with("d2; "), "{printed}");
+            assert!(printed.contains(">>"), "{printed}");
+        } else {
+            panic!();
+        }
+    }
+
+    #[test]
+    fn nested_disable_rhs_expanded_via_t2() {
+        let (spec, _) =
+            transform("SPEC a1;c2;exit [> (d2;c2;exit [> e2;c2;exit) ENDSPEC").unwrap();
+        if let Expr::Disable { right, .. } = spec.node(spec.top.expr) {
+            assert!(is_prefix_form(&spec, *right));
+            let printed = print_expr(&spec, *right);
+            // T2 ordering: B2 initials first, then b_i;(B1' [> B2)
+            assert!(printed.starts_with("e2; "), "{printed}");
+            assert!(printed.contains("[] d2; "), "{printed}");
+            assert!(printed.contains("[>"), "{printed}");
+        } else {
+            panic!();
+        }
+    }
+
+    #[test]
+    fn guarded_call_unfolded() {
+        let (spec, _) = transform(
+            "SPEC a1;c2;exit [> D WHERE PROC D = d2;c2;exit [] e2;c2;exit END ENDSPEC",
+        )
+        .unwrap();
+        if let Expr::Disable { right, .. } = spec.node(spec.top.expr) {
+            assert!(is_prefix_form(&spec, *right));
+        } else {
+            panic!();
+        }
+    }
+
+    #[test]
+    fn initial_exit_rejected() {
+        let e = transform("SPEC a1;c2;exit [> (exit [] d2;c2;exit) ENDSPEC").unwrap_err();
+        assert!(matches!(e, PrefixFormError::InitialExit { .. }));
+    }
+
+    #[test]
+    fn initial_internal_rejected() {
+        let e = transform("SPEC a1;c2;exit [> (i; d2;c2;exit) ENDSPEC").unwrap_err();
+        assert!(matches!(e, PrefixFormError::InitialInternal { .. }));
+        // exit >> e starts with an i (law E1)
+        let e = transform("SPEC a1;c2;exit [> (exit >> d2;c2;exit) ENDSPEC").unwrap_err();
+        assert!(matches!(e, PrefixFormError::InitialInternal { .. }));
+    }
+
+    #[test]
+    fn stop_rejected() {
+        let e = transform("SPEC a1;c2;exit [> stop ENDSPEC").unwrap_err();
+        assert!(matches!(e, PrefixFormError::NoAlternatives { .. }));
+    }
+
+    #[test]
+    fn unguarded_recursion_rejected() {
+        let e = transform(
+            "SPEC a1;c2;exit [> D WHERE PROC D = D [] d2;c2;exit END ENDSPEC",
+        )
+        .unwrap_err();
+        assert!(matches!(e, PrefixFormError::UnguardedRecursion { .. }));
+    }
+
+    #[test]
+    fn expansion_preserves_expression_elsewhere() {
+        // the LHS of [> and surrounding structure are untouched
+        let (spec, printed) =
+            transform("SPEC a1;b2;c2;exit [> (d2;exit ||| e2;exit) ENDSPEC").unwrap();
+        assert!(printed.starts_with("a1; b2; c2; exit [>"), "{printed}");
+        let _ = spec;
+    }
+
+    #[test]
+    fn deep_copy_is_structurally_equal() {
+        let (mut spec, root) = parse_expr("a1; (b2;exit ||| c3;exit) [> d3;exit").unwrap();
+        let copy = deep_copy(&mut spec, root);
+        assert!(crate::compare::expr_eq_exact(&spec, root, &spec, copy));
+        assert_ne!(root, copy);
+    }
+}

@@ -1,0 +1,209 @@
+//! Pretty-printer for specifications and behaviour expressions.
+//!
+//! Output is in the concrete syntax of paper Table 1 and re-parses to a
+//! structurally identical AST (round-trip property, tested here and by
+//! property tests). Parenthesization is driven by operator precedence, so
+//! printed text is close to the paper's style: parens appear exactly where
+//! the stratified grammar requires them.
+
+use crate::ast::{Expr, NodeId, ProcIdx, Spec};
+use std::fmt::Write;
+
+/// Binding strength of each operator level; larger binds tighter.
+/// Mirrors the grammar strata: `>>` < `[>` < parallel < `[]` < `;`.
+fn prec(e: &Expr) -> u8 {
+    match e {
+        Expr::Enable { .. } => 1,
+        Expr::Disable { .. } => 2,
+        Expr::Par { .. } => 3,
+        Expr::Choice { .. } => 4,
+        Expr::Prefix { .. } => 5,
+        Expr::Exit | Expr::Stop | Expr::Empty | Expr::Call { .. } => 6,
+    }
+}
+
+/// Print the behaviour expression rooted at `id` on one line.
+pub fn print_expr(spec: &Spec, id: NodeId) -> String {
+    let mut s = String::new();
+    write_expr(spec, id, 0, &mut s);
+    s
+}
+
+fn write_expr(spec: &Spec, id: NodeId, min_prec: u8, out: &mut String) {
+    let e = spec.node(id);
+    let p = prec(e);
+    let needs_paren = p < min_prec;
+    if needs_paren {
+        out.push('(');
+    }
+    match e {
+        Expr::Exit => out.push_str("exit"),
+        Expr::Stop => out.push_str("stop"),
+        Expr::Empty => out.push_str("empty"),
+        Expr::Prefix { event, then } => {
+            let _ = write!(out, "{event}; ");
+            write_expr(spec, *then, 5, out);
+        }
+        Expr::Choice { left, right } => {
+            write_expr(spec, *left, 5, out);
+            out.push_str(" [] ");
+            write_expr(spec, *right, 4, out);
+        }
+        Expr::Par { sync, left, right } => {
+            write_expr(spec, *left, 4, out);
+            let _ = write!(out, " {sync} ");
+            write_expr(spec, *right, 3, out);
+        }
+        Expr::Enable { left, right } => {
+            write_expr(spec, *left, 2, out);
+            out.push_str(" >> ");
+            write_expr(spec, *right, 1, out);
+        }
+        Expr::Disable { left, right } => {
+            write_expr(spec, *left, 2, out);
+            out.push_str(" [> ");
+            write_expr(spec, *right, 3, out);
+        }
+        Expr::Call { name, .. } => out.push_str(name),
+    }
+    if needs_paren {
+        out.push(')');
+    }
+}
+
+/// Print a full specification `SPEC ... ENDSPEC` with its `WHERE` clauses,
+/// one process per line, indented by nesting depth.
+pub fn print_spec(spec: &Spec) -> String {
+    let mut out = String::new();
+    out.push_str("SPEC ");
+    write_expr(spec, spec.top.expr, 0, &mut out);
+    write_block_procs(spec, &spec.top.procs, 0, &mut out);
+    out.push_str("\nENDSPEC\n");
+    out
+}
+
+fn write_block_procs(spec: &Spec, procs: &[ProcIdx], depth: usize, out: &mut String) {
+    if procs.is_empty() {
+        return;
+    }
+    let indent = "  ".repeat(depth + 1);
+    let _ = write!(out, "\n{indent}WHERE");
+    for &pi in procs {
+        let p = &spec.procs[pi as usize];
+        let _ = write!(out, "\n{indent}PROC {} = ", p.name);
+        write_expr(spec, p.body.expr, 0, out);
+        write_block_procs(spec, &p.body.procs, depth + 1, out);
+        if !p.body.procs.is_empty() {
+            let _ = write!(out, "\n{indent}");
+        } else {
+            out.push(' ');
+        }
+        out.push_str("END");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_expr, parse_spec};
+
+    fn round_trip_expr(src: &str) {
+        let (s1, r1) = parse_expr(src).unwrap();
+        let printed = print_expr(&s1, r1);
+        let (s2, r2) = parse_expr(&printed).unwrap();
+        assert!(
+            crate::compare::expr_eq_exact(&s1, r1, &s2, r2),
+            "round trip changed structure:\n  src:     {src}\n  printed: {printed}"
+        );
+    }
+
+    #[test]
+    fn atoms() {
+        let (s, r) = parse_expr("exit").unwrap();
+        assert_eq!(print_expr(&s, r), "exit");
+        let (s, r) = parse_expr("stop").unwrap();
+        assert_eq!(print_expr(&s, r), "stop");
+    }
+
+    #[test]
+    fn prefix_chain() {
+        let (s, r) = parse_expr("a1; b2; exit").unwrap();
+        assert_eq!(print_expr(&s, r), "a1; b2; exit");
+    }
+
+    #[test]
+    fn parens_only_where_needed() {
+        let (s, r) = parse_expr("(a1;exit [] b1;exit) >> c2;exit").unwrap();
+        assert_eq!(print_expr(&s, r), "a1; exit [] b1; exit >> c2; exit");
+        // choice binds tighter than >>, so no parens are required — verify
+        // by re-parsing
+        round_trip_expr("(a1;exit [] b1;exit) >> c2;exit");
+    }
+
+    #[test]
+    fn parens_preserved_when_required() {
+        // prefix over a choice requires parens around the continuation
+        let src = "a1; (b1;exit [] c1;exit)";
+        let (s, r) = parse_expr(src).unwrap();
+        assert_eq!(print_expr(&s, r), "a1; (b1; exit [] c1; exit)");
+        round_trip_expr(src);
+    }
+
+    #[test]
+    fn disable_rhs_parenthesized() {
+        // a [> (b [> c) must keep its parens (left-assoc default)
+        let src = "a1;exit [> (b2;exit [> c3;exit)";
+        round_trip_expr(src);
+        let (s, r) = parse_expr(src).unwrap();
+        let printed = print_expr(&s, r);
+        assert!(printed.contains("[> (b2; exit [> c3; exit)"), "{printed}");
+    }
+
+    #[test]
+    fn enable_right_assoc_no_parens() {
+        round_trip_expr("a1;exit >> b2;exit >> c3;exit");
+        round_trip_expr("(a1;exit >> b2;exit) >> c3;exit");
+    }
+
+    #[test]
+    fn round_trip_corpus() {
+        for src in [
+            "a1; exit",
+            "i; a1; exit",
+            "a1;exit ||| b2;exit",
+            "a1;exit || a1;exit",
+            "a1;b2;exit |[b2]| b2;c3;exit",
+            "a1;exit [] b1;exit [] c1;exit",
+            "(a1;exit ||| b2;exit) >> c3;exit",
+            "a1;exit [> b2;exit >> c3;exit",
+            "s2(x); r3(7); r1(s,19); exit",
+            "a1; (b2;exit ||| c3;exit)",
+        ] {
+            round_trip_expr(src);
+        }
+    }
+
+    #[test]
+    fn spec_round_trip() {
+        let src = "SPEC S [> interrupt3 ; exit WHERE\n\
+                   PROC S = (read1; push2; S >> pop2; write3; exit)\n\
+                        [] (eof1; make3; exit)\n\
+                   END ENDSPEC";
+        let s1 = parse_spec(src).unwrap();
+        let printed = print_spec(&s1);
+        let s2 = parse_spec(&printed).unwrap();
+        assert!(crate::compare::spec_eq_exact(&s1, &s2), "printed:\n{printed}");
+    }
+
+    #[test]
+    fn nested_where_printing() {
+        let src = "SPEC X WHERE \
+                     PROC X = Y WHERE PROC Y = a1 ; exit END END \
+                     PROC Z = b2 ; exit END \
+                   ENDSPEC";
+        let s1 = parse_spec(src).unwrap();
+        let printed = print_spec(&s1);
+        let s2 = parse_spec(&printed).unwrap();
+        assert!(crate::compare::spec_eq_exact(&s1, &s2), "printed:\n{printed}");
+    }
+}

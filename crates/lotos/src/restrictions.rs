@@ -1,0 +1,453 @@
+//! Well-formedness and restriction checking for service specifications.
+//!
+//! The derivation algorithm is defined only for service specifications
+//! that satisfy the paper's restrictions:
+//!
+//! * **R1** (§3.2): for every choice `e1 [] e2`,
+//!   `SP(e1) = SP(e2) = {p}` for a single place `p` — the choice must be
+//!   resolved locally at one entity.
+//! * **R2** (§3.2, extended to `[>` in §3.3): `EP(e1) = EP(e2)` for every
+//!   choice and every disable.
+//! * **R3** (§3.3): for every disable `e1 [> e2`, `EP(e1) ⊇ SP(e2)`.
+//! * the disable right-hand side must be in **action-prefix form**
+//!   (rules 9₂–9₄): a choice of event-prefixed sequences (apply
+//!   [`crate::prefixform`] first if it is not).
+//!
+//! In addition, a number of *language-level* conditions are verified that
+//! the paper assumes implicitly: service specs contain only placed service
+//! primitives (no `i`, no message events, no `stop`/`empty`), `exit`
+//! occurs only as a prefix continuation (grammar rules 16–17), all process
+//! references resolve, and recursion is guarded (some event is performed
+//! before a recursive re-entry, so the entity interpreters and the
+//! fixpoint semantics are well-defined).
+
+use crate::ast::{Expr, NodeId, ProcIdx, Spec};
+use crate::attributes::Attributes;
+use crate::place::PlaceSet;
+use std::fmt;
+
+/// A single violation found by [`check`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Violation {
+    /// R1: choice whose alternatives do not start at one common place.
+    R1 {
+        node: NodeId,
+        sp_left: PlaceSet,
+        sp_right: PlaceSet,
+    },
+    /// R2: choice or disable whose operands end at different place sets.
+    R2 {
+        node: NodeId,
+        ep_left: PlaceSet,
+        ep_right: PlaceSet,
+    },
+    /// R3: disable where `EP(e1) ⊉ SP(e2)`.
+    R3 {
+        node: NodeId,
+        ep_left: PlaceSet,
+        sp_right: PlaceSet,
+    },
+    /// Disable right-hand side not in action-prefix form (rule 9₄).
+    DisableNotPrefixForm { node: NodeId },
+    /// An event that is not a placed service primitive (internal action or
+    /// message interaction) appears in the service specification.
+    NonServiceEvent { node: NodeId, event: String },
+    /// `stop` or `empty` appears in the service specification.
+    NonServiceTerm { node: NodeId, what: &'static str },
+    /// `exit` in a position other than a prefix continuation.
+    BareExit { node: NodeId },
+    /// Unresolved process reference.
+    UnresolvedCall { node: NodeId, name: String },
+    /// A process can re-enter itself without performing any event.
+    UnguardedRecursion { proc: ProcIdx, name: String },
+    /// An operand with no starting places feeds a sequencing operator, so
+    /// the derived entities would have no one to send the synchronization
+    /// message to (e.g. `exit >> e`, impossible under the paper grammar).
+    EmptyStartingPlaces { node: NodeId },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::R1 {
+                node,
+                sp_left,
+                sp_right,
+            } => write!(
+                f,
+                "R1 violated at node {node}: choice alternatives start at {sp_left} and {sp_right}, \
+                 expected one common single place"
+            ),
+            Violation::R2 {
+                node,
+                ep_left,
+                ep_right,
+            } => write!(
+                f,
+                "R2 violated at node {node}: operands end at {ep_left} and {ep_right}"
+            ),
+            Violation::R3 {
+                node,
+                ep_left,
+                sp_right,
+            } => write!(
+                f,
+                "R3 violated at node {node}: EP(e1) = {ep_left} does not contain SP(e2) = {sp_right}"
+            ),
+            Violation::DisableNotPrefixForm { node } => write!(
+                f,
+                "disable right-hand side at node {node} is not in action-prefix form \
+                 (apply prefixform::to_prefix_form first)"
+            ),
+            Violation::NonServiceEvent { node, event } => write!(
+                f,
+                "event `{event}` at node {node} is not a placed service primitive"
+            ),
+            Violation::NonServiceTerm { node, what } => {
+                write!(f, "`{what}` at node {node} is not allowed in a service specification")
+            }
+            Violation::BareExit { node } => write!(
+                f,
+                "`exit` at node {node} must appear as an action-prefix continuation (rule 17)"
+            ),
+            Violation::UnresolvedCall { node, name } => {
+                write!(f, "undefined process `{name}` referenced at node {node}")
+            }
+            Violation::UnguardedRecursion { name, .. } => {
+                write!(f, "process `{name}` can re-enter itself without performing an event")
+            }
+            Violation::EmptyStartingPlaces { node } => write!(
+                f,
+                "operand of sequencing operator at node {node} has no starting places"
+            ),
+        }
+    }
+}
+
+/// Check a service specification against the paper's restrictions.
+/// Returns all violations found (empty = the spec is derivable).
+pub fn check(spec: &Spec, attrs: &Attributes) -> Vec<Violation> {
+    let mut out = Vec::new();
+
+    // Reachable nodes: top expression plus every process body.
+    let mut roots = vec![spec.top.expr];
+    roots.extend(spec.procs.iter().map(|p| p.body.expr));
+
+    let mut exits_ok: Vec<bool> = vec![false; spec.node_count()];
+    let mut visited: Vec<bool> = vec![false; spec.node_count()];
+
+    for &root in &roots {
+        for id in spec.preorder(root) {
+            if std::mem::replace(&mut visited[id as usize], true) {
+                continue;
+            }
+            match spec.node(id) {
+                Expr::Prefix { event, then } => {
+                    if event.place().is_none() {
+                        out.push(Violation::NonServiceEvent {
+                            node: id,
+                            event: event.to_string(),
+                        });
+                    }
+                    if matches!(spec.node(*then), Expr::Exit) {
+                        exits_ok[*then as usize] = true;
+                    }
+                }
+                Expr::Choice { left, right } => {
+                    let (spl, spr) = (attrs.sp(*left), attrs.sp(*right));
+                    if spl != spr || spl.as_singleton().is_none() {
+                        out.push(Violation::R1 {
+                            node: id,
+                            sp_left: spl,
+                            sp_right: spr,
+                        });
+                    }
+                    let (epl, epr) = (attrs.ep(*left), attrs.ep(*right));
+                    if epl != epr {
+                        out.push(Violation::R2 {
+                            node: id,
+                            ep_left: epl,
+                            ep_right: epr,
+                        });
+                    }
+                }
+                Expr::Disable { left, right } => {
+                    let (epl, epr) = (attrs.ep(*left), attrs.ep(*right));
+                    if epl != epr {
+                        out.push(Violation::R2 {
+                            node: id,
+                            ep_left: epl,
+                            ep_right: epr,
+                        });
+                    }
+                    let spr = attrs.sp(*right);
+                    if !epl.is_superset(&spr) {
+                        out.push(Violation::R3 {
+                            node: id,
+                            ep_left: epl,
+                            sp_right: spr,
+                        });
+                    }
+                    if !is_prefix_form(spec, *right) {
+                        out.push(Violation::DisableNotPrefixForm { node: *right });
+                    }
+                }
+                Expr::Enable { left, right } => {
+                    if attrs.sp(*right).is_empty() || attrs.ep(*left).is_empty() {
+                        out.push(Violation::EmptyStartingPlaces { node: id });
+                    }
+                }
+                Expr::Stop => out.push(Violation::NonServiceTerm {
+                    node: id,
+                    what: "stop",
+                }),
+                Expr::Empty => out.push(Violation::NonServiceTerm {
+                    node: id,
+                    what: "empty",
+                }),
+                Expr::Call { name, proc, .. } => {
+                    if proc.is_none() {
+                        out.push(Violation::UnresolvedCall {
+                            node: id,
+                            name: name.clone(),
+                        });
+                    }
+                }
+                Expr::Exit | Expr::Par { .. } => {}
+            }
+        }
+    }
+
+    // `exit` must only appear as a prefix continuation (rules 16–17).
+    let mut seen_exit: Vec<bool> = vec![false; spec.node_count()];
+    for &root in &roots {
+        for id in spec.preorder(root) {
+            if matches!(spec.node(id), Expr::Exit)
+                && !exits_ok[id as usize]
+                && !std::mem::replace(&mut seen_exit[id as usize], true)
+            {
+                out.push(Violation::BareExit { node: id });
+            }
+        }
+    }
+
+    // Guarded recursion: build, for every process, the set of processes
+    // reachable in *initial* position without crossing an action prefix.
+    let n_procs = spec.procs.len();
+    let mut initial_calls: Vec<Vec<ProcIdx>> = vec![Vec::new(); n_procs];
+    for (pi, p) in spec.procs.iter().enumerate() {
+        collect_initial_calls(spec, p.body.expr, &mut initial_calls[pi]);
+    }
+    for start in 0..n_procs {
+        // DFS over initial-call edges; a cycle through `start` = unguarded.
+        let mut stack = initial_calls[start].clone();
+        let mut seen = vec![false; n_procs];
+        let mut unguarded = false;
+        while let Some(q) = stack.pop() {
+            if q as usize == start {
+                unguarded = true;
+                break;
+            }
+            if std::mem::replace(&mut seen[q as usize], true) {
+                continue;
+            }
+            stack.extend(initial_calls[q as usize].iter().copied());
+        }
+        if unguarded {
+            out.push(Violation::UnguardedRecursion {
+                proc: start as ProcIdx,
+                name: spec.procs[start].name.clone(),
+            });
+        }
+    }
+
+    out
+}
+
+/// Is the expression a choice-tree of event-prefixed sequences — the
+/// action-prefix form `[]_{i=1..n} (Event_Id_i ; Seq_i)` of rule 9₄?
+pub fn is_prefix_form(spec: &Spec, id: NodeId) -> bool {
+    match spec.node(id) {
+        // rule 9₄'s Event_Id is a placed interaction; `i` does not qualify
+        Expr::Prefix { event, .. } => !event.is_internal(),
+        Expr::Choice { left, right } => is_prefix_form(spec, *left) && is_prefix_form(spec, *right),
+        _ => false,
+    }
+}
+
+/// Collect processes callable from `id` without crossing an action prefix.
+fn collect_initial_calls(spec: &Spec, id: NodeId, out: &mut Vec<ProcIdx>) {
+    match spec.node(id) {
+        Expr::Call {
+            proc: Some(pi), ..
+        } => out.push(*pi),
+        Expr::Choice { left, right }
+        | Expr::Par { left, right, .. }
+        | Expr::Disable { left, right } => {
+            collect_initial_calls(spec, *left, out);
+            collect_initial_calls(spec, *right, out);
+        }
+        // `e1 >> e2`: only e1 is in initial position; e2 is guarded by
+        // e1's termination (which produces at least an i-step).
+        Expr::Enable { left, .. } => collect_initial_calls(spec, *left, out),
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attributes::evaluate;
+    use crate::parser::{parse_expr, parse_spec};
+
+    fn violations(src: &str) -> Vec<Violation> {
+        let spec = parse_spec(src).unwrap();
+        let attrs = evaluate(&spec);
+        check(&spec, &attrs)
+    }
+
+    fn expr_violations(src: &str) -> Vec<Violation> {
+        let (spec, _) = parse_expr(src).unwrap();
+        let attrs = evaluate(&spec);
+        check(&spec, &attrs)
+    }
+
+    #[test]
+    fn example3_is_clean() {
+        let v = violations(
+            "SPEC S [> interrupt3 ; exit WHERE \
+             PROC S = (read1; push2; S >> pop2; write3; exit) \
+                   [] (eof1; make3; exit) END ENDSPEC",
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn r1_violation_different_places() {
+        let v = expr_violations("a1;c3;exit [] b2;c3;exit");
+        assert!(v.iter().any(|x| matches!(x, Violation::R1 { .. })), "{v:?}");
+    }
+
+    #[test]
+    fn r1_violation_multiple_starting_places() {
+        // left alternative starts at two places via |||
+        let v = expr_violations("(a1;c3;exit ||| b1;exit) [] a1;c3;exit");
+        // SP(left) = {1} here — both branches start at 1, fine; change one:
+        let v2 = expr_violations("(a1;c3;exit ||| b2;exit) [] a1;c3;exit");
+        assert!(v2.iter().any(|x| matches!(x, Violation::R1 { .. })), "{v2:?}");
+        // and the first one trips R2 instead (EPs differ)
+        assert!(v.iter().any(|x| matches!(x, Violation::R2 { .. })), "{v:?}");
+    }
+
+    #[test]
+    fn r2_violation_choice() {
+        let v = expr_violations("a1;b2;exit [] a1;c3;exit");
+        assert!(v.iter().any(|x| matches!(x, Violation::R2 { .. })), "{v:?}");
+    }
+
+    #[test]
+    fn r2_r3_violations_disable() {
+        // e1 ends at {3}; disable starts at 2 → R3 (and R2: EPs differ)
+        let v = expr_violations("a1;c3;exit [> b2;d2;exit");
+        assert!(v.iter().any(|x| matches!(x, Violation::R3 { .. })), "{v:?}");
+        assert!(v.iter().any(|x| matches!(x, Violation::R2 { .. })), "{v:?}");
+    }
+
+    #[test]
+    fn r3_satisfied_when_sp_subset_of_ep() {
+        let v = expr_violations("a1;c3;exit [> d3;c3;exit");
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn disable_rhs_must_be_prefix_form() {
+        // rhs is a parallel composition — not action-prefix form
+        let v = expr_violations("a1;b3;c3;exit [> (d3;exit ||| e3;c3;exit)");
+        assert!(
+            v.iter()
+                .any(|x| matches!(x, Violation::DisableNotPrefixForm { .. })),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn internal_action_rejected() {
+        let v = expr_violations("i; a1; exit");
+        assert!(
+            v.iter().any(|x| matches!(x, Violation::NonServiceEvent { .. })),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn message_event_rejected() {
+        let v = expr_violations("s2(x); exit");
+        assert!(
+            v.iter().any(|x| matches!(x, Violation::NonServiceEvent { .. })),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn bare_exit_flagged() {
+        let v = expr_violations("exit [] a1;exit");
+        assert!(v.iter().any(|x| matches!(x, Violation::BareExit { .. })), "{v:?}");
+        // but a prefixed exit is fine
+        let v = expr_violations("a1; exit");
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn stop_and_empty_flagged() {
+        let v = expr_violations("stop");
+        assert!(matches!(v[0], Violation::NonServiceTerm { what: "stop", .. }));
+        let v = expr_violations("empty");
+        assert!(matches!(v[0], Violation::NonServiceTerm { what: "empty", .. }));
+    }
+
+    #[test]
+    fn unguarded_recursion_detected() {
+        let v = violations("SPEC A WHERE PROC A = A [] a1 ; exit END ENDSPEC");
+        assert!(
+            v.iter()
+                .any(|x| matches!(x, Violation::UnguardedRecursion { .. })),
+            "{v:?}"
+        );
+        // mutual unguarded recursion
+        let v = violations(
+            "SPEC A WHERE PROC A = B [] a1;exit END PROC B = A [] a1;exit END ENDSPEC",
+        );
+        assert!(
+            v.iter()
+                .filter(|x| matches!(x, Violation::UnguardedRecursion { .. }))
+                .count()
+                >= 2,
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn guarded_recursion_ok() {
+        let v = violations("SPEC A WHERE PROC A = a1 ; A [] a1 ; exit END ENDSPEC");
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn enable_needs_starting_and_ending_places() {
+        // exit >> e has no EP on the left
+        let v = expr_violations("exit >> a1;exit");
+        assert!(
+            v.iter()
+                .any(|x| matches!(x, Violation::EmptyStartingPlaces { .. })),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn example2_is_clean() {
+        let v = violations(
+            "SPEC A WHERE PROC A = (a1 ; A >> b2 ; exit) [] (a1 ; b2 ; exit) END ENDSPEC",
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+}

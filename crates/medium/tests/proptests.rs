@@ -1,0 +1,147 @@
+//! Property-based tests of the medium substrate: the FIFO queue laws the
+//! paper's correctness argument relies on (Section 1: "The channel does
+//! not lose, duplicate or insert messages").
+
+use lotos::event::{MsgId, SyncKind};
+use medium::{Capacity, MediumConfig, Msg, Network, Order};
+use proptest::prelude::*;
+
+fn msg(from: u8, to: u8, n: u32, occ: u32) -> Msg {
+    Msg {
+        from,
+        to,
+        id: MsgId::Node(n),
+        occ,
+        kind: SyncKind::Seq,
+    }
+}
+
+/// A random script of send/receive-head operations over 2–4 places.
+fn arb_script() -> impl Strategy<Value = Vec<(bool, u8, u8, u32)>> {
+    proptest::collection::vec(
+        (any::<bool>(), 1u8..=4, 1u8..=4, 0u32..6),
+        0..120,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    /// No loss, no duplication, no insertion: everything sent on a
+    /// channel is received exactly once, in order, when drained head-first.
+    #[test]
+    fn fifo_preserves_per_channel_order(script in arb_script()) {
+        let cfg = MediumConfig::default();
+        let mut net = Network::new();
+        let mut sent: std::collections::BTreeMap<(u8, u8), Vec<Msg>> = Default::default();
+        let mut seq = 0u32;
+        for (is_send, from, to, _) in &script {
+            if *from == *to { continue; }
+            if *is_send {
+                seq += 1;
+                let m = msg(*from, *to, seq, 0);
+                prop_assert!(net.send(&cfg, m.clone()));
+                sent.entry((*from, *to)).or_default().push(m);
+            }
+        }
+        // drain every channel head-first; order must equal send order
+        for ((from, to), expected) in sent {
+            let mut got = Vec::new();
+            while let Some(head) = net.deliverable(&cfg, from, to).first().map(|m| (*m).clone()) {
+                let m = net.receive(&cfg, from, to, &head.id, head.occ).unwrap();
+                got.push(m);
+            }
+            prop_assert_eq!(got, expected);
+        }
+        prop_assert!(net.is_empty());
+    }
+
+    /// Receiving anything not at the head fails under FIFO and leaves the
+    /// network unchanged.
+    #[test]
+    fn non_head_receive_is_rejected(ns in proptest::collection::vec(1u32..100, 2..20)) {
+        let cfg = MediumConfig::default();
+        let mut net = Network::new();
+        for (k, n) in ns.iter().enumerate() {
+            // make ids unique by position to avoid accidental head matches
+            net.send(&cfg, msg(1, 2, n * 1000 + k as u32, 0));
+        }
+        let before = net.clone();
+        for (k, n) in ns.iter().enumerate().skip(1) {
+            let id = MsgId::Node(n * 1000 + k as u32);
+            // not the head (head is index 0)
+            prop_assert!(net.receive(&cfg, 1, 2, &id, 0).is_none());
+        }
+        prop_assert_eq!(net, before);
+    }
+
+    /// Bounded capacity: depth never exceeds the bound, and a rejected
+    /// send leaves the network unchanged.
+    #[test]
+    fn bounded_capacity_is_respected(script in arb_script(), cap in 1usize..4) {
+        let cfg = MediumConfig { capacity: Capacity::Bounded(cap), order: Order::Fifo };
+        let mut net = Network::new();
+        let mut seq = 0u32;
+        for (is_send, from, to, _) in script {
+            if from == to { continue; }
+            if is_send {
+                seq += 1;
+                let before = net.clone();
+                let accepted = net.send(&cfg, msg(from, to, seq, 0));
+                if !accepted {
+                    prop_assert_eq!(&net, &before);
+                }
+            } else if let Some(head) = net.deliverable(&cfg, from, to).first().map(|m| (*m).clone()) {
+                net.receive(&cfg, from, to, &head.id, head.occ).unwrap();
+            }
+            for i in 1..=4u8 {
+                for j in 1..=4u8 {
+                    prop_assert!(net.depth(i, j) <= cap);
+                }
+            }
+        }
+    }
+
+    /// Arbitrary-order delivery is a permutation: the multiset of
+    /// received messages equals the multiset sent.
+    #[test]
+    fn arbitrary_order_is_a_permutation(ns in proptest::collection::vec(1u32..50, 1..30),
+                                        picks in proptest::collection::vec(any::<prop::sample::Index>(), 1..60)) {
+        let cfg = MediumConfig { capacity: Capacity::Unbounded, order: Order::Arbitrary };
+        let mut net = Network::new();
+        let mut expected: Vec<u32> = Vec::new();
+        for (k, n) in ns.iter().enumerate() {
+            let id = n * 1000 + k as u32;
+            net.send(&cfg, msg(1, 2, id, 0));
+            expected.push(id);
+        }
+        let mut got: Vec<u32> = Vec::new();
+        for pick in picks {
+            let choices: Vec<Msg> = net.deliverable(&cfg, 1, 2).into_iter().cloned().collect();
+            if choices.is_empty() { break; }
+            let m = &choices[pick.index(choices.len())];
+            net.receive(&cfg, 1, 2, &m.id, m.occ).unwrap();
+            if let MsgId::Node(n) = m.id { got.push(n); }
+        }
+        // drain the rest head-style
+        while let Some(head) = net.deliverable(&cfg, 1, 2).first().map(|m| (*m).clone()) {
+            net.receive(&cfg, 1, 2, &head.id, head.occ).unwrap();
+            if let MsgId::Node(n) = head.id { got.push(n); }
+        }
+        got.sort_unstable();
+        expected.sort_unstable();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Occurrence numbers are part of message identity: a receive with the
+    /// right node id but wrong occurrence does not match.
+    #[test]
+    fn occurrence_mismatch_never_delivers(occ in 1u32..50) {
+        let cfg = MediumConfig::default();
+        let mut net = Network::new();
+        net.send(&cfg, msg(1, 2, 7, occ));
+        prop_assert!(net.receive(&cfg, 1, 2, &MsgId::Node(7), occ + 1).is_none());
+        prop_assert!(net.receive(&cfg, 1, 2, &MsgId::Node(7), occ.wrapping_sub(1)).is_none());
+        prop_assert!(net.receive(&cfg, 1, 2, &MsgId::Node(7), occ).is_some());
+    }
+}

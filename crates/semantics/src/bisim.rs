@@ -1,0 +1,344 @@
+//! Strong and weak bisimulation equivalence on finite LTSs.
+//!
+//! Paper Section 5 states the correctness theorem in terms of observation
+//! congruence `≈`; its witness relation is a weak bisimulation. This
+//! module decides (weak) bisimilarity of finite systems by partition
+//! refinement:
+//!
+//! * **strong** bisimilarity refines blocks on signatures
+//!   `{(label, block-of-target)}`;
+//! * **weak** bisimilarity is strong bisimilarity of the *saturated*
+//!   system ([`crate::lts::Lts::saturate`]): `τ*`-closure as ε-moves plus
+//!   `τ*·a·τ*` observable moves.
+//!
+//! Both run on the disjoint union of the two systems and compare the
+//! blocks of the initial states. The verdict is only meaningful for
+//! complete LTSs; [`weak_equiv`]/[`strong_equiv`] return `None` when
+//! either input was truncated.
+
+use crate::lts::Lts;
+use crate::term::Label;
+use std::collections::HashMap;
+
+/// Decide strong bisimilarity of the initial states of two complete LTSs.
+/// `None` if either LTS is incomplete (truncated by a state cap).
+pub fn strong_equiv(a: &Lts, b: &Lts) -> Option<bool> {
+    if !a.complete || !b.complete {
+        return None;
+    }
+    Some(equiv_core(a, b))
+}
+
+/// Decide weak (observation) bisimilarity of the initial states of two
+/// complete LTSs. `None` if either is incomplete.
+pub fn weak_equiv(a: &Lts, b: &Lts) -> Option<bool> {
+    if !a.complete || !b.complete {
+        return None;
+    }
+    Some(equiv_core(&a.saturate(), &b.saturate()))
+}
+
+/// Decide **observation congruence** `≈` (the relation of the paper's
+/// theorem and Annex A): weak bisimilarity plus the *root condition* —
+/// every initial `i`-move of one system must be matched by a weak move of
+/// the other that contains **at least one** `i` (Milner's `=` / rooted
+/// weak bisimilarity). This is what makes `≈` substitutive in choice
+/// contexts: `i;a ≉ a` although the two are weakly bisimilar.
+///
+/// `None` if either LTS is incomplete.
+pub fn observation_congruent(a: &Lts, b: &Lts) -> Option<bool> {
+    if !a.complete || !b.complete {
+        return None;
+    }
+    let sa = a.saturate();
+    let sb = b.saturate();
+    // blocks of the weak bisimilarity over the disjoint union
+    let (block, na) = partition(&sa, &sb);
+    let block_of = |side: usize, s: usize| block[if side == 0 { s } else { na + s }];
+
+    // root condition, checked in both directions on the *strong* systems:
+    // x --i--> x'  must be matched by  y ==i·ε==> y'  (≥ 1 internal step)
+    // with x' and y' weakly bisimilar; and every initial observable move
+    // must be matched weakly (which the partition already guarantees if
+    // the roots are in the same block — check that first).
+    if block_of(0, a.initial) != block_of(1, b.initial) {
+        return Some(false);
+    }
+    let root_ok = |x: &Lts, y: &Lts, ysat: &Lts, xside: usize, yside: usize| -> bool {
+        for (l, xt) in &x.trans[x.initial] {
+            if !l.is_internal() {
+                continue;
+            }
+            // find y ==i==> yt (one strong i, then ε-closure — equivalent
+            // to "≥1 internal step" since ysat's I-edges are the closure)
+            let matched = y.trans[y.initial].iter().any(|(yl, ym)| {
+                yl.is_internal()
+                    && ysat.trans[*ym].iter().any(|(cl, yt)| {
+                        cl.is_internal() && block_of(yside, *yt) == block_of(xside, *xt)
+                    })
+            });
+            if !matched {
+                return false;
+            }
+        }
+        true
+    };
+    Some(root_ok(a, b, &sb, 0, 1) && root_ok(b, a, &sa, 1, 0))
+}
+
+/// Run partition refinement over the disjoint union of two (saturated)
+/// systems; returns the final block assignment and the offset of `b`.
+fn partition(a: &Lts, b: &Lts) -> (Vec<u32>, usize) {
+    let na = a.len();
+    let n = na + b.len();
+    let mut trans: Vec<&[(Label, usize)]> = Vec::with_capacity(n);
+    for s in 0..na {
+        trans.push(&a.trans[s]);
+    }
+    for s in 0..b.len() {
+        trans.push(&b.trans[s]);
+    }
+    let offset = |side: usize, t: usize| if side == 0 { t } else { na + t };
+    let mut block: Vec<u32> = vec![0; n];
+    loop {
+        let mut sig_index: HashMap<Vec<(Label, u32)>, u32> = HashMap::new();
+        let mut next_block: Vec<u32> = vec![0; n];
+        for s in 0..n {
+            let side = usize::from(s >= na);
+            let mut sig: Vec<(Label, u32)> = trans[s]
+                .iter()
+                .map(|(l, t)| (l.clone(), block[offset(side, *t)]))
+                .collect();
+            sig.sort();
+            sig.dedup();
+            let fresh = sig_index.len() as u32;
+            let id = *sig_index.entry(sig).or_insert(fresh);
+            next_block[s] = id;
+        }
+        if next_block == block {
+            break;
+        }
+        block = next_block;
+    }
+    (block, na)
+}
+
+/// Partition refinement on the disjoint union; true iff the two initial
+/// states end in the same block.
+fn equiv_core(a: &Lts, b: &Lts) -> bool {
+    let (block, na) = partition(a, b);
+    block[a.initial] == block[na + b.initial]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lts::build_term_lts;
+    use crate::term::{hide, Env};
+    use lotos::parser::parse_expr;
+    use std::rc::Rc;
+
+    /// Weak-bisim check of two behaviour expressions sharing one spec
+    /// context (no process definitions needed for the law corpus).
+    fn weak_eq(x: &str, y: &str) -> bool {
+        let (sx, rx) = parse_expr(x).unwrap();
+        let (sy, ry) = parse_expr(y).unwrap();
+        let ex = Env::new(sx);
+        let ey = Env::new(sy);
+        let tx = ex.instantiate(rx, 0);
+        let ty = ey.instantiate(ry, 0);
+        let (la, _) = build_term_lts(&ex, tx, 10_000);
+        let (lb, _) = build_term_lts(&ey, ty, 10_000);
+        weak_equiv(&la, &lb).expect("law corpus must be finite")
+    }
+
+    fn strong_eq(x: &str, y: &str) -> bool {
+        let (sx, rx) = parse_expr(x).unwrap();
+        let (sy, ry) = parse_expr(y).unwrap();
+        let ex = Env::new(sx);
+        let ey = Env::new(sy);
+        let tx = ex.instantiate(rx, 0);
+        let ty = ey.instantiate(ry, 0);
+        let (la, _) = build_term_lts(&ex, tx, 10_000);
+        let (lb, _) = build_term_lts(&ey, ty, 10_000);
+        strong_equiv(&la, &lb).expect("law corpus must be finite")
+    }
+
+    #[test]
+    fn identical_terms_equal() {
+        assert!(strong_eq("a1;b2;exit", "a1;b2;exit"));
+        assert!(weak_eq("a1;b2;exit", "a1;b2;exit"));
+    }
+
+    #[test]
+    fn different_terms_differ() {
+        assert!(!strong_eq("a1;exit", "b1;exit"));
+        assert!(!weak_eq("a1;exit", "b1;exit"));
+        assert!(!weak_eq("a1;exit", "a1;stop"));
+    }
+
+    #[test]
+    fn weak_absorbs_internal_steps() {
+        // a;i;B = a;B (law I1)
+        assert!(weak_eq("a1;i;b1;exit", "a1;b1;exit"));
+        assert!(!strong_eq("a1;i;b1;exit", "a1;b1;exit"));
+    }
+
+    #[test]
+    fn internal_choice_not_equivalent_to_external() {
+        // a [] i;b ≠ a [] b (the i commits)
+        assert!(!weak_eq("a1;exit [] i;b1;exit", "a1;exit [] b1;exit"));
+    }
+
+    #[test]
+    fn choice_laws_c1_c2_c3() {
+        assert!(strong_eq("a1;exit [] b1;exit", "b1;exit [] a1;exit")); // C1
+        assert!(strong_eq(
+            "a1;exit [] (b1;exit [] c1;exit)",
+            "(a1;exit [] b1;exit) [] c1;exit"
+        )); // C2
+        assert!(strong_eq("a1;exit [] a1;exit", "a1;exit")); // C3
+    }
+
+    #[test]
+    fn parallel_laws_p1_p2() {
+        assert!(strong_eq("a1;exit ||| b2;exit", "b2;exit ||| a1;exit")); // P1
+        assert!(strong_eq(
+            "a1;exit ||| (b2;exit ||| c3;exit)",
+            "(a1;exit ||| b2;exit) ||| c3;exit"
+        )); // P2
+    }
+
+    #[test]
+    fn enable_laws_e1_e2() {
+        // E1: exit >> B = i;B
+        assert!(strong_eq("exit >> a1;exit", "i;a1;exit"));
+        // E2: (B1 >> B2) >> B3 = B1 >> (B2 >> B3)
+        assert!(weak_eq(
+            "(a1;exit >> b1;exit) >> c1;exit",
+            "a1;exit >> (b1;exit >> c1;exit)"
+        ));
+    }
+
+    #[test]
+    fn disable_laws_d1_d2() {
+        // D1: B1 [> (B2 [> B3) = (B1 [> B2) [> B3
+        assert!(strong_eq(
+            "a1;exit [> (b1;exit [> c1;exit)",
+            "(a1;exit [> b1;exit) [> c1;exit"
+        ));
+        // D2: (B1 [> B2) [] B2 = B1 [> B2
+        assert!(strong_eq(
+            "(a1;exit [> b1;exit) [] b1;exit",
+            "a1;exit [> b1;exit"
+        ));
+        // exit [> B = exit [] B
+        assert!(strong_eq("exit [> b1;exit", "exit [] b1;exit"));
+    }
+
+    #[test]
+    fn internal_laws_i2_i3() {
+        // I2: B [] i;B = i;B
+        assert!(weak_eq("a1;exit [] i;a1;exit", "i;a1;exit"));
+        // I3: a;(B1 [] i;B2) [] a;B2 = a;(B1 [] i;B2)
+        assert!(weak_eq(
+            "a1;(b1;exit [] i;c1;exit) [] a1;c1;exit",
+            "a1;(b1;exit [] i;c1;exit)"
+        ));
+    }
+
+    #[test]
+    fn hiding_laws() {
+        // H5: hide a in (a;B) = i; hide a in B
+        let (s1, r1) = parse_expr("a1;b2;exit").unwrap();
+        let e1 = Env::new(s1);
+        let t1 = hide(vec![("a".into(), 1)], e1.instantiate(r1, 0));
+        let (l1, _) = build_term_lts(&e1, t1, 1000);
+
+        let (s2, r2) = parse_expr("i;b2;exit").unwrap();
+        let e2 = Env::new(s2);
+        let t2 = e2.instantiate(r2, 0);
+        let (l2, _) = build_term_lts(&e2, t2, 1000);
+        assert_eq!(strong_equiv(&l1, &l2), Some(true));
+
+        // H4: hide list in B = B if list ∩ L(B) = ∅
+        let (s3, r3) = parse_expr("a1;b2;exit").unwrap();
+        let e3 = Env::new(s3);
+        let plain = e3.instantiate(r3, 0);
+        let hidden = hide(vec![("z".into(), 9)], Rc::clone(&plain));
+        let (l3, _) = build_term_lts(&e3, plain, 1000);
+        let (l4, _) = build_term_lts(&e3, hidden, 1000);
+        assert_eq!(strong_equiv(&l3, &l4), Some(true));
+    }
+
+    #[test]
+    fn truncated_inputs_give_none() {
+        let (s, r) = parse_expr("a1;exit").unwrap();
+        let e = Env::new(s);
+        let t = e.instantiate(r, 0);
+        let (mut l, _) = build_term_lts(&e, t, 1000);
+        l.complete = false;
+        let (s2, r2) = parse_expr("a1;exit").unwrap();
+        let e2 = Env::new(s2);
+        let t2 = e2.instantiate(r2, 0);
+        let (l2, _) = build_term_lts(&e2, t2, 1000);
+        assert_eq!(weak_equiv(&l, &l2), None);
+        assert_eq!(strong_equiv(&l, &l2), None);
+    }
+
+    #[test]
+    fn delta_is_observable() {
+        // exit ≠ stop even weakly (δ must be matched)
+        assert!(!weak_eq("exit", "stop"));
+        // a;exit ≠ a;stop
+        assert!(!weak_eq("a1;exit", "a1;stop"));
+    }
+
+    fn congruent(x: &str, y: &str) -> bool {
+        let (sx, rx) = parse_expr(x).unwrap();
+        let (sy, ry) = parse_expr(y).unwrap();
+        let ex = Env::new(sx);
+        let ey = Env::new(sy);
+        let tx = ex.instantiate(rx, 0);
+        let ty = ey.instantiate(ry, 0);
+        let (la, _) = build_term_lts(&ex, tx, 10_000);
+        let (lb, _) = build_term_lts(&ey, ty, 10_000);
+        observation_congruent(&la, &lb).expect("finite")
+    }
+
+    #[test]
+    fn congruence_distinguishes_initial_i() {
+        // i;a ≈/ a although weakly bisimilar (Milner's classic)
+        assert!(weak_eq("i;a1;exit", "a1;exit"));
+        assert!(!congruent("i;a1;exit", "a1;exit"));
+        // but i;B [] B = i;B IS congruent (law I2)
+        assert!(congruent("a1;exit [] i;a1;exit", "i;a1;exit"));
+    }
+
+    #[test]
+    fn congruence_on_non_initial_i() {
+        // a;i;B = a;B holds as a congruence (law I1: the i is guarded)
+        assert!(congruent("a1;i;b1;exit", "a1;b1;exit"));
+    }
+
+    #[test]
+    fn congruence_matches_strong_equality() {
+        assert!(congruent("a1;exit [] b1;exit", "b1;exit [] a1;exit"));
+        assert!(!congruent("a1;exit", "b1;exit"));
+    }
+
+    #[test]
+    fn congruence_e1() {
+        // E1: exit >> B = i;B — both sides start with an i
+        assert!(congruent("exit >> b1;exit", "i;b1;exit"));
+        // ...and neither is congruent to the bare B
+        assert!(!congruent("exit >> b1;exit", "b1;exit"));
+    }
+
+    #[test]
+    fn congruence_root_condition_both_directions() {
+        assert!(!congruent("a1;exit", "i;a1;exit"));
+        assert!(!congruent("i;a1;exit", "a1;exit"));
+        assert!(congruent("i;a1;exit", "i;i;a1;exit"));
+    }
+}

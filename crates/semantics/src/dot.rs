@@ -1,0 +1,93 @@
+//! Graphviz (DOT) export of labelled transition systems.
+//!
+//! `dot -Tsvg` renders the service automaton or a composition state space
+//! for papers, slides, and debugging. Internal steps are drawn dashed,
+//! termination (δ) double-circled targets, and the initial state gets an
+//! incoming arrow from a point node — the conventional LTS look.
+
+use crate::lts::Lts;
+use crate::term::Label;
+use std::fmt::Write;
+
+/// Render `lts` as a DOT digraph named `name`.
+pub fn to_dot(lts: &Lts, name: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", escape(name));
+    let _ = writeln!(out, "  rankdir=LR;");
+    let _ = writeln!(out, "  node [shape=circle, fontsize=10];");
+    let _ = writeln!(out, "  __init [shape=point];");
+    let _ = writeln!(out, "  __init -> s{};", lts.initial);
+
+    // states that are targets of a δ transition are "terminated"
+    let mut terminated = vec![false; lts.len()];
+    for edges in &lts.trans {
+        for (l, t) in edges {
+            if *l == Label::Delta {
+                terminated[*t] = true;
+            }
+        }
+    }
+    #[allow(clippy::needless_range_loop)] // s is the printed state id
+    for s in 0..lts.len() {
+        if terminated[s] {
+            let _ = writeln!(out, "  s{s} [shape=doublecircle];");
+        } else {
+            let _ = writeln!(out, "  s{s};");
+        }
+    }
+    for (s, edges) in lts.trans.iter().enumerate() {
+        for (l, t) in edges {
+            let style = if l.is_internal() { ", style=dashed" } else { "" };
+            let _ = writeln!(
+                out,
+                "  s{s} -> s{t} [label=\"{}\"{style}];",
+                escape(&l.to_string())
+            );
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lts::build_term_lts;
+    use crate::term::Env;
+    use lotos::parser::parse_spec;
+
+    fn dot_of(src: &str) -> String {
+        let env = Env::new(parse_spec(src).unwrap());
+        let (lts, _) = build_term_lts(&env, env.root(), 1000);
+        to_dot(&lts, "test")
+    }
+
+    #[test]
+    fn renders_states_and_edges() {
+        let d = dot_of("SPEC a1; b2; exit ENDSPEC");
+        assert!(d.starts_with("digraph \"test\" {"));
+        assert!(d.contains("__init -> s0;"));
+        assert!(d.contains("label=\"a1\""), "{d}");
+        assert!(d.contains("label=\"b2\""), "{d}");
+        // δ edges exist; their target is double-circled
+        assert!(d.contains("label=\"δ\""), "{d}");
+        assert!(d.contains("doublecircle"), "{d}");
+        assert!(d.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn internal_steps_dashed() {
+        let d = dot_of("SPEC a1;exit >> b2;exit ENDSPEC");
+        assert!(d.contains("style=dashed"), "{d}");
+    }
+
+    #[test]
+    fn quotes_escaped() {
+        assert_eq!(escape("a\"b"), "a\\\"b");
+        assert_eq!(escape("a\\b"), "a\\\\b");
+    }
+}

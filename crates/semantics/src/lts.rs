@@ -1,0 +1,372 @@
+//! Explicit labelled transition systems.
+//!
+//! An [`Lts`] is a finite transition graph with [`Label`]-labelled edges —
+//! the common currency of the bisimulation checker (`bisim`), the bounded
+//! trace enumerator (`traces`) and the composition explorer of the
+//! `verify` crate. [`build_term_lts`] unfolds a behaviour term
+//! breadth-first up to a state cap; systems that exceed the cap are marked
+//! incomplete so downstream equivalence verdicts can be qualified.
+
+use crate::sos::transitions;
+use crate::term::{Env, Label, RTerm};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// A finite labelled transition system.
+#[derive(Clone, Debug, Default)]
+pub struct Lts {
+    /// Outgoing transitions per state.
+    pub trans: Vec<Vec<(Label, usize)>>,
+    /// Index of the initial state.
+    pub initial: usize,
+    /// `false` if exploration was truncated by the state cap — some states
+    /// may have missing outgoing transitions.
+    pub complete: bool,
+    /// States whose outgoing transitions were *not* expanded (non-empty
+    /// only when `complete == false`).
+    pub unexpanded: Vec<usize>,
+}
+
+impl Lts {
+    /// Number of states.
+    pub fn len(&self) -> usize {
+        self.trans.len()
+    }
+
+    /// Is the LTS empty (no states at all)?
+    pub fn is_empty(&self) -> bool {
+        self.trans.is_empty()
+    }
+
+    /// Total number of transitions.
+    pub fn transition_count(&self) -> usize {
+        self.trans.iter().map(|v| v.len()).sum()
+    }
+
+    /// The distinct labels occurring in the LTS, sorted.
+    pub fn alphabet(&self) -> Vec<Label> {
+        let mut labels: Vec<Label> = self
+            .trans
+            .iter()
+            .flat_map(|v| v.iter().map(|(l, _)| l.clone()))
+            .collect();
+        labels.sort();
+        labels.dedup();
+        labels
+    }
+
+
+    /// Quotient the LTS by strong bisimilarity: merge equivalent states
+    /// and drop duplicate edges. The result is the canonical minimal
+    /// strong-bisimulation representative — useful for inspecting derived
+    /// behaviours and for cheaper equivalence checks downstream.
+    pub fn minimize(&self) -> Lts {
+        // partition refinement (same signature scheme as `bisim`)
+        let n = self.len();
+        let mut block: Vec<u32> = vec![0; n];
+        loop {
+            let mut sig_index: std::collections::HashMap<Vec<(Label, u32)>, u32> =
+                std::collections::HashMap::new();
+            let mut next: Vec<u32> = vec![0; n];
+            #[allow(clippy::needless_range_loop)] // s indexes two tables
+            for s in 0..n {
+                let mut sig: Vec<(Label, u32)> = self.trans[s]
+                    .iter()
+                    .map(|(l, t)| (l.clone(), block[*t]))
+                    .collect();
+                sig.sort();
+                sig.dedup();
+                let fresh = sig_index.len() as u32;
+                next[s] = *sig_index.entry(sig).or_insert(fresh);
+            }
+            if next == block {
+                break;
+            }
+            block = next;
+        }
+        let classes = block.iter().copied().max().map_or(0, |m| m as usize + 1);
+        let mut trans: Vec<Vec<(Label, usize)>> = vec![Vec::new(); classes];
+        let mut done = vec![false; classes];
+        for s in 0..n {
+            let b = block[s] as usize;
+            if std::mem::replace(&mut done[b], true) {
+                continue;
+            }
+            let mut edges: Vec<(Label, usize)> = self.trans[s]
+                .iter()
+                .map(|(l, t)| (l.clone(), block[*t] as usize))
+                .collect();
+            edges.sort();
+            edges.dedup();
+            trans[b] = edges;
+        }
+        Lts {
+            trans,
+            initial: block[self.initial] as usize,
+            complete: self.complete,
+            unexpanded: Vec::new(),
+        }
+    }
+
+    /// Weak saturation: the "double arrow" system in which
+    /// `s =ε=> t` (label [`Label::I`]) holds iff `t` is reachable from `s`
+    /// by internal steps (reflexive-transitive), and `s =a=> t` holds iff
+    /// `s =ε=> · a · =ε=> t` for observable `a`. Weak bisimilarity of the
+    /// original system is strong bisimilarity of the saturated one.
+    pub fn saturate(&self) -> Lts {
+        let n = self.len();
+        // i-closure per state (reflexive, transitive) — BFS per state.
+        let mut closure: Vec<Vec<usize>> = Vec::with_capacity(n);
+        for s in 0..n {
+            let mut seen = vec![false; n];
+            let mut stack = vec![s];
+            seen[s] = true;
+            while let Some(x) = stack.pop() {
+                for (l, t) in &self.trans[x] {
+                    if l.is_internal() && !seen[*t] {
+                        seen[*t] = true;
+                        stack.push(*t);
+                    }
+                }
+            }
+            closure.push((0..n).filter(|&x| seen[x]).collect());
+        }
+        let mut trans: Vec<Vec<(Label, usize)>> = vec![Vec::new(); n];
+        for s in 0..n {
+            let mut edges: Vec<(Label, usize)> = Vec::new();
+            // ε moves (represented with Label::I in the saturated system)
+            for &t in &closure[s] {
+                edges.push((Label::I, t));
+            }
+            // weak observable moves: ε · a · ε
+            for &m in &closure[s] {
+                for (l, t) in &self.trans[m] {
+                    if !l.is_internal() {
+                        for &u in &closure[*t] {
+                            edges.push((l.clone(), u));
+                        }
+                    }
+                }
+            }
+            edges.sort();
+            edges.dedup();
+            trans[s] = edges;
+        }
+        Lts {
+            trans,
+            initial: self.initial,
+            complete: self.complete,
+            unexpanded: self.unexpanded.clone(),
+        }
+    }
+}
+
+/// Build the LTS of a behaviour term, breadth-first, stopping after
+/// `max_states` distinct states. Returns the LTS and the states' terms.
+pub fn build_term_lts(
+    env: &Env,
+    root: Rc<RTerm>,
+    max_states: usize,
+) -> (Lts, Vec<Rc<RTerm>>) {
+    build_term_lts_bounded(env, root, max_states, usize::MAX)
+}
+
+/// [`build_term_lts`] with an additional bound on BFS depth (number of
+/// transitions from the root). Deeply recursive specifications build
+/// deeply nested terms; when only traces up to a known length are needed,
+/// a depth bound keeps both memory and recursion shallow. States at the
+/// boundary are left unexpanded and the LTS is marked incomplete.
+pub fn build_term_lts_bounded(
+    env: &Env,
+    root: Rc<RTerm>,
+    max_states: usize,
+    max_depth: usize,
+) -> (Lts, Vec<Rc<RTerm>>) {
+    let mut index: HashMap<Rc<RTerm>, usize> = HashMap::new();
+    let mut states: Vec<Rc<RTerm>> = Vec::new();
+    let mut depth: Vec<usize> = Vec::new();
+    let mut trans: Vec<Vec<(Label, usize)>> = Vec::new();
+    let mut unexpanded = Vec::new();
+
+    index.insert(Rc::clone(&root), 0);
+    states.push(root);
+    depth.push(0);
+    trans.push(Vec::new());
+
+    let mut complete = true;
+    let mut next = 0usize;
+    while next < states.len() {
+        let s = next;
+        next += 1;
+        if depth[s] >= max_depth {
+            complete = false;
+            unexpanded.push(s);
+            continue;
+        }
+        let term = Rc::clone(&states[s]);
+        let mut edges = Vec::new();
+        let mut truncated_here = false;
+        for (l, t) in transitions(env, &term) {
+            let id = match index.get(&t) {
+                Some(&id) => id,
+                None => {
+                    if states.len() >= max_states {
+                        complete = false;
+                        truncated_here = true;
+                        continue;
+                    }
+                    let id = states.len();
+                    index.insert(Rc::clone(&t), id);
+                    states.push(t);
+                    depth.push(depth[s] + 1);
+                    trans.push(Vec::new());
+                    id
+                }
+            };
+            edges.push((l, id));
+        }
+        if truncated_here {
+            unexpanded.push(s);
+        }
+        trans[s] = edges;
+    }
+
+    (
+        Lts {
+            trans,
+            initial: 0,
+            complete,
+            unexpanded,
+        },
+        states,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lotos::parser::parse_spec;
+
+    fn lts_of(src: &str, cap: usize) -> Lts {
+        let env = Env::new(parse_spec(src).unwrap());
+        let root = env.root();
+        build_term_lts(&env, root, cap).0
+    }
+
+    #[test]
+    fn finite_system_complete() {
+        let l = lts_of("SPEC a1;b2;exit ENDSPEC", 100);
+        assert!(l.complete);
+        // a1;b2;exit → b2;exit → exit → stop : 4 states
+        assert_eq!(l.len(), 4);
+        assert_eq!(l.transition_count(), 3);
+    }
+
+    #[test]
+    fn state_sharing_via_hashing() {
+        // both branches converge on the same continuation term
+        let l = lts_of("SPEC a1;c1;exit [] b1;c1;exit ENDSPEC", 100);
+        assert!(l.complete);
+        // states: root, c1;exit (shared), exit, stop
+        assert_eq!(l.len(), 4);
+    }
+
+    #[test]
+    fn tail_recursion_is_finite() {
+        // Service processes carry no occurrence-sensitive events, so they
+        // unfold at occurrence 0 and plain recursion closes into a cycle.
+        let l = lts_of("SPEC A WHERE PROC A = a1 ; A END ENDSPEC", 100);
+        assert!(l.complete);
+        assert!(l.len() <= 3, "expected a tiny cyclic LTS, got {}", l.len());
+        // every state can keep doing a1 forever
+        for edges in &l.trans {
+            assert_eq!(edges.len(), 1);
+            assert_eq!(edges[0].0.to_string(), "a1");
+        }
+    }
+
+    #[test]
+    fn occurrence_sensitive_recursion_stays_distinct() {
+        // Derived entities' messages carry the occurrence parameter, so
+        // recursive instances are genuinely distinct states.
+        let l = lts_of("SPEC A WHERE PROC A = s2(s,7) ; A END ENDSPEC", 20);
+        assert!(!l.complete);
+        assert_eq!(l.len(), 20);
+    }
+
+    #[test]
+    fn infinite_system_truncated() {
+        // aⁿ bⁿ — genuinely infinite-state
+        let l = lts_of(
+            "SPEC A WHERE PROC A = (a1 ; A >> b2 ; exit) [] (a1 ; b2 ; exit) END ENDSPEC",
+            50,
+        );
+        assert!(!l.complete);
+        assert_eq!(l.len(), 50);
+    }
+
+    #[test]
+    fn alphabet_collection() {
+        let l = lts_of("SPEC a1;exit ||| b2;exit ENDSPEC", 100);
+        let alpha = l.alphabet();
+        let strs: Vec<String> = alpha.iter().map(|l| l.to_string()).collect();
+        assert_eq!(strs, vec!["δ", "a1", "b2"]);
+    }
+
+    #[test]
+    fn saturation_adds_weak_moves() {
+        // a1;exit >> b2;exit : strong has a1, i, b2, δ; weak a-move from
+        // state "exit>>b2" skips the i
+        let env = Env::new(parse_spec("SPEC a1;exit >> b2;exit ENDSPEC").unwrap());
+        let root = env.root();
+        let (l, _) = build_term_lts(&env, root, 100);
+        let sat = l.saturate();
+        // from the initial state, a weak a1 move must reach the state
+        // where b2 is enabled directly (skipping the i)
+        let weak_a: Vec<usize> = sat.trans[0]
+            .iter()
+            .filter(|(lab, _)| lab.to_string() == "a1")
+            .map(|(_, t)| *t)
+            .collect();
+        // at least two targets: before and after the i
+        assert!(weak_a.len() >= 2, "{weak_a:?}");
+        // every state has an ε self-loop
+        for (s, edges) in sat.trans.iter().enumerate() {
+            assert!(edges.contains(&(Label::I, s)));
+        }
+    }
+
+    #[test]
+    fn minimize_merges_bisimilar_states() {
+        // a1;c1;exit [] b1;c1;exit: the two c1;exit states are shared
+        // already; duplicate a-branches collapse
+        let l = lts_of("SPEC a1;c1;exit [] a1;c1;exit ENDSPEC", 100);
+        let m = l.minimize();
+        assert!(m.len() < l.len() || l.len() == m.len());
+        // the canonical chain a1.c1.δ has 4 states
+        assert_eq!(m.len(), 4);
+        // minimization preserves strong bisimilarity
+        assert_eq!(crate::bisim::strong_equiv(&l, &m), Some(true));
+    }
+
+    #[test]
+    fn minimize_is_idempotent() {
+        let l = lts_of("SPEC (a1;exit ||| b2;exit) >> c3;exit ENDSPEC", 1000);
+        let m1 = l.minimize();
+        let m2 = m1.minimize();
+        assert_eq!(m1.len(), m2.len());
+        assert_eq!(m1.transition_count(), m2.transition_count());
+        assert_eq!(crate::bisim::strong_equiv(&l, &m1), Some(true));
+    }
+
+    #[test]
+    fn minimize_keeps_behaviour_of_recursive_service() {
+        let l = lts_of("SPEC A WHERE PROC A = a1 ; A [] b1 ; exit END ENDSPEC", 100);
+        let m = l.minimize();
+        assert!(m.len() <= l.len());
+        assert_eq!(crate::bisim::strong_equiv(&l, &m), Some(true));
+        // the loop survives minimization
+        let ts = crate::traces::observable_traces(&m, 4);
+        assert!(ts.traces.iter().any(|t| t.len() == 4));
+    }
+}

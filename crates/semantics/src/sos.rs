@@ -1,0 +1,304 @@
+//! Structured operational semantics — the LOTOS transition rules.
+//!
+//! `transitions(env, t)` enumerates every step `t --label--> t'` according
+//! to the standard Basic-LOTOS SOS (IS 8807, as summarized by the paper's
+//! Annex A):
+//!
+//! * `exit --δ--> stop`;
+//! * `a;B --a--> B` (also for `a = i`);
+//! * `B1 [] B2`: the union of both sides' steps;
+//! * `B1 |[G]| B2`: interleave steps whose label is outside `G`;
+//!   synchronize on labels in `G` and on δ (termination of a parallel
+//!   composition requires both sides);
+//! * `B1 >> B2`: `B1`'s non-δ steps; a δ of `B1` becomes `i` into `B2`
+//!   (law E1);
+//! * `B1 [> B2`: `B1`'s non-δ steps keep the disable armed; a δ of `B1`
+//!   drops it (law D2-ish); any step of `B2` takes over;
+//! * process instantiation unfolds lazily via [`Env::unfold`];
+//! * `hide G in B` relabels `G`-steps to `i`.
+//!
+//! Only service primitives participate in `|[G]|` synchronization sets and
+//! `hide` gate sets — message interactions and `i` always interleave,
+//! matching the paper's usage (entities are composed with `|||` and
+//! synchronize with the medium, not with each other).
+
+use crate::term::{Env, Label, RTerm};
+use std::rc::Rc;
+
+/// All transitions of `t` under `env`.
+pub fn transitions(env: &Env, t: &Rc<RTerm>) -> Vec<(Label, Rc<RTerm>)> {
+    let mut out = Vec::new();
+    push_transitions(env, t, &mut out);
+    out
+}
+
+fn push_transitions(env: &Env, t: &Rc<RTerm>, out: &mut Vec<(Label, Rc<RTerm>)>) {
+    match &**t {
+        RTerm::Stop => {}
+        RTerm::Exit => out.push((Label::Delta, RTerm::Stop.rc())),
+        RTerm::Prefix(l, rest) => out.push((l.clone(), Rc::clone(rest))),
+        RTerm::Choice(a, b) => {
+            push_transitions(env, a, out);
+            push_transitions(env, b, out);
+        }
+        RTerm::Par(sync, a, b) => {
+            let ta = transitions(env, a);
+            let tb = transitions(env, b);
+            let syncs = |l: &Label| match l {
+                Label::Delta => true,
+                Label::Prim { name, place } => sync.requires_sync(&lotos::event::Event::Prim {
+                    name: name.clone(),
+                    place: *place,
+                }),
+                _ => false,
+            };
+            for (l, a2) in &ta {
+                if !syncs(l) {
+                    out.push((
+                        l.clone(),
+                        RTerm::Par(sync.clone(), Rc::clone(a2), Rc::clone(b)).rc(),
+                    ));
+                }
+            }
+            for (l, b2) in &tb {
+                if !syncs(l) {
+                    out.push((
+                        l.clone(),
+                        RTerm::Par(sync.clone(), Rc::clone(a), Rc::clone(b2)).rc(),
+                    ));
+                }
+            }
+            for (la, a2) in &ta {
+                if syncs(la) {
+                    for (lb, b2) in &tb {
+                        if la == lb {
+                            out.push((
+                                la.clone(),
+                                RTerm::Par(sync.clone(), Rc::clone(a2), Rc::clone(b2)).rc(),
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        RTerm::Enable(a, b) => {
+            for (l, a2) in transitions(env, a) {
+                if l == Label::Delta {
+                    out.push((Label::I, Rc::clone(b)));
+                } else {
+                    out.push((l, RTerm::Enable(a2, Rc::clone(b)).rc()));
+                }
+            }
+        }
+        RTerm::Disable(a, b) => {
+            for (l, a2) in transitions(env, a) {
+                if l == Label::Delta {
+                    out.push((Label::Delta, a2));
+                } else {
+                    out.push((l, RTerm::Disable(a2, Rc::clone(b)).rc()));
+                }
+            }
+            push_transitions(env, b, out);
+        }
+        RTerm::Call { proc, site, occ } => {
+            let body = env.unfold(*proc, *site, *occ);
+            push_transitions(env, &body, out);
+        }
+        RTerm::Hide(gates, inner) => {
+            for (l, t2) in transitions(env, inner) {
+                let hidden = match &l {
+                    Label::Prim { name, place } => {
+                        gates.iter().any(|(n, p)| n == name && p == place)
+                    }
+                    _ => false,
+                };
+                let l2 = if hidden { Label::I } else { l };
+                out.push((l2, RTerm::Hide(Rc::clone(gates), t2).rc()));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::hide;
+    use lotos::parser::parse_spec;
+
+    fn env(src: &str) -> Env {
+        Env::new(parse_spec(src).unwrap())
+    }
+
+    fn labels(env: &Env, t: &Rc<RTerm>) -> Vec<String> {
+        let mut v: Vec<String> = transitions(env, t)
+            .into_iter()
+            .map(|(l, _)| l.to_string())
+            .collect();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn exit_offers_delta() {
+        let e = env("SPEC a1; exit ENDSPEC");
+        let t = e.root();
+        let (l, t2) = transitions(&e, &t).pop().unwrap();
+        assert_eq!(l.to_string(), "a1");
+        let steps = transitions(&e, &t2);
+        assert_eq!(steps.len(), 1);
+        assert_eq!(steps[0].0, Label::Delta);
+        assert!(matches!(&*steps[0].1, RTerm::Stop));
+    }
+
+    #[test]
+    fn choice_offers_both() {
+        let e = env("SPEC a1;exit [] b1;exit ENDSPEC");
+        assert_eq!(labels(&e, &e.root()), vec!["a1", "b1"]);
+    }
+
+    #[test]
+    fn interleaving_steps() {
+        let e = env("SPEC a1;exit ||| b2;exit ENDSPEC");
+        let t = e.root();
+        assert_eq!(labels(&e, &t), vec!["a1", "b2"]);
+        // after a1, both δ must synchronize: only b2 then δ
+        let (_, t2) = transitions(&e, &t)
+            .into_iter()
+            .find(|(l, _)| l.to_string() == "a1")
+            .unwrap();
+        assert_eq!(labels(&e, &t2), vec!["b2"]);
+        let (_, t3) = transitions(&e, &t2).pop().unwrap();
+        assert_eq!(labels(&e, &t3), vec!["δ"]);
+    }
+
+    #[test]
+    fn gate_synchronization() {
+        // both sides must agree on b2
+        let e = env("SPEC a1;b2;exit |[b2]| b2;exit ENDSPEC");
+        let t = e.root();
+        // initially only a1 (left side must reach b2 first)
+        assert_eq!(labels(&e, &t), vec!["a1"]);
+        let (_, t2) = transitions(&e, &t).pop().unwrap();
+        assert_eq!(labels(&e, &t2), vec!["b2"]);
+        // exactly ONE b2 transition (synchronized, not interleaved)
+        assert_eq!(transitions(&e, &t2).len(), 1);
+    }
+
+    #[test]
+    fn full_sync_blocks_unmatched() {
+        let e = env("SPEC a1;exit || b1;exit ENDSPEC");
+        assert!(transitions(&e, &e.root()).is_empty());
+        let e2 = env("SPEC a1;exit || a1;exit ENDSPEC");
+        assert_eq!(labels(&e2, &e2.root()), vec!["a1"]);
+    }
+
+    #[test]
+    fn enable_turns_delta_into_i() {
+        let e = env("SPEC a1;exit >> b2;exit ENDSPEC");
+        let t = e.root();
+        assert_eq!(labels(&e, &t), vec!["a1"]);
+        let (_, t2) = transitions(&e, &t).pop().unwrap();
+        assert_eq!(labels(&e, &t2), vec!["i"]);
+        let (_, t3) = transitions(&e, &t2).pop().unwrap();
+        assert_eq!(labels(&e, &t3), vec!["b2"]);
+    }
+
+    #[test]
+    fn disable_can_interrupt_anytime_until_termination() {
+        let e = env("SPEC a1;b1;exit [> c1;exit ENDSPEC");
+        let t = e.root();
+        assert_eq!(labels(&e, &t), vec!["a1", "c1"]);
+        // after a1, both b1 and the interrupt remain possible
+        let (_, t2) = transitions(&e, &t)
+            .into_iter()
+            .find(|(l, _)| l.to_string() == "a1")
+            .unwrap();
+        assert_eq!(labels(&e, &t2), vec!["b1", "c1"]);
+        // after b1, the δ drops the disable: only δ remains
+        let (_, t3) = transitions(&e, &t2)
+            .into_iter()
+            .find(|(l, _)| l.to_string() == "b1")
+            .unwrap();
+        assert_eq!(labels(&e, &t3), vec!["c1", "δ"]);
+        let (_, t4) = transitions(&e, &t3)
+            .into_iter()
+            .find(|(l, _)| *l == Label::Delta)
+            .unwrap();
+        // disable dropped — t4 is stop
+        assert!(transitions(&e, &t4).is_empty());
+    }
+
+    #[test]
+    fn interrupt_kills_normal_path() {
+        let e = env("SPEC a1;b1;exit [> c1;exit ENDSPEC");
+        let t = e.root();
+        let (_, t2) = transitions(&e, &t)
+            .into_iter()
+            .find(|(l, _)| l.to_string() == "c1")
+            .unwrap();
+        // after the interrupt only its continuation remains
+        assert_eq!(labels(&e, &t2), vec!["δ"]);
+    }
+
+    #[test]
+    fn recursion_unfolds() {
+        let e = env("SPEC A WHERE PROC A = a1 ; A [] b1 ; exit END ENDSPEC");
+        let mut t = e.root();
+        for _ in 0..5 {
+            let steps = transitions(&e, &t);
+            let (_, next) = steps
+                .iter()
+                .find(|(l, _)| l.to_string() == "a1")
+                .cloned()
+                .unwrap();
+            t = next;
+        }
+        // still both options after 5 unfoldings
+        assert_eq!(labels(&e, &t), vec!["a1", "b1"]);
+    }
+
+    #[test]
+    fn hide_relabels_to_i() {
+        let e = env("SPEC a1; b2; exit ENDSPEC");
+        let t = hide(vec![("a".into(), 1)], e.root());
+        let steps = transitions(&e, &t);
+        assert_eq!(steps.len(), 1);
+        assert_eq!(steps[0].0, Label::I);
+        // b2 not hidden
+        let t2 = steps[0].1.clone();
+        assert_eq!(labels(&e, &t2), vec!["b2"]);
+    }
+
+    #[test]
+    fn internal_choice_example_from_section2() {
+        // "a1 ; ... [] i ; b1 ; ..." — the process may internally commit
+        let e = env("SPEC a1;exit [] i;b1;exit ENDSPEC");
+        let t = e.root();
+        assert_eq!(labels(&e, &t), vec!["a1", "i"]);
+        let (_, committed) = transitions(&e, &t)
+            .into_iter()
+            .find(|(l, _)| l.is_internal())
+            .unwrap();
+        assert_eq!(labels(&e, &committed), vec!["b1"]);
+    }
+
+    #[test]
+    fn message_labels_carry_occurrence() {
+        let e = env("SPEC A WHERE PROC A = s2(s,7); A END ENDSPEC");
+        let t = e.root();
+        let steps = transitions(&e, &t);
+        match &steps[0].0 {
+            Label::Send { occ, .. } => assert!(*occ >= 1),
+            other => panic!("unexpected {other:?}"),
+        }
+        // the next instance has a different occurrence
+        let t2 = steps[0].1.clone();
+        let steps2 = transitions(&e, &t2);
+        match (&steps[0].0, &steps2[0].0) {
+            (Label::Send { occ: o1, .. }, Label::Send { occ: o2, .. }) => {
+                assert_ne!(o1, o2)
+            }
+            _ => panic!(),
+        }
+    }
+}

@@ -1,0 +1,252 @@
+//! Bounded observable-trace semantics.
+//!
+//! Unrestricted recursion makes the paper's language Turing-expressive
+//! (`aⁿ bⁿ` is already non-regular), so full equivalence checking by state
+//! exploration is impossible in general. The verification harness
+//! therefore compares *bounded* observable trace sets: all sequences of
+//! observable labels (service primitives and δ; `i` is skipped) of length
+//! ≤ `max_len`, computed by subset construction over a (possibly
+//! truncated) [`Lts`].
+//!
+//! A [`TraceSet`] remembers whether it is exact (`complete`) — it is not
+//! when the underlying LTS was truncated by its state cap, in which case
+//! trace-set equality is reported as "equal up to the bound explored".
+
+use crate::lts::Lts;
+use crate::term::Label;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A set of bounded observable traces.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceSet {
+    /// All observable traces of length ≤ the requested bound (every prefix
+    /// of a trace is also present; the empty trace always is).
+    pub traces: BTreeSet<Vec<Label>>,
+    /// The bound used.
+    pub max_len: usize,
+    /// Whether the set is exact (underlying LTS complete).
+    pub complete: bool,
+}
+
+impl TraceSet {
+    /// Traces that end with δ — the successfully terminated runs.
+    pub fn completed(&self) -> impl Iterator<Item = &Vec<Label>> {
+        self.traces
+            .iter()
+            .filter(|t| t.last() == Some(&Label::Delta))
+    }
+
+    /// Longest trace length present.
+    pub fn depth(&self) -> usize {
+        self.traces.iter().map(|t| t.len()).max().unwrap_or(0)
+    }
+}
+
+/// Enumerate observable traces of `lts` up to length `max_len` by subset
+/// construction (ε-closure over `i`-steps, then deterministic steps on
+/// observable labels).
+pub fn observable_traces(lts: &Lts, max_len: usize) -> TraceSet {
+    let mut traces: BTreeSet<Vec<Label>> = BTreeSet::new();
+    traces.insert(Vec::new());
+
+    let closure = |seed: &BTreeSet<usize>| -> BTreeSet<usize> {
+        let mut set = seed.clone();
+        let mut stack: Vec<usize> = set.iter().copied().collect();
+        while let Some(s) = stack.pop() {
+            for (l, t) in &lts.trans[s] {
+                if l.is_internal() && set.insert(*t) {
+                    stack.push(*t);
+                }
+            }
+        }
+        set
+    };
+
+    // Subset construction: the determinized automaton makes the mapping
+    // trace → state-set functional, so the frontier is simply the distinct
+    // traces of the current length, each carrying its unique state-set.
+    let mut init = BTreeSet::new();
+    init.insert(lts.initial);
+    let mut level: Vec<(BTreeSet<usize>, Vec<Label>)> = vec![(closure(&init), Vec::new())];
+
+    for depth in 0..max_len {
+        let mut next: Vec<(BTreeSet<usize>, Vec<Label>)> = Vec::new();
+        for (set, trace) in level {
+            // group successors by observable label
+            let mut by_label: BTreeMap<Label, BTreeSet<usize>> = BTreeMap::new();
+            for &s in &set {
+                for (l, t) in &lts.trans[s] {
+                    if !l.is_internal() {
+                        by_label.entry(l.clone()).or_default().insert(*t);
+                    }
+                }
+            }
+            for (l, succs) in by_label {
+                let closed = closure(&succs);
+                let mut trace2 = trace.clone();
+                trace2.push(l);
+                traces.insert(trace2.clone());
+                if depth + 1 < max_len {
+                    next.push((closed, trace2));
+                }
+            }
+        }
+        level = next;
+        if level.is_empty() {
+            break;
+        }
+    }
+
+    TraceSet {
+        traces,
+        max_len,
+        complete: lts.complete,
+    }
+}
+
+/// Are two trace sets equal up to the smaller of their bounds? Returns
+/// `(equal, qualified)` where `qualified` is true when either side was
+/// incomplete (the verdict then only covers what was explored).
+pub fn trace_equal(a: &TraceSet, b: &TraceSet) -> (bool, bool) {
+    let bound = a.max_len.min(b.max_len);
+    let cut = |s: &TraceSet| -> BTreeSet<Vec<Label>> {
+        s.traces.iter().filter(|t| t.len() <= bound).cloned().collect()
+    };
+    (cut(a) == cut(b), !a.complete || !b.complete)
+}
+
+/// The first trace (if any) present in `a` but missing from `b`, up to the
+/// common bound — the counterexample shown in verification reports.
+pub fn first_difference(a: &TraceSet, b: &TraceSet) -> Option<Vec<Label>> {
+    let bound = a.max_len.min(b.max_len);
+    a.traces
+        .iter()
+        .find(|t| t.len() <= bound && !b.traces.contains(*t))
+        .cloned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    
+    use crate::term::Env;
+    use lotos::parser::parse_spec;
+
+    fn traces_of(src: &str, max_len: usize) -> TraceSet {
+        let env = Env::new(parse_spec(src).unwrap());
+        let root = env.root();
+        // A raw-step depth of 4·L + 8 comfortably covers L observable
+        // steps plus the interleaved i-steps from `>>` unfolding.
+        let (lts, _) =
+            crate::lts::build_term_lts_bounded(&env, root, 100_000, 4 * max_len + 8);
+        observable_traces(&lts, max_len)
+    }
+
+    fn strs(ts: &TraceSet) -> Vec<String> {
+        ts.traces
+            .iter()
+            .map(|t| {
+                t.iter()
+                    .map(|l| l.to_string())
+                    .collect::<Vec<_>>()
+                    .join(".")
+            })
+            .collect()
+    }
+
+    #[test]
+    fn simple_sequence() {
+        let ts = traces_of("SPEC a1; b2; exit ENDSPEC", 5);
+        assert!(ts.complete);
+        let got = strs(&ts);
+        assert_eq!(got, vec!["", "a1", "a1.b2", "a1.b2.δ"]);
+        assert_eq!(ts.completed().count(), 1);
+    }
+
+    #[test]
+    fn internal_steps_skipped() {
+        let a = traces_of("SPEC a1;exit >> b2;exit ENDSPEC", 6);
+        let b = traces_of("SPEC a1; b2; exit ENDSPEC", 6);
+        // the >> introduces an i, but traces agree
+        assert_eq!(a.traces, b.traces);
+    }
+
+    #[test]
+    fn choice_traces() {
+        let ts = traces_of("SPEC a1;exit [] b1;exit ENDSPEC", 4);
+        let got = strs(&ts);
+        assert_eq!(got, vec!["", "a1", "a1.δ", "b1", "b1.δ"]);
+    }
+
+    #[test]
+    fn interleaving_traces() {
+        let ts = traces_of("SPEC a1;exit ||| b2;exit ENDSPEC", 4);
+        let got = strs(&ts);
+        assert!(got.contains(&"a1.b2.δ".to_string()));
+        assert!(got.contains(&"b2.a1.δ".to_string()));
+    }
+
+    #[test]
+    fn recursion_bounded() {
+        let ts = traces_of("SPEC A WHERE PROC A = a1 ; A END ENDSPEC", 3);
+        let got = strs(&ts);
+        assert_eq!(got, vec!["", "a1", "a1.a1", "a1.a1.a1"]);
+    }
+
+    #[test]
+    fn nonregular_anbn() {
+        // Example 2: (a1)^n (b2)^n — check a few members and a non-member
+        let ts = traces_of(
+            "SPEC A WHERE PROC A = (a1 ; A >> b2 ; exit) [] (a1 ; b2 ; exit) END ENDSPEC",
+            6,
+        );
+        let got: BTreeSet<String> = strs(&ts).into_iter().collect();
+        assert!(got.contains("a1.b2"));
+        assert!(got.contains("a1.a1.b2.b2"));
+        assert!(got.contains("a1.a1.a1.b2.b2.b2"));
+        assert!(!got.contains("a1.b2.b2"));
+        assert!(!got.contains("b2"));
+        assert!(got.contains("a1.b2.δ"));
+    }
+
+    #[test]
+    fn trace_equality_and_difference() {
+        let a = traces_of("SPEC a1;exit [] b1;exit ENDSPEC", 4);
+        let b = traces_of("SPEC b1;exit [] a1;exit ENDSPEC", 4);
+        assert_eq!(trace_equal(&a, &b), (true, false));
+        let c = traces_of("SPEC a1;exit ENDSPEC", 4);
+        let (eq, _) = trace_equal(&a, &c);
+        assert!(!eq);
+        let diff = first_difference(&a, &c).unwrap();
+        assert_eq!(diff[0].to_string(), "b1");
+    }
+
+    #[test]
+    fn disable_traces() {
+        let ts = traces_of("SPEC a1;b1;exit [> c1;exit ENDSPEC", 4);
+        let got: BTreeSet<String> = strs(&ts).into_iter().collect();
+        // interrupt immediately, after a1, or complete normally
+        assert!(got.contains("c1.δ"));
+        assert!(got.contains("a1.c1.δ"));
+        assert!(got.contains("a1.b1.δ"));
+        // LOTOS semantics: until δ is actually performed the interrupt
+        // stays possible (law `exit [> B = exit [] B`), so a1.b1.c1 is a
+        // legal trace — the paper's §3.3 property (b) only rules out the
+        // interrupt *after* termination.
+        assert!(got.contains("a1.b1.c1.δ"));
+        // ...but nothing at all follows a performed δ
+        assert!(!got.iter().any(|t| t.contains("δ.")));
+    }
+
+    #[test]
+    fn prefixes_always_included() {
+        let ts = traces_of("SPEC a1;b1;c1;exit ENDSPEC", 10);
+        for t in &ts.traces {
+            for k in 0..t.len() {
+                #[allow(clippy::unnecessary_to_owned)]
+                let prefix = t[..k].to_vec();
+                assert!(ts.traces.contains(&prefix));
+            }
+        }
+    }
+}

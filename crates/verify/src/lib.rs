@@ -1,0 +1,37 @@
+//! # `verify` — correctness harness for derived protocols
+//!
+//! Empirical checking of the paper's Section 5 theorem,
+//!
+//! ```text
+//! S ≈ hide G in ( (T_1(S) ||| T_2(S) ||| … ||| T_n(S)) |[G]| Medium )
+//! ```
+//!
+//! via three ingredients:
+//!
+//! * [`explorer`] — a generic explicit-state explorer with observable-depth
+//!   bounding (0–1 BFS over hidden/observable edges);
+//! * [`composition`] — the composed protocol system: entity terms plus the
+//!   FIFO medium of the `medium` crate, with `G` (all message
+//!   interactions) hidden and global δ requiring all entities plus a
+//!   quiescent medium;
+//! * [`harness`] — derivation + exploration + verdicts: bounded
+//!   observable-trace equivalence, deadlock freedom, and full weak
+//!   bisimilarity whenever both sides are finite.
+//!
+//! ```
+//! use lotos::parser::parse_spec;
+//! use verify::harness::{verify_service, VerifyOptions};
+//!
+//! let service = parse_spec("SPEC a1; b2; exit ENDSPEC").unwrap();
+//! let report = verify_service(&service, VerifyOptions::default()).unwrap();
+//! assert!(report.passed());
+//! assert_eq!(report.weak_bisimilar, Some(true));
+//! ```
+
+pub mod composition;
+pub mod explorer;
+pub mod harness;
+
+pub use composition::{CompState, Composition};
+pub use explorer::{explore, explore_full, Exploration, System};
+pub use harness::{verify_derivation, verify_service, VerificationReport, VerifyOptions};

@@ -1,0 +1,79 @@
+//! Running a derived protocol over an unreliable medium (paper §6).
+//!
+//! The derivation assumes a reliable FIFO medium. This example shows
+//! what happens when that assumption breaks — and how the paper's
+//! suggested fix (derive first, then make the result error-recoverable)
+//! works when the recovery is layered as per-channel stop-and-wait ARQ
+//! *below* the unmodified entities.
+//!
+//! ```text
+//! cargo run --example lossy_link
+//! ```
+
+use lotos_protogen::prelude::*;
+
+const SERVICE: &str = "SPEC req1; work2; done3; req1; work2; done3; exit ENDSPEC";
+
+fn main() {
+    let service = parse_spec(SERVICE).expect("parses");
+    let derivation = derive(&service).expect("derives");
+    println!("=== derived protocol over an unreliable link (paper §6) ===");
+    println!("service: {}", print_spec(&service).trim());
+
+    // --- raw lossy link, no recovery ------------------------------------
+    let mut stalled = 0;
+    let runs = 40;
+    for seed in 0..runs {
+        let o = simulate(
+            &derivation,
+            SimConfig {
+                seed,
+                max_steps: 400,
+                link: Some(LinkConfig {
+                    loss: 0.4,
+                    arq: false,
+                    arq_timeout: 25.0,
+                }),
+                ..SimConfig::default()
+            },
+        );
+        if o.result != SimResult::Terminated {
+            stalled += 1;
+        }
+    }
+    println!("\n40% frame loss, no recovery: {stalled}/{runs} sessions stall");
+    assert!(stalled > 0);
+
+    // --- the same link with the ARQ recovery layer ----------------------
+    let mut total_retx = 0usize;
+    let mut total_lost = 0usize;
+    for seed in 0..runs {
+        let o = simulate(
+            &derivation,
+            SimConfig {
+                seed,
+                max_steps: 30_000,
+                link: Some(LinkConfig {
+                    loss: 0.4,
+                    arq: true,
+                    arq_timeout: 25.0,
+                }),
+                ..SimConfig::default()
+            },
+        );
+        assert_eq!(o.result, SimResult::Terminated, "seed {seed}");
+        assert!(o.conforms(), "seed {seed}: {:?}", o.violation);
+        total_retx += o.metrics.retransmissions;
+        total_lost += o.metrics.frames_lost;
+    }
+    println!(
+        "40% frame loss with ARQ: {runs}/{runs} sessions complete and conform \
+         ({total_lost} frames lost on the wire, {total_retx} retransmissions)"
+    );
+
+    println!(
+        "\nThe derived entities are byte-identical in both configurations — \
+         reliability is restored *below* them, exactly the layering §6 suggests."
+    );
+    println!("lossy_link: OK");
+}

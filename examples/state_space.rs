@@ -1,0 +1,91 @@
+//! Looking inside the verification: state spaces of the service and of
+//! the composed protocol `hide G in ((T₁ ||| … ||| Tₙ) |[G]| Medium)`,
+//! plus the minimized service automaton.
+//!
+//! ```text
+//! cargo run --example state_space
+//! ```
+
+use lotos_protogen::prelude::*;
+use lotos_protogen::semantics::lts::build_term_lts;
+use lotos_protogen::semantics::observable_traces;
+use lotos_protogen::semantics::term::Env;
+use lotos_protogen::verify::explorer::explore_full;
+use lotos_protogen::verify::harness::with_big_stack;
+use lotos_protogen::verify::Composition;
+
+const SERVICE: &str =
+    "SPEC (order1; pack2; ship3; ack1; exit) [] (order1; reject2; ack1; exit) ENDSPEC";
+
+fn main() {
+    with_big_stack(main_inner);
+}
+
+fn main_inner() {
+    let service = parse_spec(SERVICE).expect("parses");
+    println!("=== service ===\n{}", print_spec(&service));
+
+    // --- the service's own automaton -------------------------------------
+    let env = Env::new(service.clone());
+    let (service_lts, _) = build_term_lts(&env, env.root(), 100_000);
+    let minimized = service_lts.minimize();
+    println!(
+        "service LTS: {} states, {} transitions (minimized: {} / {})",
+        service_lts.len(),
+        service_lts.transition_count(),
+        minimized.len(),
+        minimized.transition_count()
+    );
+    println!("--- minimized service automaton ---");
+    for (s, edges) in minimized.trans.iter().enumerate() {
+        for (l, t) in edges {
+            println!("  {s} --{l}--> {t}");
+        }
+    }
+
+    // --- the composed protocol's state space ------------------------------
+    let derivation = derive(&service).expect("derives");
+    let comp = Composition::new(&derivation, MediumConfig::default());
+    let expl = explore_full(&comp, 200_000);
+    assert!(expl.lts.complete);
+    println!(
+        "\ncomposition: {} global states, {} transitions \
+         (entities × medium interleavings)",
+        expl.lts.len(),
+        expl.lts.transition_count()
+    );
+    let max_in_flight = expl
+        .states
+        .iter()
+        .map(|s| s.net.in_flight())
+        .max()
+        .unwrap_or(0);
+    println!("maximum messages simultaneously in flight: {max_in_flight}");
+    let stuck_bad = expl
+        .stuck
+        .iter()
+        .filter(|&&s| !expl.states[s].terminated)
+        .count();
+    println!("deadlocks: {stuck_bad}");
+    assert_eq!(stuck_bad, 0);
+
+    // --- observable equivalence -------------------------------------------
+    let service_traces = observable_traces(&service_lts, 6);
+    let comp_traces = observable_traces(&expl.lts, 6);
+    println!(
+        "\nobservable traces ≤ 6: service {}, composition {} — {}",
+        service_traces.traces.len(),
+        comp_traces.traces.len(),
+        if service_traces.traces == comp_traces.traces {
+            "EQUAL"
+        } else {
+            "DIFFER"
+        }
+    );
+    assert_eq!(service_traces.traces, comp_traces.traces);
+
+    let report = verify_derivation(&derivation, VerifyOptions::default());
+    println!("\n=== full verification report ===\n{report}");
+    assert!(report.passed());
+    println!("state_space: OK");
+}

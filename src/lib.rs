@@ -1,0 +1,74 @@
+//! # `lotos-protogen`
+//!
+//! A complete Rust implementation of **"Deriving Protocol Specifications
+//! from Service Specifications Written in LOTOS"** (C. Kant,
+//! T. Higashino, G. v. Bochmann — the full-LOTOS extension of the
+//! SIGCOMM '86 protocol-derivation algorithm of Bochmann & Gotzhein).
+//!
+//! Given a *service specification* — a Basic-LOTOS behaviour expression
+//! over service primitives located at `n` service access points — the
+//! library derives `n` *protocol entity specifications* that jointly
+//! provide exactly that service by exchanging synchronization messages
+//! over a reliable FIFO medium:
+//!
+//! ```text
+//! S  ≈  hide G in ( (PE_1 ||| PE_2 ||| … ||| PE_n) |[G]| Medium )
+//! ```
+//!
+//! ## Crate map
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`lotos`] | language: AST, parser, printer, SP/EP/AP attributes, R1–R3 |
+//! | [`protogen`] | the derivation algorithm `T_p` (paper Tables 3–4) |
+//! | [`semantics`] | SOS, LTS, weak bisimulation, bounded traces |
+//! | [`medium`] | FIFO channels, message model |
+//! | [`verify`] | composition explorer + Section 5 theorem harness |
+//! | [`sim`] | discrete-event simulator + online conformance monitor |
+//! | [`specgen`] | random well-formed service generator |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use lotos_protogen::prelude::*;
+//!
+//! // A service: place 1 produces, place 2 consumes, place 3 is notified.
+//! let service = parse_spec("SPEC put1; get2; done3; exit ENDSPEC").unwrap();
+//!
+//! // Derive one protocol entity per place.
+//! let derivation = derive(&service).unwrap();
+//! assert_eq!(derivation.entities.len(), 3);
+//!
+//! // Verify the paper's correctness theorem on this instance.
+//! let report = verify_derivation(&derivation, VerifyOptions::default());
+//! assert!(report.passed());
+//! assert_eq!(report.weak_bisimilar, Some(true));
+//!
+//! // And watch it run.
+//! let outcome = simulate(&derivation, SimConfig::default());
+//! assert!(outcome.conforms());
+//! ```
+
+pub use lotos;
+pub use medium;
+pub use protogen;
+pub use semantics;
+pub use sim;
+pub use specgen;
+pub use verify;
+
+/// One-stop imports for applications.
+pub mod prelude {
+    pub use lotos::attributes::{evaluate, Attributes};
+    pub use lotos::parser::{parse_expr, parse_spec};
+    pub use lotos::printer::{print_expr, print_spec};
+    pub use lotos::restrictions::check as check_restrictions;
+    pub use lotos::{Event, PlaceId, PlaceSet, Spec};
+    pub use medium::{Capacity, MediumConfig, Order};
+    pub use protogen::centralized::centralize;
+    pub use protogen::derive::{derive, derive_with, Derivation, DeriveError, DisableMode, Options as DeriveOptions};
+    pub use protogen::stats::{message_stats, operator_counts};
+    pub use sim::{simulate, LinkConfig, SimConfig, SimOutcome, SimResult};
+    pub use specgen::{generate, GenConfig};
+    pub use verify::harness::{verify_derivation, verify_service, VerifyOptions};
+}

@@ -1,0 +1,262 @@
+//! Experiment E7 — the observation-congruence laws of the paper's
+//! Annex A, validated behaviourally: each law's two sides are checked
+//! (strongly or weakly) bisimilar by the `semantics` engine. These laws
+//! are the algebra the Section 5 proof manipulates, so an engine that
+//! validates all of them supports every step of the proof outline.
+
+use lotos_protogen::semantics::bisim::{strong_equiv, weak_equiv};
+use lotos_protogen::semantics::lts::build_term_lts;
+use lotos_protogen::semantics::term::{hide, Env};
+use lotos_protogen::lotos::parser::parse_expr;
+use std::rc::Rc;
+
+fn lts_of(src: &str) -> lotos_protogen::semantics::lts::Lts {
+    let (spec, root) = parse_expr(src).unwrap();
+    let env = Env::new(spec);
+    let t = env.instantiate(root, 0);
+    build_term_lts(&env, t, 50_000).0
+}
+
+fn strong(a: &str, b: &str) -> bool {
+    strong_equiv(&lts_of(a), &lts_of(b)).unwrap()
+}
+
+fn weak(a: &str, b: &str) -> bool {
+    weak_equiv(&lts_of(a), &lts_of(b)).unwrap()
+}
+
+fn lts_hidden(gates: &[(&str, u8)], src: &str) -> lotos_protogen::semantics::lts::Lts {
+    let (spec, root) = parse_expr(src).unwrap();
+    let env = Env::new(spec);
+    let t = hide(
+        gates.iter().map(|(n, p)| (n.to_string(), *p)).collect(),
+        env.instantiate(root, 0),
+    );
+    build_term_lts(&env, t, 50_000).0
+}
+
+// ---- Choice -------------------------------------------------------------
+
+#[test]
+fn c1_choice_commutative() {
+    assert!(strong("a1;exit [] b2;exit", "b2;exit [] a1;exit"));
+}
+
+#[test]
+fn c2_choice_associative() {
+    assert!(strong(
+        "a1;exit [] (b1;exit [] c1;exit)",
+        "(a1;exit [] b1;exit) [] c1;exit"
+    ));
+}
+
+#[test]
+fn c3_choice_idempotent() {
+    assert!(strong("a1;b2;exit [] a1;b2;exit", "a1;b2;exit"));
+}
+
+// ---- Parallel -----------------------------------------------------------
+
+#[test]
+fn p1_parallel_commutative() {
+    assert!(strong("a1;exit ||| b2;exit", "b2;exit ||| a1;exit"));
+    assert!(strong(
+        "a1;b2;exit |[b2]| b2;exit",
+        "b2;exit |[b2]| a1;b2;exit"
+    ));
+}
+
+#[test]
+fn p2_parallel_associative() {
+    assert!(strong(
+        "a1;exit ||| (b2;exit ||| c3;exit)",
+        "(a1;exit ||| b2;exit) ||| c3;exit"
+    ));
+}
+
+#[test]
+fn p3_sync_list_order_irrelevant() {
+    assert!(strong(
+        "a1;b2;exit |[a1,b2]| a1;b2;exit",
+        "a1;b2;exit |[b2,a1]| a1;b2;exit"
+    ));
+}
+
+#[test]
+fn p4_full_sync_when_list_covers_alphabet() {
+    // L(B1) ∩ L(B2) ⊆ list ⇒ |[list]| = ||
+    assert!(strong(
+        "a1;b2;exit |[a1,b2]| a1;b2;exit",
+        "a1;b2;exit || a1;b2;exit"
+    ));
+}
+
+#[test]
+fn p5_empty_sync_is_interleaving() {
+    assert!(strong("a1;exit |[]| b2;exit", "a1;exit ||| b2;exit"));
+}
+
+// ---- Hiding -------------------------------------------------------------
+
+#[test]
+fn h4_hiding_foreign_gates_is_identity() {
+    let a = lts_hidden(&[("z", 9)], "a1;b2;exit");
+    let b = lts_of("a1;b2;exit");
+    assert_eq!(strong_equiv(&a, &b), Some(true));
+}
+
+#[test]
+fn h5_hiding_a_prefix_gives_i() {
+    let a = lts_hidden(&[("a", 1)], "a1;b2;exit");
+    let b = lts_of("i;b2;exit");
+    assert_eq!(strong_equiv(&a, &b), Some(true));
+}
+
+#[test]
+fn h6_hide_distributes_over_choice() {
+    let a = lts_hidden(&[("a", 1)], "a1;exit [] a1;b2;exit");
+    let b = lts_of("i;exit [] i;b2;exit");
+    assert_eq!(strong_equiv(&a, &b), Some(true));
+}
+
+#[test]
+fn h7_hide_distributes_over_unrelated_parallel() {
+    // list ∩ list' = ∅
+    let a = lts_hidden(&[("a", 1)], "a1;b2;exit |[b2]| b2;exit");
+    let b = lts_of("i;b2;exit |[b2]| b2;exit");
+    assert_eq!(strong_equiv(&a, &b), Some(true));
+}
+
+#[test]
+fn h8_hide_distributes_over_enable() {
+    let a = lts_hidden(&[("a", 1)], "a1;exit >> b2;exit");
+    let b = lts_of("i;exit >> b2;exit");
+    assert_eq!(strong_equiv(&a, &b), Some(true));
+}
+
+#[test]
+fn h9_hide_distributes_over_disable() {
+    let a = lts_hidden(&[("a", 1)], "a1;b1;exit [> c2;exit");
+    let b = lts_of("i;b1;exit [> c2;exit");
+    assert_eq!(strong_equiv(&a, &b), Some(true));
+}
+
+// ---- Enabling -----------------------------------------------------------
+
+#[test]
+fn e1_exit_enable() {
+    assert!(strong("exit >> b1;exit", "i;b1;exit"));
+}
+
+#[test]
+fn e2_enable_associative() {
+    assert!(weak(
+        "(a1;exit >> b1;exit) >> c1;exit",
+        "a1;exit >> (b1;exit >> c1;exit)"
+    ));
+}
+
+// ---- Disabling ----------------------------------------------------------
+
+#[test]
+fn d1_disable_associative() {
+    assert!(strong(
+        "a1;exit [> (b1;exit [> c1;exit)",
+        "(a1;exit [> b1;exit) [> c1;exit"
+    ));
+}
+
+#[test]
+fn d2_disable_absorbs_its_interrupt() {
+    assert!(strong(
+        "(a1;exit [> b1;exit) [] b1;exit",
+        "a1;exit [> b1;exit"
+    ));
+}
+
+#[test]
+fn d3_exit_disable_is_choice() {
+    assert!(strong("exit [> b1;exit", "exit [] b1;exit"));
+}
+
+// ---- Internal actions ---------------------------------------------------
+
+#[test]
+fn i1_prefix_absorbs_internal() {
+    assert!(weak("a1;i;b1;exit", "a1;b1;exit"));
+    assert!(!strong("a1;i;b1;exit", "a1;b1;exit"));
+}
+
+#[test]
+fn i2_internal_choice_absorption() {
+    assert!(weak("a1;exit [] i;a1;exit", "i;a1;exit"));
+}
+
+#[test]
+fn i3_internal_choice_distribution() {
+    assert!(weak(
+        "a1;(b1;exit [] i;c1;exit) [] a1;c1;exit",
+        "a1;(b1;exit [] i;c1;exit)"
+    ));
+}
+
+// ---- Expansion theorems (T1–T3), as behavioural identities --------------
+
+#[test]
+fn t1_parallel_expansion() {
+    // B |[b2]| C where B = a1;b2;exit, C = b2;exit expands to
+    // a1;(b2;exit |[b2]| b2;exit)
+    assert!(strong(
+        "a1;b2;exit |[b2]| b2;exit",
+        "a1;(b2;exit |[b2]| b2;exit)"
+    ));
+}
+
+#[test]
+fn t2_disable_expansion() {
+    // B [> C = C [] Σ bᵢ;(Bᵢ [> C)
+    assert!(strong(
+        "a1;b1;exit [> c1;exit",
+        "c1;exit [] a1;(b1;exit [> c1;exit)"
+    ));
+}
+
+#[test]
+fn t3_hide_expansion() {
+    // hide a1 in (a1;B [] b2;C) = i;hide a1 in B [] b2;hide a1 in C
+    let lhs = lts_hidden(&[("a", 1)], "a1;c3;exit [] b2;a1;exit");
+    let rhs_spec = "i;c3;exit [] b2;i;exit";
+    let rhs = lts_of(rhs_spec);
+    assert_eq!(strong_equiv(&lhs, &rhs), Some(true));
+}
+
+// ---- The syntactic expansion used for rule 9₄ matches the semantics -----
+
+#[test]
+fn prefix_form_transformation_is_behaviour_preserving() {
+    use lotos_protogen::lotos::parser::parse_spec;
+    use lotos_protogen::lotos::prefixform::to_prefix_form;
+
+    for rhs in [
+        "(d2;exit ||| e2;exit)",
+        "(d2;exit >> e2;exit)",
+        "(d2;e2;exit [> f2;e2;exit)",
+        "(d2;exit |[d2]| d2;e2;exit)",
+    ] {
+        let src = format!("SPEC a1;e2;e2;exit [> {rhs} ENDSPEC");
+        let spec0 = parse_spec(&src).unwrap();
+        let mut spec1 = spec0.clone();
+        to_prefix_form(&mut spec1).unwrap();
+
+        let e0 = Env::new(spec0);
+        let e1 = Env::new(spec1);
+        let (l0, _) = build_term_lts(&e0, e0.root(), 50_000);
+        let (l1, _) = build_term_lts(&e1, e1.root(), 50_000);
+        assert_eq!(
+            strong_equiv(&l0, &l1),
+            Some(true),
+            "prefix-form changed behaviour for {rhs}"
+        );
+        let _ = Rc::strong_count(&e0.root());
+    }
+}

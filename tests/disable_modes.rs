@@ -1,0 +1,211 @@
+//! Experiment E12 — the two §3.3 interrupt implementations, compared.
+//!
+//! The paper's main design (broadcast) executes the disabling event
+//! immediately and accepts the semantic deviations (i)/(ii); the §3.3
+//! alternative (request/acknowledgment) "would satisfy properties (a) and
+//! (b)" — no `e1` event ever follows the interrupt — which this test
+//! confirms, together with the price: a request racing the normal
+//! completion of `e1` can block the interrupting place.
+
+use lotos_protogen::prelude::*;
+use protogen::derive::{derive_with, DisableMode, Options};
+
+const SERVICE: &str = "SPEC (a1; b2; a1; b2; c3; exit) [> (d3; e3; exit) ENDSPEC";
+
+fn derive_mode(src: &str, mode: DisableMode) -> Derivation {
+    derive_with(
+        &parse_spec(src).unwrap(),
+        Options {
+            enforce_restrictions: true,
+            disable_mode: mode,
+        },
+    )
+    .unwrap()
+}
+
+#[test]
+fn request_ack_entities_have_the_sketched_shape() {
+    let d = derive_mode(SERVICE, DisableMode::RequestAck);
+    let e3 = print_spec(d.entity(3).unwrap());
+    // place 3 first requests (sends to 1 and 2), collects acks, then d3
+    assert!(e3.contains("s1(") && e3.contains("s2("), "{e3}");
+    assert!(e3.contains("r1(") && e3.contains("r2("), "{e3}");
+    assert!(e3.contains("d3; "), "{e3}");
+    // places 1/2 are guarded by the request and answer with an ack
+    let e1 = print_spec(d.entity(1).unwrap());
+    assert!(e1.contains("[> r3("), "{e1}");
+    assert!(e1.contains("s3("), "{e1}");
+}
+
+/// Property (a)/(b): under request/ack, no `e1` event ever follows the
+/// disabling event in global time — the deviation (ii) that the broadcast
+/// mode exhibits in ~75% of interrupted runs disappears completely.
+#[test]
+fn request_ack_eliminates_deviation_ii() {
+    let broadcast = derive_mode(SERVICE, DisableMode::Broadcast);
+    let reqack = derive_mode(SERVICE, DisableMode::RequestAck);
+
+    let mut dev_broadcast = 0usize;
+    let mut dev_reqack = 0usize;
+    let mut interrupts_reqack = 0usize;
+    for seed in 0..200u64 {
+        for (d, dev, interrupted_count) in [
+            (&broadcast, &mut dev_broadcast, &mut 0usize),
+            (&reqack, &mut dev_reqack, &mut interrupts_reqack),
+        ] {
+            let o = simulate(
+                d,
+                SimConfig {
+                    seed,
+                    max_steps: 1500,
+                    ..SimConfig::default()
+                },
+            );
+            let names: Vec<&str> = o.trace.iter().map(|(n, _)| n.as_str()).collect();
+            if let Some(pos) = names.iter().position(|n| *n == "d") {
+                *interrupted_count += 1;
+                if names[pos + 1..]
+                    .iter()
+                    .any(|n| matches!(*n, "a" | "b" | "c"))
+                {
+                    *dev += 1;
+                }
+                // the monitor agrees with the syntactic check
+                if *dev == 0 {
+                    assert!(o.conforms() || names[pos + 1..].iter().any(|n| *n != "e"),);
+                }
+            }
+        }
+    }
+    assert!(
+        dev_broadcast > 0,
+        "broadcast mode should exhibit deviation (ii)"
+    );
+    assert_eq!(
+        dev_reqack, 0,
+        "request/ack mode must never show an e1 event after d3"
+    );
+    assert!(
+        interrupts_reqack > 0,
+        "request/ack interrupts should still happen"
+    );
+}
+
+/// Every interrupted run in request/ack mode is fully LOTOS-conformant.
+#[test]
+fn request_ack_runs_conform() {
+    let d = derive_mode(SERVICE, DisableMode::RequestAck);
+    let mut interrupted = 0usize;
+    for seed in 0..120u64 {
+        let o = simulate(
+            &d,
+            SimConfig {
+                seed,
+                max_steps: 1500,
+                ..SimConfig::default()
+            },
+        );
+        // runs can block on the request/completion race (see below), but
+        // the primitives observed are always a service trace
+        assert!(o.violation.is_none(), "seed {seed}: {:?}", o.violation);
+        if o.trace.iter().any(|(n, _)| n == "d") {
+            interrupted += 1;
+        }
+    }
+    assert!(interrupted > 0);
+}
+
+/// The price of exactness, and the footprint of the request scheme:
+///
+/// * the broadcast mode never stops making progress (no StepLimit);
+/// * in request/ack mode, interrupted runs generally end *blocked*: the
+///   normal-path messages already in flight when the places switched to
+///   the interrupt branch are orphaned, so the strict global termination
+///   never fires — and a request racing `e1`'s completion can strand the
+///   requester. Both phenomena leave the observed trace perfectly
+///   service-conformant (that is the property the scheme buys).
+#[test]
+fn request_ack_blocks_instead_of_deviating() {
+    let broadcast = derive_mode(SERVICE, DisableMode::Broadcast);
+    let reqack = derive_mode(SERVICE, DisableMode::RequestAck);
+    let mut reqack_nonterminated = 0usize;
+    let mut reqack_interrupt_completed = 0usize;
+    for seed in 0..200u64 {
+        let ob = simulate(
+            &broadcast,
+            SimConfig {
+                seed,
+                max_steps: 1500,
+                ..SimConfig::default()
+            },
+        );
+        assert_ne!(
+            ob.result,
+            SimResult::StepLimit,
+            "broadcast mode must always make progress (seed {seed})"
+        );
+        let or = simulate(
+            &reqack,
+            SimConfig {
+                seed,
+                max_steps: 1500,
+                ..SimConfig::default()
+            },
+        );
+        assert!(or.violation.is_none(), "seed {seed}: {:?}", or.violation);
+        if or.result != SimResult::Terminated {
+            reqack_nonterminated += 1;
+        }
+        let names: Vec<&str> = or.trace.iter().map(|(n, _)| n.as_str()).collect();
+        if let Some(pos) = names.iter().position(|n| *n == "d") {
+            // property (a) in full: after d3 only the interrupt branch
+            assert!(names[pos + 1..].iter().all(|n| *n == "e"), "seed {seed}: {names:?}");
+            if names[pos + 1..].contains(&"e") {
+                reqack_interrupt_completed += 1;
+            }
+        }
+    }
+    assert!(reqack_nonterminated > 0, "orphan blocking should be visible");
+    assert!(
+        reqack_interrupt_completed > 0,
+        "interrupts should still complete their branch"
+    );
+}
+
+/// A further observation the paper's one-paragraph sketch glosses over:
+/// issuing the interrupt *request* is an autonomous entity action, so the
+/// user's (un)willingness to perform `d3` no longer gates the protocol —
+/// if the user never offers `d3`, a request already issued strands the
+/// system before `d3`. The broadcast mode keeps the user rendezvous as
+/// the gate and completes normally under the same refusal.
+#[test]
+fn request_ack_commits_before_the_user_rendezvous() {
+    let broadcast = derive_mode(SERVICE, DisableMode::Broadcast);
+    let reqack = derive_mode(SERVICE, DisableMode::RequestAck);
+    let mut reqack_stuck = 0usize;
+    for seed in 0..40u64 {
+        let run = |d: &Derivation| {
+            simulate(
+                d,
+                SimConfig {
+                    seed,
+                    max_steps: 1500,
+                    refuse: vec![("d".to_string(), 3)],
+                    ..SimConfig::default()
+                },
+            )
+        };
+        let ob = run(&broadcast);
+        assert_eq!(ob.result, SimResult::Terminated, "seed {seed}");
+        assert!(ob.conforms(), "seed {seed}");
+        let or = run(&reqack);
+        assert!(or.violation.is_none(), "seed {seed}");
+        if or.result != SimResult::Terminated {
+            reqack_stuck += 1;
+        }
+    }
+    assert!(
+        reqack_stuck > 0,
+        "the autonomous request should strand refused interrupts"
+    );
+}

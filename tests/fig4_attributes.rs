@@ -1,0 +1,119 @@
+//! Experiment E1 — reproduce the attribute evaluation of paper Fig. 4:
+//! the derivation tree of Example 3 with its `SP`/`EP`/`AP` attributes and
+//! preorder numbering.
+
+use lotos_protogen::prelude::*;
+use lotos_protogen::lotos::place::places;
+use lotos_protogen::lotos::printer::print_expr;
+
+const EXAMPLE3: &str = "SPEC S [> interrupt3 ; exit WHERE \
+     PROC S = (read1; push2; S >> pop2; write3; exit) \
+           [] (eof1; make3; exit) END ENDSPEC";
+
+type AttrRow = (&'static str, &'static [u8], &'static [u8], &'static [u8]);
+
+/// Find the (unique) node whose printed form equals `text`.
+fn node_by_text(spec: &Spec, text: &str) -> lotos_protogen::lotos::NodeId {
+    let matches: Vec<_> = spec
+        .iter_nodes()
+        .filter(|(id, _)| print_expr(spec, *id) == text)
+        .map(|(id, _)| id)
+        .collect();
+    assert_eq!(matches.len(), 1, "text {text:?} matched {matches:?}");
+    matches[0]
+}
+
+#[test]
+fn process_s_fixpoint_matches_paper() {
+    // §4.1: "We find immediately SP(S) = {1}, EP(S) = {3}, AP(S) = {1,2,3}"
+    let spec = parse_spec(EXAMPLE3).unwrap();
+    let attrs = evaluate(&spec);
+    assert_eq!(attrs.proc_sp[0], places([1]));
+    assert_eq!(attrs.proc_ep[0], places([3]));
+    assert_eq!(attrs.proc_ap[0], places([1, 2, 3]));
+    assert_eq!(attrs.all, places([1, 2, 3]));
+}
+
+#[test]
+fn fig4_node_attributes() {
+    let spec = parse_spec(EXAMPLE3).unwrap();
+    let attrs = evaluate(&spec);
+
+    // every row: (printed expression, SP, EP, AP)
+    let rows: &[AttrRow] = &[
+        // the whole disable expression (rule 9₁: SP is the union)
+        ("S [> interrupt3; exit", &[1, 3], &[3], &[1, 2, 3]),
+        // the disabling alternative
+        ("interrupt3; exit", &[3], &[3], &[3]),
+        // the body of S (the choice)
+        (
+            "(read1; push2; S >> pop2; write3; exit) [] eof1; make3; exit",
+            &[1],
+            &[3],
+            &[1, 2, 3],
+        ),
+        // left alternative (the >> expression)
+        ("read1; push2; S >> pop2; write3; exit", &[1], &[3], &[1, 2, 3]),
+        // its left operand
+        ("read1; push2; S", &[1], &[3], &[1, 2, 3]),
+        ("push2; S", &[2], &[3], &[1, 2, 3]),
+        // its right operand
+        ("pop2; write3; exit", &[2], &[3], &[2, 3]),
+        ("write3; exit", &[3], &[3], &[3]),
+        // right alternative
+        ("eof1; make3; exit", &[1], &[3], &[1, 3]),
+        ("make3; exit", &[3], &[3], &[3]),
+    ];
+    for (text, sp, ep, ap) in rows {
+        let id = node_by_text(&spec, text);
+        assert_eq!(
+            attrs.sp(id),
+            PlaceSet::from_iter(sp.iter().copied()),
+            "SP of {text:?}"
+        );
+        assert_eq!(
+            attrs.ep(id),
+            PlaceSet::from_iter(ep.iter().copied()),
+            "EP of {text:?}"
+        );
+        assert_eq!(
+            attrs.ap(id),
+            PlaceSet::from_iter(ap.iter().copied()),
+            "AP of {text:?}"
+        );
+    }
+}
+
+#[test]
+fn fig4_numbering_is_preorder() {
+    let spec = parse_spec(EXAMPLE3).unwrap();
+    let attrs = evaluate(&spec);
+    // the root gets 1; numbering descends left-to-right (Fig. 4 numbers
+    // the nodes of the derivation tree in a preorder scheme)
+    let root = node_by_text(&spec, "S [> interrupt3; exit");
+    assert_eq!(attrs.num(root), 1);
+    let s_call = spec.children(root)[0];
+    let interrupt = spec.children(root)[1];
+    assert_eq!(attrs.num(s_call), 2);
+    assert!(attrs.num(interrupt) > attrs.num(s_call));
+    // process bodies are numbered after the top expression
+    let body = node_by_text(
+        &spec,
+        "(read1; push2; S >> pop2; write3; exit) [] eof1; make3; exit",
+    );
+    assert!(attrs.num(body) > attrs.num(interrupt));
+    // left subtree before right subtree inside the body
+    let left = node_by_text(&spec, "read1; push2; S >> pop2; write3; exit");
+    let right = node_by_text(&spec, "eof1; make3; exit");
+    assert!(attrs.num(left) < attrs.num(right));
+}
+
+#[test]
+fn attribute_evaluation_needs_iteration() {
+    // the recursive reference to S makes the equations recursive; the
+    // solver must run more than one pass (paper: "An iterative method may
+    // also be applied to solve these recursive equations")
+    let spec = parse_spec(EXAMPLE3).unwrap();
+    let attrs = evaluate(&spec);
+    assert!(attrs.passes >= 2);
+}

@@ -1,0 +1,187 @@
+//! Experiment E3 — the paper's other worked examples (1, 2, 4, 5, 6, 7, 8)
+//! and the derivation behaviours Sections 3.1–3.5 predict for them.
+
+use lotos_protogen::lotos::event::SyncKind;
+use lotos_protogen::prelude::*;
+
+fn derive_src(src: &str) -> Derivation {
+    derive(&parse_spec(src).unwrap()).unwrap()
+}
+
+fn entity_text(d: &Derivation, p: PlaceId) -> String {
+    print_spec(d.entity(p).unwrap())
+}
+
+/// Example 1 (§2): sequential composition with process invocation.
+#[test]
+fn example1_sequential_invocation() {
+    let d = derive_src(
+        "SPEC ( a1 ; b2 ; B ) >> ( d3 ; exit ) WHERE PROC B = c2 ; exit END ENDSPEC",
+    );
+    // place 3 only executes d3, after hearing from EP of the left side
+    let e3 = entity_text(&d, 3);
+    assert!(e3.contains("d3; exit"), "{e3}");
+    assert!(e3.contains("r2("), "{e3}"); // EP(a1;b2;B) = EP(B) = {2}
+    assert!(!e3.contains("a1") && !e3.contains("b2") && !e3.contains("c2"));
+    // every entity keeps the process definition B
+    for (_, e) in &d.entities {
+        assert_eq!(e.procs.len(), 1);
+        assert_eq!(e.procs[0].name, "B");
+    }
+}
+
+/// Example 2 (§2, §3.4): non-regular `(a1)ⁿ (b2)ⁿ` and the process-level
+/// synchronization the paper §3.4 sketches for it:
+/// place i: `PROC A = ai ; sk(x) ; A >> ...exit [] ...exit`
+/// place k: `PROC A = ri(x) ; A >> ...exit [] ...exit`.
+#[test]
+fn example2_process_synchronization_shape() {
+    let d = derive_src(
+        "SPEC A WHERE PROC A = (a1 ; A >> b2 ; exit) [] (a1 ; b2 ; exit) END ENDSPEC",
+    );
+    let e1 = entity_text(&d, 1);
+    let e2 = entity_text(&d, 2);
+    // place 1 sends the proc-synch message right before its recursive A
+    assert!(e1.contains("a1; s2(s,") && e1.contains(">> A"), "{e1}");
+    // place 2 receives it before its own recursive A
+    assert!(e2.contains("r1(s,") && e2.contains(">> A"), "{e2}");
+    // both entities keep both alternatives
+    assert!(e1.matches("a1").count() >= 2, "{e1}");
+    assert!(e2.matches("b2").count() >= 2, "{e2}");
+}
+
+/// Example 4 (§3.1): the Synch_Left / Synch_Right pair for `>>`.
+#[test]
+fn example4_expected_projections() {
+    let d = derive_src("SPEC a1;exit >> b2;exit ENDSPEC");
+    // place 1: a1 then send; place 2: receive then b2 — exactly one
+    // message each way of the pair
+    let s = protogen::stats::message_stats(&d);
+    assert_eq!(s.total, 1);
+    assert_eq!(s.per_kind.get(&SyncKind::Seq), Some(&1));
+    let e1 = entity_text(&d, 1);
+    let e2 = entity_text(&d, 2);
+    assert!(e1.contains("a1") && e1.contains("s2(") && !e1.contains("r2("));
+    assert!(e2.contains("b2") && e2.contains("r1(") && !e2.contains("s1("));
+}
+
+/// Example 5 (§3.2): the empty-alternative problem and its fix.
+#[test]
+fn example5_alternative_notification() {
+    let d = derive_src(
+        "SPEC A WHERE PROC A = (a1 ; b2 ; A >> c2 ; d3 ; exit) [] (e1 ; f3 ; exit) END ENDSPEC",
+    );
+    // place 2 does not participate in the right alternative; without the
+    // Alternative message its alternative would be empty and c2 (after
+    // the recursion) could never be released. Expected (paper):
+    //   place 1: ... [] (e1 ; ...) >> (s2(x);exit)
+    //   place 2: ... [] (r1(x);exit)
+    let e1 = entity_text(&d, 1);
+    let e2 = entity_text(&d, 2);
+    assert!(e1.contains("e1; "), "{e1}");
+    let s = protogen::stats::message_stats(&d);
+    assert!(s.per_kind.get(&SyncKind::Alt).copied().unwrap_or(0) >= 1);
+    // the receive guards place 2's right alternative
+    assert!(e2.contains("[] r1(s,"), "{e2}");
+}
+
+/// Example 6 (§3.3): disabling with Rel and Interr — the expected
+/// projections:
+/// place 1: `a1;... >> (r3(x);exit) [> (r3(y);exit)`
+/// place 3: `...c3;exit >> (s1(x);exit ||| s2(x);exit) [> d3;(s1(y)... )`.
+#[test]
+fn example6_expected_projections() {
+    let d = derive_src("SPEC (a1 ; b2 ; c3 ; exit) [> (d3 ; e3 ; exit) ENDSPEC");
+    let e1 = entity_text(&d, 1);
+    let e3 = entity_text(&d, 3);
+    // place 1: the normal part, a Rel receive, and an Interr receive
+    assert!(e1.contains("a1; "), "{e1}");
+    assert!(e1.contains("[>"), "{e1}");
+    assert!(e1.matches("r3(").count() == 2, "{e1}");
+    // place 3: c3 then the Rel broadcast; d3 then the Interr broadcast
+    assert!(e3.contains("c3"), "{e3}");
+    assert!(e3.contains("d3; "), "{e3}");
+    assert!(e3.contains("s1(") && e3.contains("s2("), "{e3}");
+    let s = protogen::stats::message_stats(&d);
+    assert_eq!(s.per_kind.get(&SyncKind::Rel), Some(&2)); // 3→{1,2}
+    assert_eq!(s.per_kind.get(&SyncKind::Interr), Some(&2)); // 3→{1,2}
+}
+
+/// Example 7 (§3.5): two instances of one process — occurrence numbers
+/// disambiguate the synchronization messages.
+#[test]
+fn example7_multiple_instances() {
+    let d = derive_src(
+        "SPEC B ||| B WHERE PROC B = ( a1 ; (b2 ; exit ||| c3 ; exit) ) >> g4 ; exit END ENDSPEC",
+    );
+    // all messages carry the occurrence parameter
+    assert!(d.occ);
+    let e4 = entity_text(&d, 4);
+    assert!(e4.contains("(s,"), "{e4}");
+    // place 4 receives from both places 2 and 3 before g4
+    assert!(e4.contains("r2(") && e4.contains("r3("), "{e4}");
+    // and the simulation keeps the two instances apart: every run shows
+    // exactly two g4, preceded by their own instances' b2/c3
+    for seed in 0..10 {
+        let o = simulate(
+            &d,
+            SimConfig {
+                seed,
+                ..SimConfig::default()
+            },
+        );
+        assert!(o.conforms(), "seed {seed}: {:?}", o.violation);
+        assert_eq!(o.result, SimResult::Terminated, "seed {seed}");
+        let g = o.trace.iter().filter(|(n, _)| n == "g").count();
+        assert_eq!(g, 2, "seed {seed}");
+    }
+}
+
+/// Example 8 (§3.5): recursive process with a disabling event per
+/// instance — derivable, and the interrupt of the *current* instance is
+/// the one that fires.
+#[test]
+fn example8_recursive_disable() {
+    // the paper's sketch, completed to satisfy R1–R3:
+    //   PROC A = (a1 ; A [> b1 ; d1 ; exit) [] (c1 ; exit)
+    // (EPs coincide at place 1, the disable starts at EP's place)
+    let d = derive_src(
+        "SPEC A WHERE PROC A = (a1 ; A [> b1 ; d1 ; exit) [] (c1 ; exit) END ENDSPEC",
+    );
+    assert!(d.occ);
+    let e1 = entity_text(&d, 1);
+    assert!(e1.contains("[>"), "{e1}");
+    assert!(e1.contains("b1; "), "{e1}");
+}
+
+/// §3 trivia: the parallel operators never generate messages of their own.
+#[test]
+fn parallel_is_message_free() {
+    let d = derive_src("SPEC a1;exit ||| b2;exit ||| c3;exit ENDSPEC");
+    assert_eq!(protogen::stats::message_stats(&d).total, 0);
+    let d = derive_src("SPEC a1;b2;exit |[b2]| b2;exit ENDSPEC");
+    // only the ; between a1 and b2 costs a message
+    let s = protogen::stats::message_stats(&d);
+    assert_eq!(s.per_kind.get(&SyncKind::Seq).copied().unwrap_or(0), s.total);
+}
+
+/// §2's user behaviours (Fig. 2): the three independent user specs parse
+/// and evaluate as the paper describes.
+#[test]
+fn section2_user_specifications() {
+    // user at place 1: reads then eof
+    let u1 = parse_spec("SPEC A WHERE PROC A = read1 ; A [] eof1 ; exit END ENDSPEC").unwrap();
+    let a1 = evaluate(&u1);
+    assert_eq!(a1.all, PlaceSet::singleton(1));
+    // user at place 3: writes until interrupt
+    let u3 =
+        parse_spec("SPEC make3 ; C WHERE PROC C = write3 ; C [> interrupt3 ; exit END ENDSPEC")
+            .unwrap();
+    let a3 = evaluate(&u3);
+    assert_eq!(a3.all, PlaceSet::singleton(3));
+    // user at place 2: push or pop forever
+    let u2 = parse_spec("SPEC B WHERE PROC B = push2 ; B [] pop2 ; B END ENDSPEC").unwrap();
+    let a2 = evaluate(&u2);
+    assert_eq!(a2.all, PlaceSet::singleton(2));
+    assert_eq!(a2.proc_ep[0], PlaceSet::EMPTY); // B never terminates
+}

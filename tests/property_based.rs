@@ -1,0 +1,135 @@
+//! Property-based tests (proptest) over randomly generated well-formed
+//! service specifications: language round-trips, derivation invariants,
+//! and end-to-end conformance.
+
+use lotos_protogen::lotos::compare::spec_eq_exact;
+use lotos_protogen::prelude::*;
+use proptest::prelude::*;
+
+fn arb_gen_config() -> impl Strategy<Value = GenConfig> {
+    (
+        any::<u64>(),
+        2u8..=4,
+        1u32..=3,
+        any::<bool>(),
+        any::<bool>(),
+    )
+        .prop_map(|(seed, places, max_depth, allow_disable, allow_recursion)| GenConfig {
+            seed,
+            places,
+            max_depth,
+            allow_disable,
+            allow_recursion,
+            ..GenConfig::default()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 64, ..ProptestConfig::default()
+    })]
+
+    /// print ∘ parse = id on the service language.
+    #[test]
+    fn printer_parser_round_trip(cfg in arb_gen_config()) {
+        let spec = generate(cfg);
+        let printed = print_spec(&spec);
+        let reparsed = parse_spec(&printed).unwrap();
+        prop_assert!(spec_eq_exact(&spec, &reparsed), "{printed}");
+        // and printing is a fixpoint
+        prop_assert_eq!(printed, print_spec(&reparsed));
+    }
+
+    /// Generated specifications always satisfy the derivability checks.
+    #[test]
+    fn generated_specs_always_derivable(cfg in arb_gen_config()) {
+        let spec = generate(cfg);
+        let attrs = evaluate(&spec);
+        let violations = check_restrictions(&spec, &attrs);
+        prop_assert!(violations.is_empty(), "{violations:?}\n{}", print_spec(&spec));
+        prop_assert!(derive(&spec).is_ok());
+    }
+
+    /// Attribute evaluation is deterministic and stable (running it twice
+    /// gives identical tables).
+    #[test]
+    fn attribute_evaluation_stable(cfg in arb_gen_config()) {
+        let spec = generate(cfg);
+        let a1 = evaluate(&spec);
+        let a2 = evaluate(&spec);
+        prop_assert_eq!(a1.sp, a2.sp);
+        prop_assert_eq!(a1.ep, a2.ep);
+        prop_assert_eq!(a1.ap, a2.ap);
+        prop_assert_eq!(a1.all, a2.all);
+    }
+
+    /// The derivation is deterministic, entities cover exactly ALL, and
+    /// sends pair with receives one-to-one.
+    #[test]
+    fn derivation_invariants(cfg in arb_gen_config()) {
+        let spec = generate(cfg);
+        let d1 = derive(&spec).unwrap();
+        let d2 = derive(&spec).unwrap();
+        prop_assert_eq!(d1.entities.len(), d2.entities.len());
+        for ((p1, e1), (p2, e2)) in d1.entities.iter().zip(d2.entities.iter()) {
+            prop_assert_eq!(p1, p2);
+            prop_assert!(spec_eq_exact(e1, e2));
+        }
+        let places: Vec<_> = d1.entities.iter().map(|(p, _)| *p).collect();
+        let all: Vec<_> = d1.all.iter().collect();
+        prop_assert_eq!(places, all);
+        let s = message_stats(&d1);
+        prop_assert_eq!(s.total, s.recv_total);
+    }
+
+    /// Every entity contains only its own place's primitives.
+    #[test]
+    fn entities_are_projections(cfg in arb_gen_config()) {
+        let spec = generate(cfg);
+        let d = derive(&spec).unwrap();
+        for (place, entity) in &d.entities {
+            for ev in entity.primitives() {
+                prop_assert_eq!(ev.place(), Some(*place), "{} in entity {}", ev, place);
+            }
+        }
+    }
+
+    /// Derived entities re-parse from their printed form.
+    #[test]
+    fn derived_entities_reparse(cfg in arb_gen_config()) {
+        let spec = generate(cfg);
+        let d = derive(&spec).unwrap();
+        for (place, entity) in &d.entities {
+            let printed = print_spec(entity);
+            let reparsed = parse_spec(&printed);
+            prop_assert!(reparsed.is_ok(), "place {}: {}\n{:?}", place, printed, reparsed.err());
+        }
+    }
+
+    /// Simulated executions of derived protocols (no `[>`) conform to the
+    /// service and are deterministic per seed.
+    #[test]
+    fn simulations_conform(seed in 0u64..5000, sim_seed in 0u64..1000) {
+        let cfg = GenConfig {
+            seed,
+            places: 3,
+            max_depth: 2,
+            allow_disable: false,
+            allow_recursion: seed % 2 == 0,
+            ..GenConfig::default()
+        };
+        let spec = generate(cfg);
+        let d = derive(&spec).unwrap();
+        let run = |s| simulate(&d, SimConfig {
+            seed: s,
+            max_steps: 2500,
+            ..SimConfig::default()
+        });
+        let o1 = run(sim_seed);
+        prop_assert!(o1.conforms(), "{:?}\n{}", o1.violation, print_spec(&spec));
+        prop_assert_ne!(o1.result, SimResult::Deadlock, "{}", print_spec(&spec));
+        let o2 = run(sim_seed);
+        prop_assert_eq!(o1.trace, o2.trace);
+        prop_assert_eq!(o1.metrics.steps, o2.metrics.steps);
+    }
+}

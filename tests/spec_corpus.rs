@@ -1,0 +1,106 @@
+//! The `specs/` corpus: every checked-in `.lotos` file parses, satisfies
+//! the derivability restrictions, derives, and round-trips through the
+//! printer. Keeps the corpus honest as the language evolves.
+
+use lotos_protogen::lotos::Expr;
+use lotos_protogen::prelude::*;
+use std::fs;
+
+/// The leading primitives of every `[>` right-hand-side alternative.
+fn disable_guards(spec: &Spec) -> Vec<(String, PlaceId)> {
+    let mut guards = Vec::new();
+    let mut roots = vec![spec.top.expr];
+    roots.extend(spec.procs.iter().map(|p| p.body.expr));
+    for root in roots {
+        for id in spec.preorder(root) {
+            if let Expr::Disable { right, .. } = spec.node(id) {
+                collect_leading(spec, *right, &mut guards);
+            }
+        }
+    }
+    guards
+}
+
+fn collect_leading(
+    spec: &Spec,
+    id: lotos_protogen::lotos::NodeId,
+    out: &mut Vec<(String, PlaceId)>,
+) {
+    match spec.node(id) {
+        Expr::Prefix {
+            event: Event::Prim { name, place },
+            ..
+        } => {
+            out.push((name.clone(), *place));
+        }
+        Expr::Choice { left, right } => {
+            collect_leading(spec, *left, out);
+            collect_leading(spec, *right, out);
+        }
+        _ => {}
+    }
+}
+
+fn corpus() -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    for entry in fs::read_dir(concat!(env!("CARGO_MANIFEST_DIR"), "/specs")).unwrap() {
+        let path = entry.unwrap().path();
+        if path.extension().is_some_and(|e| e == "lotos") {
+            let name = path.file_name().unwrap().to_string_lossy().into_owned();
+            let text = fs::read_to_string(&path).unwrap();
+            out.push((name, text));
+        }
+    }
+    assert!(out.len() >= 8, "corpus unexpectedly small: {}", out.len());
+    out.sort();
+    out
+}
+
+#[test]
+fn corpus_parses_and_derives() {
+    for (name, text) in corpus() {
+        let spec = parse_spec(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let attrs = evaluate(&spec);
+        let violations = check_restrictions(&spec, &attrs);
+        assert!(violations.is_empty(), "{name}: {violations:?}");
+        let d = derive(&spec).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(d.entities.len() as u32, attrs.all.len(), "{name}");
+    }
+}
+
+#[test]
+fn corpus_round_trips() {
+    for (name, text) in corpus() {
+        let spec = parse_spec(&text).unwrap();
+        let printed = print_spec(&spec);
+        let reparsed = parse_spec(&printed).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(
+            lotos_protogen::lotos::compare::spec_eq_exact(&spec, &reparsed),
+            "{name} changed across print/parse"
+        );
+    }
+}
+
+#[test]
+fn corpus_simulates_conformantly() {
+    for (name, text) in corpus() {
+        let spec = parse_spec(&text).unwrap();
+        let d = derive(&spec).unwrap();
+        // interrupt-free runs must conform: refuse the leading event of
+        // every disable right-hand-side alternative (found structurally),
+        // so the §3.3 deviation cannot kick in
+        let refuse: Vec<(String, PlaceId)> = disable_guards(&d.service);
+        for seed in 0..5 {
+            let o = simulate(
+                &d,
+                SimConfig {
+                    seed,
+                    max_steps: 4000,
+                    refuse: refuse.clone(),
+                    ..SimConfig::default()
+                },
+            );
+            assert!(o.conforms(), "{name} seed {seed}: {:?}", o.violation);
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! Experiment E8 — the transport-service case study ([Kant 93]; §4.2
+//! "Experiments made on several case studies, including a Transport
+//! Service Specification, have demonstrated the PG effectiveness"),
+//! reconstructed as a 2-party and a 3-party connection-oriented service
+//! and pushed through the full pipeline: check → derive → verify →
+//! simulate.
+
+use lotos_protogen::lotos::event::SyncKind;
+use lotos_protogen::prelude::*;
+
+/// Two-party transport: connect, data phase, disconnect.
+const TS2: &str = "SPEC conreq1; conind2; conresp2; conconf1; DATA \
+    WHERE PROC DATA = (dtreq1; dtind2; DATA) [] (disreq1; disind2; exit) END \
+    ENDSPEC";
+
+/// Three-party variant with a management SAP and an abort interrupt.
+const TS3: &str = "SPEC \
+    conreq1; conind2; conresp2; conconf1; up3; \
+    ((DATA [> abort2; bye2; exit) >> down3; exit) \
+    WHERE PROC DATA = (dtreq1; dtind2; DATA) [] (disreq1; disind2; bye2; exit) END \
+    ENDSPEC";
+
+#[test]
+fn two_party_transport_full_pipeline() {
+    let spec = parse_spec(TS2).unwrap();
+    let attrs = evaluate(&spec);
+    assert!(check_restrictions(&spec, &attrs).is_empty());
+    assert_eq!(attrs.all.len(), 2);
+
+    let d = derive(&spec).unwrap();
+    // connection setup costs one message per direction change; the data
+    // loop costs one proc-synch per round
+    let stats = message_stats(&d);
+    assert!(stats.per_kind.contains_key(&SyncKind::Seq));
+    assert!(stats.per_kind.contains_key(&SyncKind::Proc));
+
+    // bounded verification: the recursion makes it infinite-state
+    let r = verify_derivation(
+        &d,
+        VerifyOptions {
+            trace_len: 7,
+            ..VerifyOptions::default()
+        },
+    );
+    assert!(r.traces_equal, "{r}");
+    assert_eq!(r.deadlocks, 0, "{r}");
+
+    // sessions run and conform
+    for seed in 0..20 {
+        let o = simulate(
+            &d,
+            SimConfig {
+                seed,
+                max_steps: 4000,
+                ..SimConfig::default()
+            },
+        );
+        assert!(o.conforms(), "seed {seed}: {:?}", o.violation);
+        let names: Vec<&str> = o.trace.iter().map(|(n, _)| n.as_str()).collect();
+        assert!(names.starts_with(&["conreq", "conind", "conresp", "conconf"]));
+        if o.result == SimResult::Terminated {
+            assert_eq!(names[names.len() - 2..], ["disreq", "disind"]);
+        }
+    }
+}
+
+#[test]
+fn three_party_transport_with_abort() {
+    let spec = parse_spec(TS3).unwrap();
+    let attrs = evaluate(&spec);
+    assert!(check_restrictions(&spec, &attrs).is_empty());
+    assert_eq!(attrs.all.len(), 3);
+
+    let d = derive(&spec).unwrap();
+    // the disable contributes Rel and Interr messages
+    let stats = message_stats(&d);
+    assert!(stats.per_kind.contains_key(&SyncKind::Rel));
+    assert!(stats.per_kind.contains_key(&SyncKind::Interr));
+
+    // abort-free sessions conform strictly
+    for seed in 0..15 {
+        let o = simulate(
+            &d,
+            SimConfig {
+                seed,
+                max_steps: 5000,
+                refuse: vec![("abort".to_string(), 2)],
+                ..SimConfig::default()
+            },
+        );
+        assert!(o.conforms(), "seed {seed}: {:?}", o.violation);
+        if o.result == SimResult::Terminated {
+            let names: Vec<&str> = o.trace.iter().map(|(n, _)| n.as_str()).collect();
+            assert_eq!(*names.last().unwrap(), "down");
+        }
+    }
+
+    // aborted sessions still tear down through bye2 and down3. Most of
+    // them leave an orphaned data message in flight (the §3.3/E6 orphan
+    // effect), which blocks the strict global δ — so termination is not
+    // required, but the teardown primitives are.
+    let mut aborted = 0usize;
+    for seed in 0..30 {
+        let o = simulate(
+            &d,
+            SimConfig {
+                seed,
+                max_steps: 5000,
+                ..SimConfig::default()
+            },
+        );
+        let names: Vec<&str> = o.trace.iter().map(|(n, _)| n.as_str()).collect();
+        if names.contains(&"abort") {
+            aborted += 1;
+            assert!(names.contains(&"bye"), "seed {seed}: {names:?}");
+            assert!(names.contains(&"down"), "seed {seed}: {names:?}");
+            if o.result == SimResult::Terminated {
+                assert_eq!(*names.last().unwrap(), "down", "seed {seed}: {names:?}");
+            }
+        }
+    }
+    assert!(aborted > 0, "no aborted session observed");
+}
+
+#[test]
+fn transport_message_overhead_profile() {
+    // the §4.3 accounting on a realistic service: the data loop costs
+    // (1 seq for dtreq→dtind) + (n−1 proc-synch) per round
+    let spec = parse_spec(TS2).unwrap();
+    let d = derive(&spec).unwrap();
+    let mut per_round = Vec::new();
+    for seed in 0..10 {
+        let o = simulate(
+            &d,
+            SimConfig {
+                seed,
+                max_steps: 4000,
+                ..SimConfig::default()
+            },
+        );
+        if o.result != SimResult::Terminated {
+            continue;
+        }
+        let rounds = o.trace.iter().filter(|(n, _)| n == "dtreq").count();
+        per_round.push((rounds, o.metrics.messages));
+    }
+    // messages grow linearly with the number of data rounds: 3 for the
+    // connection setup (conreq→conind, conresp→conconf, the first DATA
+    // proc-synch), 3 per round (dtreq→dtind seq, dtind→call-site seq,
+    // the next proc-synch) and 1 for disreq→disind.
+    for (rounds, msgs) in &per_round {
+        assert_eq!(*msgs, 3 * rounds + 4, "rounds {rounds}, msgs {msgs}");
+    }
+}
