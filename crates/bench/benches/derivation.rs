@@ -38,6 +38,26 @@ fn bench_derivation(c: &mut Criterion) {
             b.iter(|| black_box(protogen::derive::derive(s).unwrap()))
         });
     }
+    // per-place parallel derivation (embarrassingly parallel T_p sweep)
+    let wide = scaled_spec(8, 4, 7);
+    for threads in [1usize, 2, 4, 8] {
+        g.bench_with_input(
+            BenchmarkId::new("threads", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    black_box(
+                        protogen::derive::derive_with_threads(
+                            &wide,
+                            protogen::Options::default(),
+                            threads,
+                        )
+                        .unwrap(),
+                    )
+                })
+            },
+        );
+    }
     for (name, src) in [
         ("example2", EXAMPLE2),
         ("example3", EXAMPLE3),

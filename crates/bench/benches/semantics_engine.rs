@@ -2,11 +2,12 @@
 //! LTS construction, weak saturation, and bisimulation checking.
 
 use bench::{corpus_spec, EXAMPLE3, TRANSPORT2};
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use semantics::bisim::weak_equiv;
 use semantics::lts::{build_term_lts, build_term_lts_bounded};
 use semantics::sos::transitions;
 use semantics::term::Env;
+use semantics::{build_lts, Engine, ExploreConfig};
 use std::hint::black_box;
 
 fn bench_transitions(c: &mut Criterion) {
@@ -47,6 +48,51 @@ fn bench_lts(c: &mut Criterion) {
     g.finish();
 }
 
+/// The hash-consed engine against the legacy `Rc` builder, and the
+/// parallel explorer across thread counts (ISSUE 1 speedup target: the
+/// `threads` sweep on a multicore host).
+fn bench_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine");
+    g.sample_size(10);
+    // a state space big enough for parallelism to matter: five
+    // interleaved two-step branches, then a join
+    let wide = lotos::parser::parse_spec(
+        "SPEC (a1;b1;exit ||| c2;d2;exit ||| e3;f3;exit ||| g4;h4;exit ||| i5;j5;exit) \
+         >> k1;exit ENDSPEC",
+    )
+    .unwrap();
+    let env = Env::new(wide.clone());
+    g.bench_function("legacy_rc_builder", |b| {
+        b.iter(|| black_box(build_term_lts(&env, env.root(), 1_000_000)))
+    });
+    for threads in [1usize, 2, 4, 8] {
+        g.bench_with_input(
+            BenchmarkId::new("build_lts_threads", threads),
+            &threads,
+            |b, &threads| {
+                let cfg = ExploreConfig::new().max_states(1_000_000).threads(threads);
+                b.iter(|| {
+                    // fresh engine per iteration: measures cold
+                    // exploration, not memo replay
+                    let engine = Engine::new(wide.clone());
+                    let root = engine.root();
+                    black_box(build_lts(&engine, root, &cfg))
+                })
+            },
+        );
+    }
+    // warm engine: the transition memo turns re-exploration into pure
+    // graph traversal
+    let engine = Engine::new(wide.clone());
+    let root = engine.root();
+    let cfg = ExploreConfig::new().max_states(1_000_000).sequential();
+    build_lts(&engine, root, &cfg);
+    g.bench_function("build_lts_memoized", |b| {
+        b.iter(|| black_box(build_lts(&engine, root, &cfg)))
+    });
+    g.finish();
+}
+
 fn bench_bisim(c: &mut Criterion) {
     let mut g = c.benchmark_group("bisim");
     g.sample_size(10);
@@ -78,6 +124,6 @@ fn bench_traces(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_transitions, bench_lts, bench_bisim, bench_traces
+    targets = bench_transitions, bench_lts, bench_engine, bench_bisim, bench_traces
 }
 criterion_main!(benches);

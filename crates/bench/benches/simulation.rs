@@ -2,9 +2,8 @@
 //! throughput and per-action cost on the paper's examples and the
 //! transport case study.
 
-use bench::{corpus_spec, EXAMPLE2, EXAMPLE3, TRANSPORT2, TRANSPORT3};
+use bench::{corpus_spec, pipeline_derive, EXAMPLE2, EXAMPLE3, TRANSPORT2, TRANSPORT3};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use protogen::derive::derive;
 use sim::{simulate, SimConfig};
 use std::hint::black_box;
 
@@ -17,7 +16,7 @@ fn bench_sessions(c: &mut Criterion) {
         ("transport2", TRANSPORT2),
         ("transport3", TRANSPORT3),
     ] {
-        let d = derive(&corpus_spec(src)).unwrap();
+        let d = pipeline_derive(src);
         g.bench_function(BenchmarkId::new("session", name), |b| {
             let mut seed = 0u64;
             b.iter(|| {

@@ -1,34 +1,76 @@
 //! Benchmarks for the Section 5 correctness harness (experiment E5's
-//! cost): composition exploration and full verification runs.
+//! cost): composition exploration — legacy `Rc` explorer vs. the
+//! hash-consed parallel engine across thread counts — and full
+//! verification runs.
 
-use bench::{corpus_spec, scaled_spec, EXAMPLE2, TRANSPORT2};
+use bench::{pipeline_derive, scaled_spec, EXAMPLE2, TRANSPORT2};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use medium::MediumConfig;
-use protogen::derive::derive;
+use protogen::Pipeline;
+use semantics::explore::{explore_par, DepthMode, ExploreConfig};
 use std::hint::black_box;
 use verify::composition::Composition;
 use verify::explorer::{explore, explore_full};
-use verify::harness::{verify_derivation, VerifyOptions};
+use verify::harness::{verify_derivation, VerifyConfig};
+use verify::EngineComposition;
 
 fn bench_composition_exploration(c: &mut Criterion) {
     let mut g = c.benchmark_group("composition");
     g.sample_size(10);
     for places in [2u8, 3, 4] {
         let spec = scaled_spec(places, 2, 11);
-        let d = derive(&spec).unwrap();
+        let d = Pipeline::from_spec(spec)
+            .check()
+            .unwrap()
+            .derive()
+            .unwrap()
+            .into_derivation();
         let comp = Composition::new(&d, MediumConfig::default());
         // shallow finite systems: no big-stack thread needed
-        g.bench_with_input(BenchmarkId::new("explore_full", places), &comp, |b, comp| {
-            b.iter(|| black_box(explore_full(comp, 100_000).states.len()))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("explore_full", places),
+            &comp,
+            |b, comp| b.iter(|| black_box(explore_full(comp, 100_000).states.len())),
+        );
+        for threads in [1usize, 2, 4] {
+            let cfg = ExploreConfig::new().max_states(100_000).threads(threads);
+            g.bench_function(
+                BenchmarkId::new(format!("engine_p{places}_threads"), threads),
+                |b| {
+                    b.iter(|| {
+                        // fresh composition per iteration: cold arena and
+                        // transition memo, like the legacy explorer
+                        let comp = EngineComposition::new(&d, MediumConfig::default());
+                        black_box(explore_par(&comp, &cfg, DepthMode::Observable).states.len())
+                    })
+                },
+            );
+        }
     }
     // bounded exploration of the infinite-state aⁿbⁿ composition
-    let d = derive(&corpus_spec(EXAMPLE2)).unwrap();
+    let d = pipeline_derive(EXAMPLE2);
     let comp = Composition::new(&d, MediumConfig::default());
     for obs in [4usize, 6] {
-        g.bench_with_input(BenchmarkId::new("explore_anbn_obs", obs), &obs, |b, &obs| {
-            b.iter(|| black_box(explore(&comp, obs, 100_000).states.len()))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("explore_anbn_obs", obs),
+            &obs,
+            |b, &obs| b.iter(|| black_box(explore(&comp, obs, 100_000).states.len())),
+        );
+        for threads in [1usize, 4] {
+            let cfg = ExploreConfig::new()
+                .max_states(100_000)
+                .max_depth(obs)
+                .threads(threads);
+            g.bench_function(
+                BenchmarkId::new(format!("engine_anbn_obs{obs}_threads"), threads),
+                |b| {
+                    b.iter(|| {
+                        let comp = EngineComposition::new(&d, MediumConfig::default());
+                        black_box(explore_par(&comp, &cfg, DepthMode::Observable).states.len())
+                    })
+                },
+            );
+        }
     }
     g.finish();
 }
@@ -37,18 +79,14 @@ fn bench_full_verification(c: &mut Criterion) {
     let mut g = c.benchmark_group("verify");
     g.sample_size(10);
     for (name, src) in [("example2", EXAMPLE2), ("transport2", TRANSPORT2)] {
-        let d = derive(&corpus_spec(src)).unwrap();
-        g.bench_function(BenchmarkId::new("harness", name), |b| {
-            b.iter(|| {
-                black_box(verify_derivation(
-                    &d,
-                    VerifyOptions {
-                        trace_len: 5,
-                        ..VerifyOptions::default()
-                    },
-                ))
-            })
-        });
+        let d = pipeline_derive(src);
+        for threads in [1usize, 4] {
+            let cfg = VerifyConfig::new().trace_len(5).threads(threads);
+            g.bench_function(
+                BenchmarkId::new(format!("harness_{name}_threads"), threads),
+                |b| b.iter(|| black_box(verify_derivation(&d, cfg.clone()))),
+            );
+        }
     }
     g.finish();
 }

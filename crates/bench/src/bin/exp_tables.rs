@@ -11,14 +11,17 @@
 //! cargo run --release -p bench --bin exp-tables
 //! ```
 
-use bench::{corpus_spec, scaled_spec, spec_size, EXAMPLE2, EXAMPLE3, TRANSPORT2, TRANSPORT3};
+use bench::{
+    corpus_spec, pipeline_derive, scaled_spec, spec_size, EXAMPLE2, EXAMPLE3, TRANSPORT2,
+    TRANSPORT3,
+};
 use lotos::event::SyncKind;
 use lotos::parser::parse_spec;
 use protogen::derive::derive;
 use protogen::stats::message_stats;
 use sim::{simulate, SimConfig};
 use std::time::Instant;
-use verify::harness::{verify_derivation, VerifyOptions};
+use verify::harness::{verify_derivation, VerifyConfig};
 
 fn main() {
     table_e4_message_complexity();
@@ -51,7 +54,11 @@ fn table_e4_message_complexity() {
         // alternative visits places 2..n that the left never touches
         let choice_src = format!(
             "SPEC (x1; z1; exit) [] (y1; {}; z1; exit) ENDSPEC",
-            chain_over(n, "m").split("; ").skip(1).collect::<Vec<_>>().join("; ")
+            chain_over(n, "m")
+                .split("; ")
+                .skip(1)
+                .collect::<Vec<_>>()
+                .join("; ")
         );
         let choice = parse_spec(&choice_src).unwrap();
         let choice_max = message_stats(&derive(&choice).unwrap()).max_per_point(SyncKind::Alt);
@@ -115,14 +122,8 @@ fn table_e5_theorem_instances() {
         ("transport 3-party w/ abort", TRANSPORT3),
     ];
     for (name, src) in corpus {
-        let d = derive(&corpus_spec(src)).unwrap();
-        let r = verify_derivation(
-            &d,
-            VerifyOptions {
-                trace_len: 5,
-                ..VerifyOptions::default()
-            },
-        );
+        let d = pipeline_derive(src);
+        let r = verify_derivation(&d, VerifyConfig::new().trace_len(5));
         println!(
             "{:<42} | {:>6} | {:>9} | {:>9} | {:>10}",
             name,
@@ -151,7 +152,7 @@ fn table_e8_simulated_overhead() {
         ("transport 2-party", TRANSPORT2, None),
         ("transport 3-party", TRANSPORT3, Some(("abort", 2u8))),
     ] {
-        let d = derive(&corpus_spec(src)).unwrap();
+        let d = pipeline_derive(src);
         let (mut prims, mut msgs, mut maxq) = (0usize, 0usize, 0usize);
         for seed in 0..100u64 {
             let o = simulate(
@@ -159,10 +160,7 @@ fn table_e8_simulated_overhead() {
                 SimConfig {
                     seed,
                     max_steps: 3000,
-                    refuse: refuse
-                        .iter()
-                        .map(|(n, p)| (n.to_string(), *p))
-                        .collect(),
+                    refuse: refuse.iter().map(|(n, p)| (n.to_string(), *p)).collect(),
                     ..SimConfig::default()
                 },
             );
@@ -224,9 +222,15 @@ fn table_e10_centralized_vs_distributed() {
         "service", "dist msgs", "dist@srv", "cent msgs", "cent@srv"
     );
     let corpus: &[(&str, &str)] = &[
-        ("3-hop chain x3", "SPEC a1; b2; c3; b2; c3; b2; c3; d1; exit ENDSPEC"),
+        (
+            "3-hop chain x3",
+            "SPEC a1; b2; c3; b2; c3; b2; c3; d1; exit ENDSPEC",
+        ),
         ("transport 2-party", TRANSPORT2),
-        ("choice heavy", "SPEC (a1; b2; c3; d1; exit) [] (e1; f3; g2; d1; exit) ENDSPEC"),
+        (
+            "choice heavy",
+            "SPEC (a1; b2; c3; d1; exit) [] (e1; f3; g2; d1; exit) ENDSPEC",
+        ),
     ];
     for (name, src) in corpus {
         let spec = corpus_spec(src);

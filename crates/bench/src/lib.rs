@@ -32,6 +32,17 @@ pub fn corpus_spec(src: &str) -> Spec {
     lotos::parser::parse_spec(src).expect("corpus member parses")
 }
 
+/// Derive a corpus member through the `Pipeline` facade.
+pub fn pipeline_derive(src: &str) -> protogen::Derivation {
+    protogen::Pipeline::load(src)
+        .expect("corpus member parses")
+        .check()
+        .expect("corpus member derivable")
+        .derive()
+        .expect("corpus member derivable")
+        .into_derivation()
+}
+
 /// A deterministic generated spec of roughly increasing size: `scale`
 /// controls the operator-nesting depth.
 pub fn scaled_spec(places: u8, scale: u32, seed: u64) -> Spec {

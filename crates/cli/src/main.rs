@@ -13,17 +13,19 @@
 //! ```
 //!
 //! `<spec.lotos>` may be `-` for standard input.
+//!
+//! Every command funnels through the [`protogen::Pipeline`] facade; exit
+//! codes follow [`ProtogenError::exit_code`] — 2 parse, 3 restriction
+//! (R1–R3), 4 verification, 5 other derivation error, 1 anything else.
 
-use lotos::attributes::evaluate;
-use lotos::parser::parse_spec;
 use lotos::printer::{print_expr, print_spec};
-use lotos::restrictions::check;
-use protogen::derive::derive;
 use protogen::stats::{message_stats, operator_counts};
+use protogen::{Pipeline, PipelineConfig, ProtogenError};
+use semantics::ExploreConfig;
 use sim::{simulate, SimConfig};
 use std::io::Read;
 use std::process::ExitCode;
-use verify::harness::{verify_service, VerifyOptions};
+use verify::{PipelineVerify, VerifyConfig};
 
 fn main() -> ExitCode {
     // Exit quietly when stdout is closed early (`protogen ... | head`):
@@ -45,49 +47,86 @@ fn main() -> ExitCode {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("protogen: {e}");
-            ExitCode::FAILURE
+            ExitCode::from(e.exit_code())
         }
     }
 }
 
-fn usage() -> String {
-    "usage: protogen <check|attrs|derive|verify|simulate|gen> [options] <spec.lotos|->\n\
-     \n\
-     check     parse and report restriction violations (R1, R2, R3, ...)\n\
-     attrs     print the SP/EP/AP attribute table and node numbering\n\
-     derive    print the derived protocol entity specifications\n\
-               -p <place>    only this place\n\
-     verify    check  S = hide G in ((T1 ||| ... ||| Tn) |[G]| Medium)\n\
-               -l <len>      observable-trace bound (default 6)\n\
-               -s <states>   state cap (default 60000)\n\
-     simulate  run the derived protocol through the event simulator\n\
-               --seed <s>    RNG seed       --runs <k>   number of runs\n\
-               --loss <p>    frame-loss probability (unreliable link, §6)\n\
-               --no-arq      disable the ARQ recovery layer\n\
-     gen       emit a random well-formed service specification\n\
-               --seed <s> --places <n> --depth <d> --disable --rec\n\
-     central   derive the Section-3 centralized-server baseline\n\
-               --server <p>  server place (default: lowest place)\n\
-     lts       print the service's labelled transition system\n\
-               -m            minimize by strong bisimilarity first\n\
-               --dot         emit Graphviz DOT instead of text"
-        .to_string()
+fn usage() -> ProtogenError {
+    ProtogenError::Usage(
+        "usage: protogen <check|attrs|derive|verify|simulate|gen> [options] <spec.lotos|->\n\
+         \n\
+         check     parse and report restriction violations (R1, R2, R3, ...)\n\
+         attrs     print the SP/EP/AP attribute table and node numbering\n\
+         derive    print the derived protocol entity specifications\n\
+         \x20          -p <place>    only this place\n\
+         verify    check  S = hide G in ((T1 ||| ... ||| Tn) |[G]| Medium)\n\
+         \x20          -l <len>      observable-trace bound (default 6)\n\
+         \x20          -s <states>   state cap (default 60000)\n\
+         simulate  run the derived protocol through the event simulator\n\
+         \x20          --seed <s>    RNG seed       --runs <k>   number of runs\n\
+         \x20          --loss <p>    frame-loss probability (unreliable link, §6)\n\
+         \x20          --no-arq      disable the ARQ recovery layer\n\
+         gen       emit a random well-formed service specification\n\
+         \x20          --seed <s> --places <n> --depth <d> --disable --rec\n\
+         central   derive the Section-3 centralized-server baseline\n\
+         \x20          --server <p>  server place (default: lowest place)\n\
+         lts       print the service's labelled transition system\n\
+         \x20          -m            minimize by strong bisimilarity first\n\
+         \x20          --dot         emit Graphviz DOT instead of text\n\
+         \n\
+         -j <threads> on derive/verify/lts selects exploration parallelism\n\
+         (0 = auto-detect; default 1). Exit codes: 2 parse error, 3\n\
+         restriction violation, 4 verification failure, 5 derivation\n\
+         error, 1 other."
+            .to_string(),
+    )
 }
 
-fn read_spec_arg(args: &[String]) -> Result<lotos::Spec, String> {
-    let path = args
-        .iter().rfind(|a| !a.starts_with('-') || a.as_str() == "-")
-        .ok_or_else(usage)?;
-    let src = if path == "-" {
-        let mut s = String::new();
+/// Flags that consume the following argument as their value. Their values
+/// must not be mistaken for the spec path when locating it.
+const VALUE_FLAGS: &[&str] = &[
+    "-j", "-l", "-s", "-p", "--seed", "--runs", "--loss", "--places", "--depth", "--server",
+];
+
+/// Locate the spec argument (path or `-` for stdin), skipping over flag
+/// values so `verify spec.lotos -l 6 -j 4` does not read `4` as the path.
+fn spec_arg(args: &[String]) -> Option<&String> {
+    let mut it = args.iter();
+    let mut path = None;
+    while let Some(a) = it.next() {
+        if VALUE_FLAGS.contains(&a.as_str()) {
+            it.next();
+        } else if !a.starts_with('-') || a == "-" {
+            path = Some(a);
+        }
+    }
+    path
+}
+
+/// Parse the spec argument (path or `-` for stdin) into a pipeline with
+/// the exploration configuration from `-j`.
+fn load_pipeline(args: &[String]) -> Result<Pipeline, ProtogenError> {
+    let path = spec_arg(args).ok_or_else(usage)?;
+    let pipeline = if path == "-" {
+        let mut src = String::new();
         std::io::stdin()
-            .read_to_string(&mut s)
-            .map_err(|e| e.to_string())?;
-        s
+            .read_to_string(&mut src)
+            .map_err(|e| ProtogenError::Io {
+                path: "<stdin>".to_string(),
+                message: e.to_string(),
+            })?;
+        Pipeline::load(&src)?
     } else {
-        std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?
+        Pipeline::load_file(path)?
     };
-    parse_spec(&src).map_err(|e| e.to_string())
+    let threads = match flag_value(args, "-j") {
+        Some(v) => v
+            .parse()
+            .map_err(|_| ProtogenError::Usage("bad -j value".into()))?,
+        None => 1,
+    };
+    Ok(pipeline.with_config(PipelineConfig::new().threads(threads)))
 }
 
 fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
@@ -97,32 +136,50 @@ fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
         .map(|s| s.as_str())
 }
 
-fn run(args: &[String]) -> Result<(), String> {
+fn parse_flag<T: std::str::FromStr>(
+    args: &[String],
+    name: &str,
+) -> Result<Option<T>, ProtogenError> {
+    match flag_value(args, name) {
+        None => Ok(None),
+        Some(v) => v
+            .parse()
+            .map(Some)
+            .map_err(|_| ProtogenError::Usage(format!("bad {name} value"))),
+    }
+}
+
+fn run(args: &[String]) -> Result<(), ProtogenError> {
     let cmd = args.first().ok_or_else(usage)?.as_str();
     let rest = &args[1..];
     match cmd {
         "check" => {
-            let spec = read_spec_arg(rest)?;
-            let attrs = evaluate(&spec);
-            let violations = check(&spec, &attrs);
-            let ops = operator_counts(&spec);
+            let pipeline = load_pipeline(rest)?;
+            let attrs = pipeline.attrs();
+            let ops = operator_counts(pipeline.spec());
             println!(
                 "places: {}   operators: {} prefix, {} choice, {} par, {} enable, {} disable, {} call",
                 attrs.all, ops.prefix, ops.choice, ops.par, ops.enable, ops.disable, ops.call
             );
-            if violations.is_empty() {
-                println!("OK: specification satisfies R1, R2, R3 and the service grammar");
-                Ok(())
-            } else {
-                for v in &violations {
-                    println!("VIOLATION: {v}");
+            match pipeline.check() {
+                Ok(_) => {
+                    println!("OK: specification satisfies R1, R2, R3 and the service grammar");
+                    Ok(())
                 }
-                Err(format!("{} violation(s)", violations.len()))
+                Err(e) => {
+                    if let ProtogenError::Restriction(violations) = &e {
+                        for v in violations {
+                            println!("VIOLATION: {v}");
+                        }
+                    }
+                    Err(e)
+                }
             }
         }
         "attrs" => {
-            let spec = read_spec_arg(rest)?;
-            let attrs = evaluate(&spec);
+            let pipeline = load_pipeline(rest)?;
+            let spec = pipeline.spec();
+            let attrs = pipeline.attrs();
             println!("ALL = {}   (fixpoint passes: {})", attrs.all, attrs.passes);
             for (pi, p) in spec.procs.iter().enumerate() {
                 println!(
@@ -130,7 +187,10 @@ fn run(args: &[String]) -> Result<(), String> {
                     p.name, attrs.proc_sp[pi], attrs.proc_ep[pi], attrs.proc_ap[pi]
                 );
             }
-            println!("{:>4} {:>10} {:>10} {:>10}  expression", "N", "SP", "EP", "AP");
+            println!(
+                "{:>4} {:>10} {:>10} {:>10}  expression",
+                "N", "SP", "EP", "AP"
+            );
             let mut rows: Vec<(u32, lotos::NodeId)> = spec
                 .iter_nodes()
                 .filter(|(id, _)| attrs.num(*id) > 0)
@@ -138,7 +198,7 @@ fn run(args: &[String]) -> Result<(), String> {
                 .collect();
             rows.sort_unstable();
             for (n, id) in rows {
-                let mut text = print_expr(&spec, id);
+                let mut text = print_expr(spec, id);
                 if text.len() > 48 {
                     text.truncate(45);
                     text.push_str("...");
@@ -155,8 +215,8 @@ fn run(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         "derive" => {
-            let spec = read_spec_arg(rest)?;
-            let d = derive(&spec).map_err(|e| e.to_string())?;
+            let derived = load_pipeline(rest)?.check()?.derive()?;
+            let d = derived.derivation();
             let only: Option<u8> = flag_value(rest, "-p").map(|v| v.parse().unwrap_or(0));
             for (p, entity) in &d.entities {
                 if let Some(q) = only {
@@ -167,7 +227,7 @@ fn run(args: &[String]) -> Result<(), String> {
                 println!("-- place {p}");
                 println!("{}", print_spec(entity));
             }
-            let stats = message_stats(&d);
+            let stats = message_stats(d);
             println!(
                 "-- synchronization messages: {} sends, {} receives",
                 stats.total, stats.recv_total
@@ -178,31 +238,32 @@ fn run(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         "verify" => {
-            let spec = read_spec_arg(rest)?;
-            let mut opts = VerifyOptions::default();
-            if let Some(l) = flag_value(rest, "-l") {
-                opts.trace_len = l.parse().map_err(|_| "bad -l value")?;
+            let derived = load_pipeline(rest)?.check()?.derive()?;
+            let mut opts = VerifyConfig::default();
+            if let Some(l) = parse_flag(rest, "-l")? {
+                opts.trace_len = l;
             }
-            if let Some(s) = flag_value(rest, "-s") {
-                opts.max_states = s.parse().map_err(|_| "bad -s value")?;
+            if let Some(s) = parse_flag(rest, "-s")? {
+                opts = opts.max_states(s);
             }
-            let report = verify_service(&spec, opts).map_err(|e| e.to_string())?;
+            let report = derived.verify_report(&opts);
             print!("{report}");
             if report.passed() {
                 Ok(())
             } else {
-                Err("verification failed".to_string())
+                Err(ProtogenError::Verification(
+                    "trace sets differ, deadlock found, or bisimulation failed".into(),
+                ))
             }
         }
         "simulate" => {
-            let spec = read_spec_arg(rest)?;
-            let d = derive(&spec).map_err(|e| e.to_string())?;
+            let derived = load_pipeline(rest)?.check()?.derive()?;
+            let d = derived.derivation();
             let mut cfg = SimConfig::default();
-            if let Some(s) = flag_value(rest, "--seed") {
-                cfg.seed = s.parse().map_err(|_| "bad --seed value")?;
+            if let Some(s) = parse_flag(rest, "--seed")? {
+                cfg.seed = s;
             }
-            if let Some(l) = flag_value(rest, "--loss") {
-                let loss: f64 = l.parse().map_err(|_| "bad --loss value")?;
+            if let Some(loss) = parse_flag::<f64>(rest, "--loss")? {
                 cfg.link = Some(sim::LinkConfig {
                     loss,
                     arq: !rest.iter().any(|a| a == "--no-arq"),
@@ -215,7 +276,7 @@ fn run(args: &[String]) -> Result<(), String> {
             let mut ok = true;
             for r in 0..runs {
                 let outcome = simulate(
-                    &d,
+                    d,
                     SimConfig {
                         seed: cfg.seed.wrapping_add(r as u64),
                         ..cfg.clone()
@@ -249,19 +310,21 @@ fn run(args: &[String]) -> Result<(), String> {
             if ok {
                 Ok(())
             } else {
-                Err("simulation found service violations".to_string())
+                Err(ProtogenError::Verification(
+                    "simulation found service violations".into(),
+                ))
             }
         }
         "gen" => {
             let mut cfg = specgen::GenConfig::default();
-            if let Some(s) = flag_value(rest, "--seed") {
-                cfg.seed = s.parse().map_err(|_| "bad --seed value")?;
+            if let Some(s) = parse_flag(rest, "--seed")? {
+                cfg.seed = s;
             }
-            if let Some(p) = flag_value(rest, "--places") {
-                cfg.places = p.parse().map_err(|_| "bad --places value")?;
+            if let Some(p) = parse_flag(rest, "--places")? {
+                cfg.places = p;
             }
-            if let Some(d) = flag_value(rest, "--depth") {
-                cfg.max_depth = d.parse().map_err(|_| "bad --depth value")?;
+            if let Some(d) = parse_flag(rest, "--depth")? {
+                cfg.max_depth = d;
             }
             cfg.allow_disable = rest.iter().any(|a| a == "--disable");
             cfg.allow_recursion = rest.iter().any(|a| a == "--rec");
@@ -270,14 +333,17 @@ fn run(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         "central" => {
-            let spec = read_spec_arg(rest)?;
-            let attrs = evaluate(&spec);
-            let server: u8 = match flag_value(rest, "--server") {
-                Some(v) => v.parse().map_err(|_| "bad --server value")?,
-                None => attrs.all.min_place().ok_or("service mentions no place")?,
+            let pipeline = load_pipeline(rest)?;
+            let attrs = pipeline.attrs();
+            let server: u8 = match parse_flag(rest, "--server")? {
+                Some(v) => v,
+                None => attrs
+                    .all
+                    .min_place()
+                    .ok_or_else(|| ProtogenError::Derive("service mentions no place".into()))?,
             };
-            let d = protogen::centralized::centralize(&spec, server)
-                .map_err(|e| e.to_string())?;
+            let d = protogen::centralized::centralize(pipeline.spec(), server)
+                .map_err(ProtogenError::from)?;
             for (p, entity) in &d.entities {
                 println!(
                     "-- place {p}{}",
@@ -290,12 +356,18 @@ fn run(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         "lts" => {
-            let spec = read_spec_arg(rest)?;
+            let pipeline = load_pipeline(rest)?;
+            let threads = pipeline.config().explore.threads;
+            let pipeline = pipeline.with_config(
+                PipelineConfig::new().explore(
+                    ExploreConfig::new()
+                        .max_states(20_000)
+                        .max_depth(2_000)
+                        .threads(threads),
+                ),
+            );
             let minimize = rest.iter().any(|a| a == "-m");
-            let env = semantics::term::Env::new(spec);
-            let root = env.root();
-            let (lts, _) =
-                semantics::lts::build_term_lts_bounded(&env, root, 20_000, 2_000);
+            let (lts, _) = pipeline.service_lts();
             if !lts.complete {
                 eprintln!("note: state space truncated at {} states", lts.len());
             }
@@ -318,9 +390,18 @@ fn run(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         "help" | "--help" | "-h" => {
-            println!("{}", usage());
+            let ProtogenError::Usage(text) = usage() else {
+                unreachable!()
+            };
+            println!("{text}");
             Ok(())
         }
-        other => Err(format!("unknown command `{other}`\n{}", usage())),
+        other => Err(ProtogenError::Usage(format!(
+            "unknown command `{other}`\n{}",
+            match usage() {
+                ProtogenError::Usage(text) => text,
+                _ => unreachable!(),
+            }
+        ))),
     }
 }

@@ -53,7 +53,10 @@ fn check_rejects_r1_violation() {
 fn attrs_prints_fixpoint() {
     let (stdout, _, ok) = protogen(&["attrs", "-"], Some(EXAMPLE3));
     assert!(ok, "{stdout}");
-    assert!(stdout.contains("PROC S: SP = {1}  EP = {3}  AP = {1,2,3}"), "{stdout}");
+    assert!(
+        stdout.contains("PROC S: SP = {1}  EP = {3}  AP = {1,2,3}"),
+        "{stdout}"
+    );
     assert!(stdout.contains("ALL = {1,2,3}"), "{stdout}");
 }
 
@@ -64,11 +67,17 @@ fn derive_prints_three_entities() {
     for p in 1..=3 {
         assert!(stdout.contains(&format!("-- place {p}")), "{stdout}");
     }
-    assert!(stdout.contains("synchronization messages: 14 sends"), "{stdout}");
+    assert!(
+        stdout.contains("synchronization messages: 14 sends"),
+        "{stdout}"
+    );
     // -p filters to one place
     let (one, _, ok) = protogen(&["derive", "-p", "2", "-"], Some(EXAMPLE3));
     assert!(ok);
-    assert!(one.contains("-- place 2") && !one.contains("-- place 1"), "{one}");
+    assert!(
+        one.contains("-- place 2") && !one.contains("-- place 1"),
+        "{one}"
+    );
 }
 
 #[test]
@@ -150,15 +159,15 @@ fn lts_prints_transitions() {
     assert!(ok, "{stdout}");
     assert!(stdout.contains("states: 4"), "{stdout}");
     assert!(stdout.contains("--a1-->"), "{stdout}");
-    assert!(stdout.contains("--\u{3b4}-->") || stdout.contains("δ"), "{stdout}");
+    assert!(
+        stdout.contains("--\u{3b4}-->") || stdout.contains("δ"),
+        "{stdout}"
+    );
 }
 
 #[test]
 fn lts_minimize_reduces_duplicates() {
-    let (full, _, _) = protogen(
-        &["lts", "-"],
-        Some("SPEC a1;c1;exit [] a1;c1;exit ENDSPEC"),
-    );
+    let (full, _, _) = protogen(&["lts", "-"], Some("SPEC a1;c1;exit [] a1;c1;exit ENDSPEC"));
     let (min, _, ok) = protogen(
         &["lts", "-m", "-"],
         Some("SPEC a1;c1;exit [] a1;c1;exit ENDSPEC"),

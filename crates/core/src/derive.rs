@@ -40,10 +40,7 @@ pub struct Derivation {
 impl Derivation {
     /// The derived entity for place `p`, if `p ∈ ALL`.
     pub fn entity(&self, p: PlaceId) -> Option<&Spec> {
-        self.entities
-            .iter()
-            .find(|(q, _)| *q == p)
-            .map(|(_, s)| s)
+        self.entities.iter().find(|(q, _)| *q == p).map(|(_, s)| s)
     }
 }
 
@@ -137,6 +134,21 @@ pub fn derive(service: &Spec) -> Result<Derivation, DeriveError> {
 
 /// [`derive()`] with explicit [`Options`].
 pub fn derive_with(service: &Spec, opts: Options) -> Result<Derivation, DeriveError> {
+    derive_with_threads(service, opts, 1)
+}
+
+/// [`derive_with`] deriving the per-place entities on up to `threads`
+/// worker threads. `T_p` is a pure function of the shared service
+/// context, so places are embarrassingly parallel; entities are joined
+/// in ascending place order, making the result identical to the
+/// sequential derivation for any thread count. `threads <= 1` runs the
+/// plain sequential loop (the µs-scale common case, where spawning
+/// would dominate).
+pub fn derive_with_threads(
+    service: &Spec,
+    opts: Options,
+    threads: usize,
+) -> Result<Derivation, DeriveError> {
     let mut service = service.clone();
     to_prefix_form(&mut service)?;
     let attrs = evaluate(&service);
@@ -158,10 +170,25 @@ pub fn derive_with(service: &Spec, opts: Options) -> Result<Derivation, DeriveEr
         occ,
     };
     let mode = opts.disable_mode;
-    let mut entities = Vec::new();
-    for p in all.iter() {
-        entities.push((p, derive_entity(&ctx, p, mode)));
-    }
+    let places: Vec<PlaceId> = all.iter().collect();
+    let entities: Vec<(PlaceId, Spec)> = if threads <= 1 || places.len() <= 1 {
+        places
+            .iter()
+            .map(|&p| (p, derive_entity(&ctx, p, mode)))
+            .collect()
+    } else {
+        let ctx = &ctx;
+        std::thread::scope(|s| {
+            let handles: Vec<_> = places
+                .iter()
+                .map(|&p| s.spawn(move || (p, derive_entity(ctx, p, mode))))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("derivation worker panicked"))
+                .collect()
+        })
+    };
     Ok(Derivation {
         entities,
         service,
@@ -192,7 +219,10 @@ fn derive_entity(ctx: &Ctx<'_>, p: PlaceId, mode: DisableMode) -> Spec {
         procs: ctx.service.top.procs.clone(),
     };
     let unresolved = out.resolve();
-    debug_assert!(unresolved.is_empty(), "derived entity lost process bindings");
+    debug_assert!(
+        unresolved.is_empty(),
+        "derived entity lost process bindings"
+    );
     out
 }
 
@@ -350,7 +380,6 @@ fn tp(
         }
     }
 }
-
 
 /// The §3.3 request/acknowledgment interrupt (see [`DisableMode::RequestAck`])
 /// for one disable-RHS alternative `a_q ; Seq`:
@@ -565,8 +594,8 @@ mod tests {
     /// Restriction violations abort the derivation.
     #[test]
     fn restriction_violation_rejected() {
-        let err = derive(&parse_spec("SPEC a1;c3;exit [] b2;c3;exit ENDSPEC").unwrap())
-            .unwrap_err();
+        let err =
+            derive(&parse_spec("SPEC a1;c3;exit [] b2;c3;exit ENDSPEC").unwrap()).unwrap_err();
         assert!(matches!(err, DeriveError::Restrictions(_)));
         // ...unless explicitly disabled
         let d = derive_with(

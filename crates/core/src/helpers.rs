@@ -26,13 +26,7 @@ pub struct Ctx<'a> {
 impl<'a> Ctx<'a> {
     /// `send(P, N)` of Table 4: `( s_i(s,N);exit ||| ... ||| s_k(s,N);exit )`,
     /// or `None` when `P = {}`.
-    pub fn send(
-        &self,
-        out: &mut Spec,
-        places: PlaceSet,
-        n: u32,
-        kind: SyncKind,
-    ) -> Option<NodeId> {
+    pub fn send(&self, out: &mut Spec, places: PlaceSet, n: u32, kind: SyncKind) -> Option<NodeId> {
         self.msgs(out, places, n, kind, true)
     }
 
@@ -224,7 +218,12 @@ impl<'a> Ctx<'a> {
     /// required for correct choice guarding, not just cosmetic).
     pub fn enable_chain(&self, out: &mut Spec, parts: Vec<Option<NodeId>>) -> NodeId {
         let mut kept: Vec<NodeId> = parts.into_iter().flatten().collect();
-        kept.retain(|&id| !matches!(out.node(id), lotos::ast::Expr::Exit | lotos::ast::Expr::Empty));
+        kept.retain(|&id| {
+            !matches!(
+                out.node(id),
+                lotos::ast::Expr::Exit | lotos::ast::Expr::Empty
+            )
+        });
         let Some(mut acc) = kept.pop() else {
             return out.exit();
         };

@@ -15,7 +15,20 @@
 //! ```
 //!
 //! All steps are run by [`derive::derive`]; the individual pieces are also
-//! exported for tools that want partial pipelines.
+//! exported for tools that want partial pipelines. The staged
+//! [`pipeline::Pipeline`] facade wraps the whole chain behind one API
+//! with a unified error type ([`error::ProtogenError`]) — see
+//! `docs/PIPELINE.md` at the repository root:
+//!
+//! ```
+//! use protogen::Pipeline;
+//!
+//! let d = Pipeline::load("SPEC a1;exit >> b2;exit ENDSPEC")?
+//!     .check()?
+//!     .derive()?;
+//! assert_eq!(d.derivation().entities.len(), 2);
+//! # Ok::<(), protogen::ProtogenError>(())
+//! ```
 //!
 //! ## Example — the paper's Example 4
 //!
@@ -41,11 +54,17 @@
 
 pub mod centralized;
 pub mod derive;
+pub mod error;
 pub mod helpers;
+pub mod pipeline;
 pub mod simplify;
 pub mod stats;
 
 pub use centralized::centralize;
-pub use derive::{derive, derive_with, Derivation, DeriveError, DisableMode, Options};
+pub use derive::{
+    derive, derive_with, derive_with_threads, Derivation, DeriveError, DisableMode, Options,
+};
+pub use error::ProtogenError;
+pub use pipeline::{Checked, Derived, Pipeline, PipelineConfig};
 pub use simplify::simplify;
 pub use stats::{message_stats, operator_counts, MessageStats, OperatorCounts};

@@ -154,8 +154,14 @@ mod tests {
     #[test]
     fn nested_collapse() {
         // (empty >> exit) >> a1;exit collapses in two steps
-        assert_eq!(simp_str("SPEC (empty >> exit) >> a1;exit ENDSPEC"), "a1; exit");
-        assert_eq!(simp_str("SPEC (exit [] exit) >> a1;exit ENDSPEC"), "a1; exit");
+        assert_eq!(
+            simp_str("SPEC (empty >> exit) >> a1;exit ENDSPEC"),
+            "a1; exit"
+        );
+        assert_eq!(
+            simp_str("SPEC (exit [] exit) >> a1;exit ENDSPEC"),
+            "a1; exit"
+        );
     }
 
     #[test]
@@ -173,8 +179,8 @@ mod tests {
 
     #[test]
     fn processes_simplified_too() {
-        let spec = parse_spec("SPEC A WHERE PROC A = a1; (exit >> r2(7);exit) END ENDSPEC")
-            .unwrap();
+        let spec =
+            parse_spec("SPEC A WHERE PROC A = a1; (exit >> r2(7);exit) END ENDSPEC").unwrap();
         let s = simplify(&spec);
         assert_eq!(print_expr(&s, s.procs[0].body.expr), "a1; r2(7); exit");
     }

@@ -49,7 +49,10 @@ impl MessageStats {
 
     /// Number of distinct synchronization points of a given kind.
     pub fn points(&self, kind: SyncKind) -> usize {
-        self.per_point.iter().filter(|((k, _), _)| *k == kind).count()
+        self.per_point
+            .iter()
+            .filter(|((k, _), _)| *k == kind)
+            .count()
     }
 }
 
@@ -58,7 +61,9 @@ pub fn message_stats(d: &Derivation) -> MessageStats {
     let mut stats = MessageStats::default();
     for (_, entity) in &d.entities {
         for (_, e) in entity.iter_nodes() {
-            let Expr::Prefix { event, .. } = e else { continue };
+            let Expr::Prefix { event, .. } = e else {
+                continue;
+            };
             match event {
                 Event::Send { msg, kind, .. } => {
                     stats.total += 1;
@@ -136,9 +141,7 @@ mod tests {
 
     #[test]
     fn sends_and_receives_pair_up() {
-        let (s, _) = stats_for(
-            "SPEC (a1 ; b2 ; c3 ; exit) [> (d3 ; c3 ; exit) ENDSPEC",
-        );
+        let (s, _) = stats_for("SPEC (a1 ; b2 ; c3 ; exit) [> (d3 ; c3 ; exit) ENDSPEC");
         assert_eq!(s.total, s.recv_total);
     }
 
@@ -147,9 +150,7 @@ mod tests {
         // e1 >> (e2 ||| e3) >> e4 with places 1 / 2,3 / 4:
         // first >> costs 2 (SP of the parallel = {2,3}), second costs 2
         // (EP of the parallel = {2,3}) — §4.3's multiplication example.
-        let (s, _) = stats_for(
-            "SPEC a1;exit >> (b2;exit ||| c3;exit) >> d4;exit ENDSPEC",
-        );
+        let (s, _) = stats_for("SPEC a1;exit >> (b2;exit ||| c3;exit) >> d4;exit ENDSPEC");
         assert_eq!(s.per_kind.get(&SyncKind::Seq), Some(&4));
         assert_eq!(s.max_per_point(SyncKind::Seq), 2);
     }
@@ -158,9 +159,7 @@ mod tests {
     fn choice_within_bound_n() {
         // AP(left) = {1,2}, AP(right) = {1,3}: one Alternative message in
         // each direction-set; n = 3 is the §4.3 bound.
-        let (s, n) = stats_for(
-            "SPEC (a1;b2;c3;exit) [] (e1;f3;c3;exit) ENDSPEC",
-        );
+        let (s, n) = stats_for("SPEC (a1;b2;c3;exit) [] (e1;f3;c3;exit) ENDSPEC");
         let alt = s.per_kind.get(&SyncKind::Alt).copied().unwrap_or(0);
         assert!(alt as u32 <= n, "alt = {alt}, n = {n}");
         assert!(alt >= 1);

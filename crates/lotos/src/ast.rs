@@ -210,12 +210,7 @@ impl Spec {
 
     /// Define a process and return its index. `parent` is the enclosing
     /// process for scoped lookup.
-    pub fn define_proc(
-        &mut self,
-        name: &str,
-        body: DefBlock,
-        parent: Option<ProcIdx>,
-    ) -> ProcIdx {
+    pub fn define_proc(&mut self, name: &str, body: DefBlock, parent: Option<ProcIdx>) -> ProcIdx {
         let idx = self.procs.len() as ProcIdx;
         self.procs.push(ProcDef {
             name: name.to_string(),
@@ -413,7 +408,14 @@ mod tests {
             s.prim("a", 1, b)
         };
         let body = s.choice(left, right);
-        let pa = s.define_proc("A", DefBlock { expr: body, procs: vec![] }, None);
+        let pa = s.define_proc(
+            "A",
+            DefBlock {
+                expr: body,
+                procs: vec![],
+            },
+            None,
+        );
         let top_call = s.call("A");
         s.top = DefBlock {
             expr: top_call,

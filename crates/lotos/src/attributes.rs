@@ -166,11 +166,7 @@ fn eval_node(spec: &Spec, id: NodeId, attrs: &mut Attributes) {
         // rule 7: `SP(Dis >> e) = SP(Dis)`, `EP = EP(e)`, `AP` is the union.
         Expr::Enable { left, right } => {
             let (l, r) = (*left as usize, *right as usize);
-            (
-                attrs.sp[l],
-                attrs.ep[r],
-                attrs.ap[l].union(attrs.ap[r]),
-            )
+            (attrs.sp[l], attrs.ep[r], attrs.ap[l].union(attrs.ap[r]))
         }
         // rule 9₁: `SP(Par [> Mc) = SP(Par) ∪ SP(Mc)`; EP equal under R2.
         Expr::Disable { left, right } => {

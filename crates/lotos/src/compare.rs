@@ -80,8 +80,14 @@ fn event_eq(ea: &Event, eb: &Event, place: PlaceId, bij: &mut Option<MsgBijectio
     match (ea, eb) {
         (Event::Internal, Event::Internal) => true,
         (
-            Event::Prim { name: na, place: pa },
-            Event::Prim { name: nb, place: pb },
+            Event::Prim {
+                name: na,
+                place: pa,
+            },
+            Event::Prim {
+                name: nb,
+                place: pb,
+            },
         ) => na == nb && pa == pb,
         (
             Event::Send {
@@ -140,8 +146,14 @@ fn expr_eq(
     match (sa.node(a), sb.node(b)) {
         (Expr::Exit, Expr::Exit) | (Expr::Stop, Expr::Stop) | (Expr::Empty, Expr::Empty) => true,
         (
-            Expr::Prefix { event: ea, then: ta },
-            Expr::Prefix { event: eb, then: tb },
+            Expr::Prefix {
+                event: ea,
+                then: ta,
+            },
+            Expr::Prefix {
+                event: eb,
+                then: tb,
+            },
         ) => event_eq(ea, eb, place, bij) && expr_eq(sa, *ta, sb, *tb, place, bij),
         (
             Expr::Choice {

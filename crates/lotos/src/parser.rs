@@ -100,9 +100,7 @@ impl Parser {
     fn enter(&mut self) -> Result<(), ParseError> {
         self.depth += 1;
         if self.depth > MAX_NESTING {
-            return self.err(format!(
-                "expression nesting exceeds {MAX_NESTING} levels"
-            ));
+            return self.err(format!("expression nesting exceeds {MAX_NESTING} levels"));
         }
         Ok(())
     }
@@ -729,8 +727,8 @@ mod tests {
         // pseudo-random garbage built from valid tokens: the parser must
         // return Err, never panic
         let toks = [
-            "SPEC", "ENDSPEC", "PROC", "END", "WHERE", ">>", "[>", "|||",
-            "||", "[]", "(", ")", ";", "exit", "a1", "B", "s2(x)", "i", "=",
+            "SPEC", "ENDSPEC", "PROC", "END", "WHERE", ">>", "[>", "|||", "||", "[]", "(", ")",
+            ";", "exit", "a1", "B", "s2(x)", "i", "=",
         ];
         let mut state = 0x9E3779B97F4A7C15u64;
         for case in 0..500 {

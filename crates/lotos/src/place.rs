@@ -39,7 +39,10 @@ impl PlaceSet {
     /// # Panics
     /// Panics if `p` is 0 or exceeds [`MAX_PLACES`].
     pub fn singleton(p: PlaceId) -> Self {
-        assert!((1..=MAX_PLACES).contains(&p), "place {p} out of range 1..=64");
+        assert!(
+            (1..=MAX_PLACES).contains(&p),
+            "place {p} out of range 1..=64"
+        );
         PlaceSet(1u64 << (p - 1))
     }
 
@@ -65,7 +68,10 @@ impl PlaceSet {
 
     /// Insert place `p`.
     pub fn insert(&mut self, p: PlaceId) {
-        assert!((1..=MAX_PLACES).contains(&p), "place {p} out of range 1..=64");
+        assert!(
+            (1..=MAX_PLACES).contains(&p),
+            "place {p} out of range 1..=64"
+        );
         self.0 |= 1u64 << (p - 1);
     }
 

@@ -59,7 +59,10 @@ impl fmt::Display for PrefixFormError {
                  rule 9\u{2082} requires at least one alternative"
             ),
             PrefixFormError::UnguardedRecursion { proc } => {
-                write!(f, "unguarded recursion through process `{proc}` while unfolding")
+                write!(
+                    f,
+                    "unguarded recursion through process `{proc}` while unfolding"
+                )
             }
             PrefixFormError::UnresolvedCall { name } => {
                 write!(f, "unresolved process `{name}` while unfolding")
@@ -252,7 +255,9 @@ fn build_choice(spec: &mut Spec, alts: Vec<(Event, NodeId)>) -> NodeId {
         .into_iter()
         .map(|(e, cont)| spec.prefix(e, cont))
         .collect();
-    let mut acc = prefixes.pop().expect("build_choice requires ≥1 alternative");
+    let mut acc = prefixes
+        .pop()
+        .expect("build_choice requires ≥1 alternative");
     while let Some(p) = prefixes.pop() {
         acc = spec.choice(p, acc);
     }
@@ -286,8 +291,7 @@ mod tests {
     fn parallel_rhs_expanded() {
         // (d2;exit ||| e2;exit) expands to
         //   d2;(exit ||| e2;exit) [] e2;(d2;exit ||| exit)
-        let (spec, _) =
-            transform("SPEC a1;b2;c2;exit [> (d2;exit ||| e2;exit) ENDSPEC").unwrap();
+        let (spec, _) = transform("SPEC a1;b2;c2;exit [> (d2;exit ||| e2;exit) ENDSPEC").unwrap();
         if let Expr::Disable { right, .. } = spec.node(spec.top.expr) {
             assert!(is_prefix_form(&spec, *right));
             let printed = print_expr(&spec, *right);
@@ -332,8 +336,7 @@ mod tests {
 
     #[test]
     fn enable_rhs_expanded() {
-        let (spec, _) =
-            transform("SPEC a1;c2;exit [> (d2;exit >> c2;exit) ENDSPEC").unwrap();
+        let (spec, _) = transform("SPEC a1;c2;exit [> (d2;exit >> c2;exit) ENDSPEC").unwrap();
         if let Expr::Disable { right, .. } = spec.node(spec.top.expr) {
             assert!(is_prefix_form(&spec, *right));
             let printed = print_expr(&spec, *right);
@@ -346,8 +349,7 @@ mod tests {
 
     #[test]
     fn nested_disable_rhs_expanded_via_t2() {
-        let (spec, _) =
-            transform("SPEC a1;c2;exit [> (d2;c2;exit [> e2;c2;exit) ENDSPEC").unwrap();
+        let (spec, _) = transform("SPEC a1;c2;exit [> (d2;c2;exit [> e2;c2;exit) ENDSPEC").unwrap();
         if let Expr::Disable { right, .. } = spec.node(spec.top.expr) {
             assert!(is_prefix_form(&spec, *right));
             let printed = print_expr(&spec, *right);
@@ -362,10 +364,9 @@ mod tests {
 
     #[test]
     fn guarded_call_unfolded() {
-        let (spec, _) = transform(
-            "SPEC a1;c2;exit [> D WHERE PROC D = d2;c2;exit [] e2;c2;exit END ENDSPEC",
-        )
-        .unwrap();
+        let (spec, _) =
+            transform("SPEC a1;c2;exit [> D WHERE PROC D = d2;c2;exit [] e2;c2;exit END ENDSPEC")
+                .unwrap();
         if let Expr::Disable { right, .. } = spec.node(spec.top.expr) {
             assert!(is_prefix_form(&spec, *right));
         } else {
@@ -396,10 +397,8 @@ mod tests {
 
     #[test]
     fn unguarded_recursion_rejected() {
-        let e = transform(
-            "SPEC a1;c2;exit [> D WHERE PROC D = D [] d2;c2;exit END ENDSPEC",
-        )
-        .unwrap_err();
+        let e = transform("SPEC a1;c2;exit [> D WHERE PROC D = D [] d2;c2;exit END ENDSPEC")
+            .unwrap_err();
         assert!(matches!(e, PrefixFormError::UnguardedRecursion { .. }));
     }
 

@@ -192,7 +192,10 @@ mod tests {
         let s1 = parse_spec(src).unwrap();
         let printed = print_spec(&s1);
         let s2 = parse_spec(&printed).unwrap();
-        assert!(crate::compare::spec_eq_exact(&s1, &s2), "printed:\n{printed}");
+        assert!(
+            crate::compare::spec_eq_exact(&s1, &s2),
+            "printed:\n{printed}"
+        );
     }
 
     #[test]
@@ -204,6 +207,9 @@ mod tests {
         let s1 = parse_spec(src).unwrap();
         let printed = print_spec(&s1);
         let s2 = parse_spec(&printed).unwrap();
-        assert!(crate::compare::spec_eq_exact(&s1, &s2), "printed:\n{printed}");
+        assert!(
+            crate::compare::spec_eq_exact(&s1, &s2),
+            "printed:\n{printed}"
+        );
     }
 }

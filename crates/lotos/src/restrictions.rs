@@ -278,9 +278,7 @@ pub fn is_prefix_form(spec: &Spec, id: NodeId) -> bool {
 /// Collect processes callable from `id` without crossing an action prefix.
 fn collect_initial_calls(spec: &Spec, id: NodeId, out: &mut Vec<ProcIdx>) {
     match spec.node(id) {
-        Expr::Call {
-            proc: Some(pi), ..
-        } => out.push(*pi),
+        Expr::Call { proc: Some(pi), .. } => out.push(*pi),
         Expr::Choice { left, right }
         | Expr::Par { left, right, .. }
         | Expr::Disable { left, right } => {
@@ -334,7 +332,10 @@ mod tests {
         let v = expr_violations("(a1;c3;exit ||| b1;exit) [] a1;c3;exit");
         // SP(left) = {1} here — both branches start at 1, fine; change one:
         let v2 = expr_violations("(a1;c3;exit ||| b2;exit) [] a1;c3;exit");
-        assert!(v2.iter().any(|x| matches!(x, Violation::R1 { .. })), "{v2:?}");
+        assert!(
+            v2.iter().any(|x| matches!(x, Violation::R1 { .. })),
+            "{v2:?}"
+        );
         // and the first one trips R2 instead (EPs differ)
         assert!(v.iter().any(|x| matches!(x, Violation::R2 { .. })), "{v:?}");
     }
@@ -374,7 +375,8 @@ mod tests {
     fn internal_action_rejected() {
         let v = expr_violations("i; a1; exit");
         assert!(
-            v.iter().any(|x| matches!(x, Violation::NonServiceEvent { .. })),
+            v.iter()
+                .any(|x| matches!(x, Violation::NonServiceEvent { .. })),
             "{v:?}"
         );
     }
@@ -383,7 +385,8 @@ mod tests {
     fn message_event_rejected() {
         let v = expr_violations("s2(x); exit");
         assert!(
-            v.iter().any(|x| matches!(x, Violation::NonServiceEvent { .. })),
+            v.iter()
+                .any(|x| matches!(x, Violation::NonServiceEvent { .. })),
             "{v:?}"
         );
     }
@@ -391,7 +394,10 @@ mod tests {
     #[test]
     fn bare_exit_flagged() {
         let v = expr_violations("exit [] a1;exit");
-        assert!(v.iter().any(|x| matches!(x, Violation::BareExit { .. })), "{v:?}");
+        assert!(
+            v.iter().any(|x| matches!(x, Violation::BareExit { .. })),
+            "{v:?}"
+        );
         // but a prefixed exit is fine
         let v = expr_violations("a1; exit");
         assert!(v.is_empty(), "{v:?}");
@@ -400,9 +406,15 @@ mod tests {
     #[test]
     fn stop_and_empty_flagged() {
         let v = expr_violations("stop");
-        assert!(matches!(v[0], Violation::NonServiceTerm { what: "stop", .. }));
+        assert!(matches!(
+            v[0],
+            Violation::NonServiceTerm { what: "stop", .. }
+        ));
         let v = expr_violations("empty");
-        assert!(matches!(v[0], Violation::NonServiceTerm { what: "empty", .. }));
+        assert!(matches!(
+            v[0],
+            Violation::NonServiceTerm { what: "empty", .. }
+        ));
     }
 
     #[test]
@@ -414,9 +426,8 @@ mod tests {
             "{v:?}"
         );
         // mutual unguarded recursion
-        let v = violations(
-            "SPEC A WHERE PROC A = B [] a1;exit END PROC B = A [] a1;exit END ENDSPEC",
-        );
+        let v =
+            violations("SPEC A WHERE PROC A = B [] a1;exit END PROC B = A [] a1;exit END ENDSPEC");
         assert!(
             v.iter()
                 .filter(|x| matches!(x, Violation::UnguardedRecursion { .. }))

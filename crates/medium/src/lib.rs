@@ -132,12 +132,7 @@ impl Network {
 
     /// The messages of channel `from → to` that may be delivered next:
     /// under FIFO only the head; under arbitrary order every one.
-    pub fn deliverable(
-        &self,
-        cfg: &MediumConfig,
-        from: PlaceId,
-        to: PlaceId,
-    ) -> Vec<&Msg> {
+    pub fn deliverable(&self, cfg: &MediumConfig, from: PlaceId, to: PlaceId) -> Vec<&Msg> {
         match self.queues.get(&(from, to)) {
             None => Vec::new(),
             Some(q) => match cfg.order {
@@ -183,9 +178,7 @@ impl Network {
                     return None;
                 }
             }
-            Order::Arbitrary => q
-                .iter()
-                .position(|m| m.id == *id && m.occ == occ)?,
+            Order::Arbitrary => q.iter().position(|m| m.id == *id && m.occ == occ)?,
         };
         let msg = q.remove(idx);
         if q.is_empty() {

@@ -18,10 +18,7 @@ fn msg(from: u8, to: u8, n: u32, occ: u32) -> Msg {
 
 /// A random script of send/receive-head operations over 2–4 places.
 fn arb_script() -> impl Strategy<Value = Vec<(bool, u8, u8, u32)>> {
-    proptest::collection::vec(
-        (any::<bool>(), 1u8..=4, 1u8..=4, 0u32..6),
-        0..120,
-    )
+    proptest::collection::vec((any::<bool>(), 1u8..=4, 1u8..=4, 0u32..6), 0..120)
 }
 
 proptest! {

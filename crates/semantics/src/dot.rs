@@ -37,7 +37,11 @@ pub fn to_dot(lts: &Lts, name: &str) -> String {
     }
     for (s, edges) in lts.trans.iter().enumerate() {
         for (l, t) in edges {
-            let style = if l.is_internal() { ", style=dashed" } else { "" };
+            let style = if l.is_internal() {
+                ", style=dashed"
+            } else {
+                ""
+            };
             let _ = writeln!(
                 out,
                 "  s{s} -> s{t} [label=\"{}\"{style}];",

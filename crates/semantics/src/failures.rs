@@ -41,6 +41,7 @@ pub fn failures(lts: &Lts, max_len: usize) -> FailureSet {
         .alphabet()
         .into_iter()
         .filter(|l| !l.is_internal())
+        .cloned()
         .collect();
 
     let closure = |seed: &BTreeSet<usize>| -> BTreeSet<usize> {
@@ -57,17 +58,15 @@ pub fn failures(lts: &Lts, max_len: usize) -> FailureSet {
     };
 
     let stable = |s: usize| lts.trans[s].iter().all(|(l, _)| !l.is_internal());
-    let initials = |s: usize| -> BTreeSet<Label> {
-        lts.trans[s].iter().map(|(l, _)| l.clone()).collect()
-    };
+    let initials =
+        |s: usize| -> BTreeSet<Label> { lts.trans[s].iter().map(|(l, _)| l.clone()).collect() };
 
     let mut per_trace: BTreeMap<Vec<Label>, Vec<BTreeSet<Label>>> = BTreeMap::new();
     let mut record = |trace: &Vec<Label>, set: &BTreeSet<usize>| {
         let mut refusals: Vec<BTreeSet<Label>> = Vec::new();
         for &s in set {
             if stable(s) {
-                let ref_set: BTreeSet<Label> =
-                    alphabet.difference(&initials(s)).cloned().collect();
+                let ref_set: BTreeSet<Label> = alphabet.difference(&initials(s)).cloned().collect();
                 // keep only maximal refusals
                 if refusals.iter().any(|r| ref_set.is_subset(r)) {
                     continue;
@@ -134,8 +133,7 @@ pub fn failures_equal(a: &FailureSet, b: &FailureSet) -> bool {
         // by extending each refusal with the labels the system never has
         let union: BTreeSet<Label> = a.alphabet.union(&b.alphabet).cloned().collect();
         let extend = |fs: &FailureSet| -> BTreeMap<Vec<Label>, Vec<BTreeSet<Label>>> {
-            let missing: BTreeSet<Label> =
-                union.difference(&fs.alphabet).cloned().collect();
+            let missing: BTreeSet<Label> = union.difference(&fs.alphabet).cloned().collect();
             fs.per_trace
                 .iter()
                 .map(|(t, refs)| {
@@ -161,9 +159,7 @@ fn families_equal(
                     y: &BTreeMap<Vec<Label>, Vec<BTreeSet<Label>>>| {
         x.iter().all(|(trace, refs)| match y.get(trace) {
             None => false,
-            Some(yrefs) => refs
-                .iter()
-                .all(|r| yrefs.iter().any(|yr| r.is_subset(yr))),
+            Some(yrefs) => refs.iter().all(|r| yrefs.iter().any(|yr| r.is_subset(yr))),
         })
     };
     subsumed(a, b) && subsumed(b, a)
@@ -171,8 +167,7 @@ fn families_equal(
 
 /// The first trace whose refusals differ, for diagnostics.
 pub fn first_failure_difference(a: &FailureSet, b: &FailureSet) -> Option<Vec<Label>> {
-    let traces: BTreeSet<&Vec<Label>> =
-        a.per_trace.keys().chain(b.per_trace.keys()).collect();
+    let traces: BTreeSet<&Vec<Label>> = a.per_trace.keys().chain(b.per_trace.keys()).collect();
     for t in traces {
         let ar = a.per_trace.get(t);
         let br = b.per_trace.get(t);

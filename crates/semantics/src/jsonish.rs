@@ -1,0 +1,73 @@
+//! Minimal JSON field extraction for the config types.
+//!
+//! The build environment has no crates.io mirror, so the configuration
+//! family (`ExploreConfig`, `PipelineConfig`, `SimConfig`, …) cannot derive
+//! serde traits; each type hand-writes `to_json`/`from_json` over these
+//! helpers instead. Deliberately small: flat objects, no escapes inside
+//! strings, no nested arrays — exactly what the config surface needs.
+
+/// Extract an unsigned integer field: `"key": 123`.
+pub fn get_u64(json: &str, key: &str) -> Option<u64> {
+    value_after(json, key)?
+        .split(|c: char| !c.is_ascii_digit())
+        .next()?
+        .parse()
+        .ok()
+}
+
+/// Extract a float field: `"key": 1.5`.
+pub fn get_f64(json: &str, key: &str) -> Option<f64> {
+    let v = value_after(json, key)?;
+    let end = v
+        .find(|c: char| !(c.is_ascii_digit() || "+-.eE".contains(c)))
+        .unwrap_or(v.len());
+    v[..end].parse().ok()
+}
+
+/// Extract a boolean field: `"key": true`.
+pub fn get_bool(json: &str, key: &str) -> Option<bool> {
+    let v = value_after(json, key)?;
+    if v.starts_with("true") {
+        Some(true)
+    } else if v.starts_with("false") {
+        Some(false)
+    } else {
+        None
+    }
+}
+
+/// Extract a string field: `"key": "value"` (no escape handling).
+pub fn get_str<'a>(json: &'a str, key: &str) -> Option<&'a str> {
+    let v = value_after(json, key)?.strip_prefix('"')?;
+    v.split('"').next()
+}
+
+/// The raw text following `"key":`, with leading whitespace stripped.
+fn value_after<'a>(json: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\"");
+    let after = &json[json.find(&needle)? + needle.len()..];
+    after.trim_start().strip_prefix(':').map(str::trim_start)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DOC: &str = "{\"states\": 600, \"rate\": 0.25, \"deep\": false, \"mode\": \"broadcast\"}";
+
+    #[test]
+    fn extracts_each_type() {
+        assert_eq!(get_u64(DOC, "states"), Some(600));
+        assert_eq!(get_f64(DOC, "rate"), Some(0.25));
+        assert_eq!(get_bool(DOC, "deep"), Some(false));
+        assert_eq!(get_str(DOC, "mode"), Some("broadcast"));
+    }
+
+    #[test]
+    fn missing_and_malformed_fields_are_none() {
+        assert_eq!(get_u64(DOC, "absent"), None);
+        assert_eq!(get_u64("{\"states\": \"oops\"}", "states"), None);
+        assert_eq!(get_bool("{\"deep\": 3}", "deep"), None);
+        assert_eq!(get_str("{\"mode\": 3}", "mode"), None);
+    }
+}

@@ -36,7 +36,11 @@
 
 pub mod bisim;
 pub mod dot;
+pub mod engine;
+pub mod explore;
 pub mod failures;
+pub mod fxhash;
+pub mod jsonish;
 pub mod lts;
 pub mod sos;
 pub mod term;
@@ -44,6 +48,8 @@ pub mod traces;
 
 pub use bisim::{observation_congruent, strong_equiv, weak_equiv};
 pub use dot::to_dot;
+pub use engine::{Engine, TermArena, TermId, TermNode};
+pub use explore::{build_lts, ExploreConfig, ParSystem};
 pub use failures::{failures, failures_equal, first_failure_difference, FailureSet};
 pub use lts::{build_term_lts, Lts};
 pub use sos::transitions;

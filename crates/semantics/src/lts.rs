@@ -13,7 +13,7 @@ use std::collections::HashMap;
 use std::rc::Rc;
 
 /// A finite labelled transition system.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Lts {
     /// Outgoing transitions per state.
     pub trans: Vec<Vec<(Label, usize)>>,
@@ -43,18 +43,14 @@ impl Lts {
         self.trans.iter().map(|v| v.len()).sum()
     }
 
-    /// The distinct labels occurring in the LTS, sorted.
-    pub fn alphabet(&self) -> Vec<Label> {
-        let mut labels: Vec<Label> = self
-            .trans
+    /// The distinct labels occurring in the LTS, sorted. Borrows from the
+    /// transition table instead of cloning every label.
+    pub fn alphabet(&self) -> std::collections::BTreeSet<&Label> {
+        self.trans
             .iter()
-            .flat_map(|v| v.iter().map(|(l, _)| l.clone()))
-            .collect();
-        labels.sort();
-        labels.dedup();
-        labels
+            .flat_map(|v| v.iter().map(|(l, _)| l))
+            .collect()
     }
-
 
     /// Quotient the LTS by strong bisimilarity: merge equivalent states
     /// and drop duplicate edges. The result is the canonical minimal
@@ -163,11 +159,7 @@ impl Lts {
 
 /// Build the LTS of a behaviour term, breadth-first, stopping after
 /// `max_states` distinct states. Returns the LTS and the states' terms.
-pub fn build_term_lts(
-    env: &Env,
-    root: Rc<RTerm>,
-    max_states: usize,
-) -> (Lts, Vec<Rc<RTerm>>) {
+pub fn build_term_lts(env: &Env, root: Rc<RTerm>, max_states: usize) -> (Lts, Vec<Rc<RTerm>>) {
     build_term_lts_bounded(env, root, max_states, usize::MAX)
 }
 
@@ -308,8 +300,7 @@ mod tests {
     #[test]
     fn alphabet_collection() {
         let l = lts_of("SPEC a1;exit ||| b2;exit ENDSPEC", 100);
-        let alpha = l.alphabet();
-        let strs: Vec<String> = alpha.iter().map(|l| l.to_string()).collect();
+        let strs: Vec<String> = l.alphabet().iter().map(|l| l.to_string()).collect();
         assert_eq!(strs, vec!["δ", "a1", "b2"]);
     }
 

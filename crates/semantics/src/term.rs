@@ -219,40 +219,27 @@ impl Env {
                 let l = self.label_of(event, occ);
                 RTerm::Prefix(l, self.instantiate(*then, occ)).rc()
             }
-            Expr::Choice { left, right } => RTerm::Choice(
-                self.instantiate(*left, occ),
-                self.instantiate(*right, occ),
-            )
-            .rc(),
+            Expr::Choice { left, right } => {
+                RTerm::Choice(self.instantiate(*left, occ), self.instantiate(*right, occ)).rc()
+            }
             Expr::Par { sync, left, right } => RTerm::Par(
                 sync.clone(),
                 self.instantiate(*left, occ),
                 self.instantiate(*right, occ),
             )
             .rc(),
-            Expr::Enable { left, right } => RTerm::Enable(
-                self.instantiate(*left, occ),
-                self.instantiate(*right, occ),
-            )
-            .rc(),
-            Expr::Disable { left, right } => RTerm::Disable(
-                self.instantiate(*left, occ),
-                self.instantiate(*right, occ),
-            )
-            .rc(),
+            Expr::Enable { left, right } => {
+                RTerm::Enable(self.instantiate(*left, occ), self.instantiate(*right, occ)).rc()
+            }
+            Expr::Disable { left, right } => {
+                RTerm::Disable(self.instantiate(*left, occ), self.instantiate(*right, occ)).rc()
+            }
             Expr::Call { proc, tag, name } => {
-                let proc = proc.unwrap_or_else(|| {
-                    panic!("unresolved process `{name}` at runtime")
-                });
+                let proc = proc.unwrap_or_else(|| panic!("unresolved process `{name}` at runtime"));
                 // Site identity: explicit tag when present (derived
                 // entities), otherwise the node id itself (service specs).
                 let site = if *tag != 0 { *tag } else { node + 1_000_000 };
-                RTerm::Call {
-                    proc,
-                    site,
-                    occ,
-                }
-                .rc()
+                RTerm::Call { proc, site, occ }.rc()
             }
         }
     }
@@ -318,7 +305,7 @@ pub fn hide(gates: Vec<(String, PlaceId)>, t: Rc<RTerm>) -> Rc<RTerm> {
 
 /// Which processes (transitively) contain occurrence-parameterized message
 /// events? Fixpoint over the call graph.
-fn compute_occ_sensitivity(spec: &Spec) -> Vec<bool> {
+pub(crate) fn compute_occ_sensitivity(spec: &Spec) -> Vec<bool> {
     let n = spec.procs.len();
     let mut sensitive = vec![false; n];
     // direct sensitivity + call edges
@@ -332,9 +319,7 @@ fn compute_occ_sensitivity(spec: &Spec) -> Vec<bool> {
                 } => {
                     sensitive[pi] = true;
                 }
-                Expr::Call {
-                    proc: Some(q), ..
-                } => calls[pi].push(*q),
+                Expr::Call { proc: Some(q), .. } => calls[pi].push(*q),
                 _ => {}
             }
         }

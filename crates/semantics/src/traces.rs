@@ -110,7 +110,11 @@ pub fn observable_traces(lts: &Lts, max_len: usize) -> TraceSet {
 pub fn trace_equal(a: &TraceSet, b: &TraceSet) -> (bool, bool) {
     let bound = a.max_len.min(b.max_len);
     let cut = |s: &TraceSet| -> BTreeSet<Vec<Label>> {
-        s.traces.iter().filter(|t| t.len() <= bound).cloned().collect()
+        s.traces
+            .iter()
+            .filter(|t| t.len() <= bound)
+            .cloned()
+            .collect()
     };
     (cut(a) == cut(b), !a.complete || !b.complete)
 }
@@ -128,7 +132,7 @@ pub fn first_difference(a: &TraceSet, b: &TraceSet) -> Option<Vec<Label>> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    
+
     use crate::term::Env;
     use lotos::parser::parse_spec;
 
@@ -137,8 +141,7 @@ mod tests {
         let root = env.root();
         // A raw-step depth of 4·L + 8 comfortably covers L observable
         // steps plus the interleaved i-steps from `>>` unfolding.
-        let (lts, _) =
-            crate::lts::build_term_lts_bounded(&env, root, 100_000, 4 * max_len + 8);
+        let (lts, _) = crate::lts::build_term_lts_bounded(&env, root, 100_000, 4 * max_len + 8);
         observable_traces(&lts, max_len)
     }
 

@@ -88,6 +88,95 @@ impl Default for SimConfig {
     }
 }
 
+impl SimConfig {
+    pub fn new() -> Self {
+        SimConfig::default()
+    }
+
+    /// RNG seed (runs are deterministic per seed).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Uniform message-delay bounds.
+    pub fn delays(mut self, min: f64, max: f64) -> Self {
+        self.delay_min = min;
+        self.delay_max = max;
+        self
+    }
+
+    /// Abort after this many executed actions.
+    pub fn max_steps(mut self, n: usize) -> Self {
+        self.max_steps = n;
+        self
+    }
+
+    /// Delivery order: FIFO (paper) or arbitrary reordering.
+    pub fn order(mut self, order: Order) -> Self {
+        self.order = order;
+        self
+    }
+
+    /// Add a primitive the service users never offer.
+    pub fn refuse(mut self, name: &str, place: PlaceId) -> Self {
+        self.refuse.push((name.to_string(), place));
+        self
+    }
+
+    /// Run over an unreliable link layer (paper §6).
+    pub fn link(mut self, link: LinkConfig) -> Self {
+        self.link = Some(link);
+        self
+    }
+
+    /// Serialize to JSON (hand-rolled; the build environment has no
+    /// serde). `order` and `refuse` keep their defaults.
+    pub fn to_json(&self) -> String {
+        let link = match &self.link {
+            None => "null".to_string(),
+            Some(l) => format!(
+                "{{\"loss\":{},\"arq\":{},\"arq_timeout\":{}}}",
+                l.loss, l.arq, l.arq_timeout
+            ),
+        };
+        format!(
+            "{{\"seed\":{},\"delay_min\":{},\"delay_max\":{},\"max_steps\":{},\"link\":{}}}",
+            self.seed, self.delay_min, self.delay_max, self.max_steps, link
+        )
+    }
+
+    /// Parse from JSON produced by [`Self::to_json`]. Absent keys keep
+    /// their defaults.
+    pub fn from_json(s: &str) -> Result<SimConfig, String> {
+        if !s.trim_start().starts_with('{') {
+            return Err("expected a JSON object".to_string());
+        }
+        let mut cfg = SimConfig::default();
+        if let Some(n) = semantics::jsonish::get_u64(s, "seed") {
+            cfg.seed = n;
+        }
+        if let Some(x) = semantics::jsonish::get_f64(s, "delay_min") {
+            cfg.delay_min = x;
+        }
+        if let Some(x) = semantics::jsonish::get_f64(s, "delay_max") {
+            cfg.delay_max = x;
+        }
+        if let Some(n) = semantics::jsonish::get_u64(s, "max_steps") {
+            cfg.max_steps = n as usize;
+        }
+        if let Some(loss) = semantics::jsonish::get_f64(s, "loss") {
+            cfg.link = Some(LinkConfig {
+                loss,
+                arq: semantics::jsonish::get_bool(s, "arq").unwrap_or(true),
+                arq_timeout: semantics::jsonish::get_f64(s, "arq_timeout")
+                    .unwrap_or_else(|| LinkConfig::default().arq_timeout),
+            });
+        }
+        Ok(cfg)
+    }
+}
+
 /// One logged simulation event.
 #[derive(Clone, Debug, PartialEq)]
 pub struct SimEvent {
@@ -381,9 +470,8 @@ impl Simulator {
                                 });
                                 link.arq.submit(m.clone());
                             } else {
-                                let delay = self
-                                    .rng
-                                    .gen_range(self.cfg.delay_min..=self.cfg.delay_max);
+                                let delay =
+                                    self.rng.gen_range(self.cfg.delay_min..=self.cfg.delay_max);
                                 let q = self.channels.entry((from, to)).or_default();
                                 let arrive = match self.cfg.order {
                                     // FIFO: delivery cannot overtake the queue
@@ -398,8 +486,7 @@ impl Simulator {
                                     msg: m.clone(),
                                     arrive,
                                 });
-                                metrics.max_queue_depth =
-                                    metrics.max_queue_depth.max(q.len());
+                                metrics.max_queue_depth = metrics.max_queue_depth.max(q.len());
                             }
                             events.push(SimEvent {
                                 time: self.clock,
@@ -434,9 +521,7 @@ impl Simulator {
                         Order::Arbitrary => q
                             .iter()
                             .position(|x| {
-                                x.arrive <= self.clock
-                                    && x.msg.id == msg
-                                    && x.msg.occ == occ
+                                x.arrive <= self.clock && x.msg.id == msg && x.msg.occ == occ
                             })
                             .unwrap(),
                     };
@@ -499,8 +584,12 @@ impl Simulator {
     /// and acks, and put pending (re)transmissions on the wire — each
     /// surviving the link with probability `1 − loss`.
     fn pump_links(&mut self, metrics: &mut SimMetrics) {
-        let Some(link_cfg) = self.cfg.link else { return };
-        let link_model = LossyLink { loss: link_cfg.loss };
+        let Some(link_cfg) = self.cfg.link else {
+            return;
+        };
+        let link_model = LossyLink {
+            loss: link_cfg.loss,
+        };
         loop {
             let mut progressed = false;
             for link in self.links.values_mut() {
@@ -511,14 +600,16 @@ impl Simulator {
                     progressed = true;
                 }
                 // deliver due data frames, emitting acks onto the wire
-                while link.data_wire.front().is_some_and(|(_, t)| *t <= self.clock) {
+                while link
+                    .data_wire
+                    .front()
+                    .is_some_and(|(_, t)| *t <= self.clock)
+                {
                     let (frame, _) = link.data_wire.pop_front().unwrap();
                     let ack = link.arq.on_frame(frame);
                     progressed = true;
                     if link_model.survives(&mut self.rng) {
-                        let delay = self
-                            .rng
-                            .gen_range(self.cfg.delay_min..=self.cfg.delay_max);
+                        let delay = self.rng.gen_range(self.cfg.delay_min..=self.cfg.delay_max);
                         link.ack_wire.push_back((ack, self.clock + delay));
                     } else {
                         metrics.frames_lost += 1;
@@ -528,9 +619,7 @@ impl Simulator {
                 if let Some(frame) = link.arq.poll_transmit(self.clock) {
                     progressed = true;
                     if link_model.survives(&mut self.rng) {
-                        let delay = self
-                            .rng
-                            .gen_range(self.cfg.delay_min..=self.cfg.delay_max);
+                        let delay = self.rng.gen_range(self.cfg.delay_min..=self.cfg.delay_max);
                         link.data_wire.push_back((frame, self.clock + delay));
                     } else {
                         metrics.frames_lost += 1;
@@ -541,8 +630,7 @@ impl Simulator {
                 break;
             }
         }
-        metrics.retransmissions =
-            self.links.values().map(|l| l.arq.retransmissions).sum();
+        metrics.retransmissions = self.links.values().map(|l| l.arq.retransmissions).sum();
     }
 
     fn enabled_moves(&self) -> Vec<Move> {
@@ -553,11 +641,7 @@ impl Simulator {
             for (l, t2) in transitions(&self.envs[k], term) {
                 match &l {
                     Label::Prim { name, place } => {
-                        let refused = self
-                            .cfg
-                            .refuse
-                            .iter()
-                            .any(|(n, p)| n == name && p == place);
+                        let refused = self.cfg.refuse.iter().any(|(n, p)| n == name && p == place);
                         if !refused {
                             out.push(Move::Local(k, l, t2));
                         }
@@ -582,16 +666,14 @@ impl Simulator {
         out
     }
 
-    fn receivable(
-        &self,
-        from: PlaceId,
-        to: PlaceId,
-        id: &lotos::event::MsgId,
-        occ: u32,
-    ) -> bool {
+    fn receivable(&self, from: PlaceId, to: PlaceId, id: &lotos::event::MsgId, occ: u32) -> bool {
         if self.cfg.link.is_some() {
             // link layer: the head of the in-order delivered queue
-            return match self.links.get(&(from, to)).and_then(|l| l.arq.peek_delivered()) {
+            return match self
+                .links
+                .get(&(from, to))
+                .and_then(|l| l.arq.peek_delivered())
+            {
                 Some(m) => m.id == *id && m.occ == occ,
                 None => false,
             };
@@ -751,5 +833,32 @@ mod tests {
         let total_recv: usize = load.values().map(|l| l.received).sum();
         assert_eq!(total_sent, o.metrics.messages);
         assert_eq!(total_recv, o.metrics.messages);
+    }
+
+    #[test]
+    fn config_builds_and_json_round_trips() {
+        let cfg = SimConfig::new()
+            .seed(42)
+            .delays(0.5, 2.0)
+            .max_steps(500)
+            .link(LinkConfig {
+                loss: 0.25,
+                arq: false,
+                arq_timeout: 12.5,
+            });
+        let back = SimConfig::from_json(&cfg.to_json()).unwrap();
+        assert_eq!(back.seed, 42);
+        assert_eq!(back.delay_min, 0.5);
+        assert_eq!(back.delay_max, 2.0);
+        assert_eq!(back.max_steps, 500);
+        let link = back.link.unwrap();
+        assert_eq!(link.loss, 0.25);
+        assert!(!link.arq);
+        assert_eq!(link.arq_timeout, 12.5);
+        // no link -> none after the round trip either
+        assert!(SimConfig::from_json(&SimConfig::new().to_json())
+            .unwrap()
+            .link
+            .is_none());
     }
 }

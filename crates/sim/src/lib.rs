@@ -13,12 +13,16 @@
 //! disabling-semantics deviations (experiment E6).
 //!
 //! ```
-//! use lotos::parser::parse_spec;
-//! use protogen::derive::derive;
+//! use protogen::Pipeline;
 //! use sim::{simulate, SimConfig, SimResult};
 //!
-//! let service = parse_spec("SPEC a1; b2; exit ENDSPEC").unwrap();
-//! let d = derive(&service).unwrap();
+//! let d = Pipeline::load("SPEC a1; b2; exit ENDSPEC")
+//!     .unwrap()
+//!     .check()
+//!     .unwrap()
+//!     .derive()
+//!     .unwrap()
+//!     .into_derivation();
 //! let outcome = simulate(&d, SimConfig::default());
 //! assert_eq!(outcome.result, SimResult::Terminated);
 //! assert!(outcome.conforms());

@@ -77,9 +77,11 @@ impl ServiceMonitor {
 
     /// Can the service terminate (δ) from the current belief set?
     pub fn may_terminate(&self) -> bool {
-        self.states
-            .iter()
-            .any(|t| transitions(&self.env, t).iter().any(|(l, _)| *l == Label::Delta))
+        self.states.iter().any(|t| {
+            transitions(&self.env, t)
+                .iter()
+                .any(|(l, _)| *l == Label::Delta)
+        })
     }
 
     /// The first disallowed primitive, if any.

@@ -117,7 +117,14 @@ pub fn generate(cfg: GenConfig) -> Spec {
         let right = g.expr(&mut spec, 1, start, end, true);
 
         let body = spec.choice(left, right);
-        let p = spec.define_proc(proc_name, DefBlock { expr: body, procs: vec![] }, None);
+        let p = spec.define_proc(
+            proc_name,
+            DefBlock {
+                expr: body,
+                procs: vec![],
+            },
+            None,
+        );
         let top_call = spec.call(proc_name);
         // optionally continue after the recursion
         let top = if g.rng.gen_bool(0.5) {
@@ -294,10 +301,7 @@ mod tests {
             let spec = generate(cfg);
             let attrs = evaluate(&spec);
             let violations = check(&spec, &attrs);
-            assert!(
-                violations.is_empty(),
-                "seed {seed}: {violations:?}\n{spec}",
-            );
+            assert!(violations.is_empty(), "seed {seed}: {violations:?}\n{spec}",);
         }
     }
 
@@ -327,8 +331,14 @@ mod tests {
 
     #[test]
     fn different_seeds_differ() {
-        let a = generate(GenConfig { seed: 1, ..GenConfig::default() });
-        let b = generate(GenConfig { seed: 2, ..GenConfig::default() });
+        let a = generate(GenConfig {
+            seed: 1,
+            ..GenConfig::default()
+        });
+        let b = generate(GenConfig {
+            seed: 2,
+            ..GenConfig::default()
+        });
         assert!(!lotos::compare::spec_eq_exact(&a, &b));
     }
 
@@ -360,9 +370,8 @@ mod tests {
                 ..GenConfig::default()
             };
             let spec = generate(cfg);
-            protogen::derive::derive(&spec).unwrap_or_else(|e| {
-                panic!("seed {seed}: derivation failed: {e}\n{spec}")
-            });
+            protogen::derive::derive(&spec)
+                .unwrap_or_else(|e| panic!("seed {seed}: derivation failed: {e}\n{spec}"));
         }
     }
 

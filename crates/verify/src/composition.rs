@@ -96,12 +96,7 @@ impl System for Composition {
                         s2.entities[k] = t2;
                         out.push((Label::I, s2));
                     }
-                    Label::Send {
-                        to,
-                        msg,
-                        occ,
-                        kind,
-                    } => {
+                    Label::Send { to, msg, occ, kind } => {
                         if s.net.can_send(&self.cfg, here, *to) {
                             let mut s2 = s.clone();
                             s2.entities[k] = t2;
@@ -171,7 +166,10 @@ mod tests {
             .traces
             .iter()
             .map(|t| {
-                t.iter().map(|l| l.to_string()).collect::<Vec<_>>().join(".")
+                t.iter()
+                    .map(|l| l.to_string())
+                    .collect::<Vec<_>>()
+                    .join(".")
             })
             .collect();
         // b2 never before a1; termination possible
@@ -212,16 +210,18 @@ mod tests {
 
     #[test]
     fn recursion_composes_and_is_bounded_explorable() {
-        let c = comp_of(
-            "SPEC A WHERE PROC A = (a1 ; A >> b2 ; exit) [] (a1 ; b2 ; exit) END ENDSPEC",
-        );
+        let c =
+            comp_of("SPEC A WHERE PROC A = (a1 ; A >> b2 ; exit) [] (a1 ; b2 ; exit) END ENDSPEC");
         let e = explore(&c, 6, 200_000);
         let ts = semantics::traces::observable_traces(&e.lts, 6);
         let strs: std::collections::BTreeSet<String> = ts
             .traces
             .iter()
             .map(|t| {
-                t.iter().map(|l| l.to_string()).collect::<Vec<_>>().join(".")
+                t.iter()
+                    .map(|l| l.to_string())
+                    .collect::<Vec<_>>()
+                    .join(".")
             })
             .collect();
         assert!(strs.contains("a1.a1.b2.b2"), "{strs:?}");

@@ -22,25 +22,33 @@
 //! composition implements the paper's modified disable semantics, so
 //! trace equality may legitimately fail (experiment E6 quantifies this).
 
-use crate::composition::Composition;
-use crate::explorer::{explore, explore_full};
+use crate::parsys::{EngineComposition, EngineService};
 use lotos::Spec;
 use medium::MediumConfig;
 use protogen::derive::{derive, Derivation, DeriveError};
 use semantics::bisim::{observation_congruent, weak_equiv};
+use semantics::explore::{explore_par, DepthMode, ExploreConfig};
 use semantics::failures::{failures, failures_equal};
 use semantics::lts::Lts;
 use semantics::term::{Env, Label};
 use semantics::traces::{first_difference, observable_traces, trace_equal, TraceSet};
 use std::fmt;
 
-/// Harness configuration.
-#[derive(Clone, Copy, Debug)]
-pub struct VerifyOptions {
+/// Harness configuration, part of the `ExploreConfig`/`PipelineConfig`
+/// family. Built with chained setters:
+///
+/// ```
+/// use verify::VerifyConfig;
+///
+/// let cfg = VerifyConfig::new().trace_len(8).max_states(10_000).threads(4);
+/// assert_eq!(cfg.trace_len, 8);
+/// ```
+#[derive(Clone, Debug)]
+pub struct VerifyConfig {
     /// Observable-trace length bound.
     pub trace_len: usize,
-    /// State cap per bounded exploration.
-    pub max_states: usize,
+    /// State cap and worker threads per bounded exploration.
+    pub explore: ExploreConfig,
     /// State cap for the exhaustive "is this finite?" probe that enables
     /// the weak-bisimulation check. Kept separate because probing an
     /// infinite system builds ever-deeper terms before giving up.
@@ -51,17 +59,100 @@ pub struct VerifyOptions {
     pub try_bisim: bool,
 }
 
-impl Default for VerifyOptions {
+impl Default for VerifyConfig {
     fn default() -> Self {
-        VerifyOptions {
+        VerifyConfig {
             trace_len: 6,
-            max_states: 60_000,
+            explore: ExploreConfig::new().max_states(60_000),
             finite_probe_states: 6_000,
             medium: MediumConfig::default(),
             try_bisim: true,
         }
     }
 }
+
+impl VerifyConfig {
+    pub fn new() -> Self {
+        VerifyConfig::default()
+    }
+
+    /// Observable-trace length bound.
+    pub fn trace_len(mut self, n: usize) -> Self {
+        self.trace_len = n;
+        self
+    }
+
+    /// State cap per bounded exploration.
+    pub fn max_states(mut self, n: usize) -> Self {
+        self.explore = self.explore.max_states(n);
+        self
+    }
+
+    /// Worker threads for the explorations (`0` = auto-detect).
+    pub fn threads(mut self, n: usize) -> Self {
+        self.explore = self.explore.threads(n);
+        self
+    }
+
+    /// State cap for the finiteness probe.
+    pub fn finite_probe(mut self, n: usize) -> Self {
+        self.finite_probe_states = n;
+        self
+    }
+
+    /// Medium configuration for the composition.
+    pub fn medium(mut self, m: MediumConfig) -> Self {
+        self.medium = m;
+        self
+    }
+
+    /// Enable or disable the weak-bisimulation attempt.
+    pub fn try_bisim(mut self, b: bool) -> Self {
+        self.try_bisim = b;
+        self
+    }
+
+    /// Serialize to JSON (hand-rolled; the build environment has no
+    /// serde). The medium configuration keeps its default.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"trace_len\":{},\"finite_probe_states\":{},\"try_bisim\":{},\"explore\":{}}}",
+            self.trace_len,
+            self.finite_probe_states,
+            self.try_bisim,
+            self.explore.to_json(),
+        )
+    }
+
+    /// Parse from JSON produced by [`Self::to_json`]. Absent keys keep
+    /// their defaults.
+    pub fn from_json(s: &str) -> Result<VerifyConfig, String> {
+        let mut cfg = VerifyConfig {
+            explore: ExploreConfig::from_json(s)?.max_states(
+                semantics::jsonish::get_u64(s, "max_states")
+                    .map(|n| n as usize)
+                    .unwrap_or(60_000),
+            ),
+            ..VerifyConfig::default()
+        };
+        if let Some(n) = semantics::jsonish::get_u64(s, "trace_len") {
+            cfg.trace_len = n as usize;
+        }
+        if let Some(n) = semantics::jsonish::get_u64(s, "finite_probe_states") {
+            cfg.finite_probe_states = n as usize;
+        }
+        if let Some(b) = semantics::jsonish::get_bool(s, "try_bisim") {
+            cfg.try_bisim = b;
+        }
+        Ok(cfg)
+    }
+}
+
+/// The pre-redesign name of [`VerifyConfig`]. The `max_states` field now
+/// lives in `explore` ([`ExploreConfig`]); use `.max_states(n)`.
+#[doc(hidden)]
+#[deprecated(note = "renamed to `VerifyConfig`; state caps moved into its `explore` field")]
+pub type VerifyOptions = VerifyConfig;
 
 /// Run `f` on a thread with a large stack. Deeply recursive service
 /// specifications build deeply nested terms; term hashing, transition
@@ -175,28 +266,38 @@ fn fmt_trace(t: &[Label]) -> String {
 }
 
 /// Derive a protocol from `service` and verify the theorem instance.
-pub fn verify_service(service: &Spec, opts: VerifyOptions) -> Result<VerificationReport, DeriveError> {
+pub fn verify_service(
+    service: &Spec,
+    opts: VerifyConfig,
+) -> Result<VerificationReport, DeriveError> {
     let d = derive(service)?;
     Ok(verify_derivation(&d, opts))
 }
 
 /// Verify an existing derivation against its service.
-pub fn verify_derivation(d: &Derivation, opts: VerifyOptions) -> VerificationReport {
-    with_big_stack(|| verify_derivation_inner(d, opts))
+pub fn verify_derivation(d: &Derivation, opts: VerifyConfig) -> VerificationReport {
+    with_big_stack(|| verify_derivation_inner(d, &opts))
 }
 
-fn verify_derivation_inner(d: &Derivation, opts: VerifyOptions) -> VerificationReport {
+fn verify_derivation_inner(d: &Derivation, opts: &VerifyConfig) -> VerificationReport {
+    // Explorations run on the hash-consed parallel engine; the probe is
+    // exhaustive (no depth bound), the fallback bounds observable depth.
+    let probe_cfg = opts
+        .explore
+        .clone()
+        .max_states(opts.finite_probe_states.max(1));
+    let bounded_cfg = opts.explore.clone().max_depth(opts.trace_len);
+
     // --- service side -----------------------------------------------------
-    let service_env = Env::new(d.service.clone());
-    let service_sys = TermSystem { env: &service_env };
+    let service_sys = EngineService::new(d.service.clone());
     // Try an exhaustive build first (finite services are common); fall
     // back to the observable-depth-bounded build for infinite ones.
-    let full = explore_full(&service_sys, opts.finite_probe_states);
+    let full = explore_par(&service_sys, &probe_cfg, DepthMode::Observable);
     let (service_lts, service_states) = if full.lts.complete {
         let n = full.states.len();
         (full.lts, n)
     } else {
-        let e = explore(&service_sys, opts.trace_len, opts.max_states);
+        let e = explore_par(&service_sys, &bounded_cfg, DepthMode::Observable);
         let n = e.states.len();
         let mut lts = e.lts;
         // bounded-by-design: traces up to the bound are exact unless the
@@ -207,12 +308,15 @@ fn verify_derivation_inner(d: &Derivation, opts: VerifyOptions) -> VerificationR
     let service_traces = observable_traces(&service_lts, opts.trace_len);
 
     // --- protocol side ----------------------------------------------------
-    let comp = Composition::new(d, opts.medium);
-    let comp_full = explore_full(&comp, opts.finite_probe_states);
+    let comp = EngineComposition::new(d, opts.medium);
+    let comp_full = explore_par(&comp, &probe_cfg, DepthMode::Observable);
     let (comp_expl, comp_finite) = if comp_full.lts.complete {
         (comp_full, true)
     } else {
-        (explore(&comp, opts.trace_len, opts.max_states), false)
+        (
+            explore_par(&comp, &bounded_cfg, DepthMode::Observable),
+            false,
+        )
     };
     let deadlocks = comp_expl
         .stuck
@@ -286,13 +390,13 @@ impl crate::explorer::System for TermSystem<'_> {
 /// Convenience: keep only the LTS of a bounded service exploration (used
 /// by tests and benches).
 pub fn service_lts(spec: &Spec, trace_len: usize, max_states: usize) -> Lts {
-    let env = Env::new(spec.clone());
-    let sys = TermSystem { env: &env };
-    let full = explore_full(&sys, max_states);
+    let sys = EngineService::new(spec.clone());
+    let cap = ExploreConfig::new().max_states(max_states);
+    let full = explore_par(&sys, &cap, DepthMode::Observable);
     if full.lts.complete {
         full.lts
     } else {
-        explore(&sys, trace_len, max_states).lts
+        explore_par(&sys, &cap.max_depth(trace_len), DepthMode::Observable).lts
     }
 }
 
@@ -301,20 +405,20 @@ mod tests {
     use super::*;
     use lotos::parser::parse_spec;
 
-    fn verify_src(src: &str, opts: VerifyOptions) -> VerificationReport {
+    fn verify_src(src: &str, opts: VerifyConfig) -> VerificationReport {
         verify_service(&parse_spec(src).unwrap(), opts).unwrap()
     }
 
     #[test]
     fn theorem_holds_for_sequencing() {
-        let r = verify_src("SPEC a1;exit >> b2;exit ENDSPEC", VerifyOptions::default());
+        let r = verify_src("SPEC a1;exit >> b2;exit ENDSPEC", VerifyConfig::default());
         assert!(r.passed(), "{r}");
         assert_eq!(r.weak_bisimilar, Some(true), "{r}");
     }
 
     #[test]
     fn theorem_holds_for_prefix_chain() {
-        let r = verify_src("SPEC a1; b2; c3; a1; exit ENDSPEC", VerifyOptions::default());
+        let r = verify_src("SPEC a1; b2; c3; a1; exit ENDSPEC", VerifyConfig::default());
         assert!(r.passed(), "{r}");
         assert_eq!(r.weak_bisimilar, Some(true), "{r}");
     }
@@ -323,7 +427,7 @@ mod tests {
     fn theorem_holds_for_choice() {
         let r = verify_src(
             "SPEC (a1; b2; c1; exit) [] (e1; c1; exit) ENDSPEC",
-            VerifyOptions::default(),
+            VerifyConfig::default(),
         );
         assert!(r.passed(), "{r}");
         assert_eq!(r.weak_bisimilar, Some(true), "{r}");
@@ -333,7 +437,7 @@ mod tests {
     fn theorem_holds_for_parallel() {
         let r = verify_src(
             "SPEC (a1;exit ||| b2;exit) >> c3;exit ENDSPEC",
-            VerifyOptions::default(),
+            VerifyConfig::default(),
         );
         assert!(r.passed(), "{r}");
         assert_eq!(r.weak_bisimilar, Some(true), "{r}");
@@ -344,14 +448,35 @@ mod tests {
         // Example 2: aⁿ bⁿ — infinite state; bounded trace equivalence
         let r = verify_src(
             "SPEC A WHERE PROC A = (a1 ; A >> b2 ; exit) [] (a1 ; b2 ; exit) END ENDSPEC",
-            VerifyOptions {
-                trace_len: 6,
-                ..VerifyOptions::default()
-            },
+            VerifyConfig::new().trace_len(6),
         );
         assert!(r.traces_equal, "{r}");
         assert_eq!(r.deadlocks, 0, "{r}");
         assert_eq!(r.weak_bisimilar, None); // infinite state
+    }
+
+    #[test]
+    fn theorem_verdicts_identical_across_thread_counts() {
+        for src in [
+            "SPEC a1;exit >> b2;exit ENDSPEC",
+            "SPEC A WHERE PROC A = (a1 ; A >> b2 ; exit) [] (a1 ; b2 ; exit) END ENDSPEC",
+        ] {
+            let seq = verify_src(src, VerifyConfig::new().threads(1));
+            let par = verify_src(src, VerifyConfig::new().threads(4));
+            assert_eq!(seq.traces_equal, par.traces_equal, "{src}");
+            assert_eq!(seq.deadlocks, par.deadlocks, "{src}");
+            assert_eq!(seq.service_states, par.service_states, "{src}");
+            assert_eq!(seq.composition_states, par.composition_states, "{src}");
+            assert_eq!(seq.weak_bisimilar, par.weak_bisimilar, "{src}");
+            assert_eq!(
+                seq.service_traces.traces, par.service_traces.traces,
+                "{src}"
+            );
+            assert_eq!(
+                seq.protocol_traces.traces, par.protocol_traces.traces,
+                "{src}"
+            );
+        }
     }
 
     #[test]
@@ -362,7 +487,7 @@ mod tests {
         let mut d = derive(&spec).unwrap();
         let rogue = parse_spec("SPEC b2; exit ENDSPEC").unwrap();
         d.entities[1].1 = rogue;
-        let r = verify_derivation(&d, VerifyOptions::default());
+        let r = verify_derivation(&d, VerifyConfig::default());
         assert!(!r.traces_equal, "{r}");
         // b2 before a1 is the counterexample
         let extra = r.extra_in_protocol.expect("counterexample expected");
@@ -371,9 +496,24 @@ mod tests {
 
     #[test]
     fn report_display_is_informative() {
-        let r = verify_src("SPEC a1;exit >> b2;exit ENDSPEC", VerifyOptions::default());
+        let r = verify_src("SPEC a1;exit >> b2;exit ENDSPEC", VerifyConfig::default());
         let text = r.to_string();
         assert!(text.contains("EQUAL"));
         assert!(text.contains("deadlocks: 0"));
+    }
+
+    #[test]
+    fn config_json_round_trips() {
+        let cfg = VerifyConfig::new()
+            .trace_len(9)
+            .max_states(4_321)
+            .threads(3)
+            .finite_probe(77)
+            .try_bisim(false);
+        let back = VerifyConfig::from_json(&cfg.to_json()).unwrap();
+        assert_eq!(back.trace_len, 9);
+        assert_eq!(back.explore, cfg.explore);
+        assert_eq!(back.finite_probe_states, 77);
+        assert!(!back.try_bisim);
     }
 }

@@ -18,20 +18,35 @@
 //!   observable-trace equivalence, deadlock freedom, and full weak
 //!   bisimilarity whenever both sides are finite.
 //!
-//! ```
-//! use lotos::parser::parse_spec;
-//! use verify::harness::{verify_service, VerifyOptions};
+//! Explorations run on the hash-consed parallel engine of the
+//! `semantics` crate ([`parsys`]); the sequential `Rc`-based
+//! [`composition`]/[`explorer`] pair remains as the differential-testing
+//! reference. The harness is also reachable as the `.verify(&opts)`
+//! stage of the `protogen::Pipeline` facade ([`pipeline_ext`]):
 //!
-//! let service = parse_spec("SPEC a1; b2; exit ENDSPEC").unwrap();
-//! let report = verify_service(&service, VerifyOptions::default()).unwrap();
+//! ```
+//! use protogen::Pipeline;
+//! use verify::{PipelineVerify, VerifyConfig};
+//!
+//! let report = Pipeline::load("SPEC a1; b2; exit ENDSPEC")?
+//!     .check()?
+//!     .derive()?
+//!     .verify(&VerifyConfig::default())?;
 //! assert!(report.passed());
 //! assert_eq!(report.weak_bisimilar, Some(true));
+//! # Ok::<(), protogen::ProtogenError>(())
 //! ```
 
 pub mod composition;
 pub mod explorer;
 pub mod harness;
+pub mod parsys;
+pub mod pipeline_ext;
 
 pub use composition::{CompState, Composition};
 pub use explorer::{explore, explore_full, Exploration, System};
-pub use harness::{verify_derivation, verify_service, VerificationReport, VerifyOptions};
+#[allow(deprecated)]
+pub use harness::VerifyOptions;
+pub use harness::{verify_derivation, verify_service, VerificationReport, VerifyConfig};
+pub use parsys::{EngineCompState, EngineComposition, EngineService};
+pub use pipeline_ext::PipelineVerify;

@@ -1,0 +1,237 @@
+//! Engine-backed (thread-safe) views of the two systems the harness
+//! explores: the service itself and the composed protocol
+//! `hide G in ((T_1 ||| … ||| T_n) |[G]| Medium)`.
+//!
+//! These mirror [`crate::harness::TermSystem`] and
+//! [`crate::composition::Composition`] exactly, but run over the
+//! hash-consed [`semantics::Engine`] with interned [`TermId`] states, so
+//! they implement [`ParSystem`] and can be explored across threads with
+//! memoized transition derivation.
+
+use lotos::place::PlaceId;
+use medium::{MediumConfig, Msg, Network};
+use protogen::derive::Derivation;
+use semantics::explore::ParSystem;
+use semantics::term::{Label, OccTable};
+use semantics::{Engine, TermArena, TermId};
+use std::sync::{Arc, Mutex};
+
+/// The service specification as a [`ParSystem`] over interned terms.
+pub struct EngineService {
+    engine: Engine,
+    root: TermId,
+}
+
+impl EngineService {
+    pub fn new(spec: lotos::Spec) -> EngineService {
+        let engine = Engine::new(spec);
+        let root = engine.root();
+        EngineService { engine, root }
+    }
+
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+}
+
+impl ParSystem for EngineService {
+    type State = TermId;
+    fn initial(&self) -> TermId {
+        self.root
+    }
+    fn successors(&self, s: &TermId) -> Vec<(Label, TermId)> {
+        self.engine.transitions(*s).to_vec()
+    }
+}
+
+/// A global state of the composed protocol: one interned term per entity
+/// plus the messages in flight.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct EngineCompState {
+    /// One runtime term per entity (indexed like
+    /// [`EngineComposition::places`]).
+    pub entities: Vec<TermId>,
+    /// Messages in flight.
+    pub net: Network,
+    /// Set once the global δ has been performed.
+    pub terminated: bool,
+}
+
+/// The composed protocol system of a [`Derivation`], entity engines
+/// sharing one term arena and one occurrence table (so `(s, N)`
+/// message parameters match up across entities — paper §3.5).
+pub struct EngineComposition {
+    /// Entity engines, one per place.
+    pub engines: Vec<Engine>,
+    /// Place of each entity.
+    pub places: Vec<PlaceId>,
+    /// Medium configuration.
+    pub cfg: MediumConfig,
+}
+
+impl EngineComposition {
+    /// Build the composition of a derivation's entities.
+    pub fn new(d: &Derivation, cfg: MediumConfig) -> EngineComposition {
+        let arena = Arc::new(TermArena::new());
+        let occ = Arc::new(Mutex::new(OccTable::new()));
+        let mut engines = Vec::new();
+        let mut places = Vec::new();
+        for (p, spec) in &d.entities {
+            engines.push(Engine::with_shared(
+                spec.clone(),
+                Arc::clone(&arena),
+                Arc::clone(&occ),
+            ));
+            places.push(*p);
+        }
+        EngineComposition {
+            engines,
+            places,
+            cfg,
+        }
+    }
+}
+
+impl ParSystem for EngineComposition {
+    type State = EngineCompState;
+
+    fn initial(&self) -> EngineCompState {
+        EngineCompState {
+            entities: self.engines.iter().map(|e| e.root()).collect(),
+            net: Network::new(),
+            terminated: false,
+        }
+    }
+
+    fn successors(&self, s: &EngineCompState) -> Vec<(Label, EngineCompState)> {
+        if s.terminated {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        let mut delta_parts: Vec<Option<TermId>> = vec![None; s.entities.len()];
+        for (k, &term) in s.entities.iter().enumerate() {
+            let here = self.places[k];
+            for (l, t2) in self.engines[k].transitions(term).iter() {
+                match l {
+                    Label::Prim { .. } => {
+                        let mut s2 = s.clone();
+                        s2.entities[k] = *t2;
+                        out.push((l.clone(), s2));
+                    }
+                    Label::I => {
+                        let mut s2 = s.clone();
+                        s2.entities[k] = *t2;
+                        out.push((Label::I, s2));
+                    }
+                    Label::Send { to, msg, occ, kind } => {
+                        if s.net.can_send(&self.cfg, here, *to) {
+                            let mut s2 = s.clone();
+                            s2.entities[k] = *t2;
+                            s2.net.send(
+                                &self.cfg,
+                                Msg {
+                                    from: here,
+                                    to: *to,
+                                    id: msg.clone(),
+                                    occ: *occ,
+                                    kind: *kind,
+                                },
+                            );
+                            // message interactions are in G — the theorem
+                            // hides them, so the observable label is i
+                            out.push((Label::I, s2));
+                        }
+                    }
+                    Label::Recv { from, msg, occ, .. } => {
+                        if s.net.can_receive(&self.cfg, *from, here, msg, *occ) {
+                            let mut s2 = s.clone();
+                            s2.entities[k] = *t2;
+                            s2.net.receive(&self.cfg, *from, here, msg, *occ);
+                            out.push((Label::I, s2));
+                        }
+                    }
+                    Label::Delta => {
+                        delta_parts[k] = Some(*t2);
+                    }
+                }
+            }
+        }
+        // Global termination: all entities δ together, medium quiescent.
+        if s.net.is_empty() && delta_parts.iter().all(|d| d.is_some()) {
+            let s2 = EngineCompState {
+                entities: delta_parts.into_iter().map(|d| d.unwrap()).collect(),
+                net: Network::new(),
+                terminated: true,
+            };
+            out.push((Label::Delta, s2));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::composition::Composition;
+    use crate::explorer::{explore, explore_full};
+    use lotos::parser::parse_spec;
+    use protogen::derive::derive;
+    use semantics::explore::{canonicalize_occurrences, explore_par, DepthMode, ExploreConfig};
+
+    /// The engine composition must produce the same LTS as the legacy
+    /// `Rc`-based composition, bit for bit (after occurrence-label
+    /// canonicalization of both), for any thread count.
+    #[test]
+    fn engine_composition_matches_legacy_composition() {
+        for src in [
+            "SPEC a1;exit >> b2;exit ENDSPEC",
+            "SPEC a1;exit ||| b2;exit ENDSPEC",
+            "SPEC (a1;b2;c1;exit) [] (e1;c1;exit) ENDSPEC",
+            "SPEC A WHERE PROC A = (a1 ; A >> b2 ; exit) [] (a1 ; b2 ; exit) END ENDSPEC",
+        ] {
+            let d = derive(&parse_spec(src).unwrap()).unwrap();
+            let legacy_comp = Composition::new(&d, MediumConfig::default());
+            let legacy_full = explore_full(&legacy_comp, 3_000);
+            let mut legacy_lts = if legacy_full.lts.complete {
+                legacy_full.lts
+            } else {
+                explore(&legacy_comp, 4, 50_000).lts
+            };
+            canonicalize_occurrences(&mut legacy_lts);
+
+            for threads in [1, 4] {
+                let comp = EngineComposition::new(&d, MediumConfig::default());
+                let probe = ExploreConfig::new().max_states(3_000).threads(threads);
+                let full = explore_par(&comp, &probe, DepthMode::Observable);
+                let got = if full.lts.complete {
+                    full.lts
+                } else {
+                    let cfg = ExploreConfig::new()
+                        .max_states(50_000)
+                        .max_depth(4)
+                        .threads(threads);
+                    explore_par(&comp, &cfg, DepthMode::Observable).lts
+                };
+                assert_eq!(got, legacy_lts, "{src} with {threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn terminated_states_have_empty_network() {
+        let d =
+            derive(&parse_spec("SPEC (a1;b2;c1;exit) [] (e1;c1;exit) ENDSPEC").unwrap()).unwrap();
+        let comp = EngineComposition::new(&d, MediumConfig::default());
+        let e = explore_par(
+            &comp,
+            &ExploreConfig::new().max_states(50_000),
+            DepthMode::Observable,
+        );
+        assert!(e.lts.complete);
+        for st in &e.states {
+            if st.terminated {
+                assert!(st.net.is_empty());
+            }
+        }
+    }
+}

@@ -22,8 +22,7 @@
 
 use lotos_protogen::prelude::*;
 
-const SERVICE: &str =
-    "SPEC (a1; b2; a1; b2; c3; exit) [> (d3; e3; exit) ENDSPEC";
+const SERVICE: &str = "SPEC (a1; b2; a1; b2; c3; exit) [> (d3; e3; exit) ENDSPEC";
 
 fn main() {
     let service = parse_spec(SERVICE).expect("parses");

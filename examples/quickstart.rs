@@ -39,7 +39,7 @@ fn main() {
 
     // Step 3 — check the paper's Section 5 theorem on this instance:
     //   S ≈ hide G in ((T1 ||| T2 ||| T3) |[G]| Medium)
-    let report = verify_derivation(&derivation, VerifyOptions::default());
+    let report = verify_derivation(&derivation, VerifyConfig::default());
     println!("=== verification ===");
     print!("{report}");
     assert!(report.passed(), "theorem instance must hold");

@@ -13,8 +13,7 @@
 
 use lotos_protogen::prelude::*;
 
-const SERVICE: &str =
-    "SPEC A WHERE PROC A = (a1 ; A >> b2 ; exit) [] (a1 ; b2 ; exit) END ENDSPEC";
+const SERVICE: &str = "SPEC A WHERE PROC A = (a1 ; A >> b2 ; exit) [] (a1 ; b2 ; exit) END ENDSPEC";
 
 fn main() {
     let service = parse_spec(SERVICE).expect("Example 2 parses");
@@ -29,16 +28,13 @@ fn main() {
     }
     // messages are occurrence-parameterized: `s` appears in the output
     let e1 = derivation.entity(1).unwrap();
-    assert!(print_spec(e1).contains("(s,"), "occurrence parameter expected");
+    assert!(
+        print_spec(e1).contains("(s,"),
+        "occurrence parameter expected"
+    );
 
     // --- bounded verification (the system is infinite-state) -------------
-    let report = verify_derivation(
-        &derivation,
-        VerifyOptions {
-            trace_len: 8,
-            ..VerifyOptions::default()
-        },
-    );
+    let report = verify_derivation(&derivation, VerifyConfig::new().trace_len(8));
     println!("--- bounded verification (L = 8) ---");
     print!("{report}");
     assert!(report.traces_equal, "bounded traces must agree");

@@ -84,7 +84,7 @@ fn main_inner() {
     );
     assert_eq!(service_traces.traces, comp_traces.traces);
 
-    let report = verify_derivation(&derivation, VerifyOptions::default());
+    let report = verify_derivation(&derivation, VerifyConfig::default());
     println!("\n=== full verification report ===\n{report}");
     assert!(report.passed());
     println!("state_space: OK");

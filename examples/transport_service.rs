@@ -57,13 +57,7 @@ fn main() {
     // (The disable's §3.3 semantics deviation does not show at this bound
     //  for this service: the abort path's extra interleavings only differ
     //  in hidden message steps.)
-    let report = verify_derivation(
-        &derivation,
-        VerifyOptions {
-            trace_len: 6,
-            ..VerifyOptions::default()
-        },
-    );
+    let report = verify_derivation(&derivation, VerifyConfig::new().trace_len(6));
     println!("--- bounded verification (L = 6) ---");
     print!("{report}");
 
@@ -88,7 +82,10 @@ fn main() {
     println!(
         "20/20 abort-free sessions conform to the service          ({graceful_refused} closed gracefully via disreq/disind)"
     );
-    assert!(graceful_refused > 0, "refused-abort sessions should close gracefully");
+    assert!(
+        graceful_refused > 0,
+        "refused-abort sessions should close gracefully"
+    );
 
     // --- simulated sessions ----------------------------------------------
     println!("--- simulated sessions ---");
@@ -119,9 +116,10 @@ fn main() {
         total_prims += outcome.metrics.primitives;
         let names: Vec<&str> = outcome.trace.iter().map(|(n, _)| n.as_str()).collect();
         // the connection phase always comes first, in order
-        assert!(names.starts_with(&["conreq", "conind", "conresp", "conconf", "up"])
-                || names.len() < 5,
-            "seed {seed}: {names:?}");
+        assert!(
+            names.starts_with(&["conreq", "conind", "conresp", "conconf", "up"]) || names.len() < 5,
+            "seed {seed}: {names:?}"
+        );
         if names.contains(&"abort") {
             aborted += 1;
         } else if names.contains(&"disreq") {

@@ -33,20 +33,22 @@
 //! use lotos_protogen::prelude::*;
 //!
 //! // A service: place 1 produces, place 2 consumes, place 3 is notified.
-//! let service = parse_spec("SPEC put1; get2; done3; exit ENDSPEC").unwrap();
-//!
-//! // Derive one protocol entity per place.
-//! let derivation = derive(&service).unwrap();
-//! assert_eq!(derivation.entities.len(), 3);
+//! // The `Pipeline` facade stages parse -> check -> derive -> verify,
+//! // with a `ProtogenError` pinpointing whichever stage fails.
+//! let derived = Pipeline::load("SPEC put1; get2; done3; exit ENDSPEC")?
+//!     .check()?
+//!     .derive()?;
+//! assert_eq!(derived.derivation().entities.len(), 3);
 //!
 //! // Verify the paper's correctness theorem on this instance.
-//! let report = verify_derivation(&derivation, VerifyOptions::default());
+//! let report = derived.verify(&VerifyConfig::default())?;
 //! assert!(report.passed());
 //! assert_eq!(report.weak_bisimilar, Some(true));
 //!
 //! // And watch it run.
-//! let outcome = simulate(&derivation, SimConfig::default());
+//! let outcome = simulate(derived.derivation(), SimConfig::default());
 //! assert!(outcome.conforms());
+//! # Ok::<(), lotos_protogen::prelude::ProtogenError>(())
 //! ```
 
 pub use lotos;
@@ -66,9 +68,15 @@ pub mod prelude {
     pub use lotos::{Event, PlaceId, PlaceSet, Spec};
     pub use medium::{Capacity, MediumConfig, Order};
     pub use protogen::centralized::centralize;
-    pub use protogen::derive::{derive, derive_with, Derivation, DeriveError, DisableMode, Options as DeriveOptions};
+    pub use protogen::derive::{
+        derive, derive_with, derive_with_threads, Derivation, DeriveError, DisableMode,
+        Options as DeriveOptions,
+    };
     pub use protogen::stats::{message_stats, operator_counts};
+    pub use protogen::{Checked, Derived, Pipeline, PipelineConfig, ProtogenError};
+    pub use semantics::explore::ExploreConfig;
     pub use sim::{simulate, LinkConfig, SimConfig, SimOutcome, SimResult};
     pub use specgen::{generate, GenConfig};
-    pub use verify::harness::{verify_derivation, verify_service, VerifyOptions};
+    pub use verify::harness::{verify_derivation, verify_service, VerifyConfig};
+    pub use verify::PipelineVerify;
 }

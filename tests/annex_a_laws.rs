@@ -4,10 +4,10 @@
 //! are the algebra the Section 5 proof manipulates, so an engine that
 //! validates all of them supports every step of the proof outline.
 
+use lotos_protogen::lotos::parser::parse_expr;
 use lotos_protogen::semantics::bisim::{strong_equiv, weak_equiv};
 use lotos_protogen::semantics::lts::build_term_lts;
 use lotos_protogen::semantics::term::{hide, Env};
-use lotos_protogen::lotos::parser::parse_expr;
 use std::rc::Rc;
 
 fn lts_of(src: &str) -> lotos_protogen::semantics::lts::Lts {

@@ -10,7 +10,11 @@
 
 use lotos_protogen::prelude::*;
 
-fn messages_touching(d: &Derivation, place: PlaceId, seeds: std::ops::Range<u64>) -> (usize, usize) {
+fn messages_touching(
+    d: &Derivation,
+    place: PlaceId,
+    seeds: std::ops::Range<u64>,
+) -> (usize, usize) {
     // (total messages, messages with `place` as an endpoint), summed over
     // simulated runs
     let mut total = 0usize;
@@ -45,11 +49,8 @@ fn centralized_is_trace_equivalent() {
         let d = centralize(&spec, 1).unwrap();
         let r = verify_derivation(
             &d,
-            VerifyOptions {
-                trace_len: 6,
-                try_bisim: false, // internal vs external choice: traces only
-                ..VerifyOptions::default()
-            },
+            // internal vs external choice: traces only
+            VerifyConfig::new().trace_len(6).try_bisim(false),
         );
         assert!(r.traces_equal, "{src}\n{r}");
         assert_eq!(r.deadlocks, 0, "{src}\n{r}");
@@ -62,7 +63,7 @@ fn centralized_is_not_observation_congruent_on_choices() {
     // service offers an external choice
     let spec = parse_spec("SPEC (a2; c1; exit) [] (b2; c1; exit) ENDSPEC").unwrap();
     let d = centralize(&spec, 1).unwrap();
-    let r = verify_derivation(&d, VerifyOptions::default());
+    let r = verify_derivation(&d, VerifyConfig::default());
     assert!(r.traces_equal, "{r}");
     assert_eq!(r.weak_bisimilar, Some(false), "{r}");
 }
@@ -139,7 +140,6 @@ fn centralized_message_count_is_two_per_foreign_primitive() {
     assert!(o.conforms());
 }
 
-
 /// Stable-failures semantics separates the two implementations where
 /// traces cannot: the distributed derivation preserves the service's
 /// refusal behaviour, while the centralized server's internal commitment
@@ -161,13 +161,11 @@ fn failures_distinguish_centralized_from_distributed() {
         let service_failures = failures(&service_lts, 4);
 
         let dist = derive(&spec).unwrap();
-        let dist_lts =
-            explore_full(&Composition::new(&dist, MediumConfig::default()), 50_000).lts;
+        let dist_lts = explore_full(&Composition::new(&dist, MediumConfig::default()), 50_000).lts;
         let dist_failures = failures(&dist_lts, 4);
 
         let cent = centralize(&spec, 1).unwrap();
-        let cent_lts =
-            explore_full(&Composition::new(&cent, MediumConfig::default()), 50_000).lts;
+        let cent_lts = explore_full(&Composition::new(&cent, MediumConfig::default()), 50_000).lts;
         let cent_failures = failures(&cent_lts, 4);
 
         // the derived protocol is testing-faithful...

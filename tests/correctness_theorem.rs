@@ -11,7 +11,7 @@
 
 use lotos_protogen::prelude::*;
 
-fn verify_src(src: &str, opts: VerifyOptions) -> lotos_protogen::verify::VerificationReport {
+fn verify_src(src: &str, opts: VerifyConfig) -> lotos_protogen::verify::VerificationReport {
     verify_service(&parse_spec(src).unwrap(), opts).unwrap()
 }
 
@@ -40,7 +40,7 @@ fn finite_instances_weakly_bisimilar() {
         "SPEC ( a1 ; b2 ; B ) >> ( d3 ; exit ) WHERE PROC B = c2 ; exit END ENDSPEC",
     ];
     for src in corpus {
-        let r = verify_src(src, VerifyOptions::default());
+        let r = verify_src(src, VerifyConfig::default());
         assert!(r.passed(), "{src}\n{r}");
         assert_eq!(r.weak_bisimilar, Some(true), "{src}\n{r}");
         // the theorem is stated with observation congruence ≈; on these
@@ -64,7 +64,7 @@ fn invocation_instances_weakly_bisimilar_but_not_rooted() {
         "SPEC A WHERE PROC A = a1 ; b2 ; exit END ENDSPEC",
     ];
     for src in corpus {
-        let r = verify_src(src, VerifyOptions::default());
+        let r = verify_src(src, VerifyConfig::default());
         assert!(r.passed(), "{src}\n{r}");
         assert_eq!(r.weak_bisimilar, Some(true), "{src}\n{r}");
         assert_eq!(r.congruent, Some(false), "{src}\n{r}");
@@ -82,13 +82,7 @@ fn finite_instances_under_proof_medium() {
         "SPEC ( a1 ; b2 ; B ) >> ( d3 ; exit ) WHERE PROC B = c2 ; exit END ENDSPEC",
     ];
     for src in corpus {
-        let r = verify_src(
-            src,
-            VerifyOptions {
-                medium: MediumConfig::proof_model(),
-                ..VerifyOptions::default()
-            },
-        );
+        let r = verify_src(src, VerifyConfig::new().medium(MediumConfig::proof_model()));
         assert!(r.passed(), "{src}\n{r}");
         assert_eq!(r.weak_bisimilar, Some(true), "{src}\n{r}");
     }
@@ -106,13 +100,7 @@ fn recursive_instances_bounded() {
         "SPEC A WHERE PROC A = a1 ; B END PROC B = b2 ; A [] b2 ; c1 ; exit END ENDSPEC",
     ];
     for src in corpus {
-        let r = verify_src(
-            src,
-            VerifyOptions {
-                trace_len: 6,
-                ..VerifyOptions::default()
-            },
-        );
+        let r = verify_src(src, VerifyConfig::new().trace_len(6));
         assert!(r.traces_equal, "{src}\n{r}");
         assert_eq!(r.deadlocks, 0, "{src}\n{r}");
     }
@@ -131,21 +119,17 @@ fn random_corpus_bounded_equivalence() {
             ..GenConfig::default()
         };
         let spec = generate(cfg);
-        let r = verify_service(
-            &spec,
-            VerifyOptions {
-                trace_len: 5,
-                ..VerifyOptions::default()
-            },
-        )
-        .unwrap();
+        let r = verify_service(&spec, VerifyConfig::new().trace_len(5)).unwrap();
         assert!(
             r.traces_equal && r.deadlocks == 0,
             "seed {seed}:\n{}\n{r}",
             print_spec(&spec)
         );
         if let Some(false) = r.weak_bisimilar {
-            panic!("seed {seed}: weak bisimulation failed\n{}", print_spec(&spec));
+            panic!(
+                "seed {seed}: weak bisimulation failed\n{}",
+                print_spec(&spec)
+            );
         }
     }
 }
@@ -158,7 +142,7 @@ fn harness_detects_broken_protocols() {
     let mut d = derive(&service).unwrap();
     // entity 3 fires c3 without waiting
     d.entities[2].1 = parse_spec("SPEC c3; exit ENDSPEC").unwrap();
-    let r = verify_derivation(&d, VerifyOptions::default());
+    let r = verify_derivation(&d, VerifyConfig::default());
     assert!(!r.passed());
     assert!(r.extra_in_protocol.is_some());
 }

@@ -159,13 +159,19 @@ fn request_ack_blocks_instead_of_deviating() {
         let names: Vec<&str> = or.trace.iter().map(|(n, _)| n.as_str()).collect();
         if let Some(pos) = names.iter().position(|n| *n == "d") {
             // property (a) in full: after d3 only the interrupt branch
-            assert!(names[pos + 1..].iter().all(|n| *n == "e"), "seed {seed}: {names:?}");
+            assert!(
+                names[pos + 1..].iter().all(|n| *n == "e"),
+                "seed {seed}: {names:?}"
+            );
             if names[pos + 1..].contains(&"e") {
                 reqack_interrupt_completed += 1;
             }
         }
     }
-    assert!(reqack_nonterminated > 0, "orphan blocking should be visible");
+    assert!(
+        reqack_nonterminated > 0,
+        "orphan blocking should be visible"
+    );
     assert!(
         reqack_interrupt_completed > 0,
         "interrupts should still complete their branch"

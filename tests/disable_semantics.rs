@@ -139,14 +139,7 @@ fn nonterminating_normal_phase_always_interruptible() {
 #[test]
 fn disable_verification_shows_one_sided_deviation() {
     let spec = parse_spec(EXAMPLE6).unwrap();
-    let r = verify_service(
-        &spec,
-        VerifyOptions {
-            trace_len: 6,
-            ..VerifyOptions::default()
-        },
-    )
-    .unwrap();
+    let r = verify_service(&spec, VerifyConfig::new().trace_len(6)).unwrap();
     // no service trace is lost...
     assert!(
         r.missing_in_protocol.is_none(),

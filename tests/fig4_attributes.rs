@@ -2,9 +2,9 @@
 //! the derivation tree of Example 3 with its `SP`/`EP`/`AP` attributes and
 //! preorder numbering.
 
-use lotos_protogen::prelude::*;
 use lotos_protogen::lotos::place::places;
 use lotos_protogen::lotos::printer::print_expr;
+use lotos_protogen::prelude::*;
 
 const EXAMPLE3: &str = "SPEC S [> interrupt3 ; exit WHERE \
      PROC S = (read1; push2; S >> pop2; write3; exit) \
@@ -53,7 +53,12 @@ fn fig4_node_attributes() {
             &[1, 2, 3],
         ),
         // left alternative (the >> expression)
-        ("read1; push2; S >> pop2; write3; exit", &[1], &[3], &[1, 2, 3]),
+        (
+            "read1; push2; S >> pop2; write3; exit",
+            &[1],
+            &[3],
+            &[1, 2, 3],
+        ),
         // its left operand
         ("read1; push2; S", &[1], &[3], &[1, 2, 3]),
         ("push2; S", &[2], &[3], &[1, 2, 3]),

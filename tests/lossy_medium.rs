@@ -63,7 +63,10 @@ fn loss_without_recovery_stalls_protocols() {
         // deadlocks mid-protocol or (rarely, with zero losses) finishes
         if o.result != SimResult::Terminated {
             stalled += 1;
-            assert!(o.metrics.frames_lost > 0, "seed {seed} stalled without loss");
+            assert!(
+                o.metrics.frames_lost > 0,
+                "seed {seed} stalled without loss"
+            );
         }
         // but never produces an out-of-order service trace
         assert!(o.violation.is_none(), "seed {seed}: {:?}", o.violation);
@@ -101,10 +104,9 @@ fn arq_recovers_from_heavy_loss() {
 
 #[test]
 fn arq_preserves_conformance_on_recursive_service() {
-    let spec = parse_spec(
-        "SPEC A WHERE PROC A = (a1 ; A >> b2 ; exit) [] (a1 ; b2 ; exit) END ENDSPEC",
-    )
-    .unwrap();
+    let spec =
+        parse_spec("SPEC A WHERE PROC A = (a1 ; A >> b2 ; exit) [] (a1 ; b2 ; exit) END ENDSPEC")
+            .unwrap();
     let d = derive(&spec).unwrap();
     for seed in 0..15 {
         let o = simulate(

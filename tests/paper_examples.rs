@@ -15,9 +15,8 @@ fn entity_text(d: &Derivation, p: PlaceId) -> String {
 /// Example 1 (§2): sequential composition with process invocation.
 #[test]
 fn example1_sequential_invocation() {
-    let d = derive_src(
-        "SPEC ( a1 ; b2 ; B ) >> ( d3 ; exit ) WHERE PROC B = c2 ; exit END ENDSPEC",
-    );
+    let d =
+        derive_src("SPEC ( a1 ; b2 ; B ) >> ( d3 ; exit ) WHERE PROC B = c2 ; exit END ENDSPEC");
     // place 3 only executes d3, after hearing from EP of the left side
     let e3 = entity_text(&d, 3);
     assert!(e3.contains("d3; exit"), "{e3}");
@@ -36,9 +35,8 @@ fn example1_sequential_invocation() {
 /// place k: `PROC A = ri(x) ; A >> ...exit [] ...exit`.
 #[test]
 fn example2_process_synchronization_shape() {
-    let d = derive_src(
-        "SPEC A WHERE PROC A = (a1 ; A >> b2 ; exit) [] (a1 ; b2 ; exit) END ENDSPEC",
-    );
+    let d =
+        derive_src("SPEC A WHERE PROC A = (a1 ; A >> b2 ; exit) [] (a1 ; b2 ; exit) END ENDSPEC");
     let e1 = entity_text(&d, 1);
     let e2 = entity_text(&d, 2);
     // place 1 sends the proc-synch message right before its recursive A
@@ -145,9 +143,8 @@ fn example8_recursive_disable() {
     // the paper's sketch, completed to satisfy R1–R3:
     //   PROC A = (a1 ; A [> b1 ; d1 ; exit) [] (c1 ; exit)
     // (EPs coincide at place 1, the disable starts at EP's place)
-    let d = derive_src(
-        "SPEC A WHERE PROC A = (a1 ; A [> b1 ; d1 ; exit) [] (c1 ; exit) END ENDSPEC",
-    );
+    let d =
+        derive_src("SPEC A WHERE PROC A = (a1 ; A [> b1 ; d1 ; exit) [] (c1 ; exit) END ENDSPEC");
     assert!(d.occ);
     let e1 = entity_text(&d, 1);
     assert!(e1.contains("[>"), "{e1}");
@@ -162,7 +159,10 @@ fn parallel_is_message_free() {
     let d = derive_src("SPEC a1;b2;exit |[b2]| b2;exit ENDSPEC");
     // only the ; between a1 and b2 costs a message
     let s = protogen::stats::message_stats(&d);
-    assert_eq!(s.per_kind.get(&SyncKind::Seq).copied().unwrap_or(0), s.total);
+    assert_eq!(
+        s.per_kind.get(&SyncKind::Seq).copied().unwrap_or(0),
+        s.total
+    );
 }
 
 /// §2's user behaviours (Fig. 2): the three independent user specs parse

@@ -4,6 +4,7 @@
 
 use lotos_protogen::lotos::compare::spec_eq_exact;
 use lotos_protogen::prelude::*;
+use lotos_protogen::semantics::{build_lts, Engine};
 use proptest::prelude::*;
 
 fn arb_gen_config() -> impl Strategy<Value = GenConfig> {
@@ -14,14 +15,16 @@ fn arb_gen_config() -> impl Strategy<Value = GenConfig> {
         any::<bool>(),
         any::<bool>(),
     )
-        .prop_map(|(seed, places, max_depth, allow_disable, allow_recursion)| GenConfig {
-            seed,
-            places,
-            max_depth,
-            allow_disable,
-            allow_recursion,
-            ..GenConfig::default()
-        })
+        .prop_map(
+            |(seed, places, max_depth, allow_disable, allow_recursion)| GenConfig {
+                seed,
+                places,
+                max_depth,
+                allow_disable,
+                allow_recursion,
+                ..GenConfig::default()
+            },
+        )
 }
 
 proptest! {
@@ -106,6 +109,59 @@ proptest! {
         }
     }
 
+    /// The parallel explorer is a drop-in for the sequential one: for any
+    /// generated service, the LTS built at 4 threads is bit-for-bit the
+    /// LTS built sequentially. Recursive services are infinite-state, so
+    /// the exploration is bounded by *depth* (which truncates
+    /// deterministically, layer by layer) rather than by the state cap.
+    #[test]
+    fn parallel_exploration_matches_sequential(cfg in arb_gen_config()) {
+        let spec = generate(cfg);
+        let bound = ExploreConfig::new().max_states(200_000).max_depth(12);
+        let engine = Engine::new(spec.clone());
+        let root = engine.root();
+        // compare the LTSs only: the companion `Vec<TermId>` holds arena
+        // handles whose numeric values are interning-order-dependent
+        let (seq, _) = build_lts(&engine, root, &bound.clone().sequential());
+        for threads in [2usize, 4] {
+            let par_engine = Engine::new(spec.clone());
+            let par_root = par_engine.root();
+            let (par, _) = build_lts(&par_engine, par_root, &bound.clone().threads(threads));
+            prop_assert_eq!(&par, &seq, "threads={} on {}", threads, print_spec(&spec));
+        }
+    }
+
+    /// Per-place parallel derivation agrees with the sequential algorithm
+    /// entity-by-entity.
+    #[test]
+    fn parallel_derivation_matches_sequential(cfg in arb_gen_config()) {
+        let spec = generate(cfg);
+        let seq = derive(&spec).unwrap();
+        let par = derive_with_threads(&spec, DeriveOptions::default(), 4).unwrap();
+        prop_assert_eq!(seq.entities.len(), par.entities.len());
+        for ((p1, e1), (p2, e2)) in seq.entities.iter().zip(par.entities.iter()) {
+            prop_assert_eq!(p1, p2);
+            prop_assert!(spec_eq_exact(e1, e2), "place {}\n{}", p1, print_spec(&spec));
+        }
+    }
+
+    /// The full `Pipeline` chain gives the same derivation as the direct
+    /// function calls it replaces.
+    #[test]
+    fn pipeline_matches_direct_calls(cfg in arb_gen_config()) {
+        let spec = generate(cfg);
+        let direct = derive(&spec).unwrap();
+        let staged = Pipeline::from_spec(spec)
+            .check().unwrap()
+            .derive().unwrap()
+            .into_derivation();
+        prop_assert_eq!(direct.entities.len(), staged.entities.len());
+        for ((p1, e1), (p2, e2)) in direct.entities.iter().zip(staged.entities.iter()) {
+            prop_assert_eq!(p1, p2);
+            prop_assert!(spec_eq_exact(e1, e2));
+        }
+    }
+
     /// Simulated executions of derived protocols (no `[>`) conform to the
     /// service and are deterministic per seed.
     #[test]
@@ -131,5 +187,42 @@ proptest! {
         let o2 = run(sim_seed);
         prop_assert_eq!(o1.trace, o2.trace);
         prop_assert_eq!(o1.metrics.steps, o2.metrics.steps);
+    }
+}
+
+/// Hitting the state cap marks `complete = false` deterministically under
+/// parallelism: for the infinite a^n b^n service, every thread count and
+/// every rerun reports the same incompleteness contract — exactly
+/// `max_states` states, `complete = false`, and a non-empty truncation
+/// frontier. (The *identity* of the capped states is schedule-dependent;
+/// depth-bounded truncation, by contrast, is bit-for-bit reproducible —
+/// see `parallel_exploration_matches_sequential`.)
+#[test]
+fn state_cap_marks_incomplete_deterministically_across_threads() {
+    let spec =
+        parse_spec("SPEC A WHERE PROC A = (a1 ; A >> b2 ; exit) [] (a1 ; b2 ; exit) END ENDSPEC")
+            .unwrap();
+    let build = |threads: usize| {
+        let engine = Engine::new(spec.clone());
+        let root = engine.root();
+        build_lts(
+            &engine,
+            root,
+            &ExploreConfig::new().max_states(500).threads(threads),
+        )
+        .0
+    };
+    let reference = build(1);
+    assert!(!reference.complete, "cap of 500 must truncate a^n b^n");
+    assert_eq!(reference.len(), 500);
+    // the sequential path is bit-for-bit reproducible even when capped
+    assert_eq!(build(1), reference);
+    for threads in [2usize, 4, 8] {
+        for run in 0..2 {
+            let lts = build(threads);
+            assert!(!lts.complete, "threads={threads} run={run}");
+            assert_eq!(lts.len(), 500, "threads={threads} run={run}");
+            assert!(!lts.unexpanded.is_empty(), "threads={threads} run={run}");
+        }
     }
 }

@@ -50,7 +50,10 @@ fn random_services_simulate_conformantly() {
     }
     assert_eq!(runs, 200);
     // the vast majority of runs terminate within the step budget
-    assert!(terminated * 10 >= runs * 9, "{terminated}/{runs} terminated");
+    assert!(
+        terminated * 10 >= runs * 9,
+        "{terminated}/{runs} terminated"
+    );
 }
 
 #[test]

@@ -35,13 +35,7 @@ fn two_party_transport_full_pipeline() {
     assert!(stats.per_kind.contains_key(&SyncKind::Proc));
 
     // bounded verification: the recursion makes it infinite-state
-    let r = verify_derivation(
-        &d,
-        VerifyOptions {
-            trace_len: 7,
-            ..VerifyOptions::default()
-        },
-    );
+    let r = verify_derivation(&d, VerifyConfig::new().trace_len(7));
     assert!(r.traces_equal, "{r}");
     assert_eq!(r.deadlocks, 0, "{r}");
 

@@ -1,0 +1,315 @@
+//! Offline drop-in subset of the `criterion` bench API.
+//!
+//! The build environment has no crates.io mirror, so this workspace
+//! vendors the slice of `criterion` its benches use: benchmark groups,
+//! [`Bencher::iter`] timing loops, [`BenchmarkId`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros. Each benchmark runs a
+//! calibrated timing loop and prints `group/id  median  (min … max)` per
+//! sample to stdout — enough to compare configurations by eye or script,
+//! without the statistics engine, plots or HTML reports of real criterion.
+//!
+//! Command-line behaviour: `--test` (as passed by `cargo test --benches`)
+//! runs every benchmark body exactly once without timing; a positional
+//! argument filters benchmarks by substring, like real criterion.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier for a parameterized benchmark: `name/parameter`.
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            full: format!("{name}/{parameter}"),
+        }
+    }
+}
+
+/// Anything acceptable as a benchmark identifier.
+pub trait IntoBenchmarkId {
+    /// The rendered identifier.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.full
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// The timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    test_mode: bool,
+    result: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time `f`, collecting the configured number of samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.test_mode {
+            black_box(f());
+            return;
+        }
+        // Calibrate: grow the per-sample iteration count until one sample
+        // takes ≳1 ms, so cheap bodies are not dominated by clock reads.
+        let mut iters = 1u64;
+        loop {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = t.elapsed();
+            if elapsed >= Duration::from_millis(1) || iters >= 1 << 20 {
+                break;
+            }
+            iters *= 2;
+        }
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            self.result.push(t.elapsed() / iters as u32);
+        }
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            test_mode: false,
+            filter: None,
+        }
+    }
+}
+
+impl Criterion {
+    /// Set the number of timing samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Apply process arguments (`--test`, substring filter).
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--test" => self.test_mode = true,
+                "--bench" | "--nocapture" | "--quiet" | "-q" => {}
+                s if s.starts_with("--") => {
+                    // unknown option: skip a value if one follows
+                    let _ = args.next();
+                }
+                s => self.filter = Some(s.to_string()),
+            }
+        }
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            c: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+
+    /// Run an ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into_id();
+        run_one(self, None, &id, self.sample_size, &mut f);
+        self
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    c: &Criterion,
+    group: Option<&str>,
+    id: &str,
+    samples: usize,
+    f: &mut F,
+) {
+    let full = match group {
+        Some(g) => format!("{g}/{id}"),
+        None => id.to_string(),
+    };
+    if let Some(filter) = &c.filter {
+        if !full.contains(filter.as_str()) {
+            return;
+        }
+    }
+    let mut b = Bencher {
+        samples,
+        test_mode: c.test_mode,
+        result: Vec::new(),
+    };
+    f(&mut b);
+    if c.test_mode {
+        println!("test {full} ... ok");
+        return;
+    }
+    b.result.sort();
+    let fmt = |d: Duration| {
+        let ns = d.as_nanos();
+        match ns {
+            0..=9_999 => format!("{ns} ns"),
+            10_000..=9_999_999 => format!("{:.2} µs", ns as f64 / 1e3),
+            10_000_000..=9_999_999_999 => format!("{:.2} ms", ns as f64 / 1e6),
+            _ => format!("{:.3} s", ns as f64 / 1e9),
+        }
+    };
+    if b.result.is_empty() {
+        println!("{full:<48} (no samples)");
+    } else {
+        let median = b.result[b.result.len() / 2];
+        let lo = b.result[0];
+        let hi = b.result[b.result.len() - 1];
+        println!(
+            "{full:<48} {:>12}   ({} … {})",
+            fmt(median),
+            fmt(lo),
+            fmt(hi)
+        );
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Override the sample count within this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into_id();
+        let samples = self.sample_size.unwrap_or(self.c.sample_size);
+        run_one(self.c, Some(&self.name), &id, samples, &mut f);
+        self
+    }
+
+    /// Run one benchmark with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Close the group (report separator).
+    pub fn finish(self) {}
+}
+
+/// Declare a benchmark group function, as in real criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $config.configure_from_args();
+            $( $target(&mut c); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declare the bench binary's `main`, as in real criterion.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_and_ids_run() {
+        let mut c = Criterion::default().sample_size(2);
+        c.test_mode = true; // don't spend time timing in unit tests
+        let mut ran = 0;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(2);
+            g.bench_function("plain", |b| b.iter(|| ran += 1));
+        }
+        let mut c2 = Criterion {
+            test_mode: true,
+            ..Criterion::default()
+        };
+        let mut g = c2.benchmark_group("h");
+        g.bench_with_input(BenchmarkId::new("with", 3), &3, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        g.finish();
+        assert_eq!(ran, 1);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion {
+            sample_size: 1,
+            test_mode: true,
+            filter: Some("match-me".into()),
+        };
+        let mut ran = false;
+        c.bench_function("other", |b| b.iter(|| ran = true));
+        assert!(!ran);
+        c.bench_function("match-me-exactly", |b| b.iter(|| ran = true));
+        assert!(ran);
+    }
+}
