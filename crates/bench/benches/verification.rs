@@ -1,18 +1,22 @@
 //! Benchmarks for the Section 5 correctness harness (experiment E5's
 //! cost): composition exploration — legacy `Rc` explorer vs. the
-//! hash-consed parallel engine across thread counts — and full
-//! verification runs.
+//! hash-consed parallel engine across thread counts — full verification
+//! runs, and the verification kernels themselves (naive reference vs.
+//! the condensed/determinized fast paths).
 
 use bench::{pipeline_derive, scaled_spec, EXAMPLE2, TRANSPORT2};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use medium::MediumConfig;
 use protogen::Pipeline;
+use semantics::detdfa::DetDfa;
 use semantics::explore::{explore_par, DepthMode, ExploreConfig};
+use semantics::lts::Lts;
+use semantics::{naive, traces};
 use std::hint::black_box;
 use verify::composition::Composition;
 use verify::explorer::{explore, explore_full};
 use verify::harness::{verify_derivation, VerifyConfig};
-use verify::EngineComposition;
+use verify::{EngineComposition, EngineService};
 
 fn bench_composition_exploration(c: &mut Criterion) {
     let mut g = c.benchmark_group("composition");
@@ -91,9 +95,83 @@ fn bench_full_verification(c: &mut Criterion) {
     g.finish();
 }
 
+/// Derive a `specs/` corpus entry and explore service + composition the
+/// way the harness does at default caps (exhaustive probe, observable-
+/// depth-bounded fallback) — the exact LTS pair the verification kernels
+/// run on. `complete` is forced so kernel timings compare identical work.
+fn kernel_lts_pair(spec_file: &str) -> (Lts, Lts) {
+    let path = format!("{}/../../specs/{spec_file}", env!("CARGO_MANIFEST_DIR"));
+    let src = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+    let spec = lotos::parser::parse_spec(&src).expect("spec parses");
+    let d = protogen::derive::derive(&spec).expect("spec derives");
+    let explore_side = |sys: &dyn Fn(&ExploreConfig) -> Lts| {
+        let probe = ExploreConfig::new().max_states(6_000);
+        let full = sys(&probe);
+        if full.complete {
+            full
+        } else {
+            sys(&ExploreConfig::new().max_states(60_000).max_depth(6))
+        }
+    };
+    verify::harness::with_big_stack(move || {
+        let service_sys = EngineService::new(d.service.clone());
+        let mut service = explore_side(&|cfg: &ExploreConfig| {
+            explore_par(&service_sys, cfg, DepthMode::Observable).lts
+        });
+        let comp_sys = EngineComposition::new(&d, MediumConfig::default());
+        let mut comp = explore_side(&|cfg: &ExploreConfig| {
+            explore_par(&comp_sys, cfg, DepthMode::Observable).lts
+        });
+        service.complete = true;
+        comp.complete = true;
+        (service, comp)
+    })
+}
+
+/// The tentpole measurement: naive reference kernels vs. the fast paths
+/// (τ-SCC condensed saturation + worklist refinement; determinized
+/// product-automaton trace comparison) on the composed `specs/` systems.
+fn bench_kernels_naive_vs_fast(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernels");
+    g.sample_size(10);
+    for spec_file in ["example3_file_copy.lotos", "transport2.lotos"] {
+        let name = spec_file.trim_end_matches(".lotos");
+        let (service, comp) = kernel_lts_pair(spec_file);
+        g.bench_function(BenchmarkId::new("weak_bisim_naive", name), |b| {
+            b.iter(|| black_box(naive::weak_equiv(&service, &comp)))
+        });
+        g.bench_function(BenchmarkId::new("weak_bisim_fast", name), |b| {
+            b.iter(|| black_box(semantics::bisim::weak_equiv_threads(&service, &comp, 1)))
+        });
+        g.bench_function(BenchmarkId::new("traces_naive", name), |b| {
+            b.iter(|| {
+                let ts = naive::observable_traces(&service, 6);
+                let tc = naive::observable_traces(&comp, 6);
+                black_box((
+                    traces::trace_equal(&ts, &tc),
+                    traces::first_difference(&ts, &tc),
+                    traces::first_difference(&tc, &ts),
+                ))
+            })
+        });
+        g.bench_function(BenchmarkId::new("traces_fast", name), |b| {
+            b.iter(|| {
+                let ds = DetDfa::build(&service, 6);
+                let dc = DetDfa::build(&comp, 6);
+                black_box((
+                    DetDfa::equal(&ds, &dc),
+                    DetDfa::first_difference(&ds, &dc),
+                    DetDfa::first_difference(&dc, &ds),
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_composition_exploration, bench_full_verification
+    targets = bench_composition_exploration, bench_full_verification, bench_kernels_naive_vs_fast
 }
 criterion_main!(benches);

@@ -1,0 +1,204 @@
+//! `perf-snapshot` — time the verification kernels over the `specs/`
+//! corpus and write `BENCH_verify.json` at the repository root, so the
+//! perf trajectory of the fast path is tracked in-tree.
+//!
+//! For each corpus spec the protocol is derived and the service and
+//! composed-protocol LTSs are explored exactly the way the harness does
+//! (exhaustive probe at `finite_probe_states`, observable-depth-bounded
+//! fallback), then each verification kernel is timed on those LTSs:
+//!
+//! * **weak-bisim** — naive (`semantics::naive`: per-state-BFS saturation
+//!   and global-fixpoint partition) vs fast (τ-SCC condensed saturation
+//!   and worklist refinement);
+//! * **traces** — naive (materialized `TraceSet`s, `BTreeSet` compare and
+//!   scan) vs fast (hash-consed determinization + product-automaton
+//!   equality / first-difference walks).
+//!
+//! Verdict agreement between the two implementations is asserted on every
+//! entry; a snapshot that would record a disagreement panics instead.
+//!
+//! Usage: `cargo run --release -p bench --bin perf-snapshot`
+
+use semantics::detdfa::DetDfa;
+use semantics::explore::{explore_par, DepthMode, ExploreConfig};
+use semantics::lts::Lts;
+use semantics::{naive, traces};
+use std::fmt::Write as _;
+use std::time::Instant;
+use verify::{EngineComposition, EngineService};
+
+const TRACE_LEN: usize = 6;
+const MAX_STATES: usize = 60_000;
+const FINITE_PROBE_STATES: usize = 6_000;
+
+const CORPUS: &[&str] = &[
+    "example1_invocation.lotos",
+    "example2_anbn.lotos",
+    "example3_file_copy.lotos",
+    "example5_choice.lotos",
+    "transport2.lotos",
+    "transport3_abort.lotos",
+];
+
+/// Time `f`: one warm-up run, then repeat inside a fixed wall-clock
+/// budget (at least 9 runs) and keep the fastest — the usual steady-state
+/// estimator for single-shot kernels, with enough repetitions that the
+/// reported number is stable across snapshot invocations.
+fn time_us<T>(mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut out = f();
+    let budget = std::time::Duration::from_millis(60);
+    let start = Instant::now();
+    let mut best = f64::INFINITY;
+    let mut runs = 0u32;
+    while runs < 9 || (start.elapsed() < budget && runs < 50_000) {
+        let t0 = Instant::now();
+        out = f();
+        let dt = t0.elapsed().as_secs_f64() * 1e6;
+        if dt < best {
+            best = dt;
+        }
+        runs += 1;
+    }
+    (best, out)
+}
+
+fn explore_side(sys: &impl semantics::explore::ParSystem, bounded_fallback: bool) -> Lts {
+    let probe = ExploreConfig::new().max_states(FINITE_PROBE_STATES);
+    let full = explore_par(sys, &probe, DepthMode::Observable);
+    if full.lts.complete || !bounded_fallback {
+        full.lts
+    } else {
+        let cfg = ExploreConfig::new()
+            .max_states(MAX_STATES)
+            .max_depth(TRACE_LEN);
+        explore_par(sys, &cfg, DepthMode::Observable).lts
+    }
+}
+
+struct KernelTiming {
+    naive_us: f64,
+    fast_us: f64,
+    agree: bool,
+}
+
+impl KernelTiming {
+    fn speedup(&self) -> f64 {
+        self.naive_us / self.fast_us.max(1e-3)
+    }
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"naive_us\":{:.1},\"fast_us\":{:.1},\"speedup\":{:.2},\"verdicts_agree\":{}}}",
+            self.naive_us,
+            self.fast_us,
+            self.speedup(),
+            self.agree
+        )
+    }
+}
+
+fn bench_weak_bisim(service: &Lts, comp: &Lts) -> KernelTiming {
+    // Kernel timing runs on the explored graphs as-is; the `complete`
+    // gate is the caller's concern, not the kernel's cost.
+    let mut s = service.clone();
+    let mut c = comp.clone();
+    s.complete = true;
+    c.complete = true;
+    let (naive_us, nv) = time_us(|| naive::weak_equiv(&s, &c));
+    let (fast_us, fv) = time_us(|| semantics::bisim::weak_equiv_threads(&s, &c, 1));
+    KernelTiming {
+        naive_us,
+        fast_us,
+        agree: nv == fv,
+    }
+}
+
+fn bench_traces(service: &Lts, comp: &Lts) -> KernelTiming {
+    let (naive_us, nv) = time_us(|| {
+        let ts = naive::observable_traces(service, TRACE_LEN);
+        let tc = naive::observable_traces(comp, TRACE_LEN);
+        let eq = traces::trace_equal(&ts, &tc);
+        let miss = traces::first_difference(&ts, &tc);
+        let extra = traces::first_difference(&tc, &ts);
+        (eq, miss, extra)
+    });
+    let (fast_us, fv) = time_us(|| {
+        let ds = DetDfa::build(service, TRACE_LEN);
+        let dc = DetDfa::build(comp, TRACE_LEN);
+        let eq = DetDfa::equal(&ds, &dc);
+        let miss = DetDfa::first_difference(&ds, &dc);
+        let extra = DetDfa::first_difference(&dc, &ds);
+        (eq, miss, extra)
+    });
+    KernelTiming {
+        naive_us,
+        fast_us,
+        agree: nv == fv,
+    }
+}
+
+fn main() {
+    let root = format!("{}/../..", env!("CARGO_MANIFEST_DIR"));
+    let mut entries: Vec<String> = Vec::new();
+
+    for name in CORPUS {
+        let src = std::fs::read_to_string(format!("{root}/specs/{name}"))
+            .unwrap_or_else(|e| panic!("read specs/{name}: {e}"));
+        let spec = lotos::parser::parse_spec(&src).expect("corpus spec parses");
+        let d = protogen::derive::derive(&spec).expect("corpus spec derives");
+
+        let (service, comp) = verify::harness::with_big_stack(|| {
+            let service_sys = EngineService::new(d.service.clone());
+            let service = explore_side(&service_sys, true);
+            let comp_sys = EngineComposition::new(&d, medium::MediumConfig::default());
+            let comp = explore_side(&comp_sys, true);
+            (service, comp)
+        });
+
+        let bisim = bench_weak_bisim(&service, &comp);
+        let trace = bench_traces(&service, &comp);
+        assert!(bisim.agree, "{name}: weak-bisim verdicts disagree");
+        assert!(trace.agree, "{name}: trace verdicts disagree");
+        // The headline number: the full verification kernel (weak-bisim +
+        // trace comparison) naive vs fast.
+        let verify_speedup =
+            (bisim.naive_us + trace.naive_us) / (bisim.fast_us + trace.fast_us).max(1e-3);
+
+        println!(
+            "{name:28} service {:>6} states, composition {:>6} states | \
+             weak-bisim {:>10.1}µs → {:>8.1}µs ({:>5.1}×) | \
+             traces {:>10.1}µs → {:>8.1}µs ({:>5.1}×) | verify {:>5.1}×",
+            service.len(),
+            comp.len(),
+            bisim.naive_us,
+            bisim.fast_us,
+            bisim.speedup(),
+            trace.naive_us,
+            trace.fast_us,
+            trace.speedup(),
+            verify_speedup,
+        );
+
+        let mut e = String::new();
+        write!(
+            e,
+            "    {{\"spec\":\"{name}\",\"service_states\":{},\"composition_states\":{},\
+             \"weak_bisim\":{},\"traces\":{},\"verify_speedup\":{verify_speedup:.2}}}",
+            service.len(),
+            comp.len(),
+            bisim.to_json(),
+            trace.to_json()
+        )
+        .unwrap();
+        entries.push(e);
+    }
+
+    let json = format!(
+        "{{\n  \"generated_by\": \"cargo run --release -p bench --bin perf-snapshot\",\n  \
+         \"config\": {{\"trace_len\":{TRACE_LEN},\"max_states\":{MAX_STATES},\
+         \"finite_probe_states\":{FINITE_PROBE_STATES}}},\n  \"entries\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    let out = format!("{root}/BENCH_verify.json");
+    std::fs::write(&out, json).expect("write BENCH_verify.json");
+    println!("wrote {out}");
+}

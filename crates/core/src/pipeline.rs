@@ -224,6 +224,15 @@ impl Checked {
         semantics::build_lts(&engine, root, &self.config.explore)
     }
 
+    /// The service LTS quotiented by strong bisimilarity — the canonical
+    /// minimal representative. Minimization runs the worklist partition
+    /// refinement of the verification fast path, so requesting the
+    /// quotient up front is cheap and every downstream equivalence check
+    /// sees the smaller system.
+    pub fn service_lts_minimized(&self) -> Lts {
+        self.service_lts().0.minimize()
+    }
+
     /// Derive one protocol entity per place (paper Tables 3–4), in
     /// parallel across places when the configuration allows threads.
     pub fn derive(self) -> Result<Derived, ProtogenError> {
@@ -327,6 +336,18 @@ mod tests {
         let (lts, _) = checked.service_lts();
         assert!(lts.complete);
         assert_eq!(lts.len(), 4); // a1 -> b2 -> δ -> stop
+    }
+
+    #[test]
+    fn minimized_service_lts_is_strongly_equivalent() {
+        let checked = Pipeline::load("SPEC a1;c1;exit [] a1;c1;exit ENDSPEC")
+            .unwrap()
+            .check()
+            .unwrap();
+        let (full, _) = checked.service_lts();
+        let min = checked.service_lts_minimized();
+        assert!(min.len() <= full.len());
+        assert_eq!(semantics::bisim::strong_equiv(&full, &min), Some(true));
     }
 
     #[test]

@@ -2,40 +2,75 @@
 //!
 //! Paper Section 5 states the correctness theorem in terms of observation
 //! congruence `≈`; its witness relation is a weak bisimulation. This
-//! module decides (weak) bisimilarity of finite systems by partition
-//! refinement:
+//! module decides (weak) bisimilarity of finite systems by **splitter
+//! worklist partition refinement** (Kanellakis–Smolka style):
 //!
 //! * **strong** bisimilarity refines blocks on signatures
-//!   `{(label, block-of-target)}`;
-//! * **weak** bisimilarity is strong bisimilarity of the *saturated*
-//!   system ([`crate::lts::Lts::saturate`]): `τ*`-closure as ε-moves plus
-//!   `τ*·a·τ*` observable moves.
+//!   `{(label, block-of-target)}`, recomputing only the blocks whose
+//!   neighbourhood changed (a dirty-block worklist driven by predecessor
+//!   lists) over *interned* `u32` label ids — no `Label` clone, sort or
+//!   hash in the hot loop;
+//! * **weak** bisimilarity is strong bisimilarity of the saturated
+//!   system, decided on the **τ-SCC condensation**
+//!   ([`crate::condense::SaturatedView`]): states of one τ-SCC are weakly
+//!   bisimilar by construction, so refinement runs over condensed states
+//!   and never materializes the O(n²) saturated edge list.
 //!
-//! Both run on the disjoint union of the two systems and compare the
-//! blocks of the initial states. The verdict is only meaningful for
+//! Signature hashing inside a refinement round is parallelized across a
+//! caller-provided thread count (the engine's `ExploreConfig.threads`
+//! family); verdicts are deterministic — identical for every thread
+//! count, and identical to the naive global-fixpoint oracle kept in
+//! [`crate::naive`].
+//!
+//! Both checks run on the disjoint union of the two systems and compare
+//! the blocks of the initial states. The verdict is only meaningful for
 //! complete LTSs; [`weak_equiv`]/[`strong_equiv`] return `None` when
 //! either input was truncated.
 
+use crate::condense::SaturatedView;
+use crate::fxhash::FxHashMap;
 use crate::lts::Lts;
 use crate::term::Label;
-use std::collections::HashMap;
+
+/// Below this many member signatures in one refinement round, parallel
+/// hashing costs more than it saves.
+const PAR_SIG_THRESHOLD: usize = 2_048;
 
 /// Decide strong bisimilarity of the initial states of two complete LTSs.
 /// `None` if either LTS is incomplete (truncated by a state cap).
 pub fn strong_equiv(a: &Lts, b: &Lts) -> Option<bool> {
+    strong_equiv_threads(a, b, 1)
+}
+
+/// [`strong_equiv`] with signature hashing spread over `threads` workers.
+/// The verdict is identical for every thread count.
+pub fn strong_equiv_threads(a: &Lts, b: &Lts, threads: usize) -> Option<bool> {
     if !a.complete || !b.complete {
         return None;
     }
-    Some(equiv_core(a, b))
+    let (off, flat, na) = union_edges(a, b);
+    let block = refine(&off, &flat, threads);
+    Some(block[a.initial] == block[na + b.initial])
 }
 
 /// Decide weak (observation) bisimilarity of the initial states of two
 /// complete LTSs. `None` if either is incomplete.
 pub fn weak_equiv(a: &Lts, b: &Lts) -> Option<bool> {
+    weak_equiv_threads(a, b, 1)
+}
+
+/// [`weak_equiv`] with signature hashing spread over `threads` workers.
+/// Saturation is never materialized: both sides are condensed to their
+/// τ-SCC DAGs and refinement runs on the condensed weak moves.
+pub fn weak_equiv_threads(a: &Lts, b: &Lts, threads: usize) -> Option<bool> {
     if !a.complete || !b.complete {
         return None;
     }
-    Some(equiv_core(&a.saturate(), &b.saturate()))
+    let va = SaturatedView::build(a);
+    let vb = SaturatedView::build(b);
+    let (off, flat, offset) = condensed_union(&va, &vb);
+    let block = refine(&off, &flat, threads);
+    Some(block[va.initial_scc as usize] == block[offset + vb.initial_scc as usize])
 }
 
 /// Decide **observation congruence** `≈` (the relation of the paper's
@@ -47,34 +82,49 @@ pub fn weak_equiv(a: &Lts, b: &Lts) -> Option<bool> {
 ///
 /// `None` if either LTS is incomplete.
 pub fn observation_congruent(a: &Lts, b: &Lts) -> Option<bool> {
+    observation_congruent_threads(a, b, 1)
+}
+
+/// [`observation_congruent`] with parallel signature hashing.
+pub fn observation_congruent_threads(a: &Lts, b: &Lts, threads: usize) -> Option<bool> {
     if !a.complete || !b.complete {
         return None;
     }
-    let sa = a.saturate();
-    let sb = b.saturate();
-    // blocks of the weak bisimilarity over the disjoint union
-    let (block, na) = partition(&sa, &sb);
-    let block_of = |side: usize, s: usize| block[if side == 0 { s } else { na + s }];
-
-    // root condition, checked in both directions on the *strong* systems:
-    // x --i--> x'  must be matched by  y ==i·ε==> y'  (≥ 1 internal step)
-    // with x' and y' weakly bisimilar; and every initial observable move
-    // must be matched weakly (which the partition already guarantees if
-    // the roots are in the same block — check that first).
+    let va = SaturatedView::build(a);
+    let vb = SaturatedView::build(b);
+    let (off, flat, offset) = condensed_union(&va, &vb);
+    let block = refine(&off, &flat, threads);
+    // block of a *state* is the block of its τ-SCC
+    let block_of = |side: usize, s: usize| {
+        if side == 0 {
+            block[va.scc_of[s] as usize]
+        } else {
+            block[offset + vb.scc_of[s] as usize]
+        }
+    };
     if block_of(0, a.initial) != block_of(1, b.initial) {
         return Some(false);
     }
-    let root_ok = |x: &Lts, y: &Lts, ysat: &Lts, xside: usize, yside: usize| -> bool {
+    // Root condition, both directions, on the strong systems:
+    // x --i--> x' must be matched by y ==i·ε==> y' (≥ 1 internal step)
+    // with x' and y' weakly bisimilar. The ε-successors of a state are
+    // exactly the members of the SCCs its τ-SCC reaches, so the check
+    // walks `reach` instead of saturated I-edges.
+    let root_ok = |x: &Lts, y: &Lts, vy: &SaturatedView, xside: usize, yside: usize| -> bool {
         for (l, xt) in &x.trans[x.initial] {
             if !l.is_internal() {
                 continue;
             }
-            // find y ==i==> yt (one strong i, then ε-closure — equivalent
-            // to "≥1 internal step" since ysat's I-edges are the closure)
+            let want = block_of(xside, *xt);
             let matched = y.trans[y.initial].iter().any(|(yl, ym)| {
                 yl.is_internal()
-                    && ysat.trans[*ym].iter().any(|(cl, yt)| {
-                        cl.is_internal() && block_of(yside, *yt) == block_of(xside, *xt)
+                    && vy.reach(vy.scc_of[*ym] as usize).iter().any(|&f| {
+                        let fb = if yside == 0 {
+                            block[f as usize]
+                        } else {
+                            block[offset + f as usize]
+                        };
+                        fb == want
                     })
             });
             if !matched {
@@ -83,51 +133,272 @@ pub fn observation_congruent(a: &Lts, b: &Lts) -> Option<bool> {
         }
         true
     };
-    Some(root_ok(a, b, &sb, 0, 1) && root_ok(b, a, &sa, 1, 0))
+    Some(root_ok(a, b, &vb, 0, 1) && root_ok(b, a, &va, 1, 0))
 }
 
-/// Run partition refinement over the disjoint union of two (saturated)
-/// systems; returns the final block assignment and the offset of `b`.
-fn partition(a: &Lts, b: &Lts) -> (Vec<u32>, usize) {
+// ---------------------------------------------------------------------
+// Union construction with interned labels.
+// ---------------------------------------------------------------------
+
+/// Intern the labels of both LTSs (one interner per comparison) and build
+/// the disjoint-union edge table over `u32` pairs in CSR form (state `s`
+/// owns `flat[off[s]..off[s+1]]`). Returns `(off, flat, offset-of-b)`.
+fn union_edges(a: &Lts, b: &Lts) -> (Vec<u32>, Vec<(u32, u32)>, usize) {
     let na = a.len();
     let n = na + b.len();
-    let mut trans: Vec<&[(Label, usize)]> = Vec::with_capacity(n);
-    for s in 0..na {
-        trans.push(&a.trans[s]);
-    }
-    for s in 0..b.len() {
-        trans.push(&b.trans[s]);
-    }
-    let offset = |side: usize, t: usize| if side == 0 { t } else { na + t };
-    let mut block: Vec<u32> = vec![0; n];
-    loop {
-        let mut sig_index: HashMap<Vec<(Label, u32)>, u32> = HashMap::new();
-        let mut next_block: Vec<u32> = vec![0; n];
-        for s in 0..n {
-            let side = usize::from(s >= na);
-            let mut sig: Vec<(Label, u32)> = trans[s]
-                .iter()
-                .map(|(l, t)| (l.clone(), block[offset(side, *t)]))
-                .collect();
-            sig.sort();
-            sig.dedup();
-            let fresh = sig_index.len() as u32;
-            let id = *sig_index.entry(sig).or_insert(fresh);
-            next_block[s] = id;
+    let total: usize = a.trans.iter().chain(b.trans.iter()).map(Vec::len).sum();
+    let mut ids: FxHashMap<&Label, u32> = FxHashMap::default();
+    let mut off: Vec<u32> = Vec::with_capacity(n + 1);
+    off.push(0);
+    let mut flat: Vec<(u32, u32)> = Vec::with_capacity(total);
+    for (lts, base) in [(a, 0usize), (b, na)] {
+        for s in 0..lts.len() {
+            for (l, t) in &lts.trans[s] {
+                let next = ids.len() as u32;
+                let id = *ids.entry(l).or_insert(next);
+                flat.push((id, (base + *t) as u32));
+            }
+            off.push(flat.len() as u32);
         }
-        if next_block == block {
-            break;
-        }
-        block = next_block;
     }
-    (block, na)
+    (off, flat, na)
 }
 
-/// Partition refinement on the disjoint union; true iff the two initial
-/// states end in the same block.
-fn equiv_core(a: &Lts, b: &Lts) -> bool {
-    let (block, na) = partition(a, b);
-    block[a.initial] == block[na + b.initial]
+/// Build the disjoint-union condensed edge table of two saturated views
+/// in CSR form, remapping each view's local label ids through a shared
+/// interner (ε stays id 0 on both sides).
+fn condensed_union(va: &SaturatedView, vb: &SaturatedView) -> (Vec<u32>, Vec<(u32, u32)>, usize) {
+    let sa = va.scc_count();
+    let n = sa + vb.scc_count();
+    let total = va.wedge_count() + vb.wedge_count();
+    let mut ids: FxHashMap<&Label, u32> = FxHashMap::default();
+    ids.insert(&Label::I, 0);
+    let mut off: Vec<u32> = Vec::with_capacity(n + 1);
+    off.push(0);
+    let mut flat: Vec<(u32, u32)> = Vec::with_capacity(total);
+    for (view, base) in [(va, 0usize), (vb, sa)] {
+        // view-local label id → union label id
+        let map: Vec<u32> = view
+            .labels
+            .iter()
+            .map(|l| {
+                let next = ids.len() as u32;
+                *ids.entry(l).or_insert(next)
+            })
+            .collect();
+        for c in 0..view.scc_count() {
+            for &(l, f) in view.wedges(c) {
+                flat.push((map[l as usize], (base + f as usize) as u32));
+            }
+            off.push(flat.len() as u32);
+        }
+    }
+    (off, flat, sa)
+}
+
+// ---------------------------------------------------------------------
+// Worklist partition refinement.
+// ---------------------------------------------------------------------
+
+/// One worker's output: a flat signature arena plus the `(start, end)`
+/// range of each member's signature within it.
+type SigChunk = (Vec<(u32, u32)>, Vec<(u32, u32)>);
+
+/// Append the signatures of `members` (in order) to a flat buffer: each
+/// member's sorted, deduplicated `(label id, block-of-target)` pairs
+/// occupy `buf[a..e]` for the matching `(a, e)` pushed onto `ranges`.
+/// One growable arena instead of one heap `Vec` per member per round.
+fn fill_signatures_seq(
+    members: &[u32],
+    off: &[u32],
+    flat: &[(u32, u32)],
+    block: &[u32],
+    buf: &mut Vec<(u32, u32)>,
+    ranges: &mut Vec<(u32, u32)>,
+) {
+    for &s in members {
+        let su = s as usize;
+        let start = buf.len();
+        buf.extend(
+            flat[off[su] as usize..off[su + 1] as usize]
+                .iter()
+                .map(|&(l, t)| (l, block[t as usize])),
+        );
+        let seg = &mut buf[start..];
+        seg.sort_unstable();
+        // in-place dedup of the segment
+        let mut w = usize::from(!seg.is_empty());
+        for r in 1..seg.len() {
+            if seg[r] != seg[w - 1] {
+                seg[w] = seg[r];
+                w += 1;
+            }
+        }
+        buf.truncate(start + w);
+        ranges.push((start as u32, (start + w) as u32));
+    }
+}
+
+/// Compute the signatures of `members`, fanning the hashing out over
+/// `threads` workers when the round is large enough. Worker chunks are
+/// merged back in member order, so the buffer contents are identical for
+/// every thread count.
+fn fill_signatures(
+    members: &[u32],
+    off: &[u32],
+    flat: &[(u32, u32)],
+    block: &[u32],
+    threads: usize,
+    buf: &mut Vec<(u32, u32)>,
+    ranges: &mut Vec<(u32, u32)>,
+) {
+    buf.clear();
+    ranges.clear();
+    if threads <= 1 || members.len() < PAR_SIG_THRESHOLD {
+        fill_signatures_seq(members, off, flat, block, buf, ranges);
+        return;
+    }
+    let workers = threads.min(members.len());
+    let chunk = members.len().div_ceil(workers);
+    let mut parts: Vec<SigChunk> = Vec::with_capacity(workers);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = members
+            .chunks(chunk)
+            .map(|part| {
+                scope.spawn(move || {
+                    let mut b = Vec::new();
+                    let mut r = Vec::new();
+                    fill_signatures_seq(part, off, flat, block, &mut b, &mut r);
+                    (b, r)
+                })
+            })
+            .collect();
+        for h in handles {
+            parts.push(h.join().expect("signature worker panicked"));
+        }
+    });
+    for (b, r) in parts {
+        let base = buf.len() as u32;
+        buf.extend_from_slice(&b);
+        ranges.extend(r.into_iter().map(|(a, e)| (a + base, e + base)));
+    }
+}
+
+/// Coarsest partition of the CSR edge table (`off.len() - 1` states,
+/// state `s` owning `flat[off[s]..off[s+1]]`) stable under the labelled
+/// transition signatures — the strong-bisimilarity partition. Block ids
+/// are arbitrary but the partition itself is canonical (it is the unique
+/// coarsest stable refinement of the all-in-one partition), so verdicts
+/// and quotients derived from it are deterministic for every `threads`.
+pub(crate) fn refine(off: &[u32], flat: &[(u32, u32)], threads: usize) -> Vec<u32> {
+    let n = off.len() - 1;
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut block: Vec<u32> = vec![0; n];
+    let mut members: Vec<Vec<u32>> = vec![(0..n as u32).collect()];
+
+    // CSR predecessor lists (counting sort) drive the dirty-block
+    // worklist. Duplicates only cost a dirty-flag re-check, so they are
+    // kept rather than deduplicated.
+    let mut pred_off = vec![0u32; n + 1];
+    for &(_, t) in flat {
+        pred_off[t as usize + 1] += 1;
+    }
+    for i in 1..=n {
+        pred_off[i] += pred_off[i - 1];
+    }
+    let mut pred_flat = vec![0u32; flat.len()];
+    let mut cursor: Vec<u32> = pred_off[..n].to_vec();
+    for s in 0..n {
+        for &(_, t) in &flat[off[s] as usize..off[s + 1] as usize] {
+            let c = &mut cursor[t as usize];
+            pred_flat[*c as usize] = s as u32;
+            *c += 1;
+        }
+    }
+
+    let mut dirty: Vec<bool> = vec![true];
+    let mut queue: Vec<u32> = vec![0];
+    let mut sig_buf: Vec<(u32, u32)> = Vec::new();
+    let mut sig_ranges: Vec<(u32, u32)> = Vec::new();
+
+    while let Some(x) = queue.pop() {
+        let xu = x as usize;
+        dirty[xu] = false;
+        if members[xu].len() <= 1 {
+            continue;
+        }
+        let mem = std::mem::take(&mut members[xu]);
+        fill_signatures(
+            &mem,
+            off,
+            flat,
+            &block,
+            threads,
+            &mut sig_buf,
+            &mut sig_ranges,
+        );
+
+        // Group members by signature in member order; the first group
+        // keeps the block id, later groups get fresh ids.
+        let mut group_of: FxHashMap<&[(u32, u32)], u32> = FxHashMap::default();
+        let mut group_id: Vec<u32> = Vec::with_capacity(mem.len());
+        for &(a, e) in sig_ranges.iter() {
+            let next = group_of.len() as u32;
+            let g = *group_of
+                .entry(&sig_buf[a as usize..e as usize])
+                .or_insert(next);
+            group_id.push(g);
+        }
+        let n_groups = group_of.len();
+        drop(group_of);
+        if n_groups == 1 {
+            members[xu] = mem;
+            continue;
+        }
+        let mut groups: Vec<Vec<u32>> = vec![Vec::new(); n_groups];
+        for (i, &s) in mem.iter().enumerate() {
+            groups[group_id[i] as usize].push(s);
+        }
+        let mut moved: Vec<u32> = Vec::new();
+        let mut iter = groups.into_iter();
+        members[xu] = iter.next().unwrap();
+        for g in iter {
+            let nb = members.len() as u32;
+            for &s in &g {
+                block[s as usize] = nb;
+                moved.push(s);
+            }
+            members.push(g);
+            dirty.push(false);
+        }
+        // Every predecessor of a moved state sees a changed signature.
+        for &s in &moved {
+            let su = s as usize;
+            for &p in &pred_flat[pred_off[su] as usize..pred_off[su + 1] as usize] {
+                let pb = block[p as usize] as usize;
+                if !dirty[pb] {
+                    dirty[pb] = true;
+                    queue.push(pb as u32);
+                }
+            }
+        }
+    }
+    block
+}
+
+/// Renumber a block assignment canonically: blocks take ids in order of
+/// first appearance over the state index. This reproduces exactly the
+/// numbering the naive global-fixpoint refinement converges to, keeping
+/// quotient LTSs ([`Lts::minimize`]) bit-for-bit stable.
+pub(crate) fn canonicalize_partition(block: &mut [u32]) -> usize {
+    let mut map: FxHashMap<u32, u32> = FxHashMap::default();
+    for b in block.iter_mut() {
+        let next = map.len() as u32;
+        *b = *map.entry(*b).or_insert(next);
+    }
+    map.len()
 }
 
 #[cfg(test)]
@@ -340,5 +611,42 @@ mod tests {
         assert!(!congruent("a1;exit", "i;a1;exit"));
         assert!(!congruent("i;a1;exit", "a1;exit"));
         assert!(congruent("i;a1;exit", "i;i;a1;exit"));
+    }
+
+    #[test]
+    fn threaded_variants_agree_with_sequential() {
+        let pairs = [
+            ("a1;i;b1;exit", "a1;b1;exit"),
+            ("a1;exit [] i;b1;exit", "a1;exit [] b1;exit"),
+            ("i;a1;exit", "a1;exit"),
+            ("exit >> b1;exit", "i;b1;exit"),
+        ];
+        for (x, y) in pairs {
+            let (sx, rx) = parse_expr(x).unwrap();
+            let (sy, ry) = parse_expr(y).unwrap();
+            let ex = Env::new(sx);
+            let ey = Env::new(sy);
+            let tx = ex.instantiate(rx, 0);
+            let ty = ey.instantiate(ry, 0);
+            let (la, _) = build_term_lts(&ex, tx, 10_000);
+            let (lb, _) = build_term_lts(&ey, ty, 10_000);
+            for threads in [2, 4] {
+                assert_eq!(
+                    weak_equiv(&la, &lb),
+                    weak_equiv_threads(&la, &lb, threads),
+                    "{x} vs {y} weak @{threads}"
+                );
+                assert_eq!(
+                    strong_equiv(&la, &lb),
+                    strong_equiv_threads(&la, &lb, threads),
+                    "{x} vs {y} strong @{threads}"
+                );
+                assert_eq!(
+                    observation_congruent(&la, &lb),
+                    observation_congruent_threads(&la, &lb, threads),
+                    "{x} vs {y} ≈ @{threads}"
+                );
+            }
+        }
     }
 }

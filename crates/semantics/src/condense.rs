@@ -1,0 +1,418 @@
+//! τ-SCC condensation and the condensed weak-transition view.
+//!
+//! Weak (observation) bisimilarity is strong bisimilarity of the
+//! *saturated* system, but materializing the saturation is O(n²) in both
+//! time and edges. Two observations make it much cheaper:
+//!
+//! 1. **States in the same τ-SCC are weakly bisimilar** — they have the
+//!    same `τ*`-closure, hence identical weak moves. Collapsing the
+//!    strongly connected components of the internal (`i`) sub-graph first
+//!    (Tarjan, iterative) shrinks the system the equivalence checker has
+//!    to refine.
+//! 2. **ε-closures compose over the condensation DAG** — processing SCCs
+//!    in reverse topological order (which Tarjan emits for free), the
+//!    closure of a component is itself plus the union of its τ-successors'
+//!    closures, computed once per component with a reused visited-stamp
+//!    buffer instead of a fresh BFS (and a fresh `vec![false; n]`) per
+//!    state.
+//!
+//! [`SaturatedView`] packages the result: the state→SCC map, per-SCC
+//! ε-reachability, the strong observable moves at SCC granularity, and the
+//! *condensed* saturated edge list `wedges` over interned `u32` label ids
+//! — everything [`crate::bisim`] needs to decide weak bisimilarity without
+//! ever touching a state-level saturated edge list, and everything
+//! [`crate::lts::Lts::saturate`] needs to materialize one when a caller
+//! really wants it.
+
+use crate::fxhash::FxHashMap;
+use crate::lts::Lts;
+use crate::term::Label;
+
+/// The τ-condensation of an [`Lts`] plus everything derived from it that
+/// weak-equivalence checking consumes. Label ids are local to the view
+/// (`labels[0]` is always [`Label::I`], standing for the saturated ε-move).
+///
+/// The per-SCC tables are stored flat (CSR: one offset array + one data
+/// array each) rather than as `Vec<Vec<…>>` — the view is built on every
+/// equivalence check, and on the small condensations typical of protocol
+/// verification the per-SCC heap allocations would dominate the build.
+pub struct SaturatedView {
+    /// Number of states of the underlying LTS.
+    pub n_states: usize,
+    /// SCC id per state. Ids are in reverse topological order of the
+    /// condensation DAG: every τ-successor SCC has a *smaller* id.
+    pub scc_of: Vec<u32>,
+    /// Interned labels; id 0 is [`Label::I`] (the ε-move of the saturated
+    /// system), observable labels follow in first-encounter order.
+    pub labels: Vec<Label>,
+    /// SCC of the initial state.
+    pub initial_scc: u32,
+    // CSR tables; SCC `c` owns `*_flat[*_off[c] .. *_off[c + 1]]`.
+    members_off: Vec<u32>,
+    members_flat: Vec<u32>,
+    reach_off: Vec<u32>,
+    reach_flat: Vec<u32>,
+    wedge_off: Vec<u32>,
+    wedge_flat: Vec<(u32, u32)>,
+}
+
+const UNVISITED: u32 = u32::MAX;
+
+/// Iterative Tarjan over the internal (`i`-labelled) sub-graph. Returns
+/// the state→SCC map and the SCC count; ids are assigned in completion
+/// order, i.e. reverse topological order of the condensation DAG.
+fn tau_sccs(lts: &Lts) -> (Vec<u32>, usize) {
+    let n = lts.len();
+    let mut index = vec![UNVISITED; n];
+    let mut low = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<u32> = Vec::new();
+    let mut scc_of = vec![UNVISITED; n];
+    let mut next_index = 0u32;
+    let mut scc_count = 0u32;
+    // Explicit DFS frames: (state, next edge position in lts.trans[state]).
+    let mut frames: Vec<(u32, u32)> = Vec::new();
+
+    for root in 0..n {
+        if index[root] != UNVISITED {
+            continue;
+        }
+        index[root] = next_index;
+        low[root] = next_index;
+        next_index += 1;
+        stack.push(root as u32);
+        on_stack[root] = true;
+        frames.push((root as u32, 0));
+
+        while let Some(&(v, ei)) = frames.last() {
+            let vu = v as usize;
+            let mut advanced = false;
+            let edges = &lts.trans[vu];
+            let mut ei = ei as usize;
+            while ei < edges.len() {
+                let (l, w) = &edges[ei];
+                ei += 1;
+                if !l.is_internal() {
+                    continue;
+                }
+                let w = *w;
+                if index[w] == UNVISITED {
+                    frames.last_mut().unwrap().1 = ei as u32;
+                    index[w] = next_index;
+                    low[w] = next_index;
+                    next_index += 1;
+                    stack.push(w as u32);
+                    on_stack[w] = true;
+                    frames.push((w as u32, 0));
+                    advanced = true;
+                    break;
+                } else if on_stack[w] {
+                    low[vu] = low[vu].min(index[w]);
+                }
+            }
+            if advanced {
+                continue;
+            }
+            // v is fully expanded
+            if low[vu] == index[vu] {
+                loop {
+                    let s = stack.pop().expect("tarjan stack underflow");
+                    on_stack[s as usize] = false;
+                    scc_of[s as usize] = scc_count;
+                    if s == v {
+                        break;
+                    }
+                }
+                scc_count += 1;
+            }
+            frames.pop();
+            if let Some(&(p, _)) = frames.last() {
+                let pu = p as usize;
+                low[pu] = low[pu].min(low[vu]);
+            }
+        }
+    }
+    (scc_of, scc_count as usize)
+}
+
+impl SaturatedView {
+    /// Condense `lts` and compute the saturated view. Runs in
+    /// O(states + edges + condensed-saturated-edges·log).
+    pub fn build(lts: &Lts) -> SaturatedView {
+        let n = lts.len();
+        if n == 0 {
+            return SaturatedView {
+                n_states: 0,
+                scc_of: Vec::new(),
+                labels: vec![Label::I],
+                initial_scc: 0,
+                members_off: vec![0],
+                members_flat: Vec::new(),
+                reach_off: vec![0],
+                reach_flat: Vec::new(),
+                wedge_off: vec![0],
+                wedge_flat: Vec::new(),
+            };
+        }
+        let (scc_of, sccs) = tau_sccs(lts);
+
+        // Member states per SCC (ascending), by counting sort.
+        let mut members_off = vec![0u32; sccs + 1];
+        for s in 0..n {
+            members_off[scc_of[s] as usize + 1] += 1;
+        }
+        for c in 1..=sccs {
+            members_off[c] += members_off[c - 1];
+        }
+        let mut members_flat = vec![0u32; n];
+        let mut cursor: Vec<u32> = members_off[..sccs].to_vec();
+        for s in 0..n {
+            let c = &mut cursor[scc_of[s] as usize];
+            members_flat[*c as usize] = s as u32;
+            *c += 1;
+        }
+
+        // Label interner: id 0 reserved for ε (Label::I). Keys borrow from
+        // the LTS; a label is cloned once, on first encounter.
+        let mut labels: Vec<Label> = vec![Label::I];
+        let mut label_ids: FxHashMap<&Label, u32> = FxHashMap::default();
+        label_ids.insert(&Label::I, 0);
+
+        // Inter-SCC τ edges and strong observable moves per SCC, as CSR
+        // tables (count, prefix-sum, fill). Duplicates are tolerated: the
+        // ε-reachability pass is stamp-guarded and the wedge table is
+        // sort+deduplicated at the end.
+        let mut tau_off = vec![0u32; sccs + 1];
+        let mut obs_off = vec![0u32; sccs + 1];
+        for s in 0..n {
+            let c = scc_of[s] as usize;
+            for (l, t) in &lts.trans[s] {
+                if l.is_internal() {
+                    if scc_of[*t] != scc_of[s] {
+                        tau_off[c + 1] += 1;
+                    }
+                } else {
+                    obs_off[c + 1] += 1;
+                }
+            }
+        }
+        for c in 1..=sccs {
+            tau_off[c] += tau_off[c - 1];
+            obs_off[c] += obs_off[c - 1];
+        }
+        let mut tau_flat = vec![0u32; tau_off[sccs] as usize];
+        let mut obs_flat = vec![(0u32, 0u32); obs_off[sccs] as usize];
+        let mut tau_cur: Vec<u32> = tau_off[..sccs].to_vec();
+        let mut obs_cur: Vec<u32> = obs_off[..sccs].to_vec();
+        for s in 0..n {
+            let c = scc_of[s] as usize;
+            for (l, t) in &lts.trans[s] {
+                let d = scc_of[*t];
+                if l.is_internal() {
+                    if d != scc_of[s] {
+                        tau_flat[tau_cur[c] as usize] = d;
+                        tau_cur[c] += 1;
+                    }
+                } else {
+                    let id = match label_ids.get(l) {
+                        Some(&id) => id,
+                        None => {
+                            let id = labels.len() as u32;
+                            labels.push(l.clone());
+                            label_ids.insert(l, id);
+                            id
+                        }
+                    };
+                    obs_flat[obs_cur[c] as usize] = (id, d);
+                    obs_cur[c] += 1;
+                }
+            }
+        }
+
+        // ε-reachability per SCC in ascending id order (= reverse topo:
+        // every τ-successor has a smaller id). A stamp buffer replaces the
+        // per-state `vec![false; n]` of the naive saturation; indexing
+        // into the flat table (never slicing it) lets SCC `c` read its
+        // predecessors' finished rows while appending its own.
+        let mut reach_off: Vec<u32> = Vec::with_capacity(sccs + 1);
+        reach_off.push(0);
+        let mut reach_flat: Vec<u32> = Vec::new();
+        let mut stamp: Vec<u32> = vec![UNVISITED; sccs];
+        for c in 0..sccs {
+            let start = reach_flat.len();
+            reach_flat.push(c as u32);
+            stamp[c] = c as u32;
+            for &d in &tau_flat[tau_off[c] as usize..tau_off[c + 1] as usize] {
+                debug_assert!(
+                    (d as usize) < c,
+                    "condensation ids must be reverse-topological"
+                );
+                for i in reach_off[d as usize] as usize..reach_off[d as usize + 1] as usize {
+                    let f = reach_flat[i];
+                    if stamp[f as usize] != c as u32 {
+                        stamp[f as usize] = c as u32;
+                        reach_flat.push(f);
+                    }
+                }
+            }
+            reach_flat[start..].sort_unstable();
+            reach_off.push(reach_flat.len() as u32);
+        }
+
+        // Condensed saturated moves: one reused scratch row, sorted and
+        // deduplicated per SCC before it is appended to the flat table.
+        let mut wedge_off: Vec<u32> = Vec::with_capacity(sccs + 1);
+        wedge_off.push(0);
+        let mut wedge_flat: Vec<(u32, u32)> = Vec::new();
+        let mut w: Vec<(u32, u32)> = Vec::new();
+        for c in 0..sccs {
+            w.clear();
+            let rc = reach_off[c] as usize..reach_off[c + 1] as usize;
+            w.extend(reach_flat[rc.clone()].iter().map(|&f| (0u32, f)));
+            for &d in &reach_flat[rc] {
+                let od = obs_off[d as usize] as usize..obs_off[d as usize + 1] as usize;
+                for &(l, t) in &obs_flat[od] {
+                    let rt = reach_off[t as usize] as usize..reach_off[t as usize + 1] as usize;
+                    for &f in &reach_flat[rt] {
+                        w.push((l, f));
+                    }
+                }
+            }
+            w.sort_unstable();
+            w.dedup();
+            wedge_flat.extend_from_slice(&w);
+            wedge_off.push(wedge_flat.len() as u32);
+        }
+
+        let initial_scc = scc_of[lts.initial];
+        SaturatedView {
+            n_states: n,
+            scc_of,
+            labels,
+            initial_scc,
+            members_off,
+            members_flat,
+            reach_off,
+            reach_flat,
+            wedge_off,
+            wedge_flat,
+        }
+    }
+
+    /// Number of τ-SCCs.
+    pub fn scc_count(&self) -> usize {
+        self.members_off.len() - 1
+    }
+
+    /// Member states of SCC `c`, ascending.
+    pub fn members(&self, c: usize) -> &[u32] {
+        &self.members_flat[self.members_off[c] as usize..self.members_off[c + 1] as usize]
+    }
+
+    /// Sorted SCC ids ε-reachable from `c` (reflexive).
+    pub fn reach(&self, c: usize) -> &[u32] {
+        &self.reach_flat[self.reach_off[c] as usize..self.reach_off[c + 1] as usize]
+    }
+
+    /// The condensed saturated moves of SCC `c`, sorted and deduplicated:
+    /// `(0, f)` for every ε-reachable `f`, and `(l, f)` whenever
+    /// `c =ε=> d —l→ t =ε=> f` for observable `l`.
+    pub fn wedges(&self, c: usize) -> &[(u32, u32)] {
+        &self.wedge_flat[self.wedge_off[c] as usize..self.wedge_off[c + 1] as usize]
+    }
+
+    /// Total number of condensed saturated moves.
+    pub fn wedge_count(&self) -> usize {
+        self.wedge_flat.len()
+    }
+
+    /// Materialize the state-level saturated LTS (identical, edge for
+    /// edge, to the naive double-arrow construction). Only for callers
+    /// that need the explicit system; the equivalence checkers consume
+    /// the view directly.
+    pub fn materialize(&self, lts: &Lts) -> Lts {
+        let n = self.n_states;
+        let mut trans: Vec<Vec<(Label, usize)>> = vec![Vec::new(); n];
+        for (s, out) in trans.iter_mut().enumerate() {
+            let c = self.scc_of[s] as usize;
+            let mut edges: Vec<(Label, usize)> = Vec::new();
+            for &(l, f) in self.wedges(c) {
+                let lab = &self.labels[l as usize];
+                for &u in self.members(f as usize) {
+                    edges.push((lab.clone(), u as usize));
+                }
+            }
+            edges.sort();
+            edges.dedup();
+            *out = edges;
+        }
+        Lts {
+            trans,
+            initial: lts.initial,
+            complete: lts.complete,
+            unexpanded: lts.unexpanded.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lts::build_term_lts;
+    use crate::term::Env;
+    use lotos::parser::parse_spec;
+
+    fn lts_of(src: &str) -> Lts {
+        let env = Env::new(parse_spec(src).unwrap());
+        let root = env.root();
+        build_term_lts(&env, root, 10_000).0
+    }
+
+    #[test]
+    fn chain_without_tau_cycles_is_identity_condensation() {
+        let l = lts_of("SPEC a1;b2;exit ENDSPEC");
+        let v = SaturatedView::build(&l);
+        assert_eq!(v.scc_count(), l.len());
+        for c in 0..v.scc_count() {
+            assert_eq!(v.members(c).len(), 1);
+        }
+    }
+
+    #[test]
+    fn reach_is_reflexive_and_follows_tau() {
+        // a1;exit >> b2;exit has an i step from the δ of the first part
+        let l = lts_of("SPEC a1;exit >> b2;exit ENDSPEC");
+        let v = SaturatedView::build(&l);
+        for c in 0..v.scc_count() {
+            assert!(v.reach(c).contains(&(c as u32)), "reflexive at {c}");
+        }
+        // some SCC reaches another via the i
+        assert!(
+            (0..v.scc_count()).any(|c| v.reach(c).len() > 1),
+            "the >> i-step must appear in reach"
+        );
+    }
+
+    #[test]
+    fn scc_ids_are_reverse_topological() {
+        let l = lts_of("SPEC a1;exit >> b2;exit >> c3;exit ENDSPEC");
+        let v = SaturatedView::build(&l);
+        for s in 0..l.len() {
+            for (lab, t) in &l.trans[s] {
+                if lab.is_internal() && v.scc_of[s] != v.scc_of[*t] {
+                    assert!(
+                        v.scc_of[*t] < v.scc_of[s],
+                        "τ-edge {s}→{t} must descend in SCC id"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn label_zero_is_epsilon() {
+        let l = lts_of("SPEC a1;exit ENDSPEC");
+        let v = SaturatedView::build(&l);
+        assert_eq!(v.labels[0], Label::I);
+    }
+}

@@ -35,6 +35,8 @@
 //! ```
 
 pub mod bisim;
+pub mod condense;
+pub mod detdfa;
 pub mod dot;
 pub mod engine;
 pub mod explore;
@@ -42,11 +44,18 @@ pub mod failures;
 pub mod fxhash;
 pub mod jsonish;
 pub mod lts;
+#[doc(hidden)]
+pub mod naive;
 pub mod sos;
 pub mod term;
 pub mod traces;
 
-pub use bisim::{observation_congruent, strong_equiv, weak_equiv};
+pub use bisim::{
+    observation_congruent, observation_congruent_threads, strong_equiv, strong_equiv_threads,
+    weak_equiv, weak_equiv_threads,
+};
+pub use condense::SaturatedView;
+pub use detdfa::DetDfa;
 pub use dot::to_dot;
 pub use engine::{Engine, TermArena, TermId, TermNode};
 pub use explore::{build_lts, ExploreConfig, ParSystem};

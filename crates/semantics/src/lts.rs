@@ -56,31 +56,27 @@ impl Lts {
     /// and drop duplicate edges. The result is the canonical minimal
     /// strong-bisimulation representative — useful for inspecting derived
     /// behaviours and for cheaper equivalence checks downstream.
+    ///
+    /// Runs the worklist refinement of [`crate::bisim`] over interned
+    /// label ids, then renumbers blocks in order of first appearance — the
+    /// numbering the old global-fixpoint refinement converged to, so the
+    /// quotient is bit-for-bit what it always was.
     pub fn minimize(&self) -> Lts {
-        // partition refinement (same signature scheme as `bisim`)
         let n = self.len();
-        let mut block: Vec<u32> = vec![0; n];
-        loop {
-            let mut sig_index: std::collections::HashMap<Vec<(Label, u32)>, u32> =
-                std::collections::HashMap::new();
-            let mut next: Vec<u32> = vec![0; n];
-            #[allow(clippy::needless_range_loop)] // s indexes two tables
-            for s in 0..n {
-                let mut sig: Vec<(Label, u32)> = self.trans[s]
-                    .iter()
-                    .map(|(l, t)| (l.clone(), block[*t]))
-                    .collect();
-                sig.sort();
-                sig.dedup();
-                let fresh = sig_index.len() as u32;
-                next[s] = *sig_index.entry(sig).or_insert(fresh);
+        let mut ids: HashMap<&Label, u32> = HashMap::new();
+        let mut off: Vec<u32> = Vec::with_capacity(n + 1);
+        off.push(0);
+        let mut flat: Vec<(u32, u32)> = Vec::with_capacity(self.transition_count());
+        for es in &self.trans {
+            for (l, t) in es {
+                let next = ids.len() as u32;
+                let id = *ids.entry(l).or_insert(next);
+                flat.push((id, *t as u32));
             }
-            if next == block {
-                break;
-            }
-            block = next;
+            off.push(flat.len() as u32);
         }
-        let classes = block.iter().copied().max().map_or(0, |m| m as usize + 1);
+        let mut block = crate::bisim::refine(&off, &flat, 1);
+        let classes = crate::bisim::canonicalize_partition(&mut block);
         let mut trans: Vec<Vec<(Label, usize)>> = vec![Vec::new(); classes];
         let mut done = vec![false; classes];
         for s in 0..n {
@@ -109,51 +105,22 @@ impl Lts {
     /// by internal steps (reflexive-transitive), and `s =a=> t` holds iff
     /// `s =ε=> · a · =ε=> t` for observable `a`. Weak bisimilarity of the
     /// original system is strong bisimilarity of the saturated one.
+    ///
+    /// Computed via the τ-SCC condensation
+    /// ([`crate::condense::SaturatedView`]): ε-closures are calculated
+    /// once per τ-SCC on the condensation DAG with a reused visited-stamp
+    /// buffer (no per-state `vec![false; n]`), then expanded back to
+    /// state-level edges. Edge-for-edge identical to the naive per-state
+    /// BFS kept in [`crate::naive::saturate`].
     pub fn saturate(&self) -> Lts {
-        let n = self.len();
-        // i-closure per state (reflexive, transitive) — BFS per state.
-        let mut closure: Vec<Vec<usize>> = Vec::with_capacity(n);
-        for s in 0..n {
-            let mut seen = vec![false; n];
-            let mut stack = vec![s];
-            seen[s] = true;
-            while let Some(x) = stack.pop() {
-                for (l, t) in &self.trans[x] {
-                    if l.is_internal() && !seen[*t] {
-                        seen[*t] = true;
-                        stack.push(*t);
-                    }
-                }
-            }
-            closure.push((0..n).filter(|&x| seen[x]).collect());
-        }
-        let mut trans: Vec<Vec<(Label, usize)>> = vec![Vec::new(); n];
-        for s in 0..n {
-            let mut edges: Vec<(Label, usize)> = Vec::new();
-            // ε moves (represented with Label::I in the saturated system)
-            for &t in &closure[s] {
-                edges.push((Label::I, t));
-            }
-            // weak observable moves: ε · a · ε
-            for &m in &closure[s] {
-                for (l, t) in &self.trans[m] {
-                    if !l.is_internal() {
-                        for &u in &closure[*t] {
-                            edges.push((l.clone(), u));
-                        }
-                    }
-                }
-            }
-            edges.sort();
-            edges.dedup();
-            trans[s] = edges;
-        }
-        Lts {
-            trans,
-            initial: self.initial,
-            complete: self.complete,
-            unexpanded: self.unexpanded.clone(),
-        }
+        crate::condense::SaturatedView::build(self).materialize(self)
+    }
+
+    /// The pre-condensation saturation, kept as the differential-test
+    /// oracle (see [`crate::naive`]).
+    #[cfg(test)]
+    pub(crate) fn saturate_naive(&self) -> Lts {
+        crate::naive::saturate(self)
     }
 }
 
@@ -324,6 +291,19 @@ mod tests {
         // every state has an ε self-loop
         for (s, edges) in sat.trans.iter().enumerate() {
             assert!(edges.contains(&(Label::I, s)));
+        }
+    }
+
+    #[test]
+    fn saturate_matches_naive_oracle() {
+        for src in [
+            "SPEC a1;b2;exit ENDSPEC",
+            "SPEC a1;exit >> b2;exit ENDSPEC",
+            "SPEC A WHERE PROC A = a1 ; A [] i ; b1 ; exit END ENDSPEC",
+            "SPEC (a1;exit ||| b2;exit) >> c3;exit ENDSPEC",
+        ] {
+            let l = lts_of(src, 1000);
+            assert_eq!(l.saturate(), l.saturate_naive(), "saturation of {src}");
         }
     }
 

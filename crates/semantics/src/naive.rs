@@ -1,0 +1,258 @@
+//! Reference implementations of the verification kernels, pre-fast-path.
+//!
+//! These are the original, straightforward algorithms — per-state BFS
+//! saturation, global-fixpoint signature partition refinement, and
+//! materialized trace-set comparison — kept verbatim as the *oracle* for
+//! the differential property tests and as the "before" side of the
+//! `perf-snapshot` benchmark. They are not exported from the crate root
+//! and nothing on a hot path calls them.
+
+#![doc(hidden)]
+
+use crate::lts::Lts;
+use crate::term::Label;
+use crate::traces::TraceSet;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Naive weak saturation: a fresh `vec![false; n]` BFS per state, then a
+/// materialized O(n²) double-arrow edge list.
+pub fn saturate(lts: &Lts) -> Lts {
+    let n = lts.len();
+    let mut closure: Vec<Vec<usize>> = Vec::with_capacity(n);
+    for s in 0..n {
+        let mut seen = vec![false; n];
+        let mut stack = vec![s];
+        seen[s] = true;
+        while let Some(x) = stack.pop() {
+            for (l, t) in &lts.trans[x] {
+                if l.is_internal() && !seen[*t] {
+                    seen[*t] = true;
+                    stack.push(*t);
+                }
+            }
+        }
+        closure.push((0..n).filter(|&x| seen[x]).collect());
+    }
+    let mut trans: Vec<Vec<(Label, usize)>> = vec![Vec::new(); n];
+    for s in 0..n {
+        let mut edges: Vec<(Label, usize)> = Vec::new();
+        for &t in &closure[s] {
+            edges.push((Label::I, t));
+        }
+        for &m in &closure[s] {
+            for (l, t) in &lts.trans[m] {
+                if !l.is_internal() {
+                    for &u in &closure[*t] {
+                        edges.push((l.clone(), u));
+                    }
+                }
+            }
+        }
+        edges.sort();
+        edges.dedup();
+        trans[s] = edges;
+    }
+    Lts {
+        trans,
+        initial: lts.initial,
+        complete: lts.complete,
+        unexpanded: lts.unexpanded.clone(),
+    }
+}
+
+/// Global-fixpoint partition refinement over the disjoint union: every
+/// state's signature is re-cloned, re-sorted and re-hashed on every
+/// iteration. Returns the final block assignment and the offset of `b`.
+pub fn partition(a: &Lts, b: &Lts) -> (Vec<u32>, usize) {
+    let na = a.len();
+    let n = na + b.len();
+    let mut trans: Vec<&[(Label, usize)]> = Vec::with_capacity(n);
+    for s in 0..na {
+        trans.push(&a.trans[s]);
+    }
+    for s in 0..b.len() {
+        trans.push(&b.trans[s]);
+    }
+    let offset = |side: usize, t: usize| if side == 0 { t } else { na + t };
+    let mut block: Vec<u32> = vec![0; n];
+    loop {
+        let mut sig_index: HashMap<Vec<(Label, u32)>, u32> = HashMap::new();
+        let mut next_block: Vec<u32> = vec![0; n];
+        for s in 0..n {
+            let side = usize::from(s >= na);
+            let mut sig: Vec<(Label, u32)> = trans[s]
+                .iter()
+                .map(|(l, t)| (l.clone(), block[offset(side, *t)]))
+                .collect();
+            sig.sort();
+            sig.dedup();
+            let fresh = sig_index.len() as u32;
+            let id = *sig_index.entry(sig).or_insert(fresh);
+            next_block[s] = id;
+        }
+        if next_block == block {
+            break;
+        }
+        block = next_block;
+    }
+    (block, na)
+}
+
+fn equiv_core(a: &Lts, b: &Lts) -> bool {
+    let (block, na) = partition(a, b);
+    block[a.initial] == block[na + b.initial]
+}
+
+/// Naive strong bisimilarity verdict.
+pub fn strong_equiv(a: &Lts, b: &Lts) -> Option<bool> {
+    if !a.complete || !b.complete {
+        return None;
+    }
+    Some(equiv_core(a, b))
+}
+
+/// Naive weak bisimilarity: saturate both sides, then strong refinement.
+pub fn weak_equiv(a: &Lts, b: &Lts) -> Option<bool> {
+    if !a.complete || !b.complete {
+        return None;
+    }
+    Some(equiv_core(&saturate(a), &saturate(b)))
+}
+
+/// Naive observation congruence (weak bisimilarity + Milner's root
+/// condition), exactly as shipped before the fast path.
+pub fn observation_congruent(a: &Lts, b: &Lts) -> Option<bool> {
+    if !a.complete || !b.complete {
+        return None;
+    }
+    let sa = saturate(a);
+    let sb = saturate(b);
+    let (block, na) = partition(&sa, &sb);
+    let block_of = |side: usize, s: usize| block[if side == 0 { s } else { na + s }];
+    if block_of(0, a.initial) != block_of(1, b.initial) {
+        return Some(false);
+    }
+    let root_ok = |x: &Lts, y: &Lts, ysat: &Lts, xside: usize, yside: usize| -> bool {
+        for (l, xt) in &x.trans[x.initial] {
+            if !l.is_internal() {
+                continue;
+            }
+            let matched = y.trans[y.initial].iter().any(|(yl, ym)| {
+                yl.is_internal()
+                    && ysat.trans[*ym].iter().any(|(cl, yt)| {
+                        cl.is_internal() && block_of(yside, *yt) == block_of(xside, *xt)
+                    })
+            });
+            if !matched {
+                return false;
+            }
+        }
+        true
+    };
+    Some(root_ok(a, b, &sb, 0, 1) && root_ok(b, a, &sa, 1, 0))
+}
+
+/// Naive strong-bisimilarity quotient (the pre-fast-path
+/// `Lts::minimize`), kept as the oracle for the fast quotient.
+pub fn minimize(lts: &Lts) -> Lts {
+    let n = lts.len();
+    let mut block: Vec<u32> = vec![0; n];
+    loop {
+        let mut sig_index: HashMap<Vec<(Label, u32)>, u32> = HashMap::new();
+        let mut next: Vec<u32> = vec![0; n];
+        #[allow(clippy::needless_range_loop)] // s indexes two tables
+        for s in 0..n {
+            let mut sig: Vec<(Label, u32)> = lts.trans[s]
+                .iter()
+                .map(|(l, t)| (l.clone(), block[*t]))
+                .collect();
+            sig.sort();
+            sig.dedup();
+            let fresh = sig_index.len() as u32;
+            next[s] = *sig_index.entry(sig).or_insert(fresh);
+        }
+        if next == block {
+            break;
+        }
+        block = next;
+    }
+    let classes = block.iter().copied().max().map_or(0, |m| m as usize + 1);
+    let mut trans: Vec<Vec<(Label, usize)>> = vec![Vec::new(); classes];
+    let mut done = vec![false; classes];
+    for s in 0..n {
+        let b = block[s] as usize;
+        if std::mem::replace(&mut done[b], true) {
+            continue;
+        }
+        let mut edges: Vec<(Label, usize)> = lts.trans[s]
+            .iter()
+            .map(|(l, t)| (l.clone(), block[*t] as usize))
+            .collect();
+        edges.sort();
+        edges.dedup();
+        trans[b] = edges;
+    }
+    Lts {
+        trans,
+        initial: block[lts.initial] as usize,
+        complete: lts.complete,
+        unexpanded: Vec::new(),
+    }
+}
+
+/// Naive bounded trace enumeration: subset construction that clones a
+/// `BTreeSet` state-set per distinct trace per level.
+pub fn observable_traces(lts: &Lts, max_len: usize) -> TraceSet {
+    let mut traces: BTreeSet<Vec<Label>> = BTreeSet::new();
+    traces.insert(Vec::new());
+
+    let closure = |seed: &BTreeSet<usize>| -> BTreeSet<usize> {
+        let mut set = seed.clone();
+        let mut stack: Vec<usize> = set.iter().copied().collect();
+        while let Some(s) = stack.pop() {
+            for (l, t) in &lts.trans[s] {
+                if l.is_internal() && set.insert(*t) {
+                    stack.push(*t);
+                }
+            }
+        }
+        set
+    };
+
+    let mut init = BTreeSet::new();
+    init.insert(lts.initial);
+    let mut level: Vec<(BTreeSet<usize>, Vec<Label>)> = vec![(closure(&init), Vec::new())];
+
+    for depth in 0..max_len {
+        let mut next: Vec<(BTreeSet<usize>, Vec<Label>)> = Vec::new();
+        for (set, trace) in level {
+            let mut by_label: BTreeMap<Label, BTreeSet<usize>> = BTreeMap::new();
+            for &s in &set {
+                for (l, t) in &lts.trans[s] {
+                    if !l.is_internal() {
+                        by_label.entry(l.clone()).or_default().insert(*t);
+                    }
+                }
+            }
+            for (l, succs) in by_label {
+                let closed = closure(&succs);
+                let mut trace2 = trace.clone();
+                trace2.push(l);
+                traces.insert(trace2.clone());
+                if depth + 1 < max_len {
+                    next.push((closed, trace2));
+                }
+            }
+        }
+        level = next;
+        if level.is_empty() {
+            break;
+        }
+    }
+
+    TraceSet {
+        traces,
+        max_len,
+        complete: lts.complete,
+    }
+}

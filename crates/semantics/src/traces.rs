@@ -12,9 +12,10 @@
 //! when the underlying LTS was truncated by its state cap, in which case
 //! trace-set equality is reported as "equal up to the bound explored".
 
+use crate::detdfa::DetDfa;
 use crate::lts::Lts;
 use crate::term::Label;
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeSet;
 
 /// A set of bounded observable traces.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -42,66 +43,17 @@ impl TraceSet {
     }
 }
 
-/// Enumerate observable traces of `lts` up to length `max_len` by subset
-/// construction (ε-closure over `i`-steps, then deterministic steps on
-/// observable labels).
+/// Enumerate observable traces of `lts` up to length `max_len` via the
+/// bounded determinization ([`DetDfa`]): each ε-closed state-set is
+/// hash-consed and expanded exactly once, then the deterministic automaton
+/// is unrolled into the trace set — no per-trace state-set cloning.
+///
+/// This materializes the full (worst-case exponential) set and exists for
+/// human-facing reports; equivalence checking compares the determinized
+/// automata directly ([`DetDfa::equal`] / [`DetDfa::first_difference`])
+/// without ever building a `TraceSet`.
 pub fn observable_traces(lts: &Lts, max_len: usize) -> TraceSet {
-    let mut traces: BTreeSet<Vec<Label>> = BTreeSet::new();
-    traces.insert(Vec::new());
-
-    let closure = |seed: &BTreeSet<usize>| -> BTreeSet<usize> {
-        let mut set = seed.clone();
-        let mut stack: Vec<usize> = set.iter().copied().collect();
-        while let Some(s) = stack.pop() {
-            for (l, t) in &lts.trans[s] {
-                if l.is_internal() && set.insert(*t) {
-                    stack.push(*t);
-                }
-            }
-        }
-        set
-    };
-
-    // Subset construction: the determinized automaton makes the mapping
-    // trace → state-set functional, so the frontier is simply the distinct
-    // traces of the current length, each carrying its unique state-set.
-    let mut init = BTreeSet::new();
-    init.insert(lts.initial);
-    let mut level: Vec<(BTreeSet<usize>, Vec<Label>)> = vec![(closure(&init), Vec::new())];
-
-    for depth in 0..max_len {
-        let mut next: Vec<(BTreeSet<usize>, Vec<Label>)> = Vec::new();
-        for (set, trace) in level {
-            // group successors by observable label
-            let mut by_label: BTreeMap<Label, BTreeSet<usize>> = BTreeMap::new();
-            for &s in &set {
-                for (l, t) in &lts.trans[s] {
-                    if !l.is_internal() {
-                        by_label.entry(l.clone()).or_default().insert(*t);
-                    }
-                }
-            }
-            for (l, succs) in by_label {
-                let closed = closure(&succs);
-                let mut trace2 = trace.clone();
-                trace2.push(l);
-                traces.insert(trace2.clone());
-                if depth + 1 < max_len {
-                    next.push((closed, trace2));
-                }
-            }
-        }
-        level = next;
-        if level.is_empty() {
-            break;
-        }
-    }
-
-    TraceSet {
-        traces,
-        max_len,
-        complete: lts.complete,
-    }
+    DetDfa::build(lts, max_len).trace_set()
 }
 
 /// Are two trace sets equal up to the smaller of their bounds? Returns

@@ -1,0 +1,162 @@
+//! Differential property tests: the verification fast paths against the
+//! naive reference implementations kept in `semantics::naive`.
+//!
+//! A random-LTS generator drives every kernel the fast path replaced:
+//!
+//! * τ-SCC condensed saturation vs the per-state-BFS saturation
+//!   (edge-for-edge `Lts` equality);
+//! * worklist partition refinement vs the global-fixpoint `partition`
+//!   (strong / weak / observation-congruence verdicts), at 1 and 4
+//!   signature-hashing threads;
+//! * worklist quotient vs the naive `minimize` (bit-for-bit `Lts`
+//!   equality);
+//! * determinized product-walk trace comparison vs materialized
+//!   `TraceSet` equality and `BTreeSet`-scan `first_difference`
+//!   (identical witnesses), at several trace bounds.
+
+use proptest::prelude::*;
+use semantics::detdfa::DetDfa;
+use semantics::lts::Lts;
+use semantics::term::Label;
+use semantics::{naive, traces};
+
+/// Decode a label index: 0 is internal, the rest are observable.
+fn label_of(code: u8) -> Label {
+    match code {
+        0 => Label::I,
+        1 => Label::Delta,
+        2 => Label::Prim {
+            name: "a".into(),
+            place: 1,
+        },
+        3 => Label::Prim {
+            name: "b".into(),
+            place: 2,
+        },
+        _ => Label::Prim {
+            name: "c".into(),
+            place: 1,
+        },
+    }
+}
+
+/// Build a complete LTS with `n` states (initial 0) from raw edge codes.
+/// Sources/targets are taken modulo `n`, so every generated triple is a
+/// valid edge; τ-cycles, diamonds and dead states all occur naturally.
+fn lts_from(n: usize, edges: &[(usize, u8, usize)]) -> Lts {
+    let mut trans: Vec<Vec<(Label, usize)>> = vec![Vec::new(); n];
+    for &(s, code, t) in edges {
+        trans[s % n].push((label_of(code % 5), t % n));
+    }
+    for es in &mut trans {
+        es.sort();
+        es.dedup();
+    }
+    Lts {
+        trans,
+        initial: 0,
+        complete: true,
+        unexpanded: Vec::new(),
+    }
+}
+
+/// One random system: up to 10 states, up to 28 edges over 5 labels
+/// (τ-heavy: two of five codes collapse to observable `Prim` at the same
+/// place, exercising label interning dedup too).
+fn edges_strategy() -> impl Strategy<Value = Vec<(usize, u8, usize)>> {
+    prop::collection::vec((0usize..10, 0u8..5, 0usize..10), 0..28)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 192, ..ProptestConfig::default() })]
+
+    #[test]
+    fn saturation_matches_naive(n in 1usize..10, edges in edges_strategy()) {
+        let l = lts_from(n, &edges);
+        prop_assert_eq!(l.saturate(), naive::saturate(&l));
+    }
+
+    #[test]
+    fn minimize_matches_naive(n in 1usize..10, edges in edges_strategy()) {
+        let l = lts_from(n, &edges);
+        prop_assert_eq!(l.minimize(), naive::minimize(&l));
+    }
+
+    #[test]
+    fn equivalence_verdicts_match_naive(
+        na in 1usize..8,
+        ea in edges_strategy(),
+        nb in 1usize..8,
+        eb in edges_strategy(),
+    ) {
+        let a = lts_from(na, &ea);
+        let b = lts_from(nb, &eb);
+        let strong = naive::strong_equiv(&a, &b);
+        let weak = naive::weak_equiv(&a, &b);
+        let congr = naive::observation_congruent(&a, &b);
+        for threads in [1usize, 4] {
+            prop_assert_eq!(
+                semantics::bisim::strong_equiv_threads(&a, &b, threads),
+                strong, "strong @{} threads", threads
+            );
+            prop_assert_eq!(
+                semantics::bisim::weak_equiv_threads(&a, &b, threads),
+                weak, "weak @{} threads", threads
+            );
+            prop_assert_eq!(
+                semantics::bisim::observation_congruent_threads(&a, &b, threads),
+                congr, "congruence @{} threads", threads
+            );
+        }
+    }
+
+    #[test]
+    fn trace_comparison_matches_naive(
+        na in 1usize..8,
+        ea in edges_strategy(),
+        nb in 1usize..8,
+        eb in edges_strategy(),
+        bound in 1usize..5,
+    ) {
+        let a = lts_from(na, &ea);
+        let b = lts_from(nb, &eb);
+
+        // enumeration: DetDfa unrolling == naive subset construction
+        let ta = traces::observable_traces(&a, bound);
+        let tb = traces::observable_traces(&b, bound);
+        prop_assert_eq!(&ta, &naive::observable_traces(&a, bound));
+        prop_assert_eq!(&tb, &naive::observable_traces(&b, bound));
+
+        // comparison: product walk == materialized set equality, and the
+        // lex-least missing-trace witnesses are identical
+        let da = DetDfa::build(&a, bound);
+        let db = DetDfa::build(&b, bound);
+        prop_assert_eq!(DetDfa::equal(&da, &db), traces::trace_equal(&ta, &tb));
+        prop_assert_eq!(
+            DetDfa::first_difference(&da, &db),
+            traces::first_difference(&ta, &tb)
+        );
+        prop_assert_eq!(
+            DetDfa::first_difference(&db, &da),
+            traces::first_difference(&tb, &ta)
+        );
+    }
+
+    #[test]
+    fn self_equivalence_always_holds(n in 1usize..10, edges in edges_strategy()) {
+        let l = lts_from(n, &edges);
+        prop_assert_eq!(semantics::bisim::weak_equiv(&l, &l), Some(true));
+        prop_assert_eq!(semantics::bisim::observation_congruent(&l, &l), Some(true));
+        let d = DetDfa::build(&l, 4);
+        prop_assert_eq!(DetDfa::equal(&d, &d).0, true);
+        prop_assert_eq!(DetDfa::first_difference(&d, &d), None);
+    }
+
+    #[test]
+    fn minimized_system_stays_weakly_equivalent(n in 1usize..10, edges in edges_strategy()) {
+        let l = lts_from(n, &edges);
+        let m = l.minimize();
+        prop_assert_eq!(semantics::bisim::strong_equiv(&l, &m), Some(true));
+        prop_assert_eq!(semantics::bisim::weak_equiv(&l, &m), Some(true));
+    }
+}

@@ -26,12 +26,13 @@ use crate::parsys::{EngineComposition, EngineService};
 use lotos::Spec;
 use medium::MediumConfig;
 use protogen::derive::{derive, Derivation, DeriveError};
-use semantics::bisim::{observation_congruent, weak_equiv};
-use semantics::explore::{explore_par, DepthMode, ExploreConfig};
+use semantics::bisim::{observation_congruent_threads, weak_equiv_threads};
+use semantics::detdfa::DetDfa;
+use semantics::explore::{explore_par, DepthMode, ExploreConfig, ParSystem};
 use semantics::failures::{failures, failures_equal};
 use semantics::lts::Lts;
 use semantics::term::{Env, Label};
-use semantics::traces::{first_difference, observable_traces, trace_equal, TraceSet};
+use semantics::traces::TraceSet;
 use std::fmt;
 
 /// Harness configuration, part of the `ExploreConfig`/`PipelineConfig`
@@ -279,77 +280,75 @@ pub fn verify_derivation(d: &Derivation, opts: VerifyConfig) -> VerificationRepo
     with_big_stack(|| verify_derivation_inner(d, &opts))
 }
 
-fn verify_derivation_inner(d: &Derivation, opts: &VerifyConfig) -> VerificationReport {
-    // Explorations run on the hash-consed parallel engine; the probe is
-    // exhaustive (no depth bound), the fallback bounds observable depth.
+/// Explore `sys` adaptively: an exhaustive finiteness probe capped at
+/// `finite_probe_states` first, and — only when that is truncated — a
+/// second, observable-depth-bounded exploration. When the probe completes,
+/// **its LTS is reused** for every downstream check (traces, bisim,
+/// failures); the term is never re-explored.
+fn explore_adaptive<Y: ParSystem>(
+    sys: &Y,
+    opts: &VerifyConfig,
+) -> (semantics::explore::ParExploration<Y::State>, bool) {
     let probe_cfg = opts
         .explore
         .clone()
         .max_states(opts.finite_probe_states.max(1));
+    let probe = explore_par(sys, &probe_cfg, DepthMode::Observable);
+    if probe.lts.complete {
+        return (probe, true);
+    }
     let bounded_cfg = opts.explore.clone().max_depth(opts.trace_len);
+    let mut e = explore_par(sys, &bounded_cfg, DepthMode::Observable);
+    // bounded-by-design: traces up to the bound are exact unless the
+    // state cap truncated the search
+    e.lts.complete = false;
+    (e, false)
+}
 
-    // --- service side -----------------------------------------------------
+fn verify_derivation_inner(d: &Derivation, opts: &VerifyConfig) -> VerificationReport {
+    let threads = opts.explore.effective_threads().max(1);
+
+    // --- exploration (probe LTS reused whenever the system is finite) ------
     let service_sys = EngineService::new(d.service.clone());
-    // Try an exhaustive build first (finite services are common); fall
-    // back to the observable-depth-bounded build for infinite ones.
-    let full = explore_par(&service_sys, &probe_cfg, DepthMode::Observable);
-    let (service_lts, service_states) = if full.lts.complete {
-        let n = full.states.len();
-        (full.lts, n)
-    } else {
-        let e = explore_par(&service_sys, &bounded_cfg, DepthMode::Observable);
-        let n = e.states.len();
-        let mut lts = e.lts;
-        // bounded-by-design: traces up to the bound are exact unless the
-        // state cap truncated the search
-        lts.complete = false;
-        (lts, n)
-    };
-    let service_traces = observable_traces(&service_lts, opts.trace_len);
+    let (service_expl, _) = explore_adaptive(&service_sys, opts);
+    let service_states = service_expl.states.len();
+    let service_lts = service_expl.lts;
 
-    // --- protocol side ----------------------------------------------------
     let comp = EngineComposition::new(d, opts.medium);
-    let comp_full = explore_par(&comp, &probe_cfg, DepthMode::Observable);
-    let (comp_expl, comp_finite) = if comp_full.lts.complete {
-        (comp_full, true)
-    } else {
-        (
-            explore_par(&comp, &bounded_cfg, DepthMode::Observable),
-            false,
-        )
-    };
+    let (comp_expl, _) = explore_adaptive(&comp, opts);
     let deadlocks = comp_expl
         .stuck
         .iter()
         .filter(|&&s| !comp_expl.states[s].terminated)
         .count();
     let composition_states = comp_expl.states.len();
-    let mut comp_lts = comp_expl.lts;
-    if !comp_finite {
-        comp_lts.complete = false;
-    }
-    let protocol_traces = observable_traces(&comp_lts, opts.trace_len);
+    let comp_lts = comp_expl.lts;
 
     // --- verdicts -----------------------------------------------------------
-    let (traces_equal, mut qualified) = trace_equal(&service_traces, &protocol_traces);
+    // Trace comparison runs on the bounded determinizations: built once
+    // per side, compared by product-automaton walks. The materialized
+    // trace sets are only for the human-facing report.
+    let service_dfa = DetDfa::build(&service_lts, opts.trace_len);
+    let protocol_dfa = DetDfa::build(&comp_lts, opts.trace_len);
+    let (traces_equal, mut qualified) = DetDfa::equal(&service_dfa, &protocol_dfa);
     // bounded-by-design explorations are exact up to the bound as long as
     // the caps didn't truncate; treat "not exhaustively finite" as
     // qualified only when the state cap was actually hit.
-    qualified = qualified
-        && (!service_lts.unexpanded.is_empty()
-            || !comp_lts.unexpanded.is_empty()
-            || service_traces.max_len != protocol_traces.max_len);
+    qualified =
+        qualified && (!service_lts.unexpanded.is_empty() || !comp_lts.unexpanded.is_empty());
 
-    let missing_in_protocol = first_difference(&service_traces, &protocol_traces);
-    let extra_in_protocol = first_difference(&protocol_traces, &service_traces);
+    let missing_in_protocol = DetDfa::first_difference(&service_dfa, &protocol_dfa);
+    let extra_in_protocol = DetDfa::first_difference(&protocol_dfa, &service_dfa);
+    let service_traces = service_dfa.trace_set();
+    let protocol_traces = protocol_dfa.trace_set();
 
     let (weak_bisimilar, congruent, failures_eq) =
         if opts.try_bisim && service_lts.complete && comp_lts.complete {
             let fa = failures(&service_lts, opts.trace_len);
             let fb = failures(&comp_lts, opts.trace_len);
             (
-                weak_equiv(&service_lts, &comp_lts),
-                observation_congruent(&service_lts, &comp_lts),
+                weak_equiv_threads(&service_lts, &comp_lts, threads),
+                observation_congruent_threads(&service_lts, &comp_lts, threads),
                 Some(failures_equal(&fa, &fb)),
             )
         } else {
