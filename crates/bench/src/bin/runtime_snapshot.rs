@@ -1,0 +1,120 @@
+//! `runtime-snapshot` — drive the concurrent entity runtime over the
+//! `specs/` corpus and write `BENCH_runtime.json` at the repository
+//! root, so the load-throughput trajectory (sessions/sec, session
+//! latency quantiles, protocol overhead) is tracked in-tree alongside
+//! `BENCH_verify.json`.
+//!
+//! Each corpus spec is derived and then load-tested on the concurrent
+//! engine — one OS thread per protocol entity, many sessions in flight —
+//! under the reliable medium and under the lossy fault profile (ARQ
+//! recovery on every channel). Every run must conform: a snapshot that
+//! would record a non-conforming run panics instead. Disable (`[>`)
+//! specs run with the interrupting primitive refused, the
+//! normal-completion regime of EXPERIMENTS.md E6 under which the §3.3
+//! deviation cannot occur.
+//!
+//! Usage: `cargo run --release -p bench --bin runtime-snapshot [--quick]`
+
+use protogen::Pipeline;
+use runtime::{FaultProfile, PipelineRun, RuntimeConfig};
+use std::fmt::Write as _;
+
+const THREADS: usize = 4;
+const SEED: u64 = 0xC0FFEE;
+
+/// Corpus spec + the disable trigger to refuse (if any).
+const CORPUS: &[(&str, &[(&str, u8)])] = &[
+    ("transport2.lotos", &[]),
+    ("example3_file_copy.lotos", &[("interrupt", 3)]),
+    ("transport3_abort.lotos", &[("abort", 2)]),
+    ("transport4_multiplex.lotos", &[("abort", 3)]),
+];
+
+fn profile_tag(p: FaultProfile) -> &'static str {
+    match p {
+        FaultProfile::None => "reliable",
+        FaultProfile::Lossy { .. } => "lossy",
+        FaultProfile::Reorder { .. } => "reorder",
+        FaultProfile::Delay { .. } => "delay",
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let sessions = if quick { 200 } else { 2000 };
+    let root = format!("{}/../..", env!("CARGO_MANIFEST_DIR"));
+    let mut entries: Vec<String> = Vec::new();
+
+    for &(name, refuse) in CORPUS {
+        let derived = Pipeline::load_file(&format!("{root}/specs/{name}"))
+            .and_then(|p| p.check())
+            .and_then(|c| c.derive())
+            .unwrap_or_else(|e| panic!("specs/{name}: {e}"));
+
+        for profile in [FaultProfile::None, FaultProfile::Lossy { loss: 0.2 }] {
+            let mut cfg = RuntimeConfig::new()
+                .sessions(sessions)
+                .threads(THREADS)
+                .seed(SEED)
+                .faults(profile);
+            for &(prim, place) in refuse {
+                cfg = cfg.refuse(prim, place);
+            }
+            // Warm-up pass (thread spawn + arena population), then the
+            // measured pass.
+            derived.load_test(&cfg.clone().sessions(sessions / 10 + 1));
+            let report = derived.load_test(&cfg);
+            assert!(
+                report.passed(),
+                "{name} [{}]: {}/{} sessions conforming",
+                profile_tag(profile),
+                report.conforming,
+                report.sessions
+            );
+
+            println!(
+                "{name:28} {:8} {sessions:>5} sessions x {THREADS} threads | \
+                 {:>9.0} sessions/s | latency p50 {:>5}µs p99 {:>5}µs | \
+                 overhead {:.2} | lost {:>4} retx {:>4}",
+                profile_tag(profile),
+                report.sessions_per_sec,
+                report.session_latency.p50,
+                report.session_latency.p99,
+                report.overhead_ratio(),
+                report.frames_lost,
+                report.retransmissions,
+            );
+
+            let mut e = String::new();
+            write!(
+                e,
+                "    {{\"spec\":\"{name}\",\"profile\":\"{}\",\"sessions\":{},\
+                 \"threads\":{THREADS},\"sessions_per_sec\":{:.1},\
+                 \"latency_p50_us\":{},\"latency_p99_us\":{},\
+                 \"overhead_ratio\":{:.3},\"messages\":{},\"frames_lost\":{},\
+                 \"retransmissions\":{}}}",
+                profile_tag(profile),
+                report.sessions,
+                report.sessions_per_sec,
+                report.session_latency.p50,
+                report.session_latency.p99,
+                report.overhead_ratio(),
+                report.messages,
+                report.frames_lost,
+                report.retransmissions,
+            )
+            .unwrap();
+            entries.push(e);
+        }
+    }
+
+    let json = format!(
+        "{{\n  \"generated_by\": \"cargo run --release -p bench --bin runtime-snapshot\",\n  \
+         \"config\": {{\"threads\":{THREADS},\"seed\":{SEED},\"quick\":{quick}}},\n  \
+         \"entries\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    let out = format!("{root}/BENCH_runtime.json");
+    std::fs::write(&out, json).expect("write BENCH_runtime.json");
+    println!("wrote {out}");
+}

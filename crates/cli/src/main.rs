@@ -7,6 +7,8 @@
 //! protogen derive   <spec.lotos> [-p P]   derived entity specifications
 //! protogen verify   <spec.lotos> [-l N]   Section 5 theorem instance check
 //! protogen simulate <spec.lotos> [--seed S] [--runs K]
+//! protogen run      <spec.lotos> [--seed S] [--faults PROF]   one live session
+//! protogen load     <spec.lotos> --sessions N --threads T [--faults PROF]
 //! protogen gen      [--seed S] [--places N] [--depth D] [--disable] [--rec]
 //! protogen central  <spec.lotos> [--server P]   §3 centralized baseline
 //! protogen lts      <spec.lotos> [-m]           service LTS (minimized with -m)
@@ -21,6 +23,7 @@
 use lotos::printer::{print_expr, print_spec};
 use protogen::stats::{message_stats, operator_counts};
 use protogen::{Pipeline, PipelineConfig, ProtogenError};
+use runtime::{FaultProfile, PipelineRun, RuntimeConfig};
 use semantics::ExploreConfig;
 use sim::{simulate, SimConfig};
 use std::io::Read;
@@ -67,6 +70,16 @@ fn usage() -> ProtogenError {
          \x20          --seed <s>    RNG seed       --runs <k>   number of runs\n\
          \x20          --loss <p>    frame-loss probability (unreliable link, §6)\n\
          \x20          --no-arq      disable the ARQ recovery layer\n\
+         run       execute one session on the entity runtime (trace + conformance)\n\
+         \x20          --seed <s>    session seed\n\
+         \x20          --faults <f>  none | lossy[:p] | reorder[:p] | delay[:min..max]\n\
+         \x20          --threads <t> >= 2 selects the concurrent actor engine\n\
+         load      drive many concurrent sessions and report load metrics\n\
+         \x20          --sessions <n>  session count (default 1)\n\
+         \x20          --threads <t>   entity threads / multiplexer window\n\
+         \x20          --faults <f>    fault profile (as for run)\n\
+         \x20          --seed <s> --capacity <c> --max-steps <m>\n\
+         \x20          --out <file>    write the JSON RuntimeReport here\n\
          gen       emit a random well-formed service specification\n\
          \x20          --seed <s> --places <n> --depth <d> --disable --rec\n\
          central   derive the Section-3 centralized-server baseline\n\
@@ -86,7 +99,22 @@ fn usage() -> ProtogenError {
 /// Flags that consume the following argument as their value. Their values
 /// must not be mistaken for the spec path when locating it.
 const VALUE_FLAGS: &[&str] = &[
-    "-j", "-l", "-s", "-p", "--seed", "--runs", "--loss", "--places", "--depth", "--server",
+    "-j",
+    "-l",
+    "-s",
+    "-p",
+    "--seed",
+    "--runs",
+    "--loss",
+    "--places",
+    "--depth",
+    "--server",
+    "--sessions",
+    "--threads",
+    "--faults",
+    "--capacity",
+    "--max-steps",
+    "--out",
 ];
 
 /// Locate the spec argument (path or `-` for stdin), skipping over flag
@@ -147,6 +175,32 @@ fn parse_flag<T: std::str::FromStr>(
             .map(Some)
             .map_err(|_| ProtogenError::Usage(format!("bad {name} value"))),
     }
+}
+
+/// Assemble a [`RuntimeConfig`] from the shared `run`/`load` flags.
+fn runtime_config(args: &[String]) -> Result<RuntimeConfig, ProtogenError> {
+    let mut cfg = RuntimeConfig::new();
+    if let Some(n) = parse_flag(args, "--sessions")? {
+        cfg = cfg.sessions(n);
+    }
+    if let Some(t) = parse_flag(args, "--threads")? {
+        cfg = cfg.threads(t);
+    }
+    if let Some(s) = parse_flag(args, "--seed")? {
+        cfg = cfg.seed(s);
+    }
+    if let Some(c) = parse_flag(args, "--capacity")? {
+        cfg = cfg.capacity(c);
+    }
+    if let Some(m) = parse_flag(args, "--max-steps")? {
+        cfg = cfg.max_steps(m);
+    }
+    if let Some(f) = flag_value(args, "--faults") {
+        let profile = FaultProfile::parse(f)
+            .map_err(|e| ProtogenError::Usage(format!("bad --faults value: {e}")))?;
+        cfg = cfg.faults(profile);
+    }
+    Ok(cfg)
 }
 
 fn run(args: &[String]) -> Result<(), ProtogenError> {
@@ -313,6 +367,97 @@ fn run(args: &[String]) -> Result<(), ProtogenError> {
                 Err(ProtogenError::Verification(
                     "simulation found service violations".into(),
                 ))
+            }
+        }
+        "run" => {
+            let derived = load_pipeline(rest)?.check()?.derive()?;
+            let cfg = runtime_config(rest)?.sessions(1);
+            let report = derived.load_test(&cfg);
+            let session = report
+                .reports
+                .first()
+                .ok_or_else(|| ProtogenError::Derive("runtime produced no session".into()))?;
+            let trace: Vec<String> = session
+                .trace
+                .iter()
+                .map(|(n, p)| format!("{n}{p}"))
+                .collect();
+            println!(
+                "engine={} end={:?} conforms={} prims={} msgs={} steps={} (overhead {:.2})",
+                report.engine,
+                session.end,
+                session.conforms,
+                session.primitives,
+                session.messages,
+                session.steps,
+                report.overhead_ratio(),
+            );
+            if report.frames_lost + report.retransmissions > 0 {
+                println!(
+                    "faults: lost={} retx={}",
+                    report.frames_lost, report.retransmissions
+                );
+            }
+            println!("trace: {}", trace.join("."));
+            if let Some((name, place)) = &session.violation {
+                println!("VIOLATION: primitive {name}{place} not allowed by the service");
+            }
+            if report.passed() {
+                Ok(())
+            } else {
+                Err(ProtogenError::Verification(
+                    "session violated the service specification or failed to terminate".into(),
+                ))
+            }
+        }
+        "load" => {
+            let derived = load_pipeline(rest)?.check()?.derive()?;
+            let cfg = runtime_config(rest)?;
+            let report = derived.load_test(&cfg);
+            println!(
+                "engine={} sessions={} conforming={} terminated={} deadlocked={} \
+                 step-limited={} violations={}",
+                report.engine,
+                report.sessions,
+                report.conforming,
+                report.terminated,
+                report.deadlocked,
+                report.step_limited,
+                report.violations.len(),
+            );
+            println!(
+                "prims={} msgs={} delivered={} overhead={:.2} lost={} retx={} \
+                 max-queue={} wall={:.3}s sessions/s={:.1} latency p50={}us p99={}us",
+                report.primitives,
+                report.messages,
+                report.delivered,
+                report.overhead_ratio(),
+                report.frames_lost,
+                report.retransmissions,
+                report.max_queue_depth,
+                report.wall_s,
+                report.sessions_per_sec,
+                report.session_latency.p50,
+                report.session_latency.p99,
+            );
+            match flag_value(rest, "--out") {
+                Some(path) => {
+                    std::fs::write(path, report.to_json()).map_err(|e| ProtogenError::Io {
+                        path: path.to_string(),
+                        message: e.to_string(),
+                    })?;
+                    println!("report: {path}");
+                }
+                None => println!("{}", report.to_json()),
+            }
+            if report.passed() {
+                Ok(())
+            } else {
+                Err(ProtogenError::Verification(format!(
+                    "{} of {} sessions failed to conform",
+                    report.sessions - report.conforming,
+                    report.sessions
+                )))
             }
         }
         "gen" => {

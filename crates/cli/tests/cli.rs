@@ -205,3 +205,105 @@ fn simulate_with_lossy_link() {
     assert!(stdout.contains("lost="), "{stdout}");
     assert_eq!(stdout.matches("conforms=true").count(), 2, "{stdout}");
 }
+
+#[test]
+fn run_executes_one_session_with_trace() {
+    let (stdout, _, ok) = protogen(
+        &["run", "--seed", "3", "-"],
+        Some("SPEC a1; b2; c3; exit ENDSPEC"),
+    );
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("end=Terminated"), "{stdout}");
+    assert!(stdout.contains("conforms=true"), "{stdout}");
+    assert!(stdout.contains("trace: a1.b2.c3"), "{stdout}");
+}
+
+#[test]
+fn run_concurrent_engine_with_faults() {
+    let (stdout, _, ok) = protogen(
+        &[
+            "run",
+            "--threads",
+            "2",
+            "--faults",
+            "lossy:0.3",
+            "--seed",
+            "11",
+            "-",
+        ],
+        Some("SPEC a1; b2; a1; b2; exit ENDSPEC"),
+    );
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("engine=concurrent"), "{stdout}");
+    assert!(stdout.contains("conforms=true"), "{stdout}");
+}
+
+#[test]
+fn load_reports_and_writes_json() {
+    let out = std::env::temp_dir().join("protogen_load_report.json");
+    let out_s = out.to_str().unwrap();
+    let (stdout, _, ok) = protogen(
+        &[
+            "load",
+            "--sessions",
+            "50",
+            "--threads",
+            "4",
+            "--faults",
+            "reorder",
+            "--seed",
+            "9",
+            "--out",
+            out_s,
+            "-",
+        ],
+        Some("SPEC a1; b2; c3; exit ENDSPEC"),
+    );
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("conforming=50"), "{stdout}");
+    let json = std::fs::read_to_string(&out).unwrap();
+    std::fs::remove_file(&out).ok();
+    assert!(json.contains("\"sessions\":50"), "{json}");
+    assert!(json.contains("\"engine\":\"concurrent\""), "{json}");
+    assert!(json.contains("\"per_prim\""), "{json}");
+}
+
+#[test]
+fn load_fails_with_exit_code_4_on_violations() {
+    // `interrupt3` admissible at any moment: the §3.3 disable deviation
+    // makes some seeded runs non-conformant (EXPERIMENTS.md E5/E6).
+    let mut seen_failure = false;
+    for seed in ["1", "2", "3", "4", "5"] {
+        let mut cmd = std::process::Command::new(env!("CARGO_BIN_EXE_protogen"));
+        cmd.args(["load", "--sessions", "20", "--seed", seed, "-"])
+            .stdin(std::process::Stdio::piped())
+            .stdout(std::process::Stdio::piped())
+            .stderr(std::process::Stdio::piped());
+        let mut child = cmd.spawn().unwrap();
+        use std::io::Write as _;
+        child
+            .stdin
+            .as_mut()
+            .unwrap()
+            .write_all(EXAMPLE3.as_bytes())
+            .unwrap();
+        drop(child.stdin.take());
+        let out = child.wait_with_output().unwrap();
+        if !out.status.success() {
+            assert_eq!(out.status.code(), Some(4));
+            seen_failure = true;
+            break;
+        }
+    }
+    assert!(seen_failure, "disable deviation never surfaced in 5 seeds");
+}
+
+#[test]
+fn run_rejects_bad_fault_profile() {
+    let (_, stderr, ok) = protogen(
+        &["run", "--faults", "chaos", "-"],
+        Some("SPEC a1; b2; exit ENDSPEC"),
+    );
+    assert!(!ok);
+    assert!(stderr.contains("--faults"), "{stderr}");
+}

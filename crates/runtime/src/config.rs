@@ -1,0 +1,280 @@
+//! Runtime configuration — the builder/JSON config family member for the
+//! concurrent executor (mirrors `ExploreConfig`/`SimConfig`/`VerifyConfig`).
+
+use lotos::place::PlaceId;
+use std::fmt;
+
+/// A seeded channel-fault profile applied to every directed channel.
+///
+/// All profiles run the stop-and-wait ARQ link layer of
+/// [`sim::lossy::ArqChannel`] underneath the derived entities, so the
+/// protocol still sees a reliable FIFO channel — faults exercise the
+/// *recovery* machinery (paper §6), they do not corrupt the derivation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FaultProfile {
+    /// The paper's Section 1 medium: no loss, in-order delivery.
+    None,
+    /// Frames and acks are dropped i.i.d. with probability `loss`.
+    Lossy { loss: f64 },
+    /// Wire-level reordering plus duplication (probability `dup`) plus
+    /// loss. The ARQ sequence bit deduplicates and restores FIFO order.
+    Reorder { loss: f64, dup: f64 },
+    /// No loss, but each hop takes a uniform delay in `[min, max]` clock
+    /// units — stretches in-flight windows and exercises retransmission
+    /// timers.
+    Delay { min: f64, max: f64 },
+}
+
+impl FaultProfile {
+    /// Is this the fault-free reliable medium?
+    pub fn is_none(&self) -> bool {
+        matches!(self, FaultProfile::None)
+    }
+
+    /// Parse a CLI profile string: `none`, `lossy`, `lossy:0.3`,
+    /// `reorder`, `reorder:0.1`, `delay`, `delay:2..20`.
+    pub fn parse(s: &str) -> Result<FaultProfile, String> {
+        let (name, arg) = match s.split_once(':') {
+            Some((n, a)) => (n, Some(a)),
+            None => (s, None),
+        };
+        let prob = |a: Option<&str>, d: f64| -> Result<f64, String> {
+            match a {
+                None => Ok(d),
+                Some(a) => {
+                    let p: f64 = a
+                        .parse()
+                        .map_err(|_| format!("bad probability `{a}` in fault profile `{s}`"))?;
+                    if !(0.0..1.0).contains(&p) {
+                        return Err(format!("probability `{a}` not in [0,1) in `{s}`"));
+                    }
+                    Ok(p)
+                }
+            }
+        };
+        match name {
+            "none" => Ok(FaultProfile::None),
+            "lossy" => Ok(FaultProfile::Lossy {
+                loss: prob(arg, 0.2)?,
+            }),
+            "reorder" => Ok(FaultProfile::Reorder {
+                loss: prob(arg, 0.1)?,
+                dup: 0.2,
+            }),
+            "delay" => match arg {
+                None => Ok(FaultProfile::Delay {
+                    min: 1.0,
+                    max: 16.0,
+                }),
+                Some(a) => {
+                    let (lo, hi) = a
+                        .split_once("..")
+                        .ok_or_else(|| format!("expected `delay:<min>..<max>`, got `{s}`"))?;
+                    let min: f64 = lo.parse().map_err(|_| format!("bad delay bound `{lo}`"))?;
+                    let max: f64 = hi.parse().map_err(|_| format!("bad delay bound `{hi}`"))?;
+                    if !(min >= 0.0 && max >= min) {
+                        return Err(format!("need 0 <= min <= max in `{s}`"));
+                    }
+                    Ok(FaultProfile::Delay { min, max })
+                }
+            },
+            _ => Err(format!(
+                "unknown fault profile `{s}` (try none, lossy[:p], reorder[:p], delay[:min..max])"
+            )),
+        }
+    }
+}
+
+impl fmt::Display for FaultProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultProfile::None => write!(f, "none"),
+            FaultProfile::Lossy { loss } => write!(f, "lossy:{loss}"),
+            FaultProfile::Reorder { loss, .. } => write!(f, "reorder:{loss}"),
+            FaultProfile::Delay { min, max } => write!(f, "delay:{min}..{max}"),
+        }
+    }
+}
+
+/// Configuration for [`crate::run`] — how many sessions to drive, how
+/// concurrently, over which medium discipline, under which faults.
+#[derive(Clone, Debug)]
+pub struct RuntimeConfig {
+    /// Independent service sessions to run.
+    pub sessions: usize,
+    /// Concurrency: `<= 1` selects the deterministic sequential engine
+    /// (each session is one seeded DES run, bit-reproducible); `>= 2`
+    /// selects the concurrent actor engine with this many sessions in
+    /// flight at once (one OS thread per protocol entity regardless).
+    pub threads: usize,
+    /// Master seed; session `k` derives its own seed from it.
+    pub seed: u64,
+    /// Per-channel capacity: a send on a full channel is not enabled
+    /// until the receiver drains it (`0` = unbounded, paper Section 1).
+    pub capacity: usize,
+    /// Abort a session after this many executed actions.
+    pub max_steps: usize,
+    /// Channel fault profile.
+    pub faults: FaultProfile,
+    /// Primitives the service users never offer (see
+    /// [`sim::des::SimConfig::refuse`]).
+    pub refuse: Vec<(String, PlaceId)>,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            sessions: 1,
+            threads: 1,
+            seed: 0xC0FFEE,
+            capacity: 64,
+            max_steps: 100_000,
+            faults: FaultProfile::None,
+            refuse: Vec::new(),
+        }
+    }
+}
+
+impl RuntimeConfig {
+    pub fn new() -> Self {
+        RuntimeConfig::default()
+    }
+
+    /// Number of independent service sessions to run.
+    pub fn sessions(mut self, n: usize) -> Self {
+        self.sessions = n;
+        self
+    }
+
+    /// Session concurrency (see the field docs for the `<= 1` contract).
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = n;
+        self
+    }
+
+    /// Master RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Per-channel capacity (`0` = unbounded).
+    pub fn capacity(mut self, n: usize) -> Self {
+        self.capacity = n;
+        self
+    }
+
+    /// Per-session step limit.
+    pub fn max_steps(mut self, n: usize) -> Self {
+        self.max_steps = n;
+        self
+    }
+
+    /// Channel fault profile.
+    pub fn faults(mut self, p: FaultProfile) -> Self {
+        self.faults = p;
+        self
+    }
+
+    /// Add a primitive the service users never offer.
+    pub fn refuse(mut self, name: &str, place: PlaceId) -> Self {
+        self.refuse.push((name.to_string(), place));
+        self
+    }
+
+    /// The seed session `k` runs under (matches the CLI's
+    /// `simulate --runs` convention, so `threads 1` reproduces DES runs).
+    pub fn session_seed(&self, k: usize) -> u64 {
+        self.seed.wrapping_add(k as u64)
+    }
+
+    /// Serialize to JSON (hand-rolled; no serde in the build environment).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"sessions\":{},\"threads\":{},\"seed\":{},\"capacity\":{},\
+             \"max_steps\":{},\"faults\":\"{}\"}}",
+            self.sessions, self.threads, self.seed, self.capacity, self.max_steps, self.faults
+        )
+    }
+
+    /// Parse from JSON produced by [`Self::to_json`]. Absent keys keep
+    /// their defaults.
+    pub fn from_json(s: &str) -> Result<RuntimeConfig, String> {
+        if !s.trim_start().starts_with('{') {
+            return Err("expected a JSON object".to_string());
+        }
+        let mut cfg = RuntimeConfig::default();
+        if let Some(n) = semantics::jsonish::get_u64(s, "sessions") {
+            cfg.sessions = n as usize;
+        }
+        if let Some(n) = semantics::jsonish::get_u64(s, "threads") {
+            cfg.threads = n as usize;
+        }
+        if let Some(n) = semantics::jsonish::get_u64(s, "seed") {
+            cfg.seed = n;
+        }
+        if let Some(n) = semantics::jsonish::get_u64(s, "capacity") {
+            cfg.capacity = n as usize;
+        }
+        if let Some(n) = semantics::jsonish::get_u64(s, "max_steps") {
+            cfg.max_steps = n as usize;
+        }
+        if let Some(p) = semantics::jsonish::get_str(s, "faults") {
+            cfg.faults = FaultProfile::parse(p)?;
+        }
+        Ok(cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_profiles() {
+        assert_eq!(FaultProfile::parse("none").unwrap(), FaultProfile::None);
+        assert_eq!(
+            FaultProfile::parse("lossy:0.3").unwrap(),
+            FaultProfile::Lossy { loss: 0.3 }
+        );
+        assert!(matches!(
+            FaultProfile::parse("reorder").unwrap(),
+            FaultProfile::Reorder { .. }
+        ));
+        assert_eq!(
+            FaultProfile::parse("delay:2..20").unwrap(),
+            FaultProfile::Delay {
+                min: 2.0,
+                max: 20.0
+            }
+        );
+        assert!(FaultProfile::parse("lossy:1.5").is_err());
+        assert!(FaultProfile::parse("gremlins").is_err());
+        assert!(FaultProfile::parse("delay:9..3").is_err());
+    }
+
+    #[test]
+    fn config_json_round_trip() {
+        let cfg = RuntimeConfig::new()
+            .sessions(500)
+            .threads(4)
+            .seed(42)
+            .capacity(8)
+            .max_steps(9000)
+            .faults(FaultProfile::Lossy { loss: 0.25 });
+        let back = RuntimeConfig::from_json(&cfg.to_json()).unwrap();
+        assert_eq!(back.sessions, 500);
+        assert_eq!(back.threads, 4);
+        assert_eq!(back.seed, 42);
+        assert_eq!(back.capacity, 8);
+        assert_eq!(back.max_steps, 9000);
+        assert_eq!(back.faults, FaultProfile::Lossy { loss: 0.25 });
+    }
+
+    #[test]
+    fn session_seeds_match_cli_runs_convention() {
+        let cfg = RuntimeConfig::new().seed(100);
+        assert_eq!(cfg.session_seed(0), 100);
+        assert_eq!(cfg.session_seed(3), 103);
+    }
+}

@@ -1,0 +1,415 @@
+//! The protocol-entity actor: one OS thread per place, interpreting that
+//! place's derived behaviour for every in-flight session.
+//!
+//! ## Concurrency model
+//!
+//! Entity threads parallelize *across sessions*: all moves of one session
+//! are serialized by that session's mutex (giving each session a
+//! sequentially consistent interleaving — the property the paper's
+//! composition semantics assumes), while different sessions proceed
+//! concurrently on the same entity set. Behaviour terms are interned
+//! [`semantics::engine::TermId`]s from engines that share one arena and
+//! one occurrence table, so all entities agree on §3.5 instance numbers
+//! and transition memoization is shared by every session.
+//!
+//! ## Termination, deadlock, backpressure
+//!
+//! * δ-termination is a vote: an entity whose term offers δ sets its vote
+//!   bit; the entity that completes the vote with all channels drained
+//!   commits `Terminated`. Executing any non-δ move clears the entity's
+//!   vote (δ-offers are retracted by moving away).
+//! * An entity with no enabled move for a session sets its blocked bit;
+//!   the entity that blocks *last* observes a true global quiescent state
+//!   (every state change happens under the session lock) and resolves it:
+//!   commit termination, advance the fault clock to the next link
+//!   deadline, or declare deadlock.
+//! * A send on a full channel is simply not enabled
+//!   ([`medium::Capacity::Bounded`] semantics) — the thread never parks
+//!   on one session's backpressure; it works other sessions.
+
+use crate::config::RuntimeConfig;
+use crate::metrics::Metrics;
+use crate::session::{SessionEnd, SessionSlot};
+use lotos::place::PlaceId;
+use medium::Msg;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use semantics::engine::{Engine, TermId};
+use semantics::hash::{fx_hash, FxHashMap};
+use semantics::term::Label;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// A control message to an entity thread.
+pub enum Control {
+    /// Start interpreting this session.
+    Open(Arc<SessionSlot>),
+    /// No more sessions; exit once the queue is drained.
+    Shutdown,
+}
+
+#[derive(Default)]
+struct NotifyState {
+    controls: VecDeque<Control>,
+    wakes: BTreeSet<u64>,
+}
+
+/// Wake-up channel of one entity thread: session opens, shutdown, and
+/// "session `id` may have new work for you" pokes from peers.
+#[derive(Default)]
+pub struct Notifier {
+    state: Mutex<NotifyState>,
+    cv: Condvar,
+}
+
+impl Notifier {
+    pub fn new() -> Notifier {
+        Notifier::default()
+    }
+
+    pub fn open(&self, slot: Arc<SessionSlot>) {
+        self.state
+            .lock()
+            .expect("notifier poisoned")
+            .controls
+            .push_back(Control::Open(slot));
+        self.cv.notify_one();
+    }
+
+    pub fn shutdown(&self) {
+        self.state
+            .lock()
+            .expect("notifier poisoned")
+            .controls
+            .push_back(Control::Shutdown);
+        self.cv.notify_one();
+    }
+
+    pub fn wake(&self, session: u64) {
+        self.state
+            .lock()
+            .expect("notifier poisoned")
+            .wakes
+            .insert(session);
+        self.cv.notify_one();
+    }
+
+    /// Take everything pending; block until something arrives when
+    /// `block` is set and nothing is pending.
+    pub fn drain(&self, block: bool) -> (Vec<Control>, Vec<u64>) {
+        let mut st = self.state.lock().expect("notifier poisoned");
+        while block && st.controls.is_empty() && st.wakes.is_empty() {
+            st = self.cv.wait(st).expect("notifier poisoned");
+        }
+        let controls = st.controls.drain(..).collect();
+        let wakes = st.wakes.iter().copied().collect();
+        st.wakes.clear();
+        (controls, wakes)
+    }
+}
+
+/// Completed sessions, handed back to the multiplexer.
+#[derive(Default)]
+pub struct CompletionQueue {
+    state: Mutex<VecDeque<Arc<SessionSlot>>>,
+    cv: Condvar,
+}
+
+impl CompletionQueue {
+    pub fn new() -> CompletionQueue {
+        CompletionQueue::default()
+    }
+
+    pub fn push(&self, slot: Arc<SessionSlot>) {
+        self.state
+            .lock()
+            .expect("completion queue poisoned")
+            .push_back(slot);
+        self.cv.notify_one();
+    }
+
+    /// Block until a session completes.
+    pub fn pop(&self) -> Arc<SessionSlot> {
+        let mut st = self.state.lock().expect("completion queue poisoned");
+        loop {
+            if let Some(slot) = st.pop_front() {
+                return slot;
+            }
+            st = self.cv.wait(st).expect("completion queue poisoned");
+        }
+    }
+}
+
+/// Per-session state local to one entity thread.
+struct LocalSession {
+    slot: Arc<SessionSlot>,
+    term: TermId,
+    rng: StdRng,
+}
+
+/// Work still possible after a scheduling slice.
+enum StepOutcome {
+    /// Session reached a terminal state (or a peer completed it).
+    Completed,
+    /// No enabled move; a peer's wake will resume it.
+    Blocked,
+    /// Slice exhausted with moves remaining — reschedule.
+    Yield,
+}
+
+/// Moves executed per session per slice before rotating to other
+/// sessions (bounds per-session lock tenancy and keeps the run fair).
+const SLICE: usize = 64;
+
+/// One protocol-entity actor.
+pub struct EntityWorker {
+    /// Dense index of this entity (bit position in vote/blocked masks).
+    pub idx: usize,
+    pub place: PlaceId,
+    /// Total number of entities.
+    pub n: usize,
+    pub engine: Engine,
+    pub cfg: RuntimeConfig,
+    /// Notifiers of *all* entities, indexed like the entity list.
+    pub notifiers: Vec<Arc<Notifier>>,
+    /// Place → dense entity index.
+    pub place_index: BTreeMap<PlaceId, usize>,
+    pub completions: Arc<CompletionQueue>,
+    pub metrics: Arc<Metrics>,
+}
+
+impl EntityWorker {
+    /// The thread body: interpret every open session until shutdown.
+    pub fn run(self) {
+        let mut sessions: FxHashMap<u64, LocalSession> = FxHashMap::default();
+        let mut pending: BTreeSet<u64> = BTreeSet::new();
+        let mut shutdown = false;
+        loop {
+            if shutdown && sessions.is_empty() {
+                return;
+            }
+            let (controls, wakes) = self.notifiers[self.idx].drain(pending.is_empty());
+            for c in controls {
+                match c {
+                    Control::Open(slot) => {
+                        let id = slot.core.lock().expect("session poisoned").id;
+                        let rng = StdRng::seed_from_u64(fx_hash(&(self.cfg.seed, id, self.place)));
+                        let term = self.engine.root();
+                        sessions.insert(id, LocalSession { slot, term, rng });
+                        pending.insert(id);
+                    }
+                    Control::Shutdown => shutdown = true,
+                }
+            }
+            for w in wakes {
+                if sessions.contains_key(&w) {
+                    pending.insert(w);
+                }
+            }
+            let mut again: Vec<u64> = Vec::new();
+            while let Some(id) = pending.pop_first() {
+                let Some(local) = sessions.get_mut(&id) else {
+                    continue;
+                };
+                match self.step_session(local) {
+                    StepOutcome::Completed => {
+                        sessions.remove(&id);
+                    }
+                    StepOutcome::Blocked => {}
+                    StepOutcome::Yield => again.push(id),
+                }
+            }
+            pending.extend(again);
+        }
+    }
+
+    /// Run up to [`SLICE`] moves of one session. Returns how the slice
+    /// ended.
+    fn step_session(&self, local: &mut LocalSession) -> StepOutcome {
+        for _ in 0..SLICE {
+            let trans = self.engine.transitions(local.term);
+            let id;
+            let enabled: Vec<usize>;
+            let mut vote_available = false;
+            {
+                let mut core = local.slot.core.lock().expect("session poisoned");
+                id = core.id;
+                if core.completed.is_some() {
+                    return StepOutcome::Completed;
+                }
+
+                // Classify which of the term's transitions are enabled in
+                // the current medium state.
+                let mut has_delta = false;
+                let mut en = Vec::with_capacity(trans.len());
+                for (i, (label, _)) in trans.iter().enumerate() {
+                    match label {
+                        Label::I => en.push(i),
+                        Label::Prim { name, place } => {
+                            if !self
+                                .cfg
+                                .refuse
+                                .iter()
+                                .any(|(n, p)| n == name && *p == *place)
+                            {
+                                en.push(i);
+                            }
+                        }
+                        Label::Send { to, .. } => {
+                            if core.can_send(self.place, *to) {
+                                en.push(i);
+                            }
+                        }
+                        Label::Recv { from, msg, occ, .. } => {
+                            if core.can_receive(*from, self.place, msg, *occ) {
+                                en.push(i);
+                            }
+                        }
+                        Label::Delta => {
+                            has_delta = true;
+                            if !core.has_vote(self.idx) {
+                                vote_available = true;
+                            }
+                        }
+                    }
+                }
+                if !has_delta && core.has_vote(self.idx) {
+                    core.clear_vote(self.idx);
+                }
+                enabled = en;
+
+                if enabled.is_empty() && !vote_available {
+                    core.set_blocked(self.idx);
+                    if !core.all_blocked(self.n) {
+                        return StepOutcome::Blocked;
+                    }
+                    // Global quiescence — this thread resolves it.
+                    if has_delta && core.all_voted(self.n) && core.quiet() {
+                        core.complete(SessionEnd::Terminated);
+                        drop(core);
+                        self.finish(local, id);
+                        return StepOutcome::Completed;
+                    }
+                    if let Some(t) = core.next_link_deadline() {
+                        // Links still have pending retransmissions or
+                        // in-flight frames: advance the logical clock past
+                        // the deadline, pump, and retry everywhere.
+                        core.clock = core.clock.max(t) + 1e-9;
+                        core.pump_all();
+                        core.clear_all_blocked();
+                        drop(core);
+                        for nt in &self.notifiers {
+                            nt.wake(id);
+                        }
+                        continue;
+                    }
+                    core.complete(SessionEnd::Deadlock);
+                    drop(core);
+                    self.finish(local, id);
+                    return StepOutcome::Completed;
+                }
+                core.clear_blocked(self.idx);
+
+                // Pick uniformly among enabled moves (+ the δ vote).
+                let total = enabled.len() + usize::from(vote_available);
+                let k = if total == 1 {
+                    0
+                } else {
+                    local.rng.gen_range(0..total)
+                };
+                if k == enabled.len() {
+                    // The δ vote. Not a step: it retracts nothing and the
+                    // next classification won't re-offer it.
+                    core.vote(self.idx);
+                    if core.all_voted(self.n) && core.quiet() {
+                        core.complete(SessionEnd::Terminated);
+                        drop(core);
+                        self.finish(local, id);
+                        return StepOutcome::Completed;
+                    }
+                    continue;
+                }
+
+                let (label, next) = trans[enabled[k]].clone();
+                core.tick();
+                core.clear_vote(self.idx);
+                let step_limited = core.steps >= self.cfg.max_steps;
+                let mut wake_peer: Option<usize> = None;
+                match label {
+                    Label::I => {
+                        self.metrics
+                            .internal_actions
+                            .fetch_add(1, Ordering::Relaxed);
+                    }
+                    Label::Delta => unreachable!("δ handled by the vote path"),
+                    Label::Prim { ref name, place } => {
+                        let now = std::time::Instant::now();
+                        let since = core.last_prim.unwrap_or(core.started);
+                        let gap_us = now.duration_since(since).as_micros() as u64;
+                        core.last_prim = Some(now);
+                        core.trace.push((name.clone(), place));
+                        self.metrics.record_prim(name, gap_us);
+                    }
+                    Label::Send { to, msg, occ, kind } => {
+                        core.send(Msg {
+                            from: self.place,
+                            to,
+                            id: msg,
+                            occ,
+                            kind,
+                        });
+                        let depth = core.stats.max_depth.values().copied().max().unwrap_or(0);
+                        self.metrics
+                            .max_queue_depth
+                            .fetch_max(depth, Ordering::Relaxed);
+                        self.metrics.messages_sent.fetch_add(1, Ordering::Relaxed);
+                        // The destination may now have an enabled receive:
+                        // its blocked bit is stale. Clearing it under the
+                        // lock keeps the all-blocked quiescence test sound.
+                        let peer = self.place_index[&to];
+                        core.clear_blocked(peer);
+                        wake_peer = Some(peer);
+                    }
+                    Label::Recv { from, msg, occ, .. } => {
+                        core.receive(from, self.place, &msg, occ)
+                            .expect("classified receivable, then gone: session lock was held");
+                        self.metrics
+                            .messages_delivered
+                            .fetch_add(1, Ordering::Relaxed);
+                        // The channel drained by one slot: the sender may
+                        // have a backpressured send waiting.
+                        let peer = self.place_index[&from];
+                        core.clear_blocked(peer);
+                        wake_peer = Some(peer);
+                    }
+                }
+                local.term = next;
+                if step_limited {
+                    core.complete(SessionEnd::StepLimit);
+                    drop(core);
+                    self.finish(local, id);
+                    return StepOutcome::Completed;
+                }
+                drop(core);
+                if let Some(p) = wake_peer {
+                    if p != self.idx {
+                        self.notifiers[p].wake(id);
+                    }
+                }
+            }
+        }
+        StepOutcome::Yield
+    }
+
+    /// A session reached a terminal state under this thread: hand it to
+    /// the multiplexer and wake every peer so they drop their local state.
+    fn finish(&self, local: &LocalSession, id: u64) {
+        for (i, nt) in self.notifiers.iter().enumerate() {
+            if i != self.idx {
+                nt.wake(id);
+            }
+        }
+        self.completions.push(Arc::clone(&local.slot));
+    }
+}

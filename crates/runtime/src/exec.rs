@@ -1,0 +1,369 @@
+//! The two execution engines and the session multiplexer.
+//!
+//! * **Concurrent** (`threads >= 2`): one OS thread per protocol entity
+//!   ([`crate::entity::EntityWorker`]), a window of `threads` sessions in
+//!   flight at once, and the calling thread as multiplexer — it opens
+//!   sessions, collects completions, and replays each completed session's
+//!   primitive trace through [`sim::monitor::ServiceMonitor`] (the
+//!   monitor is single-threaded by construction, so conformance is
+//!   checked at the multiplexer, not inside entity threads).
+//! * **Deterministic** (`threads <= 1`): each session is one seeded run
+//!   of the discrete-event simulator ([`sim::des`]) — bit-reproducible,
+//!   and byte-identical to `protogen simulate` for the same seed. This is
+//!   the reference engine the concurrent one is tested against.
+
+use crate::config::{FaultProfile, RuntimeConfig};
+use crate::entity::{CompletionQueue, EntityWorker, Notifier};
+use crate::metrics::{Metrics, RuntimeReport, SessionReport, ViolationRecord};
+use crate::session::{SessionCore, SessionEnd, SessionSlot};
+use lotos::ast::Spec;
+use lotos::event::SyncKind;
+use lotos::place::PlaceId;
+use protogen::derive::Derivation;
+use semantics::engine::{Engine, TermArena};
+use semantics::term::OccTable;
+use sim::des::{LinkConfig, SimConfig, SimResult};
+use sim::monitor::ServiceMonitor;
+use std::collections::BTreeMap;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Entity threads interpret recursive behaviour terms; deep specs need
+/// deep stacks (same idiom as `verify`'s big-stack harness).
+const ENTITY_STACK: usize = 64 << 20;
+
+/// Run `cfg.sessions` independent sessions of the derived protocol and
+/// report. Engine selection is by `cfg.threads` (see the module docs).
+pub fn run(d: &Derivation, cfg: &RuntimeConfig) -> RuntimeReport {
+    if cfg.threads <= 1 {
+        run_deterministic(d, cfg)
+    } else {
+        run_concurrent(d, cfg)
+    }
+}
+
+/// Replay a completed session's primitive trace against the service.
+/// Returns the first violation (primitive, place, index) and whether the
+/// service could terminate where the trace ends.
+fn replay_conformance(
+    service: &Spec,
+    trace: &[(String, PlaceId)],
+) -> (Option<(String, PlaceId, usize)>, bool) {
+    let mut mon = ServiceMonitor::new(service.clone());
+    for (i, (name, place)) in trace.iter().enumerate() {
+        if !mon.step(name, *place) {
+            return (Some((name.clone(), *place, i)), false);
+        }
+    }
+    (None, mon.may_terminate())
+}
+
+struct Tally {
+    conforming: usize,
+    terminated: usize,
+    deadlocked: usize,
+    step_limited: usize,
+    violations: Vec<ViolationRecord>,
+    per_kind: BTreeMap<SyncKind, usize>,
+    reports: Vec<SessionReport>,
+}
+
+impl Tally {
+    fn new() -> Tally {
+        Tally {
+            conforming: 0,
+            terminated: 0,
+            deadlocked: 0,
+            step_limited: 0,
+            violations: Vec::new(),
+            per_kind: BTreeMap::new(),
+            reports: Vec::new(),
+        }
+    }
+
+    fn absorb(&mut self, rep: SessionReport) {
+        match rep.end {
+            SessionEnd::Terminated => self.terminated += 1,
+            SessionEnd::Deadlock => self.deadlocked += 1,
+            SessionEnd::StepLimit => self.step_limited += 1,
+        }
+        if rep.conforms {
+            self.conforming += 1;
+        }
+        self.reports.push(rep);
+    }
+}
+
+fn run_concurrent(d: &Derivation, cfg: &RuntimeConfig) -> RuntimeReport {
+    let started = Instant::now();
+    let places: Vec<PlaceId> = d.entities.iter().map(|(p, _)| *p).collect();
+    let n = places.len();
+    let place_index: BTreeMap<PlaceId, usize> =
+        places.iter().enumerate().map(|(i, p)| (*p, i)).collect();
+    let channels = medium::channels(d.all);
+
+    // One arena + one occurrence table shared by every entity engine, so
+    // all entities (and all sessions) agree on §3.5 instance numbers and
+    // share transition memoization.
+    let arena = Arc::new(TermArena::new());
+    let occ = Arc::new(Mutex::new(OccTable::new()));
+    let notifiers: Vec<Arc<Notifier>> = (0..n).map(|_| Arc::new(Notifier::new())).collect();
+    let completions = Arc::new(CompletionQueue::new());
+    let metrics = Arc::new(Metrics::for_service(&d.service));
+
+    let mut tally = Tally::new();
+    std::thread::scope(|scope| {
+        for (idx, (place, spec)) in d.entities.iter().enumerate() {
+            let worker = EntityWorker {
+                idx,
+                place: *place,
+                n,
+                engine: Engine::with_shared(spec.clone(), Arc::clone(&arena), Arc::clone(&occ)),
+                cfg: cfg.clone(),
+                notifiers: notifiers.clone(),
+                place_index: place_index.clone(),
+                completions: Arc::clone(&completions),
+                metrics: Arc::clone(&metrics),
+            };
+            std::thread::Builder::new()
+                .name(format!("entity-{place}"))
+                .stack_size(ENTITY_STACK)
+                .spawn_scoped(scope, move || worker.run())
+                .expect("spawn entity thread");
+        }
+
+        // The multiplexer: keep a window of `threads` sessions in flight.
+        let window = cfg.threads.max(1);
+        let mut next = 0usize;
+        let mut in_flight = 0usize;
+        while next < cfg.sessions || in_flight > 0 {
+            while next < cfg.sessions && in_flight < window {
+                let core = SessionCore::new(next as u64, cfg.session_seed(next), cfg, &channels);
+                let slot = Arc::new(SessionSlot::new(core));
+                for nt in &notifiers {
+                    nt.open(Arc::clone(&slot));
+                }
+                next += 1;
+                in_flight += 1;
+            }
+            let slot = completions.pop();
+            in_flight -= 1;
+            let rep = finalize_session(d, cfg, &slot, &metrics, &mut tally);
+            tally.absorb(rep);
+        }
+        for nt in &notifiers {
+            nt.shutdown();
+        }
+    });
+
+    let wall_s = started.elapsed().as_secs_f64();
+    RuntimeReport {
+        engine: "concurrent",
+        config: cfg.clone(),
+        sessions: tally.reports.len(),
+        conforming: tally.conforming,
+        terminated: tally.terminated,
+        deadlocked: tally.deadlocked,
+        step_limited: tally.step_limited,
+        violations: std::mem::take(&mut tally.violations),
+        primitives: metrics.primitives.load(Ordering::Relaxed),
+        messages: metrics.messages_sent.load(Ordering::Relaxed),
+        delivered: metrics.messages_delivered.load(Ordering::Relaxed),
+        messages_per_kind: tally.per_kind,
+        max_queue_depth: metrics.max_queue_depth.load(Ordering::Relaxed),
+        frames_lost: metrics.frames_lost.load(Ordering::Relaxed),
+        retransmissions: metrics.retransmissions.load(Ordering::Relaxed),
+        wall_s,
+        sessions_per_sec: if wall_s > 0.0 {
+            tally.reports.len() as f64 / wall_s
+        } else {
+            0.0
+        },
+        session_latency: metrics.session_latency.summary(),
+        per_prim: metrics
+            .per_prim
+            .iter()
+            .map(|(k, h)| (k.clone(), h.summary()))
+            .collect(),
+        reports: tally.reports,
+    }
+}
+
+/// Turn a completed session into a [`SessionReport`]: replay conformance,
+/// merge its medium statistics, record its latency.
+fn finalize_session(
+    d: &Derivation,
+    cfg: &RuntimeConfig,
+    slot: &SessionSlot,
+    metrics: &Metrics,
+    tally: &mut Tally,
+) -> SessionReport {
+    let core = slot.core.lock().expect("session poisoned");
+    let end = core.completed.expect("finalized session not completed");
+    let latency_us = core
+        .ended
+        .unwrap_or_else(Instant::now)
+        .duration_since(core.started)
+        .as_micros() as u64;
+    metrics.session_latency.record(latency_us);
+    metrics.sessions_completed.fetch_add(1, Ordering::Relaxed);
+    let (lost, retx) = core.link_totals();
+    metrics.frames_lost.fetch_add(lost, Ordering::Relaxed);
+    metrics.retransmissions.fetch_add(retx, Ordering::Relaxed);
+    for (k, c) in &core.stats.sent_per_kind {
+        *tally.per_kind.entry(*k).or_default() += c;
+    }
+
+    let (violation, may_terminate) = replay_conformance(&d.service, &core.trace);
+    let conforms = violation.is_none() && end == SessionEnd::Terminated && may_terminate;
+    if let Some((name, place, at)) = &violation {
+        tally.violations.push(ViolationRecord {
+            session: core.id,
+            seed: core.seed,
+            primitive: name.clone(),
+            place: *place,
+            at: *at,
+            trace: core.trace.clone(),
+        });
+    }
+    SessionReport {
+        id: core.id,
+        seed: core.seed,
+        end,
+        conforms,
+        violation: violation.as_ref().map(|(n, p, _)| (n.clone(), *p)),
+        primitives: core.trace.len(),
+        messages: core.stats.sent,
+        steps: core.steps,
+        latency_us,
+        trace: if violation.is_some() || cfg.sessions == 1 {
+            core.trace.clone()
+        } else {
+            Vec::new()
+        },
+    }
+}
+
+/// Map the runtime fault profile onto the DES configuration. Wire-level
+/// reordering has no DES counterpart (the DES medium is FIFO by
+/// construction); `Reorder` maps to its loss component — the ARQ layer
+/// absorbs reordering in the concurrent engine anyway.
+fn des_config(cfg: &RuntimeConfig, session: usize) -> SimConfig {
+    let mut sc = SimConfig::new()
+        .seed(cfg.session_seed(session))
+        .max_steps(cfg.max_steps);
+    for (name, place) in &cfg.refuse {
+        sc = sc.refuse(name, *place);
+    }
+    match cfg.faults {
+        FaultProfile::None => {}
+        FaultProfile::Lossy { loss } | FaultProfile::Reorder { loss, .. } => {
+            sc = sc.link(LinkConfig {
+                loss,
+                ..LinkConfig::default()
+            });
+        }
+        FaultProfile::Delay { min, max } => {
+            sc = sc.delays(min, max.max(min + 1e-9));
+        }
+    }
+    sc
+}
+
+fn run_deterministic(d: &Derivation, cfg: &RuntimeConfig) -> RuntimeReport {
+    let started = Instant::now();
+    let metrics = Metrics::for_service(&d.service);
+    let mut tally = Tally::new();
+    let mut primitives = 0usize;
+    let mut messages = 0usize;
+    let mut delivered = 0usize;
+    let mut max_queue_depth = 0usize;
+    let mut frames_lost = 0usize;
+    let mut retransmissions = 0usize;
+
+    for k in 0..cfg.sessions {
+        let t0 = Instant::now();
+        let outcome = sim::des::simulate(d, des_config(cfg, k));
+        let latency_us = t0.elapsed().as_micros() as u64;
+        metrics.session_latency.record(latency_us);
+
+        primitives += outcome.metrics.primitives;
+        messages += outcome.metrics.messages;
+        delivered += outcome
+            .metrics
+            .per_place
+            .values()
+            .map(|l| l.received)
+            .sum::<usize>();
+        max_queue_depth = max_queue_depth.max(outcome.metrics.max_queue_depth);
+        frames_lost += outcome.metrics.frames_lost;
+        retransmissions += outcome.metrics.retransmissions;
+        for (kind, c) in &outcome.metrics.messages_per_kind {
+            *tally.per_kind.entry(*kind).or_default() += c;
+        }
+
+        let end = match outcome.result {
+            SimResult::Terminated => SessionEnd::Terminated,
+            SimResult::Deadlock => SessionEnd::Deadlock,
+            SimResult::StepLimit => SessionEnd::StepLimit,
+        };
+        let conforms = outcome.conforms() && end == SessionEnd::Terminated;
+        if let Some((name, place)) = &outcome.violation {
+            tally.violations.push(ViolationRecord {
+                session: k as u64,
+                seed: cfg.session_seed(k),
+                primitive: name.clone(),
+                place: *place,
+                at: outcome.trace.len().saturating_sub(1),
+                trace: outcome.trace.clone(),
+            });
+        }
+        tally.absorb(SessionReport {
+            id: k as u64,
+            seed: cfg.session_seed(k),
+            end,
+            conforms,
+            violation: outcome.violation.clone(),
+            primitives: outcome.trace.len(),
+            messages: outcome.metrics.messages,
+            steps: outcome.metrics.steps,
+            latency_us,
+            trace: if outcome.violation.is_some() || cfg.sessions == 1 {
+                outcome.trace.clone()
+            } else {
+                Vec::new()
+            },
+        });
+    }
+
+    let wall_s = started.elapsed().as_secs_f64();
+    RuntimeReport {
+        engine: "deterministic",
+        config: cfg.clone(),
+        sessions: tally.reports.len(),
+        conforming: tally.conforming,
+        terminated: tally.terminated,
+        deadlocked: tally.deadlocked,
+        step_limited: tally.step_limited,
+        violations: std::mem::take(&mut tally.violations),
+        primitives,
+        messages,
+        delivered,
+        messages_per_kind: tally.per_kind,
+        max_queue_depth,
+        frames_lost,
+        retransmissions,
+        wall_s,
+        sessions_per_sec: if wall_s > 0.0 {
+            tally.reports.len() as f64 / wall_s
+        } else {
+            0.0
+        },
+        session_latency: metrics.session_latency.summary(),
+        // Per-primitive wall-latency is an inter-thread measurement; the
+        // sequential engine reports session-level latency only.
+        per_prim: BTreeMap::new(),
+        reports: tally.reports,
+    }
+}

@@ -1,0 +1,393 @@
+//! Observability: lock-free counters, log-scale latency histograms, and
+//! the JSON [`RuntimeReport`].
+//!
+//! Entity threads record into atomics only — no locks on the hot path.
+//! The per-primitive histogram map is *prebuilt* from the service
+//! specification before any thread starts (the key set of a service's
+//! primitives is static), so recording a primitive latency is an atomic
+//! add into a pre-existing histogram, never a map mutation.
+
+use crate::config::RuntimeConfig;
+use crate::session::SessionEnd;
+use lotos::ast::{Expr, Spec};
+use lotos::event::{Event, SyncKind};
+use lotos::place::PlaceId;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Log₂ histogram with 4 sub-buckets per octave (≈ 19% bucket width),
+/// atomic throughout. Values are microseconds.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+const SUB: usize = 4;
+const BUCKETS: usize = 64 * SUB;
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    fn bucket_of(v: u64) -> usize {
+        let v = v.max(1);
+        let e = 63 - v.leading_zeros() as usize;
+        let frac = if e >= 2 {
+            (v >> (e - 2)) as usize & 3
+        } else {
+            0
+        };
+        (e * SUB + frac).min(BUCKETS - 1)
+    }
+
+    /// Representative (lower-bound) value of bucket `i`.
+    fn bucket_value(i: usize) -> f64 {
+        let e = (i / SUB) as i32;
+        let frac = (i % SUB) as f64;
+        2f64.powi(e) * (1.0 + frac / SUB as f64)
+    }
+
+    pub fn record(&self, v: u64) {
+        self.buckets[Self::bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// The value at quantile `q` (0 ≤ q ≤ 1), approximated to bucket
+    /// resolution; `0` when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            return 0.0;
+        }
+        let target = ((q * n as f64).ceil() as u64).clamp(1, n);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= target {
+                return Self::bucket_value(i);
+            }
+        }
+        self.max.load(Ordering::Relaxed) as f64
+    }
+
+    /// Snapshot for reporting.
+    pub fn summary(&self) -> HistSummary {
+        let count = self.count();
+        let sum = self.sum.load(Ordering::Relaxed);
+        HistSummary {
+            count,
+            mean: if count == 0 {
+                0.0
+            } else {
+                sum as f64 / count as f64
+            },
+            p50: self.quantile(0.50),
+            p90: self.quantile(0.90),
+            p99: self.quantile(0.99),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A rendered histogram snapshot (microseconds).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct HistSummary {
+    pub count: u64,
+    pub mean: f64,
+    pub p50: f64,
+    pub p90: f64,
+    pub p99: f64,
+    pub max: u64,
+}
+
+impl HistSummary {
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"count\":{},\"mean_us\":{:.1},\"p50_us\":{:.1},\"p90_us\":{:.1},\
+             \"p99_us\":{:.1},\"max_us\":{}}}",
+            self.count, self.mean, self.p50, self.p90, self.p99, self.max
+        )
+    }
+}
+
+/// Shared live counters — everything entity threads touch is atomic.
+#[derive(Debug)]
+pub struct Metrics {
+    pub sessions_completed: AtomicUsize,
+    pub primitives: AtomicUsize,
+    pub messages_sent: AtomicUsize,
+    pub messages_delivered: AtomicUsize,
+    pub internal_actions: AtomicUsize,
+    /// High-water mark over all sessions and channels.
+    pub max_queue_depth: AtomicUsize,
+    pub frames_lost: AtomicUsize,
+    pub retransmissions: AtomicUsize,
+    /// End-to-end session latency (wall µs).
+    pub session_latency: Histogram,
+    /// Per-primitive inter-arrival latency (wall µs between consecutive
+    /// primitives of a session, keyed by primitive name). Prebuilt — see
+    /// the module docs.
+    pub per_prim: BTreeMap<String, Histogram>,
+}
+
+impl Metrics {
+    /// Build with one histogram per primitive of `service`.
+    pub fn for_service(service: &Spec) -> Metrics {
+        let mut per_prim = BTreeMap::new();
+        for (name, _) in service_primitives(service) {
+            per_prim.entry(name).or_insert_with(Histogram::new);
+        }
+        Metrics {
+            sessions_completed: AtomicUsize::new(0),
+            primitives: AtomicUsize::new(0),
+            messages_sent: AtomicUsize::new(0),
+            messages_delivered: AtomicUsize::new(0),
+            internal_actions: AtomicUsize::new(0),
+            max_queue_depth: AtomicUsize::new(0),
+            frames_lost: AtomicUsize::new(0),
+            retransmissions: AtomicUsize::new(0),
+            session_latency: Histogram::new(),
+            per_prim,
+        }
+    }
+
+    pub fn record_prim(&self, name: &str, latency_us: u64) {
+        self.primitives.fetch_add(1, Ordering::Relaxed);
+        if let Some(h) = self.per_prim.get(name) {
+            h.record(latency_us);
+        }
+    }
+}
+
+/// Every distinct `(name, place)` primitive of a specification, in
+/// first-appearance order.
+pub fn service_primitives(spec: &Spec) -> Vec<(String, PlaceId)> {
+    let mut out: Vec<(String, PlaceId)> = Vec::new();
+    for i in 0..spec.node_count() {
+        if let Expr::Prefix {
+            event: Event::Prim { name, place },
+            ..
+        } = spec.node(i as u32)
+        {
+            if !out.iter().any(|(n, p)| n == name && p == place) {
+                out.push((name.clone(), *place));
+            }
+        }
+    }
+    out
+}
+
+/// A conformance violation, with enough context to replay the session.
+#[derive(Clone, Debug)]
+pub struct ViolationRecord {
+    pub session: u64,
+    pub seed: u64,
+    /// The offending primitive and its place.
+    pub primitive: String,
+    pub place: PlaceId,
+    /// Index of the offending primitive in the session trace.
+    pub at: usize,
+    /// The full primitive trace of the violating session.
+    pub trace: Vec<(String, PlaceId)>,
+}
+
+/// Outcome of one session.
+#[derive(Clone, Debug)]
+pub struct SessionReport {
+    pub id: u64,
+    pub seed: u64,
+    pub end: SessionEnd,
+    /// No violation, terminated, and the service allows termination there.
+    pub conforms: bool,
+    pub violation: Option<(String, PlaceId)>,
+    pub primitives: usize,
+    pub messages: usize,
+    pub steps: usize,
+    /// Wall-clock session latency in microseconds.
+    pub latency_us: u64,
+    /// The primitive trace — kept for single-session runs and for
+    /// violating sessions; empty otherwise (load runs would hoard memory).
+    pub trace: Vec<(String, PlaceId)>,
+}
+
+/// The exported result of a [`crate::run`] call.
+#[derive(Debug)]
+pub struct RuntimeReport {
+    /// Which engine ran: `"concurrent"` (threads ≥ 2) or
+    /// `"deterministic"` (threads ≤ 1, DES-backed).
+    pub engine: &'static str,
+    pub config: RuntimeConfig,
+    pub sessions: usize,
+    pub conforming: usize,
+    pub terminated: usize,
+    pub deadlocked: usize,
+    pub step_limited: usize,
+    pub violations: Vec<ViolationRecord>,
+    pub primitives: usize,
+    pub messages: usize,
+    pub delivered: usize,
+    pub messages_per_kind: BTreeMap<SyncKind, usize>,
+    pub max_queue_depth: usize,
+    pub frames_lost: usize,
+    pub retransmissions: usize,
+    /// Wall-clock duration of the whole run, seconds.
+    pub wall_s: f64,
+    pub sessions_per_sec: f64,
+    pub session_latency: HistSummary,
+    pub per_prim: BTreeMap<String, HistSummary>,
+    /// Per-session outcomes, in completion order.
+    pub reports: Vec<SessionReport>,
+}
+
+impl RuntimeReport {
+    /// Did every session complete and conform?
+    pub fn passed(&self) -> bool {
+        self.sessions > 0 && self.conforming == self.sessions && self.violations.is_empty()
+    }
+
+    /// Messages per primitive — the §4.3 overhead ratio, now measured
+    /// under load.
+    pub fn overhead_ratio(&self) -> f64 {
+        if self.primitives == 0 {
+            0.0
+        } else {
+            self.messages as f64 / self.primitives as f64
+        }
+    }
+
+    /// Hand-rolled JSON export (no serde in the build environment).
+    /// Per-session reports are summarized by the aggregate fields;
+    /// violations are included in full.
+    pub fn to_json(&self) -> String {
+        let per_kind: Vec<String> = self
+            .messages_per_kind
+            .iter()
+            .map(|(k, n)| format!("\"{k}\":{n}"))
+            .collect();
+        let per_prim: Vec<String> = self
+            .per_prim
+            .iter()
+            .map(|(name, h)| format!("\"{name}\":{}", h.to_json()))
+            .collect();
+        let violations: Vec<String> = self
+            .violations
+            .iter()
+            .map(|v| {
+                let trace: Vec<String> = v
+                    .trace
+                    .iter()
+                    .map(|(n, p)| format!("\"{n}@{p}\""))
+                    .collect();
+                format!(
+                    "{{\"session\":{},\"seed\":{},\"primitive\":\"{}\",\"place\":{},\
+                     \"at\":{},\"trace\":[{}]}}",
+                    v.session,
+                    v.seed,
+                    v.primitive,
+                    v.place,
+                    v.at,
+                    trace.join(",")
+                )
+            })
+            .collect();
+        format!(
+            "{{\"engine\":\"{}\",\"config\":{},\"sessions\":{},\"conforming\":{},\
+             \"terminated\":{},\"deadlocked\":{},\"step_limited\":{},\
+             \"primitives\":{},\"messages\":{},\"delivered\":{},\
+             \"overhead_ratio\":{:.3},\"messages_per_kind\":{{{}}},\
+             \"max_queue_depth\":{},\"frames_lost\":{},\"retransmissions\":{},\
+             \"wall_s\":{:.4},\"sessions_per_sec\":{:.1},\
+             \"session_latency\":{},\"per_prim\":{{{}}},\"violations\":[{}]}}",
+            self.engine,
+            self.config.to_json(),
+            self.sessions,
+            self.conforming,
+            self.terminated,
+            self.deadlocked,
+            self.step_limited,
+            self.primitives,
+            self.messages,
+            self.delivered,
+            self.overhead_ratio(),
+            per_kind.join(","),
+            self.max_queue_depth,
+            self.frames_lost,
+            self.retransmissions,
+            self.wall_s,
+            self.sessions_per_sec,
+            self.session_latency.to_json(),
+            per_prim.join(","),
+            violations.join(",")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_are_ordered() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 1000);
+        assert!(s.p50 <= s.p90 && s.p90 <= s.p99);
+        assert!(s.p50 >= 400.0 && s.p50 <= 640.0, "p50 = {}", s.p50);
+        assert_eq!(s.max, 1000);
+    }
+
+    #[test]
+    fn histogram_empty_is_zero() {
+        let h = Histogram::new();
+        let s = h.summary();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.p99, 0.0);
+    }
+
+    #[test]
+    fn histogram_bucket_monotone() {
+        let mut last = 0;
+        for v in [1u64, 2, 3, 5, 9, 100, 1 << 20, u64::MAX] {
+            let b = Histogram::bucket_of(v);
+            assert!(b >= last, "bucket({v}) regressed");
+            last = b;
+        }
+    }
+
+    #[test]
+    fn service_primitive_extraction() {
+        let spec = lotos::parser::parse_spec(
+            "SPEC conreq1; conind2; (dtreq1; dtind2; exit [] disreq1; exit) ENDSPEC",
+        )
+        .unwrap();
+        let prims = service_primitives(&spec);
+        let names: Vec<&str> = prims.iter().map(|(n, _)| n.as_str()).collect();
+        assert!(names.contains(&"conreq"));
+        assert!(names.contains(&"dtind"));
+        assert_eq!(prims.len(), 5);
+    }
+}

@@ -1,0 +1,109 @@
+//! The execution stage of the [`protogen::Pipeline`] facade.
+//!
+//! `protogen` (the derivation crate) cannot depend on this crate, so the
+//! `.run(&cfg)` / `.load_test(&cfg)` stages are added to
+//! [`protogen::pipeline::Derived`] here — the same extension-trait idiom
+//! as `verify::PipelineVerify` — completing the chain
+//! `Pipeline::load(src)?.check()?.derive()?.run(&cfg)?`.
+
+use crate::config::RuntimeConfig;
+use crate::metrics::RuntimeReport;
+use protogen::pipeline::Derived;
+use protogen::ProtogenError;
+
+/// Concurrent execution as a pipeline stage on [`Derived`].
+pub trait PipelineRun {
+    /// Run the configured sessions and fail the pipeline
+    /// (`ProtogenError::Verification`, exit code 4) unless every session
+    /// completed and conformed to the service.
+    fn run(&self, cfg: &RuntimeConfig) -> Result<RuntimeReport, ProtogenError>;
+
+    /// Run the configured sessions and return the report unconditionally,
+    /// for callers that inspect failing runs (load tests, fault studies).
+    fn load_test(&self, cfg: &RuntimeConfig) -> RuntimeReport;
+}
+
+impl PipelineRun for Derived {
+    fn run(&self, cfg: &RuntimeConfig) -> Result<RuntimeReport, ProtogenError> {
+        let report = self.load_test(cfg);
+        if report.passed() {
+            Ok(report)
+        } else {
+            let mut why = format!(
+                "runtime: {}/{} sessions conforming ({} violations, {} deadlocked, {} step-limited)",
+                report.conforming,
+                report.sessions,
+                report.violations.len(),
+                report.deadlocked,
+                report.step_limited,
+            );
+            if let Some(v) = report.violations.first() {
+                why.push_str(&format!(
+                    "\nfirst violation: session {} (seed {}) primitive {}{} at trace index {}",
+                    v.session, v.seed, v.primitive, v.place, v.at
+                ));
+            }
+            Err(ProtogenError::Verification(why))
+        }
+    }
+
+    fn load_test(&self, cfg: &RuntimeConfig) -> RuntimeReport {
+        crate::exec::run(self.derivation(), cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use protogen::Pipeline;
+
+    #[test]
+    fn full_chain_runs_deterministic() {
+        let report = Pipeline::load("SPEC a1;exit >> b2;exit ENDSPEC")
+            .unwrap()
+            .check()
+            .unwrap()
+            .derive()
+            .unwrap()
+            .run(&RuntimeConfig::new().sessions(3))
+            .unwrap();
+        assert!(report.passed());
+        assert_eq!(report.engine, "deterministic");
+        assert_eq!(report.sessions, 3);
+        assert_eq!(report.terminated, 3);
+    }
+
+    #[test]
+    fn full_chain_runs_concurrent() {
+        let report = Pipeline::load("SPEC a1;exit >> b2;exit ENDSPEC")
+            .unwrap()
+            .check()
+            .unwrap()
+            .derive()
+            .unwrap()
+            .run(&RuntimeConfig::new().sessions(10).threads(4))
+            .unwrap();
+        assert!(report.passed());
+        assert_eq!(report.engine, "concurrent");
+        assert_eq!(report.sessions, 10);
+        assert_eq!(report.conforming, 10);
+        assert!(report.primitives >= 20, "2 primitives × 10 sessions");
+    }
+
+    #[test]
+    fn refused_primitive_fails_the_run_stage() {
+        // Refusing the only first primitive deadlocks every session.
+        let derived = Pipeline::load("SPEC a1; b2; exit ENDSPEC")
+            .unwrap()
+            .check()
+            .unwrap()
+            .derive()
+            .unwrap();
+        let cfg = RuntimeConfig::new().sessions(2).refuse("a", 1);
+        let err = derived.run(&cfg).unwrap_err();
+        assert_eq!(err.exit_code(), 4);
+        let report = derived.load_test(&cfg);
+        assert_eq!(report.deadlocked, 2);
+        assert_eq!(report.conforming, 0);
+    }
+}

@@ -1,0 +1,81 @@
+//! `threads <= 1` selects the deterministic engine: a fixed seed must
+//! reproduce the DES trace exactly, run after run.
+
+use protogen::Pipeline;
+use runtime::{FaultProfile, PipelineRun, RuntimeConfig};
+use sim::des::SimConfig;
+
+const SPECS: [&str; 3] = [
+    "transport2.lotos",
+    "example3_file_copy.lotos",
+    "transport4_multiplex.lotos",
+];
+
+fn derived(name: &str) -> protogen::pipeline::Derived {
+    let path = format!("{}/../../specs/{name}", env!("CARGO_MANIFEST_DIR"));
+    Pipeline::load_file(&path)
+        .unwrap()
+        .check()
+        .unwrap()
+        .derive()
+        .unwrap()
+}
+
+/// One session at `threads 1` is byte-identical to `sim::des::simulate`
+/// under the same seed — the runtime's sequential engine IS the DES.
+#[test]
+fn single_thread_reproduces_the_des_trace() {
+    for name in SPECS {
+        let d = derived(name);
+        for seed in [1u64, 0xC0FFEE, 424242] {
+            let des = sim::des::simulate(d.derivation(), SimConfig::new().seed(seed));
+            let cfg = RuntimeConfig::new().sessions(1).threads(1).seed(seed);
+            let report = d.load_test(&cfg);
+            assert_eq!(report.engine, "deterministic");
+            assert_eq!(
+                report.reports[0].trace, des.trace,
+                "{name} seed {seed}: runtime trace diverged from the DES"
+            );
+            assert_eq!(report.reports[0].messages, des.metrics.messages);
+            assert_eq!(report.reports[0].steps, des.metrics.steps);
+        }
+    }
+}
+
+/// Multi-session deterministic runs follow the CLI `simulate --runs`
+/// seeding convention: session `k` behaves like seed `base + k`.
+#[test]
+fn session_seeds_follow_the_runs_convention() {
+    let d = derived("transport2.lotos");
+    let cfg = RuntimeConfig::new().sessions(3).threads(1).seed(100);
+    let report = d.load_test(&cfg);
+    for (k, rep) in report.reports.iter().enumerate() {
+        let des = sim::des::simulate(d.derivation(), SimConfig::new().seed(100 + k as u64));
+        assert_eq!(rep.steps, des.metrics.steps, "session {k}");
+        assert_eq!(rep.messages, des.metrics.messages, "session {k}");
+    }
+}
+
+/// The deterministic engine is reproducible under fault profiles too —
+/// same seed, same outcome, including the fault counters.
+#[test]
+fn deterministic_engine_is_reproducible_under_faults() {
+    let d = derived("example3_file_copy.lotos");
+    let run = |seed| {
+        let cfg = RuntimeConfig::new()
+            .sessions(5)
+            .threads(1)
+            .seed(seed)
+            .faults(FaultProfile::Lossy { loss: 0.25 });
+        let r = d.load_test(&cfg);
+        (
+            r.conforming,
+            r.messages,
+            r.frames_lost,
+            r.retransmissions,
+            r.reports.iter().map(|s| s.steps).collect::<Vec<_>>(),
+        )
+    };
+    assert_eq!(run(9), run(9));
+    assert_ne!(run(9).4, run(10).4, "different seeds, identical runs");
+}

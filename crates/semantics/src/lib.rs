@@ -42,6 +42,13 @@ pub mod engine;
 pub mod explore;
 pub mod failures;
 pub mod fxhash;
+/// The workspace's shared non-cryptographic hasher (FxHash). Downstream
+/// crates (`runtime` session/state hashing, exploration shard selection)
+/// use this alias instead of duplicating the hasher:
+/// [`hash::FxHashMap`]/[`hash::FxHashSet`] for keyed collections,
+/// [`hash::fx_hash`] for one-shot hashing (e.g. deriving per-link RNG
+/// seeds from a session seed).
+pub use fxhash as hash;
 pub mod jsonish;
 pub mod lts;
 #[doc(hidden)]

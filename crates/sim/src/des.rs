@@ -320,7 +320,7 @@ pub struct Simulator {
 struct Link {
     arq: ArqChannel,
     data_wire: VecDeque<(Frame, f64)>,
-    ack_wire: VecDeque<(bool, f64)>,
+    ack_wire: VecDeque<(u64, f64)>,
 }
 
 impl Link {

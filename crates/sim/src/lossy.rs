@@ -25,20 +25,25 @@ use rand::rngs::StdRng;
 use rand::Rng;
 use std::collections::VecDeque;
 
-/// A data frame on the wire: a logical message plus a sequence bit.
+/// A data frame on the wire: a logical message plus a sequence number.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Frame {
-    pub seq: bool,
+    pub seq: u64,
     pub msg: Msg,
 }
 
 /// Stop-and-wait ARQ over one directed channel.
 ///
 /// Sender side: at most one outstanding frame; retransmit after
-/// `timeout`; flip the sequence bit on acknowledgment. Receiver side:
-/// deliver a frame whose bit matches the expected one, always (re)send
-/// the ack for the last accepted bit (so lost acks are repaired by the
-/// retransmission).
+/// `timeout`; advance the sequence number on acknowledgment. Receiver
+/// side: deliver exactly the next expected sequence number, always
+/// (re)send the ack for the last accepted frame (so lost acks are
+/// repaired by the retransmission). A full sequence number — rather than
+/// the classic alternating bit — keeps the machine correct even when the
+/// wire reorders or duplicates frames: a stale copy of an old frame can
+/// never alias the next expected number, and a stale ack can never
+/// release a newer outstanding frame (the runtime's `Reorder` fault
+/// profile exercises exactly these cases).
 #[derive(Debug)]
 pub struct ArqChannel {
     /// Messages accepted from the upper layer, not yet acknowledged.
@@ -46,9 +51,9 @@ pub struct ArqChannel {
     /// The frame currently on the wire (unacknowledged), with the time of
     /// its last (re)transmission.
     outstanding: Option<(Frame, f64)>,
-    send_seq: bool,
-    /// Next sequence bit the receiver accepts.
-    recv_seq: bool,
+    send_seq: u64,
+    /// Next sequence number the receiver accepts.
+    recv_seq: u64,
     /// Frames delivered to the upper layer, awaiting its `receive`.
     delivered: VecDeque<Msg>,
     /// Retransmission timeout.
@@ -62,8 +67,8 @@ impl ArqChannel {
         ArqChannel {
             backlog: VecDeque::new(),
             outstanding: None,
-            send_seq: false,
-            recv_seq: false,
+            send_seq: 0,
+            recv_seq: 0,
             delivered: VecDeque::new(),
             timeout,
             retransmissions: 0,
@@ -109,23 +114,26 @@ impl ArqChannel {
         }
     }
 
-    /// A data frame arrived at the receiver side. Returns the ack bit to
+    /// A data frame arrived at the receiver side. Returns the ack to
     /// send back (always — acks repair themselves via retransmission).
-    pub fn on_frame(&mut self, frame: Frame) -> bool {
+    /// Stale copies (reordered or duplicated by the wire) re-ack without
+    /// delivering.
+    pub fn on_frame(&mut self, frame: Frame) -> u64 {
         if frame.seq == self.recv_seq {
             self.delivered.push_back(frame.msg);
-            self.recv_seq = !self.recv_seq;
+            self.recv_seq += 1;
         }
-        // ack the last accepted sequence bit
-        !self.recv_seq
+        // ack the last accepted sequence number (u64::MAX = "nothing yet")
+        self.recv_seq.wrapping_sub(1)
     }
 
-    /// An ack arrived at the sender side.
-    pub fn on_ack(&mut self, acked_seq: bool) {
+    /// An ack arrived at the sender side. Stale acks (for already-advanced
+    /// sequence numbers) are ignored.
+    pub fn on_ack(&mut self, acked_seq: u64) {
         if let Some((frame, _)) = &self.outstanding {
             if frame.seq == acked_seq {
                 self.outstanding = None;
-                self.send_seq = !self.send_seq;
+                self.send_seq += 1;
             }
         }
     }
@@ -143,6 +151,13 @@ impl ArqChannel {
     /// Anything still in flight or queued?
     pub fn is_idle(&self) -> bool {
         self.backlog.is_empty() && self.outstanding.is_none() && self.delivered.is_empty()
+    }
+
+    /// Sender-side occupancy: messages accepted but not yet acknowledged
+    /// (backlog plus the outstanding frame). Backpressure decisions — "is
+    /// a send on this channel enabled?" — read this (`runtime` crate).
+    pub fn queued(&self) -> usize {
+        self.backlog.len() + usize::from(self.outstanding.is_some())
     }
 }
 
@@ -232,7 +247,7 @@ mod tests {
     }
 
     /// Losing acks: the receiver sees duplicates on the wire but delivers
-    /// each message exactly once (the sequence bit deduplicates).
+    /// each message exactly once (the sequence number deduplicates).
     #[test]
     fn arq_deduplicates_on_ack_loss() {
         let mut tx = ArqChannel::new(1.0);

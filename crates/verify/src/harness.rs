@@ -149,12 +149,6 @@ impl VerifyConfig {
     }
 }
 
-/// The pre-redesign name of [`VerifyConfig`]. The `max_states` field now
-/// lives in `explore` ([`ExploreConfig`]); use `.max_states(n)`.
-#[doc(hidden)]
-#[deprecated(note = "renamed to `VerifyConfig`; state caps moved into its `explore` field")]
-pub type VerifyOptions = VerifyConfig;
-
 /// Run `f` on a thread with a large stack. Deeply recursive service
 /// specifications build deeply nested terms; term hashing, transition
 /// derivation and `Rc` drops all recurse over that structure, so

@@ -45,8 +45,6 @@ pub mod pipeline_ext;
 
 pub use composition::{CompState, Composition};
 pub use explorer::{explore, explore_full, Exploration, System};
-#[allow(deprecated)]
-pub use harness::VerifyOptions;
 pub use harness::{verify_derivation, verify_service, VerificationReport, VerifyConfig};
 pub use parsys::{EngineCompState, EngineComposition, EngineService};
 pub use pipeline_ext::PipelineVerify;

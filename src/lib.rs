@@ -25,6 +25,7 @@
 //! | [`medium`] | FIFO channels, message model |
 //! | [`verify`] | composition explorer + Section 5 theorem harness |
 //! | [`sim`] | discrete-event simulator + online conformance monitor |
+//! | [`runtime`] | concurrent multi-session entity runtime: one thread per entity, fault injection, load metrics |
 //! | [`specgen`] | random well-formed service generator |
 //!
 //! ## Quickstart
@@ -48,12 +49,18 @@
 //! // And watch it run.
 //! let outcome = simulate(derived.derivation(), SimConfig::default());
 //! assert!(outcome.conforms());
+//!
+//! // Or run it for real: concurrent entity threads, many sessions,
+//! // per-session conformance, and load metrics (`runtime` crate).
+//! let report = derived.load_test(&RuntimeConfig::new().sessions(20).threads(2));
+//! assert!(report.passed());
 //! # Ok::<(), lotos_protogen::prelude::ProtogenError>(())
 //! ```
 
 pub use lotos;
 pub use medium;
 pub use protogen;
+pub use runtime;
 pub use semantics;
 pub use sim;
 pub use specgen;
@@ -74,6 +81,7 @@ pub mod prelude {
     };
     pub use protogen::stats::{message_stats, operator_counts};
     pub use protogen::{Checked, Derived, Pipeline, PipelineConfig, ProtogenError};
+    pub use runtime::{FaultProfile, PipelineRun, RuntimeConfig, RuntimeReport};
     pub use semantics::explore::ExploreConfig;
     pub use sim::{simulate, LinkConfig, SimConfig, SimOutcome, SimResult};
     pub use specgen::{generate, GenConfig};
