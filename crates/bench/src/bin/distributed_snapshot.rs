@@ -1,0 +1,160 @@
+//! `distributed-snapshot` — drive the socket-backed distributed runtime
+//! (hub + one OS thread per protocol entity, loopback TCP) over a small
+//! corpus slice and write `BENCH_distributed.json` at the repository
+//! root, so socket-transport throughput and recovery cost are tracked
+//! in-tree alongside `BENCH_runtime.json`.
+//!
+//! Each spec runs twice: over clean links, and with every entity routed
+//! through a seeded flaky [`FaultProxy`] that kills live connections —
+//! the supervised link must reconnect and resume, so the flaky column
+//! prices real crash recovery (reconnects + retransmissions), not just
+//! serialization. Every surviving session must conform; a snapshot that
+//! would record a non-conforming or aborted run panics instead.
+//!
+//! Usage: `cargo run --release -p bench --bin distributed-snapshot [--quick]`
+
+use protogen::Pipeline;
+use runtime::{run_hub_on, DistributedConfig, RuntimeConfig, ServeConfig};
+use std::fmt::Write as _;
+use std::time::Duration;
+use transport::{Addr, FaultProxy, LinkFaults};
+
+const THREADS: usize = 4;
+const SEED: u64 = 0xC0FFEE;
+
+/// Corpus spec + the disable trigger to refuse (if any).
+const CORPUS: &[(&str, &[(&str, u8)])] = &[
+    ("transport2.lotos", &[]),
+    ("example3_file_copy.lotos", &[("interrupt", 3)]),
+];
+
+fn faults_tag(f: Option<LinkFaults>) -> &'static str {
+    match f {
+        None => "clean",
+        Some(_) => "flaky-link",
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let sessions = if quick { 40 } else { 200 };
+    let root = format!("{}/../..", env!("CARGO_MANIFEST_DIR"));
+    let mut entries: Vec<String> = Vec::new();
+
+    for &(name, refuse) in CORPUS {
+        let derived = Pipeline::load_file(&format!("{root}/specs/{name}"))
+            .and_then(|p| p.check())
+            .and_then(|c| c.derive())
+            .unwrap_or_else(|e| panic!("specs/{name}: {e}"));
+        let d = derived.derivation();
+
+        let profiles = [
+            None,
+            Some(LinkFaults::Flaky {
+                max_kills: 6,
+                life_ms: (60, 160),
+            }),
+        ];
+        for faults in profiles {
+            let mut cfg = RuntimeConfig::new()
+                .sessions(sessions)
+                .threads(THREADS)
+                .seed(SEED)
+                .max_steps(20_000);
+            for &(prim, place) in refuse {
+                cfg = cfg.refuse(prim, place);
+            }
+            let dcfg = DistributedConfig::new(Addr::Tcp("127.0.0.1:0".to_string()));
+            let listener = dcfg.listen.listen().expect("bind hub");
+            let hub_addr = listener.local_addr().expect("hub addr");
+
+            let mut proxies = Vec::new();
+            let handles: Vec<_> = d
+                .entities
+                .iter()
+                .map(|(p, spec)| {
+                    let entity_hub = match faults {
+                        Some(f) => {
+                            let proxy = FaultProxy::spawn(
+                                &Addr::Tcp("127.0.0.1:0".to_string()),
+                                hub_addr.clone(),
+                                f,
+                                SEED.wrapping_add(*p as u64)
+                                    .wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                            )
+                            .expect("spawn proxy");
+                            let a = proxy.addr.clone();
+                            proxies.push(proxy);
+                            a
+                        }
+                        None => hub_addr.clone(),
+                    };
+                    let mut scfg = ServeConfig::new(entity_hub, *p);
+                    scfg.seed = SEED;
+                    scfg.backoff_base = Duration::from_millis(15);
+                    scfg.backoff_cap = Duration::from_millis(300);
+                    scfg.refuse = cfg.refuse.iter().map(|(n, pl)| (n.clone(), *pl)).collect();
+                    let spec = spec.clone();
+                    std::thread::spawn(move || runtime::serve_entity(&spec, &scfg))
+                })
+                .collect();
+
+            let report = run_hub_on(d, &cfg, &dcfg, listener).expect("hub run");
+            let kills: u64 = proxies.iter().map(|p| p.kills()).sum();
+            for proxy in proxies {
+                proxy.stop();
+            }
+            for h in handles {
+                h.join().expect("entity thread").expect("entity outcome");
+            }
+            assert!(
+                report.passed() && report.aborted == 0,
+                "{name} [{}]: {}/{} conforming, {} aborted",
+                faults_tag(faults),
+                report.conforming,
+                report.sessions,
+                report.aborted,
+            );
+
+            let reconnects: usize = report.per_link.values().map(|l| l.reconnects).sum();
+            let retx: usize = report.per_link.values().map(|l| l.retransmissions).sum();
+            println!(
+                "{name:28} {:10} {sessions:>4} sessions x {THREADS} window | \
+                 {:>8.0} sessions/s | latency p50 {:>6}µs p99 {:>6}µs | \
+                 kills {kills:>2} reconnects {reconnects:>2} retx {retx:>3}",
+                faults_tag(faults),
+                report.sessions_per_sec,
+                report.session_latency.p50,
+                report.session_latency.p99,
+            );
+
+            let mut e = String::new();
+            write!(
+                e,
+                "    {{\"spec\":\"{name}\",\"link_faults\":\"{}\",\"sessions\":{},\
+                 \"threads\":{THREADS},\"sessions_per_sec\":{:.1},\
+                 \"latency_p50_us\":{},\"latency_p99_us\":{},\
+                 \"messages\":{},\"kills\":{kills},\"reconnects\":{reconnects},\
+                 \"retransmissions\":{retx}}}",
+                faults_tag(faults),
+                report.sessions,
+                report.sessions_per_sec,
+                report.session_latency.p50,
+                report.session_latency.p99,
+                report.messages,
+            )
+            .unwrap();
+            entries.push(e);
+        }
+    }
+
+    let json = format!(
+        "{{\n  \"generated_by\": \"cargo run --release -p bench --bin distributed-snapshot\",\n  \
+         \"config\": {{\"threads\":{THREADS},\"seed\":{SEED},\"quick\":{quick}}},\n  \
+         \"entries\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    let out = format!("{root}/BENCH_distributed.json");
+    std::fs::write(&out, json).expect("write BENCH_distributed.json");
+    println!("wrote {out}");
+}

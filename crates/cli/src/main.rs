@@ -9,6 +9,7 @@
 //! protogen simulate <spec.lotos> [--seed S] [--runs K]
 //! protogen run      <spec.lotos> [--seed S] [--faults PROF]   one live session
 //! protogen load     <spec.lotos> --sessions N --threads T [--faults PROF]
+//! protogen serve    <spec.lotos> --place P --hub ADDR   one entity process
 //! protogen gen      [--seed S] [--places N] [--depth D] [--disable] [--rec]
 //! protogen central  <spec.lotos> [--server P]   §3 centralized baseline
 //! protogen lts      <spec.lotos> [-m]           service LTS (minimized with -m)
@@ -20,14 +21,18 @@
 //! codes follow [`ProtogenError::exit_code`] — 2 parse, 3 restriction
 //! (R1–R3), 4 verification, 5 other derivation error, 1 anything else.
 
+use lotos::place::PlaceId;
 use lotos::printer::{print_expr, print_spec};
 use protogen::stats::{message_stats, operator_counts};
 use protogen::{Pipeline, PipelineConfig, ProtogenError};
-use runtime::{FaultProfile, PipelineRun, RuntimeConfig};
+use runtime::{
+    DistributedConfig, FaultProfile, PipelineRun, RuntimeConfig, RuntimeReport, ServeConfig,
+};
 use semantics::ExploreConfig;
 use sim::{simulate, SimConfig};
 use std::io::Read;
 use std::process::ExitCode;
+use transport::{Addr, FaultProxy, LinkFaults};
 use verify::{PipelineVerify, VerifyConfig};
 
 fn main() -> ExitCode {
@@ -74,12 +79,27 @@ fn usage() -> ProtogenError {
          \x20          --seed <s>    session seed\n\
          \x20          --faults <f>  none | lossy[:p] | reorder[:p] | delay[:min..max]\n\
          \x20          --threads <t> >= 2 selects the concurrent actor engine\n\
+         \x20          --report <file> write the JSON RuntimeReport here\n\
          load      drive many concurrent sessions and report load metrics\n\
          \x20          --sessions <n>  session count (default 1)\n\
          \x20          --threads <t>   entity threads / multiplexer window\n\
          \x20          --faults <f>    fault profile (as for run)\n\
          \x20          --seed <s> --capacity <c> --max-steps <m>\n\
-         \x20          --out <file>    write the JSON RuntimeReport here\n\
+         \x20          --report <file> write the JSON RuntimeReport here (alias: --out)\n\
+         \x20          --refuse <a@p>  primitive the place-p user never offers (repeatable)\n\
+         \n\
+         run/load can execute over real sockets instead of in-process:\n\
+         \x20          --distributed   run as the hub: entities connect over TCP/UDS\n\
+         \x20          --listen <a>    hub address: tcp:host:port | uds:/path\n\
+         \x20                          (default tcp:127.0.0.1:0, resolved port printed)\n\
+         \x20          --spawn         also fork one `protogen serve` per place\n\
+         \x20          --link-faults <f>  with --spawn: route each entity through a\n\
+         \x20                          seeded fault proxy (clean | flaky-link | partition-heal)\n\
+         serve     run one protocol entity against a distributed hub\n\
+         \x20          --place <p>     which entity (required)\n\
+         \x20          --hub <a>       hub address (required), as for --listen\n\
+         \x20          --refuse <a@p>  refused primitive (repeatable)\n\
+         \x20          --seed <s>      reconnect-jitter seed\n\
          gen       emit a random well-formed service specification\n\
          \x20          --seed <s> --places <n> --depth <d> --disable --rec\n\
          central   derive the Section-3 centralized-server baseline\n\
@@ -91,7 +111,8 @@ fn usage() -> ProtogenError {
          -j <threads> on derive/verify/lts selects exploration parallelism\n\
          (0 = auto-detect; default 1). Exit codes: 2 parse error, 3\n\
          restriction violation, 4 verification failure, 5 derivation\n\
-         error, 1 other."
+         error, 6 distributed transport failure (dead link / aborted\n\
+         sessions), 1 other."
             .to_string(),
     )
 }
@@ -115,6 +136,12 @@ const VALUE_FLAGS: &[&str] = &[
     "--capacity",
     "--max-steps",
     "--out",
+    "--report",
+    "--refuse",
+    "--place",
+    "--hub",
+    "--listen",
+    "--link-faults",
 ];
 
 /// Locate the spec argument (path or `-` for stdin), skipping over flag
@@ -177,6 +204,32 @@ fn parse_flag<T: std::str::FromStr>(
     }
 }
 
+/// Every value of a repeatable flag, in order.
+fn flag_values<'a>(args: &'a [String], name: &str) -> Vec<&'a str> {
+    args.iter()
+        .enumerate()
+        .filter(|(_, a)| *a == name)
+        .filter_map(|(i, _)| args.get(i + 1))
+        .map(|s| s.as_str())
+        .collect()
+}
+
+/// Parse the repeatable `--refuse name@place` flags.
+fn refusals(args: &[String]) -> Result<Vec<(String, PlaceId)>, ProtogenError> {
+    flag_values(args, "--refuse")
+        .into_iter()
+        .map(|v| {
+            let (name, place) = v.split_once('@').ok_or_else(|| {
+                ProtogenError::Usage(format!("bad --refuse value `{v}`: expected name@place"))
+            })?;
+            let place: PlaceId = place.parse().map_err(|_| {
+                ProtogenError::Usage(format!("bad --refuse value `{v}`: `{place}` is no place"))
+            })?;
+            Ok((name.to_string(), place))
+        })
+        .collect()
+}
+
 /// Assemble a [`RuntimeConfig`] from the shared `run`/`load` flags.
 fn runtime_config(args: &[String]) -> Result<RuntimeConfig, ProtogenError> {
     let mut cfg = RuntimeConfig::new();
@@ -200,7 +253,145 @@ fn runtime_config(args: &[String]) -> Result<RuntimeConfig, ProtogenError> {
             .map_err(|e| ProtogenError::Usage(format!("bad --faults value: {e}")))?;
         cfg = cfg.faults(profile);
     }
+    for (name, place) in refusals(args)? {
+        cfg = cfg.refuse(&name, place);
+    }
     Ok(cfg)
+}
+
+/// Honor `--report <path>` (and the older `--out <path>` alias): write
+/// the JSON report there, or dump it to stdout when `dump_default`.
+fn write_report(
+    args: &[String],
+    report: &RuntimeReport,
+    dump_default: bool,
+) -> Result<(), ProtogenError> {
+    match flag_value(args, "--report").or_else(|| flag_value(args, "--out")) {
+        Some(path) => {
+            std::fs::write(path, report.to_json()).map_err(|e| ProtogenError::Io {
+                path: path.to_string(),
+                message: e.to_string(),
+            })?;
+            println!("report: {path}");
+        }
+        None if dump_default => println!("{}", report.to_json()),
+        None => {}
+    }
+    Ok(())
+}
+
+/// Execute `run`/`load` as the distributed hub (`--distributed`):
+/// listen on `--listen` (default loopback TCP, OS-assigned port) and,
+/// with `--spawn`, fork one `protogen serve` child per place.
+fn run_distributed(
+    derived: &protogen::pipeline::Derived,
+    cfg: &RuntimeConfig,
+    args: &[String],
+) -> Result<RuntimeReport, ProtogenError> {
+    let d = derived.derivation();
+    let listen = match flag_value(args, "--listen") {
+        Some(a) => Addr::parse(a).map_err(ProtogenError::Usage)?,
+        None => Addr::Tcp("127.0.0.1:0".to_string()),
+    };
+    let io_err = |e: std::io::Error| ProtogenError::Io {
+        path: listen.to_string(),
+        message: e.to_string(),
+    };
+    let dcfg = DistributedConfig::new(listen.clone());
+    let listener = dcfg.listen.listen().map_err(io_err)?;
+    let bound = listener.local_addr().map_err(io_err)?;
+    eprintln!(
+        "hub: listening on {bound} for {} entities",
+        d.entities.len()
+    );
+
+    let link_faults = match flag_value(args, "--link-faults") {
+        Some(v) => Some(LinkFaults::parse(v).map_err(ProtogenError::Usage)?),
+        None => None,
+    };
+    if link_faults.is_some() && !args.iter().any(|a| a == "--spawn") {
+        return Err(ProtogenError::Usage(
+            "--link-faults needs --spawn (the proxies sit in front of spawned entities)".into(),
+        ));
+    }
+
+    let mut children = Vec::new();
+    let mut proxies = Vec::new();
+    if args.iter().any(|a| a == "--spawn") {
+        let spec = spec_arg(args).ok_or_else(usage)?;
+        if spec == "-" {
+            return Err(ProtogenError::Usage(
+                "--spawn needs a spec file path (children re-read it), not stdin".into(),
+            ));
+        }
+        let exe = std::env::current_exe().map_err(|e| ProtogenError::Io {
+            path: "argv[0]".to_string(),
+            message: e.to_string(),
+        })?;
+        for (i, (p, _)) in d.entities.iter().enumerate() {
+            // With --link-faults every entity talks to its own seeded
+            // fault proxy instead of the hub directly, so connection
+            // kills and partitions exercise the supervised link.
+            let hub_addr = match link_faults {
+                Some(faults) => {
+                    let proxy = FaultProxy::spawn(
+                        &Addr::Tcp("127.0.0.1:0".to_string()),
+                        bound.clone(),
+                        faults,
+                        cfg.seed
+                            .wrapping_add(i as u64)
+                            .wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                    )
+                    .map_err(io_err)?;
+                    let addr = proxy.addr.clone();
+                    proxies.push(proxy);
+                    addr
+                }
+                None => bound.clone(),
+            };
+            let mut cmd = std::process::Command::new(&exe);
+            cmd.arg("serve")
+                .arg(spec)
+                .args(["--place", &p.to_string()])
+                .args(["--hub", &hub_addr.to_string()])
+                .args(["--seed", &cfg.seed.to_string()])
+                .stdout(std::process::Stdio::null());
+            for (name, place) in &cfg.refuse {
+                cmd.args(["--refuse", &format!("{name}@{place}")]);
+            }
+            let child = cmd.spawn().map_err(|e| ProtogenError::Io {
+                path: exe.display().to_string(),
+                message: format!("spawning serve for place {p}: {e}"),
+            })?;
+            children.push(child);
+        }
+    }
+
+    let report = runtime::run_hub_on(d, cfg, &dcfg, listener).map_err(io_err);
+    // Entities exit on Shutdown; whatever is still running once the
+    // grace period lapses (e.g. after an aborted run) is cleaned up.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(2);
+    for mut child in children {
+        loop {
+            match child.try_wait() {
+                Ok(Some(_)) => break,
+                _ if std::time::Instant::now() >= deadline => {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                    break;
+                }
+                _ => std::thread::sleep(std::time::Duration::from_millis(20)),
+            }
+        }
+    }
+    let kills: u64 = proxies.iter().map(|p| p.kills()).sum();
+    if link_faults.is_some() {
+        eprintln!("link-faults: proxies killed {kills} connection(s)");
+    }
+    for proxy in proxies {
+        proxy.stop();
+    }
+    report
 }
 
 fn run(args: &[String]) -> Result<(), ProtogenError> {
@@ -372,7 +563,11 @@ fn run(args: &[String]) -> Result<(), ProtogenError> {
         "run" => {
             let derived = load_pipeline(rest)?.check()?.derive()?;
             let cfg = runtime_config(rest)?.sessions(1);
-            let report = derived.load_test(&cfg);
+            let report = if rest.iter().any(|a| a == "--distributed") {
+                run_distributed(&derived, &cfg, rest)?
+            } else {
+                derived.load_test(&cfg)
+            };
             let session = report
                 .reports
                 .first()
@@ -402,7 +597,16 @@ fn run(args: &[String]) -> Result<(), ProtogenError> {
             if let Some((name, place)) = &session.violation {
                 println!("VIOLATION: primitive {name}{place} not allowed by the service");
             }
-            if report.passed() {
+            for event in &report.transport_events {
+                eprintln!("transport: {event}");
+            }
+            write_report(rest, &report, false)?;
+            if report.aborted > 0 {
+                Err(ProtogenError::Transport(format!(
+                    "{} session(s) aborted on a dead link",
+                    report.aborted
+                )))
+            } else if report.passed() {
                 Ok(())
             } else {
                 Err(ProtogenError::Verification(
@@ -413,7 +617,11 @@ fn run(args: &[String]) -> Result<(), ProtogenError> {
         "load" => {
             let derived = load_pipeline(rest)?.check()?.derive()?;
             let cfg = runtime_config(rest)?;
-            let report = derived.load_test(&cfg);
+            let report = if rest.iter().any(|a| a == "--distributed") {
+                run_distributed(&derived, &cfg, rest)?
+            } else {
+                derived.load_test(&cfg)
+            };
             println!(
                 "engine={} sessions={} conforming={} terminated={} deadlocked={} \
                  step-limited={} violations={}",
@@ -440,17 +648,16 @@ fn run(args: &[String]) -> Result<(), ProtogenError> {
                 report.session_latency.p50,
                 report.session_latency.p99,
             );
-            match flag_value(rest, "--out") {
-                Some(path) => {
-                    std::fs::write(path, report.to_json()).map_err(|e| ProtogenError::Io {
-                        path: path.to_string(),
-                        message: e.to_string(),
-                    })?;
-                    println!("report: {path}");
-                }
-                None => println!("{}", report.to_json()),
+            for event in &report.transport_events {
+                eprintln!("transport: {event}");
             }
-            if report.passed() {
+            write_report(rest, &report, true)?;
+            if report.aborted > 0 {
+                Err(ProtogenError::Transport(format!(
+                    "{} of {} sessions aborted on a dead link",
+                    report.aborted, report.sessions
+                )))
+            } else if report.passed() {
                 Ok(())
             } else {
                 Err(ProtogenError::Verification(format!(
@@ -458,6 +665,43 @@ fn run(args: &[String]) -> Result<(), ProtogenError> {
                     report.sessions - report.conforming,
                     report.sessions
                 )))
+            }
+        }
+        "serve" => {
+            let derived = load_pipeline(rest)?.check()?.derive()?;
+            let d = derived.derivation();
+            let place: PlaceId = parse_flag(rest, "--place")?
+                .ok_or_else(|| ProtogenError::Usage("serve needs --place <p>".into()))?;
+            let hub = flag_value(rest, "--hub")
+                .ok_or_else(|| ProtogenError::Usage("serve needs --hub <addr>".into()))?;
+            let hub = Addr::parse(hub).map_err(ProtogenError::Usage)?;
+            let entity = d
+                .entities
+                .iter()
+                .find(|(p, _)| *p == place)
+                .map(|(_, spec)| spec)
+                .ok_or_else(|| {
+                    ProtogenError::Derive(format!("the service has no place {place}"))
+                })?;
+            let mut scfg = ServeConfig::new(hub, place);
+            if let Some(s) = parse_flag(rest, "--seed")? {
+                scfg.seed = s;
+            }
+            scfg.refuse = refusals(rest)?;
+            eprintln!("serve: place {place} connecting to {}", scfg.hub);
+            match runtime::serve_entity(entity, &scfg) {
+                Ok(out) => {
+                    println!(
+                        "place {place}: sessions={} prims={} reconnects={} retx={} dup-dropped={}",
+                        out.sessions_closed,
+                        out.primitives,
+                        out.link.reconnects,
+                        out.link.retransmissions,
+                        out.link.dup_dropped,
+                    );
+                    Ok(())
+                }
+                Err(e) => Err(ProtogenError::Transport(e)),
             }
         }
         "gen" => {

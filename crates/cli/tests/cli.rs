@@ -299,6 +299,168 @@ fn load_fails_with_exit_code_4_on_violations() {
 }
 
 #[test]
+fn distributed_spawn_run_conforms_over_tcp() {
+    let dir = std::env::temp_dir();
+    let spec = dir.join("protogen_dist_run.lotos");
+    let report = dir.join("protogen_dist_run.json");
+    std::fs::write(&spec, "SPEC a1; b2; c1; exit ENDSPEC").unwrap();
+    let (stdout, stderr, ok) = protogen(
+        &[
+            "run",
+            spec.to_str().unwrap(),
+            "--distributed",
+            "--spawn",
+            "--seed",
+            "5",
+            "--report",
+            report.to_str().unwrap(),
+        ],
+        None,
+    );
+    assert!(ok, "{stdout}\n{stderr}");
+    assert!(stdout.contains("engine=distributed"), "{stdout}");
+    assert!(stdout.contains("conforms=true"), "{stdout}");
+    assert!(stdout.contains("trace: a1.b2.c1"), "{stdout}");
+    let json = std::fs::read_to_string(&report).unwrap();
+    std::fs::remove_file(&report).ok();
+    std::fs::remove_file(&spec).ok();
+    assert!(json.contains("\"engine\":\"distributed\""), "{json}");
+    assert!(json.contains("\"schema_version\":2"), "{json}");
+    assert!(json.contains("\"per_link\""), "{json}");
+}
+
+#[test]
+fn distributed_load_over_uds_under_flaky_proxies() {
+    let dir = std::env::temp_dir();
+    let spec = dir.join("protogen_dist_flaky.lotos");
+    let sock = dir.join(format!("protogen_dist_{}.sock", std::process::id()));
+    std::fs::remove_file(&sock).ok();
+    std::fs::write(&spec, "SPEC a1; b2; exit ENDSPEC").unwrap();
+    let (stdout, stderr, ok) = protogen(
+        &[
+            "load",
+            spec.to_str().unwrap(),
+            "--distributed",
+            "--spawn",
+            "--listen",
+            &format!("uds:{}", sock.display()),
+            "--link-faults",
+            "flaky-link",
+            "--sessions",
+            "12",
+            "--threads",
+            "2",
+            "--seed",
+            "11",
+        ],
+        None,
+    );
+    std::fs::remove_file(&spec).ok();
+    std::fs::remove_file(&sock).ok();
+    assert!(ok, "{stdout}\n{stderr}");
+    assert!(stdout.contains("engine=distributed"), "{stdout}");
+    assert!(stdout.contains("conforming=12"), "{stdout}");
+    assert!(stderr.contains("link-faults:"), "{stderr}");
+}
+
+/// Killing one entity process mid-run must surface as the distinct
+/// transport exit code (6) with diagnostics — never as a hang.
+#[test]
+fn distributed_dead_entity_exits_with_transport_code() {
+    use std::io::{BufRead, BufReader, Read as _};
+    use std::time::{Duration, Instant};
+
+    let dir = std::env::temp_dir();
+    let spec = dir.join("protogen_dist_kill.lotos");
+    std::fs::write(&spec, "SPEC a1; b2; exit ENDSPEC").unwrap();
+    let spec_s = spec.to_str().unwrap().to_string();
+
+    let mut hub = Command::new(env!("CARGO_BIN_EXE_protogen"))
+        .args([
+            "load",
+            &spec_s,
+            "--distributed",
+            "--listen",
+            "tcp:127.0.0.1:0",
+            "--sessions",
+            "200",
+            "--threads",
+            "1",
+            "--seed",
+            "3",
+        ])
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    let mut hub_err = BufReader::new(hub.stderr.take().unwrap());
+    let mut line = String::new();
+    let hub_addr = loop {
+        line.clear();
+        assert!(
+            hub_err.read_line(&mut line).unwrap() > 0,
+            "hub exited before announcing its address"
+        );
+        if let Some(rest) = line.split("listening on ").nth(1) {
+            break rest.split_whitespace().next().unwrap().to_string();
+        }
+    };
+
+    let serve = |place: &str| {
+        Command::new(env!("CARGO_BIN_EXE_protogen"))
+            .args(["serve", &spec_s, "--place", place, "--hub", &hub_addr])
+            .stdout(Stdio::null())
+            .stderr(Stdio::null())
+            .spawn()
+            .unwrap()
+    };
+    let mut e1 = serve("1");
+    let mut e2 = serve("2");
+    std::thread::sleep(Duration::from_millis(150));
+    e2.kill().unwrap();
+    e2.wait().unwrap();
+
+    // The hub must declare place 2 dead after its reconnect deadline and
+    // abort the remaining sessions; well under the 30s guard here.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let status = loop {
+        if let Some(s) = hub.try_wait().unwrap() {
+            break s;
+        }
+        if Instant::now() >= deadline {
+            hub.kill().ok();
+            panic!("hub hung after an entity died");
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    };
+    let mut rest = String::new();
+    hub_err.read_to_string(&mut rest).unwrap();
+    std::fs::remove_file(&spec).ok();
+    assert_eq!(
+        status.code(),
+        Some(6),
+        "expected transport exit code 6\nstderr: {rest}"
+    );
+    assert!(
+        rest.contains("dead") || rest.contains("aborted"),
+        "no dead-link diagnostic in stderr: {rest}"
+    );
+
+    // The surviving entity received Shutdown and exits on its own.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        if e1.try_wait().unwrap().is_some() {
+            break;
+        }
+        if Instant::now() >= deadline {
+            e1.kill().ok();
+            panic!("surviving entity never shut down");
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+#[test]
 fn run_rejects_bad_fault_profile() {
     let (_, stderr, ok) = protogen(
         &["run", "--faults", "chaos", "-"],

@@ -31,6 +31,10 @@ pub enum ProtogenError {
     /// A Section 5 theorem instance failed verification. Carries the
     /// rendered report for diagnostics.
     Verification(String),
+    /// A distributed transport failure: a socket link died for good
+    /// (retry budget exhausted, peer declared dead) and sessions were
+    /// aborted rather than completed.
+    Transport(String),
     /// Bad command-line usage or option value.
     Usage(String),
 }
@@ -44,6 +48,7 @@ impl ProtogenError {
     /// | 3 | restriction (R1–R3) violation |
     /// | 4 | verification failure |
     /// | 5 | other derivation error |
+    /// | 6 | distributed transport failure (dead link, aborted sessions) |
     /// | 1 | I/O, usage, anything else |
     pub fn exit_code(&self) -> u8 {
         match self {
@@ -51,6 +56,7 @@ impl ProtogenError {
             ProtogenError::Restriction(_) => 3,
             ProtogenError::Verification(_) => 4,
             ProtogenError::Derive(_) => 5,
+            ProtogenError::Transport(_) => 6,
             ProtogenError::Io { .. } | ProtogenError::Usage(_) => 1,
         }
     }
@@ -70,6 +76,7 @@ impl fmt::Display for ProtogenError {
             }
             ProtogenError::Derive(msg) => write!(f, "derivation failed: {msg}"),
             ProtogenError::Verification(msg) => write!(f, "verification failed: {msg}"),
+            ProtogenError::Transport(msg) => write!(f, "transport failed: {msg}"),
             ProtogenError::Usage(msg) => write!(f, "{msg}"),
         }
     }
@@ -107,8 +114,14 @@ mod tests {
         assert!(!violations.is_empty());
         let restr = ProtogenError::Restriction(violations);
         let verif = ProtogenError::Verification("traces differ".into());
-        let codes = [parse.exit_code(), restr.exit_code(), verif.exit_code()];
-        assert_eq!(codes, [2, 3, 4]);
+        let transport = ProtogenError::Transport("link dead".into());
+        let codes = [
+            parse.exit_code(),
+            restr.exit_code(),
+            verif.exit_code(),
+            transport.exit_code(),
+        ];
+        assert_eq!(codes, [2, 3, 4, 6]);
     }
 
     #[test]

@@ -22,6 +22,8 @@
 //! explorers can use it directly inside hashed global states; delivery
 //! statistics are kept separately in [`MediumStats`].
 
+pub mod codec;
+
 use lotos::event::{MsgId, SyncKind};
 use lotos::place::{PlaceId, PlaceSet};
 use std::collections::{BTreeMap, VecDeque};

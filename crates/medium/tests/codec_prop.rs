@@ -1,0 +1,159 @@
+//! Property tests for the wire codec: arbitrary messages round-trip
+//! byte-exactly; truncated and bit-corrupted frames are always rejected —
+//! never half-decoded into a wrong message.
+
+use lotos::event::{MsgId, SyncKind};
+use medium::codec::{self, decode_msg, encode_frame, msg_frame, CodecError, Frame, FrameDecoder};
+use medium::Msg;
+use proptest::prelude::*;
+
+fn kind_of(code: u8) -> SyncKind {
+    match code % 6 {
+        0 => SyncKind::Seq,
+        1 => SyncKind::Alt,
+        2 => SyncKind::Rel,
+        3 => SyncKind::Interr,
+        4 => SyncKind::Proc,
+        _ => SyncKind::User,
+    }
+}
+
+fn msg_of(from: u8, to: u8, named: bool, node: u32, occ: u32, kind: u8) -> Msg {
+    let id = if named {
+        MsgId::Named(format!("m{}", node % 1000))
+    } else {
+        MsgId::Node(node)
+    };
+    Msg {
+        from,
+        to,
+        id,
+        occ,
+        kind: kind_of(kind),
+    }
+}
+
+proptest! {
+    #[test]
+    fn msg_payload_round_trips(
+        from in 0u8..64,
+        to in 0u8..64,
+        named in any::<bool>(),
+        node in 0u32..u32::MAX,
+        occ in 0u32..u32::MAX,
+        kind in 0u8..6,
+    ) {
+        let msg = msg_of(from, to, named, node, occ, kind);
+        let mut buf = Vec::new();
+        codec::encode_msg(&msg, &mut buf);
+        let (back, used) = decode_msg(&buf).unwrap();
+        prop_assert_eq!(&back, &msg);
+        prop_assert_eq!(used, buf.len());
+    }
+
+    #[test]
+    fn frames_round_trip_through_arbitrary_chunking(
+        msgs in proptest::collection::vec(
+            (0u8..8, 0u8..8, any::<bool>(), 0u32..100_000, 0u32..512, 0u8..6), 1..20),
+        frame_kind in 0u8..32,
+        chunk in 1usize..17,
+    ) {
+        let mut stream = Vec::new();
+        for (from, to, named, node, occ, kind) in &msgs {
+            let msg = msg_of(*from, *to, *named, *node, *occ, *kind);
+            stream.extend_from_slice(&msg_frame(frame_kind, &msg));
+        }
+        let mut dec = FrameDecoder::new();
+        let mut got: Vec<Frame> = Vec::new();
+        for piece in stream.chunks(chunk) {
+            dec.feed(piece);
+            while let Some(f) = dec.next().unwrap() {
+                got.push(f);
+            }
+        }
+        prop_assert_eq!(got.len(), msgs.len());
+        for (frame, (from, to, named, node, occ, kind)) in got.iter().zip(&msgs) {
+            prop_assert_eq!(frame.kind, frame_kind);
+            let (back, _) = decode_msg(&frame.payload).unwrap();
+            prop_assert_eq!(back, msg_of(*from, *to, *named, *node, *occ, *kind));
+        }
+        prop_assert_eq!(dec.pending(), 0);
+    }
+
+    /// A truncated frame never decodes: the decoder either waits for more
+    /// bytes or reports corruption — it must not yield a frame.
+    #[test]
+    fn truncated_frames_never_decode(
+        node in 0u32..100_000,
+        occ in 0u32..512,
+        cut in 1usize..usize::MAX,
+    ) {
+        let msg = msg_of(1, 2, false, node, occ, 0);
+        let bytes = msg_frame(7, &msg);
+        let cut = 1 + cut % (bytes.len() - 1); // 1..len: always missing a tail
+        let mut dec = FrameDecoder::new();
+        dec.feed(&bytes[..cut]);
+        match dec.next() {
+            Ok(None) | Err(_) => {}
+            Ok(Some(f)) => prop_assert!(false, "decoded a frame from a truncated stream: {f:?}"),
+        }
+    }
+
+    /// Any single bit flip is caught: the decoder errors (checksum, magic,
+    /// version, or length) rather than returning a different message.
+    #[test]
+    fn single_bit_corruption_is_always_rejected(
+        node in 0u32..100_000,
+        occ in 0u32..512,
+        named in any::<bool>(),
+        bit in 0usize..usize::MAX,
+    ) {
+        let msg = msg_of(3, 4, named, node, occ, 2);
+        let mut bytes = msg_frame(5, &msg);
+        let nbits = bytes.len() * 8;
+        let bit = bit % nbits;
+        bytes[bit / 8] ^= 1 << (bit % 8);
+        let mut dec = FrameDecoder::new();
+        dec.feed(&bytes);
+        match dec.next() {
+            Err(_) => {}
+            Ok(None) => {} // flip in the length varint can make the frame look incomplete
+            Ok(Some(f)) => {
+                // A frame decoded despite the flip: the only acceptable case
+                // is the flip landing in payload bytes AND the checksum also
+                // colliding — impossible for a single bit flip with CRC32.
+                prop_assert!(
+                    false,
+                    "bit {bit} flip produced a decodable frame: {f:?} (original {msg:?})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn checksum_covers_header_not_just_payload() {
+    let msg = Msg {
+        from: 1,
+        to: 2,
+        id: MsgId::Node(9),
+        occ: 0,
+        kind: SyncKind::Seq,
+    };
+    let mut bytes = msg_frame(3, &msg);
+    bytes[3] = 11; // flip the frame kind only
+    let mut dec = FrameDecoder::new();
+    dec.feed(&bytes);
+    assert_eq!(dec.next(), Err(CodecError::BadChecksum));
+}
+
+#[test]
+fn empty_payload_frame_round_trips() {
+    let mut out = Vec::new();
+    encode_frame(200, &[], &mut out);
+    let mut dec = FrameDecoder::new();
+    dec.feed(&out);
+    let f = dec.next().unwrap().unwrap();
+    assert_eq!(f.kind, 200);
+    assert!(f.payload.is_empty());
+}

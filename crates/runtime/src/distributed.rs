@@ -1,0 +1,1379 @@
+//! The distributed runtime: protocol entities in separate OS processes,
+//! joined by real sockets.
+//!
+//! ## Topology
+//!
+//! The paper's medium becomes a process: the **hub** (`protogen run
+//! --distributed`) listens on a TCP or Unix-domain address, and every
+//! protocol entity (`protogen serve --place p`) connects to it. All
+//! cross-entity traffic transits the hub. Because each hub↔entity link
+//! is reliable FIFO (sequence-numbered resumption over reconnects — see
+//! [`transport::Link`]) and every causal chain between entities passes
+//! through the hub, the hub's processing order is a valid linearization
+//! of each session — which is exactly the trace the
+//! [`sim::monitor::ServiceMonitor`] replays for conformance.
+//!
+//! ## Occurrence numbers across address spaces
+//!
+//! §3.5 occurrence numbers are demand-assigned per process, so two
+//! processes' tables disagree on raw numbers. The wire carries the
+//! canonical **site-tag path** of each occurrence instead
+//! ([`OccTable::path_of`]); the receiving entity resolves the path in
+//! its own table ([`OccTable::resolve_path`]). Paths are derived from
+//! the shared service specification, so they are identical in every
+//! process.
+//!
+//! ## Termination without a shared lock
+//!
+//! In-process, global quiescence is read under the session mutex. Over
+//! sockets the hub counts: every entity reports a [`WireMsg::Status`]
+//! when it parks (no enabled move), carrying how many `Data` frames it
+//! has *seen* for the session. The hub treats a status as **current**
+//! only when `seen` equals its own forwarded count — otherwise data is
+//! still in flight and the entity will wake up. When every entity has a
+//! current, parked status: all-δ-votes with empty inboxes commits
+//! `Terminated`, a hit step budget commits `StepLimit`, anything else
+//! is a true `Deadlock`.
+//!
+//! ## Supervision
+//!
+//! The hub heartbeats every link and tracks silence. A dead connection
+//! opens a reconnect window; an entity that misses it is declared dead:
+//! every in-flight session is completed as [`SessionEnd::Aborted`] with
+//! a diagnostic `transport_events` entry, survivors get `Close` +
+//! `Shutdown`, and the run returns (never hangs) — the CLI maps
+//! aborted sessions to its distinct transport exit code. Entity-side,
+//! reconnection runs under a seeded exponential backoff with a retry
+//! budget ([`transport::Backoff`]); an exhausted budget fails the
+//! `serve` process the same way.
+
+use crate::config::RuntimeConfig;
+use crate::exec::{replay_conformance, Tally};
+use crate::metrics::{LinkReport, Metrics, RuntimeReport, SessionReport, ViolationRecord};
+use crate::session::SessionEnd;
+use lotos::ast::Spec;
+use lotos::place::PlaceId;
+use medium::Msg;
+use protogen::derive::Derivation;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use semantics::engine::{Engine, TermArena, TermId};
+use semantics::hash::fx_hash;
+use semantics::term::{Label, OccTable};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::io;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+use transport::{poll_messages, Addr, Backoff, Channel, Link, WireMsg};
+
+/// Timing and address knobs of the distributed runtime. The defaults
+/// suit loopback; tests shrink them, WAN deployments stretch them.
+#[derive(Clone, Debug)]
+pub struct DistributedConfig {
+    /// Where the hub listens (entities connect here).
+    pub listen: Addr,
+    /// Hub→entity heartbeat interval.
+    pub heartbeat: Duration,
+    /// Silence on a *connected* link before its connection is presumed
+    /// dead and torn down (opens the reconnect window).
+    pub dead_after: Duration,
+    /// How long a disconnected entity may take to reconnect before it is
+    /// declared dead and its sessions aborted.
+    pub reconnect_deadline: Duration,
+    /// How long an entity may take to join at startup.
+    pub join_deadline: Duration,
+    /// Handshake (Hello/Welcome) timeout per connection.
+    pub handshake_timeout: Duration,
+    /// Socket read-poll window (drives loop latency).
+    pub poll: Duration,
+    /// Global no-progress guard: if *nothing* happens for this long the
+    /// run aborts every live session rather than hang.
+    pub stall_timeout: Duration,
+}
+
+impl Default for DistributedConfig {
+    fn default() -> Self {
+        DistributedConfig {
+            listen: Addr::Tcp("127.0.0.1:0".to_string()),
+            heartbeat: Duration::from_millis(100),
+            dead_after: Duration::from_secs(2),
+            reconnect_deadline: Duration::from_secs(3),
+            join_deadline: Duration::from_secs(30),
+            handshake_timeout: Duration::from_secs(2),
+            poll: Duration::from_millis(2),
+            stall_timeout: Duration::from_secs(20),
+        }
+    }
+}
+
+impl DistributedConfig {
+    pub fn new(listen: Addr) -> DistributedConfig {
+        DistributedConfig {
+            listen,
+            ..DistributedConfig::default()
+        }
+    }
+}
+
+fn end_to_byte(e: SessionEnd) -> u8 {
+    match e {
+        SessionEnd::Terminated => 0,
+        SessionEnd::Deadlock => 1,
+        SessionEnd::StepLimit => 2,
+        SessionEnd::Aborted => 3,
+    }
+}
+
+/// Decode a [`WireMsg::Close`] outcome byte (unknown bytes read as
+/// `Aborted` — the conservative outcome).
+pub fn end_from_byte(b: u8) -> SessionEnd {
+    match b {
+        0 => SessionEnd::Terminated,
+        1 => SessionEnd::Deadlock,
+        2 => SessionEnd::StepLimit,
+        _ => SessionEnd::Aborted,
+    }
+}
+
+// ======================================================================
+// Hub
+// ======================================================================
+
+/// Latest scheduling status an entity reported for one session.
+#[derive(Clone, Copy, Debug)]
+struct StatusRec {
+    seen: u64,
+    vote: bool,
+    inbox_empty: bool,
+    steps: u64,
+}
+
+struct HubSession {
+    id: u64,
+    seed: u64,
+    trace: Vec<(String, PlaceId)>,
+    /// Data frames forwarded to each entity (by dense index).
+    forwarded: Vec<u64>,
+    status: Vec<Option<StatusRec>>,
+    messages: usize,
+    started: Instant,
+    last_prim: Option<Instant>,
+}
+
+impl HubSession {
+    fn new(id: u64, seed: u64, n: usize) -> HubSession {
+        HubSession {
+            id,
+            seed,
+            trace: Vec::new(),
+            forwarded: vec![0; n],
+            status: vec![None; n],
+            messages: 0,
+            started: Instant::now(),
+            last_prim: None,
+        }
+    }
+
+    /// The committed outcome once every entity has a *current* parked
+    /// status, or `None` while something can still move.
+    fn decide(&self, max_steps: u64) -> Option<SessionEnd> {
+        let mut all_vote = true;
+        let mut all_empty = true;
+        let mut step_limited = false;
+        for (i, st) in self.status.iter().enumerate() {
+            let Some(st) = st else { return None };
+            if st.seen != self.forwarded[i] {
+                return None; // stale: data still in flight to this entity
+            }
+            all_vote &= st.vote;
+            all_empty &= st.inbox_empty;
+            step_limited |= st.steps >= max_steps;
+        }
+        Some(if step_limited {
+            SessionEnd::StepLimit
+        } else if all_vote && all_empty {
+            SessionEnd::Terminated
+        } else {
+            SessionEnd::Deadlock
+        })
+    }
+}
+
+/// Hub-side state of one entity link.
+struct EntityLink {
+    place: PlaceId,
+    chan: Option<Channel>,
+    link: Link,
+    last_heard: Instant,
+    /// When the current disconnection started (run start for
+    /// never-connected links).
+    disconnected_at: Option<Instant>,
+    ever_connected: bool,
+    last_heartbeat: Instant,
+}
+
+impl EntityLink {
+    fn new(place: PlaceId, now: Instant) -> EntityLink {
+        EntityLink {
+            place,
+            chan: None,
+            link: Link::new(),
+            last_heard: now,
+            disconnected_at: Some(now),
+            ever_connected: false,
+            last_heartbeat: now,
+        }
+    }
+
+    /// Queue a sequenced message: write it if connected (buffered for
+    /// resumption either way), or hold it for the next reconnect.
+    fn push(&mut self, msg: WireMsg, events: &mut Vec<String>) {
+        match self.chan.as_mut() {
+            Some(ch) => {
+                if self.link.send(&mut ch.conn, msg).is_err() {
+                    // The message is in the resume buffer; only the
+                    // connection is lost.
+                    self.drop_conn(events, "send failed");
+                }
+            }
+            None => {
+                self.link.buffer(msg);
+            }
+        }
+    }
+
+    /// Send unsequenced control traffic (dropped if disconnected).
+    fn push_control(&mut self, msg: WireMsg, events: &mut Vec<String>) {
+        if let Some(ch) = self.chan.as_mut() {
+            if self.link.send(&mut ch.conn, msg).is_err() {
+                self.drop_conn(events, "send failed");
+            }
+        }
+    }
+
+    fn drop_conn(&mut self, events: &mut Vec<String>, why: &str) {
+        if let Some(ch) = self.chan.take() {
+            ch.conn.shutdown();
+            self.link.note_fault();
+            self.disconnected_at = Some(Instant::now());
+            events.push(format!(
+                "link place:{}: connection lost ({why})",
+                self.place
+            ));
+        }
+    }
+
+    fn report(&self) -> LinkReport {
+        let s = &self.link.stats;
+        LinkReport {
+            lost: 0,
+            retransmissions: s.frames_resent as usize,
+            reconnects: s.reconnects.saturating_sub(1) as usize,
+            dup_dropped: s.dup_dropped as usize,
+            faults: s.faults_seen as usize,
+        }
+    }
+}
+
+/// Run `cfg.sessions` sessions of the derived protocol over socket
+/// links, as the hub (medium + monitor + supervisor). Returns when every
+/// session has completed or been aborted — never hangs: a dead link
+/// aborts its sessions after [`DistributedConfig::reconnect_deadline`],
+/// and total silence aborts after [`DistributedConfig::stall_timeout`].
+///
+/// `cfg.threads` bounds the session window (like the in-process
+/// engine); `cfg.faults` and `cfg.capacity` do not apply — connection
+/// faults are injected with [`transport::FaultProxy`] between the
+/// entities and the hub.
+pub fn run_hub(
+    d: &Derivation,
+    cfg: &RuntimeConfig,
+    dcfg: &DistributedConfig,
+) -> io::Result<RuntimeReport> {
+    run_hub_on(d, cfg, dcfg, dcfg.listen.listen()?)
+}
+
+/// [`run_hub`] on a listener the caller already bound — so the caller
+/// can learn the resolved address (port 0, generated UDS paths) before
+/// starting entities.
+pub fn run_hub_on(
+    d: &Derivation,
+    cfg: &RuntimeConfig,
+    dcfg: &DistributedConfig,
+    listener: transport::Listener,
+) -> io::Result<RuntimeReport> {
+    let started = Instant::now();
+    listener.set_nonblocking(true)?;
+
+    let places: Vec<PlaceId> = d.entities.iter().map(|(p, _)| *p).collect();
+    let n = places.len();
+    let place_index: BTreeMap<PlaceId, usize> =
+        places.iter().enumerate().map(|(i, p)| (*p, i)).collect();
+    let now = Instant::now();
+    let mut links: Vec<EntityLink> = places.iter().map(|&p| EntityLink::new(p, now)).collect();
+
+    let metrics = Metrics::for_service(&d.service);
+    let mut tally = Tally::new();
+    let mut events: Vec<String> = Vec::new();
+    let mut sessions: BTreeMap<u64, HubSession> = BTreeMap::new();
+    let window = cfg.threads.max(1);
+    let mut next = 0usize;
+    let mut messages = 0usize;
+    let mut last_progress = Instant::now();
+    let mut dead_entity: Option<PlaceId> = None;
+
+    'run: loop {
+        if next >= cfg.sessions && sessions.is_empty() {
+            break;
+        }
+
+        // Keep the window full.
+        while next < cfg.sessions && sessions.len() < window {
+            let id = next as u64;
+            let seed = cfg.session_seed(next);
+            sessions.insert(id, HubSession::new(id, seed, n));
+            for link in links.iter_mut() {
+                link.push(
+                    WireMsg::Open {
+                        session: id,
+                        seed,
+                        max_steps: cfg.max_steps as u64,
+                    },
+                    &mut events,
+                );
+            }
+            next += 1;
+        }
+
+        // Accept (re)connections.
+        while let Ok(Some(conn)) = listener.accept() {
+            match hub_handshake(conn, dcfg) {
+                Ok((place, last_seen, mut chan, leftovers)) => {
+                    let Some(&idx) = place_index.get(&place) else {
+                        events.push(format!("rejected connection for unknown place {place}"));
+                        continue;
+                    };
+                    let link = &mut links[idx];
+                    if let Some(old) = link.chan.take() {
+                        old.conn.shutdown();
+                    }
+                    let welcome = WireMsg::Welcome {
+                        last_seen: link.link.last_delivered(),
+                    };
+                    let hello_ok = chan.conn.write_all(&welcome.encode(0)).is_ok()
+                        && link.link.resume(&mut chan.conn, last_seen).is_ok();
+                    if !hello_ok {
+                        chan.conn.shutdown();
+                        continue;
+                    }
+                    let was_connected = link.ever_connected;
+                    link.chan = Some(chan);
+                    link.ever_connected = true;
+                    link.disconnected_at = None;
+                    link.last_heard = Instant::now();
+                    if was_connected {
+                        events.push(format!("link place:{place}: reconnected and resumed"));
+                    }
+                    last_progress = Instant::now();
+                    let mut closed = Vec::new();
+                    for (seq, m) in leftovers {
+                        if let Some(m) = links[idx].link.accept(seq, m) {
+                            hub_handle(
+                                m,
+                                idx,
+                                &mut links,
+                                &mut sessions,
+                                &metrics,
+                                &mut messages,
+                                &mut events,
+                                &mut closed,
+                                cfg,
+                            );
+                        }
+                    }
+                    finish_closed(
+                        d,
+                        cfg,
+                        closed,
+                        &mut sessions,
+                        &mut links,
+                        &mut events,
+                        &metrics,
+                        &mut tally,
+                    );
+                }
+                Err(e) => events.push(format!("handshake failed: {e}")),
+            }
+        }
+
+        // Poll every connected link and process its traffic.
+        let mut closed: Vec<(u64, SessionEnd)> = Vec::new();
+        for idx in 0..n {
+            let Some(ch) = links[idx].chan.as_mut() else {
+                continue;
+            };
+            match poll_messages(&mut ch.conn, &mut ch.dec) {
+                Ok(batch) => {
+                    if !batch.is_empty() {
+                        links[idx].last_heard = Instant::now();
+                        last_progress = Instant::now();
+                    }
+                    for (seq, m) in batch {
+                        if let Some(m) = links[idx].link.accept(seq, m) {
+                            hub_handle(
+                                m,
+                                idx,
+                                &mut links,
+                                &mut sessions,
+                                &metrics,
+                                &mut messages,
+                                &mut events,
+                                &mut closed,
+                                cfg,
+                            );
+                        }
+                    }
+                    // Push a cumulative ack when due.
+                    let link = &mut links[idx];
+                    if let Some(ch) = link.chan.as_mut() {
+                        if link.link.maybe_ack(&mut ch.conn, false).is_err() {
+                            link.drop_conn(&mut events, "ack failed");
+                        }
+                    }
+                }
+                Err(e) => {
+                    links[idx].drop_conn(&mut events, &e.to_string());
+                }
+            }
+        }
+        finish_closed(
+            d,
+            cfg,
+            closed,
+            &mut sessions,
+            &mut links,
+            &mut events,
+            &metrics,
+            &mut tally,
+        );
+
+        // Heartbeats and supervision.
+        let now = Instant::now();
+        for link in links.iter_mut() {
+            if link.chan.is_some() {
+                if now.duration_since(link.last_heard) > dcfg.dead_after {
+                    link.drop_conn(&mut events, "heartbeat silence");
+                } else if now.duration_since(link.last_heartbeat) >= dcfg.heartbeat {
+                    link.last_heartbeat = now;
+                    let nonce = link.link.stats.frames_sent;
+                    link.push_control(WireMsg::Heartbeat { nonce }, &mut events);
+                }
+            }
+            if let Some(t) = link.disconnected_at {
+                let deadline = if link.ever_connected {
+                    dcfg.reconnect_deadline
+                } else {
+                    dcfg.join_deadline
+                };
+                if now.duration_since(t) > deadline && !sessions.is_empty() {
+                    dead_entity = Some(link.place);
+                    events.push(format!(
+                        "link place:{}: declared dead after {:?} without a connection",
+                        link.place, deadline
+                    ));
+                    break 'run;
+                }
+            }
+        }
+
+        // Global stall guard: nothing moved for too long — abort rather
+        // than hang (this also catches bugs in quiescence accounting).
+        if !sessions.is_empty() && now.duration_since(last_progress) > dcfg.stall_timeout {
+            events.push(format!(
+                "no progress for {:?}: aborting {} live session(s)",
+                dcfg.stall_timeout,
+                sessions.len()
+            ));
+            break 'run;
+        }
+
+        if sessions.is_empty() && next >= cfg.sessions {
+            break;
+        }
+        std::thread::sleep(Duration::from_micros(300));
+    }
+
+    // Abort whatever is still live (dead entity or stall) — including
+    // sessions the window had not opened yet, so every configured
+    // session appears in the report with a verdict.
+    while next < cfg.sessions && (dead_entity.is_some() || !sessions.is_empty()) {
+        let id = next as u64;
+        sessions.insert(id, HubSession::new(id, cfg.session_seed(next), n));
+        next += 1;
+    }
+    let live: Vec<u64> = sessions.keys().copied().collect();
+    for id in live {
+        let s = sessions.remove(&id).expect("live session");
+        if let Some(p) = dead_entity {
+            events.push(format!(
+                "session {id}: aborted (entity at place {p} is dead)"
+            ));
+        } else {
+            events.push(format!("session {id}: aborted (run stalled)"));
+        }
+        for link in links.iter_mut() {
+            link.push(
+                WireMsg::Close {
+                    session: id,
+                    end: end_to_byte(SessionEnd::Aborted),
+                },
+                &mut events,
+            );
+        }
+        finalize_hub_session(d, cfg, s, SessionEnd::Aborted, &metrics, &mut tally);
+    }
+
+    // Orderly shutdown of surviving entities, with a bounded drain: the
+    // listener stays open so an entity that was mid-reconnect can come
+    // back for its buffered Close/Shutdown frames. A link is done once
+    // its peer has acked everything and closed the connection (an
+    // entity force-acks right before exiting on Shutdown); anything
+    // else is capped by the reconnect deadline.
+    for link in links.iter_mut() {
+        link.push(WireMsg::Shutdown, &mut events);
+    }
+    let drain_deadline = Instant::now() + dcfg.reconnect_deadline;
+    let mut done: Vec<bool> = links.iter().map(|l| Some(l.place) == dead_entity).collect();
+    while Instant::now() < drain_deadline && done.iter().any(|d| !d) {
+        while let Ok(Some(conn)) = listener.accept() {
+            let Ok((place, last_seen, mut chan, leftovers)) = hub_handshake(conn, dcfg) else {
+                continue;
+            };
+            let Some(&idx) = place_index.get(&place) else {
+                continue;
+            };
+            let link = &mut links[idx];
+            if let Some(old) = link.chan.take() {
+                old.conn.shutdown();
+            }
+            let welcome = WireMsg::Welcome {
+                last_seen: link.link.last_delivered(),
+            };
+            if chan.conn.write_all(&welcome.encode(0)).is_ok()
+                && link.link.resume(&mut chan.conn, last_seen).is_ok()
+            {
+                link.chan = Some(chan);
+                for (seq, m) in leftovers {
+                    let _ = link.link.accept(seq, m);
+                }
+            }
+        }
+        for (idx, done_flag) in done.iter_mut().enumerate() {
+            if *done_flag {
+                continue;
+            }
+            let link = &mut links[idx];
+            let Some(ch) = link.chan.as_mut() else {
+                continue;
+            };
+            match poll_messages(&mut ch.conn, &mut ch.dec) {
+                Ok(batch) => {
+                    for (seq, m) in batch {
+                        let _ = link.link.accept(seq, m);
+                    }
+                }
+                Err(_) => {
+                    if let Some(ch) = link.chan.take() {
+                        ch.conn.shutdown();
+                    }
+                    // EOF with an empty resume buffer means the entity
+                    // saw everything and exited; otherwise keep the
+                    // reconnect window open.
+                    *done_flag = link.link.unacked_len() == 0;
+                }
+            }
+        }
+        std::thread::sleep(Duration::from_micros(300));
+    }
+
+    let per_link: BTreeMap<String, LinkReport> = links
+        .iter()
+        .map(|l| (format!("place:{}", l.place), l.report()))
+        .collect();
+
+    let wall_s = started.elapsed().as_secs_f64();
+    let report = RuntimeReport {
+        engine: "distributed",
+        schema_version: crate::metrics::REPORT_SCHEMA_VERSION,
+        config: cfg.clone(),
+        sessions: tally.reports.len(),
+        conforming: tally.conforming,
+        terminated: tally.terminated,
+        deadlocked: tally.deadlocked,
+        step_limited: tally.step_limited,
+        aborted: tally.aborted,
+        violations: std::mem::take(&mut tally.violations),
+        primitives: tally.reports.iter().map(|r| r.primitives).sum(),
+        messages,
+        delivered: messages,
+        messages_per_kind: std::mem::take(&mut tally.per_kind),
+        max_queue_depth: 0,
+        frames_lost: 0,
+        retransmissions: per_link.values().map(|l| l.retransmissions).sum(),
+        per_link,
+        transport_events: events,
+        wall_s,
+        sessions_per_sec: if wall_s > 0.0 {
+            tally.reports.len() as f64 / wall_s
+        } else {
+            0.0
+        },
+        session_latency: metrics.session_latency.summary(),
+        per_prim: metrics
+            .per_prim
+            .iter()
+            .map(|(k, h)| (k.clone(), h.summary()))
+            .collect(),
+        reports: std::mem::take(&mut tally.reports),
+    };
+    Ok(report)
+}
+
+/// Read the entity's `Hello` off a fresh connection. Returns the place,
+/// the peer's `last_seen`, the channel, and any frames that arrived in
+/// the same batch (already decoded, not yet accepted).
+type Handshake = (PlaceId, u64, Channel, Vec<(u64, WireMsg)>);
+
+fn hub_handshake(conn: transport::Conn, dcfg: &DistributedConfig) -> io::Result<Handshake> {
+    conn.set_read_timeout(Some(dcfg.poll))?;
+    conn.set_write_timeout(Some(dcfg.dead_after))?;
+    let mut chan = Channel::new(conn);
+    let deadline = Instant::now() + dcfg.handshake_timeout;
+    loop {
+        let mut batch = poll_messages(&mut chan.conn, &mut chan.dec)?.into_iter();
+        if let Some((_, first)) = batch.next() {
+            let WireMsg::Hello { place, last_seen } = first else {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "expected Hello as the first frame",
+                ));
+            };
+            return Ok((place, last_seen, chan, batch.collect()));
+        }
+        if Instant::now() >= deadline {
+            return Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                "no Hello within the handshake timeout",
+            ));
+        }
+    }
+}
+
+/// Dispatch one accepted message from entity `idx`.
+#[allow(clippy::too_many_arguments)]
+fn hub_handle(
+    msg: WireMsg,
+    idx: usize,
+    links: &mut [EntityLink],
+    sessions: &mut BTreeMap<u64, HubSession>,
+    metrics: &Metrics,
+    messages: &mut usize,
+    events: &mut Vec<String>,
+    closed: &mut Vec<(u64, SessionEnd)>,
+    cfg: &RuntimeConfig,
+) {
+    match msg {
+        WireMsg::Prim {
+            session,
+            name,
+            place,
+        } => {
+            if let Some(s) = sessions.get_mut(&session) {
+                let now = Instant::now();
+                let since = s.last_prim.unwrap_or(s.started);
+                metrics.record_prim(&name, now.duration_since(since).as_micros() as u64);
+                s.last_prim = Some(now);
+                s.trace.push((name, place));
+            }
+        }
+        WireMsg::Data { session, msg, path } => {
+            let Some(s) = sessions.get_mut(&session) else {
+                return; // late traffic of a closed session
+            };
+            let dest = links.iter().position(|l| l.place == msg.to);
+            let Some(dest) = dest else {
+                events.push(format!("data for unknown place {}", msg.to));
+                return;
+            };
+            s.forwarded[dest] += 1;
+            s.messages += 1;
+            *messages += 1;
+            links[dest].push(WireMsg::Data { session, msg, path }, events);
+        }
+        WireMsg::Status {
+            session,
+            seen,
+            inbox_empty,
+            vote,
+            steps,
+            ..
+        } => {
+            if let Some(s) = sessions.get_mut(&session) {
+                s.status[idx] = Some(StatusRec {
+                    seen,
+                    vote,
+                    inbox_empty,
+                    steps,
+                });
+                if let Some(end) = s.decide(cfg.max_steps as u64) {
+                    closed.push((session, end));
+                }
+            }
+        }
+        WireMsg::Heartbeat { nonce } => {
+            links[idx].push_control(WireMsg::HeartbeatAck { nonce }, events);
+        }
+        WireMsg::HeartbeatAck { .. } => {}
+        other => {
+            events.push(format!(
+                "unexpected {other:?} from place {}",
+                links[idx].place
+            ));
+        }
+    }
+}
+
+/// Close decided sessions: notify every entity, then finalize.
+#[allow(clippy::too_many_arguments)]
+fn finish_closed(
+    d: &Derivation,
+    cfg: &RuntimeConfig,
+    closed: Vec<(u64, SessionEnd)>,
+    sessions: &mut BTreeMap<u64, HubSession>,
+    links: &mut [EntityLink],
+    events: &mut Vec<String>,
+    metrics: &Metrics,
+    tally: &mut Tally,
+) {
+    for (id, end) in closed {
+        let Some(s) = sessions.remove(&id) else {
+            continue;
+        };
+        for link in links.iter_mut() {
+            link.push(
+                WireMsg::Close {
+                    session: id,
+                    end: end_to_byte(end),
+                },
+                events,
+            );
+        }
+        finalize_hub_session(d, cfg, s, end, metrics, tally);
+    }
+}
+
+/// Note: `Close` frames are pushed by the caller (it owns the links).
+fn finalize_hub_session(
+    d: &Derivation,
+    cfg: &RuntimeConfig,
+    s: HubSession,
+    end: SessionEnd,
+    metrics: &Metrics,
+    tally: &mut Tally,
+) {
+    let latency_us = s.started.elapsed().as_micros() as u64;
+    metrics.session_latency.record(latency_us);
+    let (violation, may_terminate) = replay_conformance(&d.service, &s.trace);
+    let conforms = violation.is_none() && end == SessionEnd::Terminated && may_terminate;
+    if let Some((name, place, at)) = &violation {
+        tally.violations.push(ViolationRecord {
+            session: s.id,
+            seed: s.seed,
+            primitive: name.clone(),
+            place: *place,
+            at: *at,
+            trace: s.trace.clone(),
+        });
+    }
+    let keep_trace = violation.is_some() || cfg.sessions == 1 || end == SessionEnd::Aborted;
+    tally.absorb(SessionReport {
+        id: s.id,
+        seed: s.seed,
+        end,
+        conforms,
+        violation: violation.as_ref().map(|(n, p, _)| (n.clone(), *p)),
+        primitives: s.trace.len(),
+        messages: s.messages,
+        steps: 0,
+        latency_us,
+        trace: if keep_trace { s.trace } else { Vec::new() },
+    });
+}
+
+// ======================================================================
+// Entity
+// ======================================================================
+
+/// Configuration of one entity process (`protogen serve`).
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    pub hub: Addr,
+    pub place: PlaceId,
+    /// Primitives this entity's users never offer.
+    pub refuse: Vec<(String, PlaceId)>,
+    /// Jitter seed for the reconnect backoff.
+    pub seed: u64,
+    pub poll: Duration,
+    pub heartbeat: Duration,
+    /// Silence from the hub before the connection is presumed dead.
+    pub dead_after: Duration,
+    pub connect_timeout: Duration,
+    pub backoff_base: Duration,
+    pub backoff_cap: Duration,
+    /// Consecutive failed reconnect attempts before giving up.
+    pub retry_budget: u32,
+}
+
+impl ServeConfig {
+    pub fn new(hub: Addr, place: PlaceId) -> ServeConfig {
+        ServeConfig {
+            hub,
+            place,
+            refuse: Vec::new(),
+            seed: 0xC0FFEE,
+            poll: Duration::from_millis(2),
+            heartbeat: Duration::from_millis(100),
+            dead_after: Duration::from_secs(2),
+            connect_timeout: Duration::from_secs(1),
+            backoff_base: Duration::from_millis(25),
+            backoff_cap: Duration::from_secs(1),
+            retry_budget: 40,
+        }
+    }
+}
+
+/// What a completed `serve` run did — for logging and tests.
+#[derive(Clone, Debug, Default)]
+pub struct ServeOutcome {
+    pub sessions_opened: u64,
+    pub sessions_closed: u64,
+    pub primitives: u64,
+    pub link: LinkReport,
+}
+
+/// One session as interpreted by an entity process.
+struct EntSession {
+    term: TermId,
+    rng: StdRng,
+    inbox: BTreeMap<PlaceId, VecDeque<Msg>>,
+    seen: u64,
+    consumed: u64,
+    steps: u64,
+    max_steps: u64,
+    parked: bool,
+}
+
+/// Moves executed per session per scheduling slice.
+const SLICE: usize = 128;
+
+/// Run one protocol entity against a hub until the hub shuts the link
+/// down. Returns `Err` (with a diagnostic) when the link dies for good —
+/// connect/reconnect budget exhausted — so the caller can exit with the
+/// transport failure code.
+pub fn serve_entity(entity: &Spec, cfg: &ServeConfig) -> Result<ServeOutcome, String> {
+    let occ = Arc::new(Mutex::new(OccTable::new()));
+    let engine = Engine::with_shared(entity.clone(), Arc::new(TermArena::new()), Arc::clone(&occ));
+    let mut link = Link::new();
+    let mut chan: Option<Channel> = None;
+    let mut backoff = Backoff::new(
+        cfg.backoff_base,
+        cfg.backoff_cap,
+        cfg.retry_budget,
+        fx_hash(&(cfg.seed, cfg.place)),
+    );
+    let mut sessions: BTreeMap<u64, EntSession> = BTreeMap::new();
+    let mut runnable: BTreeSet<u64> = BTreeSet::new();
+    let mut outcome = ServeOutcome::default();
+    let mut shutdown = false;
+    let mut last_heard = Instant::now();
+    let mut last_hb = Instant::now();
+    let mut outbox: Vec<WireMsg> = Vec::new();
+
+    loop {
+        // (Re)connect under the backoff policy.
+        if chan.is_none() {
+            match entity_connect(cfg, &mut link, &mut backoff) {
+                Ok((c, leftovers)) => {
+                    chan = Some(c);
+                    backoff.reset();
+                    last_heard = Instant::now();
+                    for (seq, m) in leftovers {
+                        if let Some(m) = link.accept(seq, m) {
+                            entity_handle(
+                                m,
+                                cfg,
+                                &engine,
+                                &occ,
+                                &mut sessions,
+                                &mut runnable,
+                                &mut outcome,
+                                &mut shutdown,
+                                &mut outbox,
+                            );
+                        }
+                    }
+                }
+                Err(e) => {
+                    return Err(format!(
+                        "place {}: link to hub {} is dead: {e}",
+                        cfg.place, cfg.hub
+                    ));
+                }
+            }
+        }
+
+        // Drain the wire.
+        let mut dropped = false;
+        if let Some(ch) = chan.as_mut() {
+            match poll_messages(&mut ch.conn, &mut ch.dec) {
+                Ok(batch) => {
+                    if !batch.is_empty() {
+                        last_heard = Instant::now();
+                    }
+                    for (seq, m) in batch {
+                        if let Some(m) = link.accept(seq, m) {
+                            entity_handle(
+                                m,
+                                cfg,
+                                &engine,
+                                &occ,
+                                &mut sessions,
+                                &mut runnable,
+                                &mut outcome,
+                                &mut shutdown,
+                                &mut outbox,
+                            );
+                        }
+                    }
+                }
+                Err(_) => {
+                    link.note_fault();
+                    dropped = true;
+                }
+            }
+        }
+        if dropped {
+            if let Some(ch) = chan.take() {
+                ch.conn.shutdown();
+            }
+            continue;
+        }
+
+        if shutdown && sessions.is_empty() {
+            // Final cumulative ack so the hub can tell a clean exit
+            // (everything delivered) from a dying link.
+            if let Some(ch) = chan.as_mut() {
+                let _ = link.maybe_ack(&mut ch.conn, true);
+            }
+            outcome.link = stats_of(&link);
+            return Ok(outcome);
+        }
+
+        // Interpret runnable sessions, collecting wire traffic.
+        let ids: Vec<u64> = runnable.iter().copied().collect();
+        runnable.clear();
+        for id in ids {
+            let Some(s) = sessions.get_mut(&id) else {
+                continue;
+            };
+            if step_session(id, s, cfg, &engine, &occ, &mut outcome, &mut outbox) {
+                runnable.insert(id);
+            }
+        }
+
+        // Flush outbox + heartbeat + hub-death detection.
+        for m in outbox.drain(..) {
+            match chan.as_mut() {
+                Some(ch) => {
+                    if link.send(&mut ch.conn, m).is_err() {
+                        if let Some(ch) = chan.take() {
+                            ch.conn.shutdown();
+                        }
+                    }
+                }
+                None => {
+                    link.buffer(m);
+                }
+            }
+        }
+        if let Some(ch) = chan.as_mut() {
+            if link.maybe_ack(&mut ch.conn, false).is_err() {
+                if let Some(ch) = chan.take() {
+                    ch.conn.shutdown();
+                }
+                link.note_fault();
+                continue;
+            }
+            let now = Instant::now();
+            if now.duration_since(last_hb) >= cfg.heartbeat {
+                last_hb = now;
+                let hb = WireMsg::Heartbeat {
+                    nonce: link.stats.frames_sent,
+                };
+                if link.send(&mut ch.conn, hb).is_err() {
+                    if let Some(ch) = chan.take() {
+                        ch.conn.shutdown();
+                    }
+                    link.note_fault();
+                    continue;
+                }
+            }
+            if now.duration_since(last_heard) > cfg.dead_after {
+                if let Some(ch) = chan.take() {
+                    ch.conn.shutdown();
+                }
+                link.note_fault();
+            }
+        }
+        if runnable.is_empty() {
+            std::thread::sleep(Duration::from_micros(300));
+        }
+    }
+}
+
+fn stats_of(link: &Link) -> LinkReport {
+    let s = &link.stats;
+    LinkReport {
+        lost: 0,
+        retransmissions: s.frames_resent as usize,
+        reconnects: s.reconnects.saturating_sub(1) as usize,
+        dup_dropped: s.dup_dropped as usize,
+        faults: s.faults_seen as usize,
+    }
+}
+
+/// Connect + handshake + resume, retrying under the backoff schedule.
+fn entity_connect(
+    cfg: &ServeConfig,
+    link: &mut Link,
+    backoff: &mut Backoff,
+) -> Result<(Channel, Vec<(u64, WireMsg)>), String> {
+    loop {
+        match try_connect(cfg, link) {
+            Ok(ok) => return Ok(ok),
+            Err(e) => match backoff.next_delay() {
+                Some(delay) => std::thread::sleep(delay),
+                None => {
+                    return Err(format!(
+                        "retry budget ({}) exhausted; last error: {e}",
+                        cfg.retry_budget
+                    ))
+                }
+            },
+        }
+    }
+}
+
+fn try_connect(
+    cfg: &ServeConfig,
+    link: &mut Link,
+) -> Result<(Channel, Vec<(u64, WireMsg)>), String> {
+    let conn = cfg
+        .hub
+        .connect(cfg.connect_timeout)
+        .map_err(|e| e.to_string())?;
+    conn.set_read_timeout(Some(cfg.poll))
+        .map_err(|e| e.to_string())?;
+    conn.set_write_timeout(Some(cfg.dead_after))
+        .map_err(|e| e.to_string())?;
+    let mut chan = Channel::new(conn);
+    let hello = WireMsg::Hello {
+        place: cfg.place,
+        last_seen: link.last_delivered(),
+    };
+    chan.conn
+        .write_all(&hello.encode(0))
+        .map_err(|e| e.to_string())?;
+    // Wait for the Welcome; frames behind it in the same batch are
+    // handed back for normal processing.
+    let deadline = Instant::now() + cfg.dead_after;
+    loop {
+        let mut batch = poll_messages(&mut chan.conn, &mut chan.dec)
+            .map_err(|e| e.to_string())?
+            .into_iter();
+        if let Some((_, first)) = batch.next() {
+            let WireMsg::Welcome { last_seen } = first else {
+                return Err(format!("expected Welcome, got {first:?}"));
+            };
+            link.resume(&mut chan.conn, last_seen)
+                .map_err(|e| e.to_string())?;
+            return Ok((chan, batch.collect()));
+        }
+        if Instant::now() >= deadline {
+            return Err("no Welcome within the handshake window".to_string());
+        }
+    }
+}
+
+/// Dispatch one accepted hub message.
+#[allow(clippy::too_many_arguments)]
+fn entity_handle(
+    msg: WireMsg,
+    cfg: &ServeConfig,
+    engine: &Engine,
+    occ: &Arc<Mutex<OccTable>>,
+    sessions: &mut BTreeMap<u64, EntSession>,
+    runnable: &mut BTreeSet<u64>,
+    outcome: &mut ServeOutcome,
+    shutdown: &mut bool,
+    outbox: &mut Vec<WireMsg>,
+) {
+    match msg {
+        WireMsg::Open {
+            session,
+            seed,
+            max_steps,
+        } => {
+            let rng = StdRng::seed_from_u64(fx_hash(&(seed, session, cfg.place)));
+            sessions.insert(
+                session,
+                EntSession {
+                    term: engine.root(),
+                    rng,
+                    inbox: BTreeMap::new(),
+                    seen: 0,
+                    consumed: 0,
+                    steps: 0,
+                    max_steps,
+                    parked: false,
+                },
+            );
+            runnable.insert(session);
+            outcome.sessions_opened += 1;
+        }
+        WireMsg::Data {
+            session,
+            mut msg,
+            path,
+        } => {
+            // Resolve the canonical site path to this process's local
+            // occurrence number; the sender's raw number is meaningless
+            // here.
+            let Some(s) = sessions.get_mut(&session) else {
+                return;
+            };
+            msg.occ = occ.lock().expect("occ table poisoned").resolve_path(&path);
+            s.seen += 1;
+            s.parked = false;
+            s.inbox.entry(msg.from).or_default().push_back(msg);
+            runnable.insert(session);
+        }
+        WireMsg::Close { session, .. } => {
+            sessions.remove(&session);
+            runnable.remove(&session);
+            outcome.sessions_closed += 1;
+        }
+        WireMsg::Shutdown => {
+            *shutdown = true;
+        }
+        WireMsg::Heartbeat { nonce } => {
+            outbox.push(WireMsg::HeartbeatAck { nonce });
+        }
+        WireMsg::HeartbeatAck { .. } => {}
+        other => {
+            debug_assert!(false, "unexpected hub message {other:?}");
+        }
+    }
+}
+
+/// Interpret up to [`SLICE`] moves of one session. Returns `true` when
+/// the session still has work (reschedule), `false` when it parked (a
+/// `Status` was pushed) .
+fn step_session(
+    id: u64,
+    s: &mut EntSession,
+    cfg: &ServeConfig,
+    engine: &Engine,
+    occ: &Arc<Mutex<OccTable>>,
+    outcome: &mut ServeOutcome,
+    outbox: &mut Vec<WireMsg>,
+) -> bool {
+    for _ in 0..SLICE {
+        let trans = engine.transitions(s.term);
+        let mut enabled: Vec<usize> = Vec::with_capacity(trans.len());
+        let mut has_delta = false;
+        for (i, (label, _)) in trans.iter().enumerate() {
+            match label {
+                Label::I => enabled.push(i),
+                Label::Prim { name, place } => {
+                    if !cfg.refuse.iter().any(|(n, p)| n == name && *p == *place) {
+                        enabled.push(i);
+                    }
+                }
+                Label::Send { .. } => enabled.push(i),
+                Label::Recv { from, msg, occ, .. } => {
+                    let head_matches = s
+                        .inbox
+                        .get(from)
+                        .and_then(|q| q.front())
+                        .is_some_and(|m| m.id == *msg && m.occ == *occ);
+                    if head_matches {
+                        enabled.push(i);
+                    }
+                }
+                Label::Delta => has_delta = true,
+            }
+        }
+        if enabled.is_empty() || s.steps >= s.max_steps {
+            park(id, s, has_delta && s.steps < s.max_steps, outbox);
+            return false;
+        }
+        let k = if enabled.len() == 1 {
+            0
+        } else {
+            s.rng.gen_range(0..enabled.len())
+        };
+        let (label, next) = trans[enabled[k]].clone();
+        s.steps += 1;
+        match label {
+            Label::I | Label::Delta => {}
+            Label::Prim { name, place } => {
+                outcome.primitives += 1;
+                outbox.push(WireMsg::Prim {
+                    session: id,
+                    name,
+                    place,
+                });
+            }
+            Label::Send {
+                to,
+                msg,
+                occ: o,
+                kind,
+            } => {
+                let path = occ
+                    .lock()
+                    .expect("occ table poisoned")
+                    .path_of(o)
+                    .unwrap_or_default();
+                outbox.push(WireMsg::Data {
+                    session: id,
+                    msg: Msg {
+                        from: cfg.place,
+                        to,
+                        id: msg,
+                        occ: o,
+                        kind,
+                    },
+                    path,
+                });
+            }
+            Label::Recv { from, .. } => {
+                let q = s.inbox.get_mut(&from).expect("classified enabled");
+                q.pop_front().expect("classified enabled");
+                s.consumed += 1;
+            }
+        }
+        s.term = next;
+    }
+    true
+}
+
+/// Park a session: report a [`WireMsg::Status`] so the hub can count
+/// quiescence.
+fn park(id: u64, s: &mut EntSession, vote: bool, outbox: &mut Vec<WireMsg>) {
+    s.parked = true;
+    outbox.push(WireMsg::Status {
+        session: id,
+        seen: s.seen,
+        consumed: s.consumed,
+        inbox_empty: s.inbox.values().all(|q| q.is_empty()),
+        vote,
+        blocked: !vote,
+        steps: s.steps,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use protogen::Pipeline;
+
+    fn quick(listen: Addr) -> DistributedConfig {
+        DistributedConfig {
+            listen,
+            heartbeat: Duration::from_millis(20),
+            dead_after: Duration::from_millis(900),
+            reconnect_deadline: Duration::from_millis(1500),
+            join_deadline: Duration::from_secs(10),
+            handshake_timeout: Duration::from_secs(2),
+            poll: Duration::from_millis(2),
+            stall_timeout: Duration::from_secs(10),
+        }
+    }
+
+    fn run_distributed(src: &str, sessions: usize, listen: Addr) -> RuntimeReport {
+        let derived = Pipeline::load(src)
+            .expect("parse")
+            .check()
+            .expect("check")
+            .derive()
+            .expect("derive");
+        let d = derived.derivation();
+        let cfg = RuntimeConfig::new().sessions(sessions).threads(2).seed(7);
+        let dcfg = quick(listen);
+        let listener = dcfg.listen.listen().expect("bind");
+        let hub_addr = listener.local_addr().expect("local addr");
+        let handles: Vec<_> = d
+            .entities
+            .iter()
+            .map(|(p, spec)| {
+                let spec = spec.clone();
+                let scfg = ServeConfig {
+                    heartbeat: Duration::from_millis(20),
+                    dead_after: Duration::from_millis(900),
+                    ..ServeConfig::new(hub_addr.clone(), *p)
+                };
+                std::thread::spawn(move || serve_entity(&spec, &scfg))
+            })
+            .collect();
+        let report = run_hub_on(d, &cfg, &dcfg, listener).expect("hub run");
+        for h in handles {
+            h.join().expect("entity thread").expect("entity outcome");
+        }
+        report
+    }
+
+    #[test]
+    fn smoke_over_tcp() {
+        let report = run_distributed(
+            "SPEC a1; b2; c1; exit ENDSPEC",
+            3,
+            Addr::Tcp("127.0.0.1:0".to_string()),
+        );
+        assert_eq!(report.engine, "distributed");
+        assert_eq!(report.sessions, 3);
+        assert_eq!(
+            report.terminated, 3,
+            "events: {:?}",
+            report.transport_events
+        );
+        assert!(report.passed(), "events: {:?}", report.transport_events);
+    }
+
+    #[test]
+    fn smoke_over_uds() {
+        let path = std::env::temp_dir().join(format!("pg-hub-{}.sock", std::process::id()));
+        let report = run_distributed(
+            "SPEC a1; (b2; exit ||| c3; exit) ENDSPEC",
+            2,
+            Addr::Uds(path),
+        );
+        assert_eq!(
+            report.terminated, 2,
+            "events: {:?}",
+            report.transport_events
+        );
+        assert!(report.passed(), "events: {:?}", report.transport_events);
+    }
+}

@@ -46,7 +46,7 @@ pub fn run(d: &Derivation, cfg: &RuntimeConfig) -> RuntimeReport {
 /// Replay a completed session's primitive trace against the service.
 /// Returns the first violation (primitive, place, index) and whether the
 /// service could terminate where the trace ends.
-fn replay_conformance(
+pub(crate) fn replay_conformance(
     service: &Spec,
     trace: &[(String, PlaceId)],
 ) -> (Option<(String, PlaceId, usize)>, bool) {
@@ -59,34 +59,39 @@ fn replay_conformance(
     (None, mon.may_terminate())
 }
 
-struct Tally {
-    conforming: usize,
-    terminated: usize,
-    deadlocked: usize,
-    step_limited: usize,
-    violations: Vec<ViolationRecord>,
-    per_kind: BTreeMap<SyncKind, usize>,
-    reports: Vec<SessionReport>,
+pub(crate) struct Tally {
+    pub(crate) conforming: usize,
+    pub(crate) terminated: usize,
+    pub(crate) deadlocked: usize,
+    pub(crate) step_limited: usize,
+    pub(crate) aborted: usize,
+    pub(crate) violations: Vec<ViolationRecord>,
+    pub(crate) per_kind: BTreeMap<SyncKind, usize>,
+    pub(crate) per_link: BTreeMap<String, crate::metrics::LinkReport>,
+    pub(crate) reports: Vec<SessionReport>,
 }
 
 impl Tally {
-    fn new() -> Tally {
+    pub(crate) fn new() -> Tally {
         Tally {
             conforming: 0,
             terminated: 0,
             deadlocked: 0,
             step_limited: 0,
+            aborted: 0,
             violations: Vec::new(),
             per_kind: BTreeMap::new(),
+            per_link: BTreeMap::new(),
             reports: Vec::new(),
         }
     }
 
-    fn absorb(&mut self, rep: SessionReport) {
+    pub(crate) fn absorb(&mut self, rep: SessionReport) {
         match rep.end {
             SessionEnd::Terminated => self.terminated += 1,
             SessionEnd::Deadlock => self.deadlocked += 1,
             SessionEnd::StepLimit => self.step_limited += 1,
+            SessionEnd::Aborted => self.aborted += 1,
         }
         if rep.conforms {
             self.conforming += 1;
@@ -160,12 +165,14 @@ fn run_concurrent(d: &Derivation, cfg: &RuntimeConfig) -> RuntimeReport {
     let wall_s = started.elapsed().as_secs_f64();
     RuntimeReport {
         engine: "concurrent",
+        schema_version: crate::metrics::REPORT_SCHEMA_VERSION,
         config: cfg.clone(),
         sessions: tally.reports.len(),
         conforming: tally.conforming,
         terminated: tally.terminated,
         deadlocked: tally.deadlocked,
         step_limited: tally.step_limited,
+        aborted: tally.aborted,
         violations: std::mem::take(&mut tally.violations),
         primitives: metrics.primitives.load(Ordering::Relaxed),
         messages: metrics.messages_sent.load(Ordering::Relaxed),
@@ -174,6 +181,8 @@ fn run_concurrent(d: &Derivation, cfg: &RuntimeConfig) -> RuntimeReport {
         max_queue_depth: metrics.max_queue_depth.load(Ordering::Relaxed),
         frames_lost: metrics.frames_lost.load(Ordering::Relaxed),
         retransmissions: metrics.retransmissions.load(Ordering::Relaxed),
+        per_link: std::mem::take(&mut tally.per_link),
+        transport_events: Vec::new(),
         wall_s,
         sessions_per_sec: if wall_s > 0.0 {
             tally.reports.len() as f64 / wall_s
@@ -211,6 +220,11 @@ fn finalize_session(
     let (lost, retx) = core.link_totals();
     metrics.frames_lost.fetch_add(lost, Ordering::Relaxed);
     metrics.retransmissions.fetch_add(retx, Ordering::Relaxed);
+    for ((from, to), (l, r)) in core.link_breakdown() {
+        let e = tally.per_link.entry(format!("{from}->{to}")).or_default();
+        e.lost += l;
+        e.retransmissions += r;
+    }
     for (k, c) in &core.stats.sent_per_kind {
         *tally.per_kind.entry(*k).or_default() += c;
     }
@@ -340,12 +354,14 @@ fn run_deterministic(d: &Derivation, cfg: &RuntimeConfig) -> RuntimeReport {
     let wall_s = started.elapsed().as_secs_f64();
     RuntimeReport {
         engine: "deterministic",
+        schema_version: crate::metrics::REPORT_SCHEMA_VERSION,
         config: cfg.clone(),
         sessions: tally.reports.len(),
         conforming: tally.conforming,
         terminated: tally.terminated,
         deadlocked: tally.deadlocked,
         step_limited: tally.step_limited,
+        aborted: tally.aborted,
         violations: std::mem::take(&mut tally.violations),
         primitives,
         messages,
@@ -354,6 +370,8 @@ fn run_deterministic(d: &Derivation, cfg: &RuntimeConfig) -> RuntimeReport {
         max_queue_depth,
         frames_lost,
         retransmissions,
+        per_link: BTreeMap::new(),
+        transport_events: Vec::new(),
         wall_s,
         sessions_per_sec: if wall_s > 0.0 {
             tally.reports.len() as f64 / wall_s

@@ -44,6 +44,7 @@
 //! engine's conformance suite compares against. See `docs/RUNTIME.md`.
 
 pub mod config;
+pub mod distributed;
 pub mod entity;
 pub mod exec;
 pub mod faults;
@@ -52,8 +53,14 @@ pub mod pipeline_ext;
 pub mod session;
 
 pub use config::{FaultProfile, RuntimeConfig};
+pub use distributed::{
+    run_hub, run_hub_on, serve_entity, DistributedConfig, ServeConfig, ServeOutcome,
+};
 pub use exec::run;
 pub use faults::FaultLink;
-pub use metrics::{HistSummary, Histogram, Metrics, RuntimeReport, SessionReport, ViolationRecord};
+pub use metrics::{
+    HistSummary, Histogram, LinkReport, Metrics, RuntimeReport, SessionReport, ViolationRecord,
+    REPORT_SCHEMA_VERSION,
+};
 pub use pipeline_ext::PipelineRun;
 pub use session::{SessionCore, SessionEnd, SessionSlot};

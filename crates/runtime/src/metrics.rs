@@ -198,6 +198,42 @@ pub fn service_primitives(spec: &Spec) -> Vec<(String, PlaceId)> {
     out
 }
 
+/// Version of the [`RuntimeReport`] JSON layout. Bump on any field
+/// rename or semantic change so downstream tooling can dispatch.
+///
+/// * 1 — the original report (implicit; reports without the field).
+/// * 2 — adds `schema_version`, `aborted`, `per_link`, and
+///   `transport_events`.
+pub const REPORT_SCHEMA_VERSION: u32 = 2;
+
+/// Fault and recovery counters of one link, accumulated over a whole
+/// run. In-process runs key links by directed channel (`"1->2"`); the
+/// distributed runtime keys them by peer place (`"place:2"`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LinkReport {
+    /// Frames dropped by fault injection (in-process ARQ links).
+    pub lost: usize,
+    /// Frames retransmitted: ARQ retransmissions in-process, or
+    /// sequence-resumption retransmits over sockets.
+    pub retransmissions: usize,
+    /// Successful reconnections (distributed links only).
+    pub reconnects: usize,
+    /// Duplicate frames dropped by the receive filter (distributed).
+    pub dup_dropped: usize,
+    /// Send/receive failures observed (distributed).
+    pub faults: usize,
+}
+
+impl LinkReport {
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"lost\":{},\"retransmissions\":{},\"reconnects\":{},\
+             \"dup_dropped\":{},\"faults\":{}}}",
+            self.lost, self.retransmissions, self.reconnects, self.dup_dropped, self.faults
+        )
+    }
+}
+
 /// A conformance violation, with enough context to replay the session.
 #[derive(Clone, Debug)]
 pub struct ViolationRecord {
@@ -237,12 +273,16 @@ pub struct RuntimeReport {
     /// Which engine ran: `"concurrent"` (threads ≥ 2) or
     /// `"deterministic"` (threads ≤ 1, DES-backed).
     pub engine: &'static str,
+    /// JSON layout version ([`REPORT_SCHEMA_VERSION`]).
+    pub schema_version: u32,
     pub config: RuntimeConfig,
     pub sessions: usize,
     pub conforming: usize,
     pub terminated: usize,
     pub deadlocked: usize,
     pub step_limited: usize,
+    /// Sessions killed by the runtime (dead transport links).
+    pub aborted: usize,
     pub violations: Vec<ViolationRecord>,
     pub primitives: usize,
     pub messages: usize,
@@ -251,6 +291,11 @@ pub struct RuntimeReport {
     pub max_queue_depth: usize,
     pub frames_lost: usize,
     pub retransmissions: usize,
+    /// Per-link fault/recovery counters (see [`LinkReport`] for keying).
+    pub per_link: BTreeMap<String, LinkReport>,
+    /// Transport-level diagnostics in occurrence order: reconnects,
+    /// declared-dead links, aborts. Empty for in-process runs.
+    pub transport_events: Vec<String>,
     /// Wall-clock duration of the whole run, seconds.
     pub wall_s: f64,
     pub sessions_per_sec: f64,
@@ -263,7 +308,10 @@ pub struct RuntimeReport {
 impl RuntimeReport {
     /// Did every session complete and conform?
     pub fn passed(&self) -> bool {
-        self.sessions > 0 && self.conforming == self.sessions && self.violations.is_empty()
+        self.sessions > 0
+            && self.conforming == self.sessions
+            && self.violations.is_empty()
+            && self.aborted == 0
     }
 
     /// Messages per primitive — the §4.3 overhead ratio, now measured
@@ -290,6 +338,16 @@ impl RuntimeReport {
             .iter()
             .map(|(name, h)| format!("\"{name}\":{}", h.to_json()))
             .collect();
+        let per_link: Vec<String> = self
+            .per_link
+            .iter()
+            .map(|(k, l)| format!("\"{k}\":{}", l.to_json()))
+            .collect();
+        let transport_events: Vec<String> = self
+            .transport_events
+            .iter()
+            .map(|e| format!("\"{}\"", e.replace('\\', "\\\\").replace('"', "\\\"")))
+            .collect();
         let violations: Vec<String> = self
             .violations
             .iter()
@@ -312,13 +370,16 @@ impl RuntimeReport {
             })
             .collect();
         format!(
-            "{{\"engine\":\"{}\",\"config\":{},\"sessions\":{},\"conforming\":{},\
-             \"terminated\":{},\"deadlocked\":{},\"step_limited\":{},\
+            "{{\"schema_version\":{},\"engine\":\"{}\",\"config\":{},\"sessions\":{},\
+             \"conforming\":{},\
+             \"terminated\":{},\"deadlocked\":{},\"step_limited\":{},\"aborted\":{},\
              \"primitives\":{},\"messages\":{},\"delivered\":{},\
              \"overhead_ratio\":{:.3},\"messages_per_kind\":{{{}}},\
              \"max_queue_depth\":{},\"frames_lost\":{},\"retransmissions\":{},\
+             \"per_link\":{{{}}},\"transport_events\":[{}],\
              \"wall_s\":{:.4},\"sessions_per_sec\":{:.1},\
              \"session_latency\":{},\"per_prim\":{{{}}},\"violations\":[{}]}}",
+            self.schema_version,
             self.engine,
             self.config.to_json(),
             self.sessions,
@@ -326,6 +387,7 @@ impl RuntimeReport {
             self.terminated,
             self.deadlocked,
             self.step_limited,
+            self.aborted,
             self.primitives,
             self.messages,
             self.delivered,
@@ -334,6 +396,8 @@ impl RuntimeReport {
             self.max_queue_depth,
             self.frames_lost,
             self.retransmissions,
+            per_link.join(","),
+            transport_events.join(","),
             self.wall_s,
             self.sessions_per_sec,
             self.session_latency.to_json(),
@@ -376,6 +440,65 @@ mod tests {
             assert!(b >= last, "bucket({v}) regressed");
             last = b;
         }
+    }
+
+    #[test]
+    fn report_json_round_trips_schema_and_link_counters() {
+        let mut per_link = BTreeMap::new();
+        per_link.insert(
+            "1->2".to_string(),
+            LinkReport {
+                lost: 3,
+                retransmissions: 5,
+                reconnects: 1,
+                dup_dropped: 2,
+                faults: 4,
+            },
+        );
+        let report = RuntimeReport {
+            engine: "concurrent",
+            schema_version: REPORT_SCHEMA_VERSION,
+            config: RuntimeConfig::new(),
+            sessions: 7,
+            conforming: 6,
+            terminated: 5,
+            deadlocked: 1,
+            step_limited: 0,
+            aborted: 1,
+            violations: Vec::new(),
+            primitives: 10,
+            messages: 20,
+            delivered: 19,
+            messages_per_kind: BTreeMap::new(),
+            max_queue_depth: 4,
+            frames_lost: 3,
+            retransmissions: 5,
+            per_link,
+            transport_events: vec!["link place:2 declared dead".to_string()],
+            wall_s: 0.5,
+            sessions_per_sec: 14.0,
+            session_latency: HistSummary::default(),
+            per_prim: BTreeMap::new(),
+            reports: Vec::new(),
+        };
+        let json = report.to_json();
+        use semantics::jsonish::get_u64;
+        assert_eq!(
+            get_u64(&json, "schema_version"),
+            Some(REPORT_SCHEMA_VERSION as u64)
+        );
+        assert_eq!(get_u64(&json, "aborted"), Some(1));
+        // The per-link map survives with its counters intact. Scope the
+        // lookups past `per_link` — `config` also carries a "faults" key
+        // (a profile string), and get_u64 matches the first occurrence.
+        assert!(json.contains("\"1->2\""), "{json}");
+        let link_json = &json[json.find("\"per_link\"").unwrap()..];
+        assert_eq!(get_u64(link_json, "reconnects"), Some(1));
+        assert_eq!(get_u64(link_json, "dup_dropped"), Some(2));
+        assert_eq!(get_u64(link_json, "faults"), Some(4));
+        assert!(json.contains("link place:2 declared dead"), "{json}");
+        // An aborted session fails the run even with zero violations.
+        assert!(!report.passed());
     }
 
     #[test]

@@ -29,6 +29,11 @@ pub enum SessionEnd {
     Deadlock,
     /// The per-session step limit was reached while still live.
     StepLimit,
+    /// The session was killed by the runtime — in distributed mode, a
+    /// transport link died and did not recover within its deadline. The
+    /// session's entities may hold inconsistent state; it is reported,
+    /// never silently dropped.
+    Aborted,
 }
 
 /// The session's channels: the paper's reliable medium, or one ARQ fault
@@ -118,9 +123,7 @@ impl SessionCore {
         };
         match &self.medium {
             SessionMedium::Reliable(net) => net.depth(from, to) < cap,
-            SessionMedium::Faulty(links) => {
-                links.get(&(from, to)).is_none_or(|l| l.queued() < cap)
-            }
+            SessionMedium::Faulty(links) => links.get(&(from, to)).is_none_or(|l| l.queued() < cap),
         }
     }
 
@@ -258,6 +261,18 @@ impl SessionCore {
             SessionMedium::Faulty(links) => links.values().fold((0, 0), |(fl, rt), l| {
                 (fl + l.frames_lost, rt + l.retransmissions())
             }),
+        }
+    }
+
+    /// Per-channel `(frames lost, retransmissions)` — the per-link
+    /// breakdown behind [`Self::link_totals`].
+    pub fn link_breakdown(&self) -> Vec<((PlaceId, PlaceId), (usize, usize))> {
+        match &self.medium {
+            SessionMedium::Reliable(_) => Vec::new(),
+            SessionMedium::Faulty(links) => links
+                .iter()
+                .map(|(&k, l)| (k, (l.frames_lost, l.retransmissions())))
+                .collect(),
         }
     }
 

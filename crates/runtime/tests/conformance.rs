@@ -5,9 +5,58 @@
 
 use protogen::Pipeline;
 use runtime::{FaultProfile, PipelineRun, RuntimeConfig};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 const SEEDS: [u64; 3] = [0xC0FFEE, 7, 991];
 const SESSIONS: usize = 4;
+
+/// Wall-clock guard for the long matrix tests: a wedged runtime must
+/// fail CI with a diagnostic, not hang until the job times out. The
+/// guard thread dumps the case in flight and kills the test process
+/// when the budget lapses (a hung test thread can never fail itself).
+struct Watchdog {
+    done: Arc<AtomicBool>,
+    /// Human-readable description of the case currently executing —
+    /// updated by the matrix loop, dumped on expiry.
+    current: Arc<Mutex<String>>,
+}
+
+impl Watchdog {
+    fn arm(name: &'static str, budget: Duration) -> Watchdog {
+        let done = Arc::new(AtomicBool::new(false));
+        let current = Arc::new(Mutex::new(String::from("<not started>")));
+        let (d, c) = (Arc::clone(&done), Arc::clone(&current));
+        std::thread::spawn(move || {
+            let start = Instant::now();
+            while start.elapsed() < budget {
+                std::thread::sleep(Duration::from_millis(200));
+                if d.load(Ordering::Relaxed) {
+                    return;
+                }
+            }
+            eprintln!(
+                "WATCHDOG: {name} exceeded its {budget:?} wall-clock budget.\n\
+                 case in flight: {}\n\
+                 (rerun that case alone under --nocapture to reproduce)",
+                c.lock().unwrap()
+            );
+            std::process::exit(101);
+        });
+        Watchdog { done, current }
+    }
+
+    fn enter(&self, case: String) {
+        *self.current.lock().unwrap() = case;
+    }
+}
+
+impl Drop for Watchdog {
+    fn drop(&mut self) {
+        self.done.store(true, Ordering::Relaxed);
+    }
+}
 
 fn profiles() -> Vec<FaultProfile> {
     vec![
@@ -64,6 +113,10 @@ fn corpus() -> Vec<(String, String)> {
 /// before `run` returns, so a hung thread shows up as a hung test.
 #[test]
 fn corpus_conforms_under_all_fault_profiles() {
+    let watchdog = Watchdog::arm(
+        "corpus_conforms_under_all_fault_profiles",
+        Duration::from_secs(600),
+    );
     for (name, src) in corpus() {
         let derived = Pipeline::load(&src)
             .unwrap_or_else(|e| panic!("{name}: {e}"))
@@ -74,6 +127,9 @@ fn corpus_conforms_under_all_fault_profiles() {
         for profile in profiles() {
             for seed in SEEDS {
                 for threads in [1, 4] {
+                    watchdog.enter(format!(
+                        "{name} profile={profile} seed={seed} threads={threads}"
+                    ));
                     let mut cfg = RuntimeConfig::new()
                         .sessions(SESSIONS)
                         .threads(threads)
@@ -153,9 +209,14 @@ fn disable_deviation_is_flagged_not_hung() {
         .unwrap()
         .derive()
         .unwrap();
+    let watchdog = Watchdog::arm(
+        "disable_deviation_is_flagged_not_hung",
+        Duration::from_secs(300),
+    );
     let mut saw_deviation = false;
     for threads in [1, 4] {
         for seed in SEEDS {
+            watchdog.enter(format!("threads={threads} seed={seed}"));
             let cfg = RuntimeConfig::new()
                 .sessions(SESSIONS)
                 .threads(threads)

@@ -138,6 +138,9 @@ impl fmt::Display for RTerm {
 #[derive(Debug, Default)]
 pub struct OccTable {
     map: HashMap<(u32, u32), u32>,
+    /// Reverse map: `rev[occ - 1]` is the `(parent, site)` pair that
+    /// created occurrence `occ` (occurrence 0 is the root and has none).
+    rev: Vec<(u32, u32)>,
     next: u32,
 }
 
@@ -146,6 +149,7 @@ impl OccTable {
     pub fn new() -> OccTable {
         OccTable {
             map: HashMap::new(),
+            rev: Vec::new(),
             next: 1,
         }
     }
@@ -156,8 +160,45 @@ impl OccTable {
         *self.map.entry((parent, site)).or_insert_with(|| {
             let v = self.next;
             self.next += 1;
+            self.rev.push((parent, site));
             v
         })
+    }
+
+    /// The `(parent, site)` pair that created occurrence `occ`, or `None`
+    /// for the root (0) and unknown numbers.
+    pub fn parent_site(&self, occ: u32) -> Option<(u32, u32)> {
+        if occ == 0 {
+            return None;
+        }
+        self.rev.get(occ as usize - 1).copied()
+    }
+
+    /// The invocation-site path of `occ`: the site tags from the root to
+    /// the instance, outermost first (empty for the root). Site-tag paths
+    /// are canonical across processes — two occurrence tables that grew in
+    /// different demand orders still agree on every path — so they are the
+    /// portable wire representation of an occurrence number.
+    pub fn path_of(&self, occ: u32) -> Option<Vec<u32>> {
+        let mut path = Vec::new();
+        let mut cur = occ;
+        while cur != 0 {
+            let (parent, site) = self.parent_site(cur)?;
+            path.push(site);
+            cur = parent;
+        }
+        path.reverse();
+        Some(path)
+    }
+
+    /// Resolve a site-tag path back to this table's occurrence number,
+    /// interning any occurrences not yet demanded locally.
+    pub fn resolve_path(&mut self, path: &[u32]) -> u32 {
+        let mut cur = 0u32;
+        for &site in path {
+            cur = self.child(cur, site);
+        }
+        cur
     }
 }
 
@@ -370,6 +411,32 @@ mod tests {
         let nested = t.child(a, 7);
         assert_ne!(nested, a);
         assert_ne!(nested, b);
+    }
+
+    #[test]
+    fn occurrence_paths_are_portable_across_demand_orders() {
+        // Table A discovers (0,7) before (0,9); table B the other way
+        // round. The raw numbers disagree, but site-tag paths translate
+        // between them exactly.
+        let mut a = OccTable::new();
+        let mut b = OccTable::new();
+        let a7 = a.child(0, 7);
+        let _a9 = a.child(0, 9);
+        let _b9 = b.child(0, 9);
+        let b7 = b.child(0, 7);
+        assert_ne!(a7, b7, "demand orders coincided; test is vacuous");
+        let path = a.path_of(a7).unwrap();
+        assert_eq!(path, vec![7]);
+        assert_eq!(b.resolve_path(&path), b7);
+        // nested instance, resolved into a table that never saw it
+        let deep = a.child(a7, 31);
+        let deep_path = a.path_of(deep).unwrap();
+        assert_eq!(deep_path, vec![7, 31]);
+        let b_deep = b.resolve_path(&deep_path);
+        assert_eq!(b.path_of(b_deep).unwrap(), deep_path);
+        assert_eq!(a.path_of(0), Some(Vec::new()));
+        assert_eq!(a.parent_site(0), None);
+        assert_eq!(a.path_of(1_000), None, "unknown occ must not resolve");
     }
 
     #[test]

@@ -1,0 +1,110 @@
+//! A connected stream socket of either family, with the timeout plumbing
+//! the link supervisor relies on.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+use std::time::Duration;
+
+/// A connected byte stream: TCP or Unix-domain.
+#[derive(Debug)]
+pub enum Conn {
+    Tcp(TcpStream),
+    Uds(UnixStream),
+}
+
+impl Conn {
+    /// Bound the blocking window of subsequent reads. `None` blocks
+    /// forever; the poll loops use small timeouts instead of non-blocking
+    /// mode so writes on the same fd stay blocking-with-timeout.
+    pub fn set_read_timeout(&self, t: Option<Duration>) -> io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.set_read_timeout(t),
+            Conn::Uds(s) => s.set_read_timeout(t),
+        }
+    }
+
+    /// Bound the blocking window of subsequent writes — a stalled peer
+    /// surfaces as a send timeout instead of a hung thread.
+    pub fn set_write_timeout(&self, t: Option<Duration>) -> io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.set_write_timeout(t),
+            Conn::Uds(s) => s.set_write_timeout(t),
+        }
+    }
+
+    /// Tear the connection down in both directions.
+    pub fn shutdown(&self) {
+        match self {
+            Conn::Tcp(s) => {
+                let _ = s.shutdown(std::net::Shutdown::Both);
+            }
+            Conn::Uds(s) => {
+                let _ = s.shutdown(std::net::Shutdown::Both);
+            }
+        }
+    }
+
+    /// Read into `buf`. Returns `Ok(0)` on EOF, `Ok(None)`-like
+    /// `WouldBlock`/`TimedOut` is surfaced as `Err` of that kind for the
+    /// caller to classify via [`is_poll_timeout`].
+    pub fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.read(buf),
+            Conn::Uds(s) => s.read(buf),
+        }
+    }
+
+    /// Write all of `buf` or fail (including on send timeout).
+    pub fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.write_all(buf),
+            Conn::Uds(s) => s.write_all(buf),
+        }
+    }
+}
+
+/// Is this error just "the poll window elapsed with no data"?
+pub fn is_poll_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut | io::ErrorKind::Interrupted
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::Addr;
+
+    #[test]
+    fn read_timeout_polls_without_data() {
+        let l = Addr::parse("tcp:127.0.0.1:0").unwrap().listen().unwrap();
+        let addr = l.local_addr().unwrap();
+        let mut client = addr.connect(Duration::from_secs(1)).unwrap();
+        let _server = l.accept().unwrap().unwrap();
+        client
+            .set_read_timeout(Some(Duration::from_millis(10)))
+            .unwrap();
+        let mut buf = [0u8; 8];
+        let err = client.read(&mut buf).unwrap_err();
+        assert!(is_poll_timeout(&err), "{err:?}");
+    }
+
+    #[test]
+    fn uds_round_trips_bytes() {
+        let dir = std::env::temp_dir().join(format!("protogen-conn-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.sock");
+        let addr = Addr::Uds(path);
+        let l = addr.listen().unwrap();
+        let mut client = addr.connect(Duration::from_secs(1)).unwrap();
+        let mut server = l.accept().unwrap().unwrap();
+        client.write_all(b"ping").unwrap();
+        let mut buf = [0u8; 4];
+        server.read(&mut buf).unwrap();
+        assert_eq!(&buf, b"ping");
+        drop(l);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

@@ -1,0 +1,414 @@
+//! Sequence-numbered link endpoint and the reconnect policy around it.
+//!
+//! A [`Link`] wraps one direction-pair of a hub↔entity connection with
+//! the bookkeeping that makes reliable-FIFO survive real faults:
+//!
+//! * outgoing sequenced messages are numbered `1, 2, …` and kept in an
+//!   unacked ring until the peer's cumulative [`WireMsg::Ack`] prunes
+//!   them;
+//! * incoming sequenced messages are delivered exactly once — anything
+//!   at or below the last delivered sequence number is a retransmission
+//!   and is dropped;
+//! * on reconnect, [`Link::resume`] uses the peer's `last_seen` from the
+//!   handshake to prune acknowledged frames and retransmit the gap, so
+//!   the stream continues exactly where it left off.
+//!
+//! [`Backoff`] is the entity-side retry policy: exponential with
+//! seeded jitter and a hard attempt budget, after which the link is
+//! declared dead.
+
+use std::collections::VecDeque;
+use std::io;
+use std::time::Duration;
+
+use medium::codec::FrameDecoder;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+use crate::conn::Conn;
+use crate::wire::WireMsg;
+
+/// How often (in sequenced frames received) a cumulative ack is pushed
+/// without waiting for other traffic.
+const ACK_EVERY: u64 = 64;
+
+/// Counters a link accumulates over its lifetime, across reconnects.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Successful (re)connections after the first.
+    pub reconnects: u64,
+    /// Sequenced frames sent for the first time.
+    pub frames_sent: u64,
+    /// Sequenced frames retransmitted after a reconnect.
+    pub frames_resent: u64,
+    /// Incoming duplicates dropped by the dedup filter.
+    pub dup_dropped: u64,
+    /// Cumulative acks pushed to the peer.
+    pub acks_sent: u64,
+    /// Send/receive failures observed (each one precedes a reconnect or
+    /// link death).
+    pub faults_seen: u64,
+}
+
+/// One endpoint of a sequenced, resumable link.
+#[derive(Debug, Default)]
+pub struct Link {
+    /// Sequence number assigned to the next outgoing sequenced message.
+    next_seq: u64,
+    /// Outgoing sequenced messages not yet cumulatively acked, as
+    /// `(seq, message, transmitted-at-least-once)` in sequence order.
+    /// The flag keeps [`Link::buffer`]ed frames that first go out during
+    /// a [`Link::resume`] from counting as retransmissions.
+    unacked: VecDeque<(u64, WireMsg, bool)>,
+    /// Highest incoming sequence number delivered to the application.
+    last_delivered: u64,
+    /// Sequenced frames received since the last ack was pushed.
+    since_ack: u64,
+    pub stats: LinkStats,
+}
+
+impl Link {
+    pub fn new() -> Link {
+        Link {
+            next_seq: 1,
+            ..Link::default()
+        }
+    }
+
+    /// Highest incoming sequence number delivered so far — the value to
+    /// put in a `Hello`/`Welcome` handshake.
+    pub fn last_delivered(&self) -> u64 {
+        self.last_delivered
+    }
+
+    /// Sequenced messages buffered awaiting acknowledgement.
+    pub fn unacked_len(&self) -> usize {
+        self.unacked.len()
+    }
+
+    /// Send a message. Sequenced messages get the next sequence number
+    /// and are buffered for retransmission; control messages go out with
+    /// sequence 0 and are never buffered. A send error leaves the
+    /// message buffered (if sequenced), so a later [`Link::resume`]
+    /// retransmits it.
+    pub fn send(&mut self, conn: &mut Conn, msg: WireMsg) -> io::Result<()> {
+        let seq = if msg.sequenced() {
+            let s = self.next_seq;
+            self.next_seq += 1;
+            self.unacked.push_back((s, msg.clone(), true));
+            self.stats.frames_sent += 1;
+            s
+        } else {
+            0
+        };
+        let bytes = msg.encode(seq);
+        conn.write_all(&bytes).inspect_err(|_| {
+            self.stats.faults_seen += 1;
+        })
+    }
+
+    /// Assign the next sequence number and buffer a sequenced message
+    /// *without* writing it — for sends while the peer is disconnected.
+    /// The next [`Link::resume`] transmits it. Must not be used for
+    /// control traffic (control is never retransmitted).
+    pub fn buffer(&mut self, msg: WireMsg) -> u64 {
+        debug_assert!(msg.sequenced(), "control traffic cannot be buffered");
+        let s = self.next_seq;
+        self.next_seq += 1;
+        self.unacked.push_back((s, msg, false));
+        self.stats.frames_sent += 1;
+        s
+    }
+
+    /// Process a peer's cumulative ack: drop buffered frames with
+    /// sequence numbers `<= upto`.
+    pub fn on_ack(&mut self, upto: u64) {
+        while self.unacked.front().is_some_and(|(s, ..)| *s <= upto) {
+            self.unacked.pop_front();
+        }
+    }
+
+    /// Filter one incoming message. Control traffic (sequence 0) always
+    /// passes. Sequenced messages pass exactly once, in order; stale
+    /// retransmissions return `None`.
+    pub fn accept(&mut self, seq: u64, msg: WireMsg) -> Option<WireMsg> {
+        if seq == 0 {
+            if let WireMsg::Ack { upto } = msg {
+                self.on_ack(upto);
+                return None;
+            }
+            return Some(msg);
+        }
+        if seq <= self.last_delivered {
+            self.stats.dup_dropped += 1;
+            return None;
+        }
+        debug_assert_eq!(
+            seq,
+            self.last_delivered + 1,
+            "sequence gap on a FIFO stream"
+        );
+        self.last_delivered = seq;
+        self.since_ack += 1;
+        Some(msg)
+    }
+
+    /// Push a cumulative ack if enough sequenced traffic has arrived
+    /// since the last one (or unconditionally with `force`).
+    pub fn maybe_ack(&mut self, conn: &mut Conn, force: bool) -> io::Result<()> {
+        if self.since_ack == 0 || (!force && self.since_ack < ACK_EVERY) {
+            return Ok(());
+        }
+        self.since_ack = 0;
+        self.stats.acks_sent += 1;
+        let upto = self.last_delivered;
+        self.send(conn, WireMsg::Ack { upto })
+    }
+
+    /// Resume after a reconnect: the peer reported having delivered
+    /// everything up to `peer_last_seen`, so prune that prefix and
+    /// retransmit the rest with their original sequence numbers.
+    pub fn resume(&mut self, conn: &mut Conn, peer_last_seen: u64) -> io::Result<()> {
+        self.on_ack(peer_last_seen);
+        self.stats.reconnects += 1;
+        // Clone out to satisfy the borrow checker; retransmission is rare.
+        let pending: Vec<(u64, WireMsg, bool)> = self.unacked.iter().cloned().collect();
+        for (i, (seq, msg, sent_before)) in pending.into_iter().enumerate() {
+            if sent_before {
+                self.stats.frames_resent += 1;
+            }
+            self.unacked[i].2 = true;
+            let bytes = msg.encode(seq);
+            conn.write_all(&bytes).inspect_err(|_| {
+                self.stats.faults_seen += 1;
+            })?;
+        }
+        Ok(())
+    }
+
+    /// Note a receive-side failure (EOF, reset, corrupt stream) for the
+    /// fault counters.
+    pub fn note_fault(&mut self) {
+        self.stats.faults_seen += 1;
+    }
+}
+
+/// Exponential backoff with seeded jitter and a retry budget.
+#[derive(Debug)]
+pub struct Backoff {
+    base: Duration,
+    cap: Duration,
+    budget: u32,
+    attempt: u32,
+    rng: StdRng,
+}
+
+impl Backoff {
+    pub fn new(base: Duration, cap: Duration, budget: u32, seed: u64) -> Backoff {
+        Backoff {
+            base,
+            cap,
+            budget,
+            attempt: 0,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Sensible defaults for loopback testing: fast, bounded retries.
+    pub fn quick(seed: u64) -> Backoff {
+        Backoff::new(
+            Duration::from_millis(20),
+            Duration::from_millis(500),
+            30,
+            seed,
+        )
+    }
+
+    /// Next delay before a reconnect attempt, or `None` once the retry
+    /// budget is exhausted (the link is then declared dead). The delay
+    /// doubles per attempt up to the cap, with ±50% seeded jitter so a
+    /// fleet of entities does not reconnect in lockstep.
+    pub fn next_delay(&mut self) -> Option<Duration> {
+        if self.attempt >= self.budget {
+            return None;
+        }
+        let exp = self.attempt.min(16);
+        self.attempt += 1;
+        let raw = self
+            .base
+            .saturating_mul(1u32 << exp)
+            .min(self.cap)
+            .as_micros() as u64;
+        let jittered = raw / 2 + self.rng.gen_range(0..=raw.max(1));
+        Some(Duration::from_micros(jittered))
+    }
+
+    /// A successful connection resets the schedule (and refunds the
+    /// budget: only *consecutive* failures kill a link).
+    pub fn reset(&mut self) {
+        self.attempt = 0;
+    }
+
+    /// Attempts consumed since the last reset.
+    pub fn attempts(&self) -> u32 {
+        self.attempt
+    }
+}
+
+/// A connection bundled with its frame decoder — what the poll loops
+/// actually carry around.
+#[derive(Debug)]
+pub struct Channel {
+    pub conn: Conn,
+    pub dec: FrameDecoder,
+}
+
+impl Channel {
+    pub fn new(conn: Conn) -> Channel {
+        Channel {
+            conn,
+            dec: FrameDecoder::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::Addr;
+    use crate::wire::poll_messages;
+
+    fn pair() -> (Conn, Conn) {
+        let l = Addr::parse("tcp:127.0.0.1:0").unwrap().listen().unwrap();
+        let addr = l.local_addr().unwrap();
+        let a = addr.connect(Duration::from_secs(1)).unwrap();
+        let b = l.accept().unwrap().unwrap();
+        (a, b)
+    }
+
+    fn drain(conn: &mut Conn, dec: &mut FrameDecoder) -> Vec<(u64, WireMsg)> {
+        conn.set_read_timeout(Some(Duration::from_millis(50)))
+            .unwrap();
+        let mut got = Vec::new();
+        for _ in 0..20 {
+            got.extend(poll_messages(conn, dec).unwrap());
+            if !got.is_empty() {
+                break;
+            }
+        }
+        got
+    }
+
+    #[test]
+    fn sequenced_messages_number_from_one() {
+        let (mut a, mut b) = pair();
+        let mut link = Link::new();
+        link.send(
+            &mut a,
+            WireMsg::Open {
+                session: 1,
+                seed: 2,
+                max_steps: 3,
+            },
+        )
+        .unwrap();
+        link.send(&mut a, WireMsg::Heartbeat { nonce: 9 }).unwrap();
+        link.send(&mut a, WireMsg::Close { session: 1, end: 0 })
+            .unwrap();
+        let mut dec = FrameDecoder::new();
+        let mut got = Vec::new();
+        while got.len() < 3 {
+            got.extend(drain(&mut b, &mut dec));
+        }
+        assert_eq!(got[0].0, 1);
+        assert_eq!(got[1].0, 0); // heartbeat is unsequenced
+        assert_eq!(got[2].0, 2);
+        assert_eq!(link.unacked_len(), 2);
+        link.on_ack(1);
+        assert_eq!(link.unacked_len(), 1);
+        link.on_ack(2);
+        assert_eq!(link.unacked_len(), 0);
+    }
+
+    #[test]
+    fn accept_dedups_retransmissions() {
+        let mut link = Link::new();
+        let m = WireMsg::Shutdown;
+        assert!(link.accept(1, m.clone()).is_some());
+        assert!(link.accept(1, m.clone()).is_none(), "duplicate delivered");
+        assert!(link.accept(2, m.clone()).is_some());
+        assert_eq!(link.stats.dup_dropped, 1);
+        // Control traffic always passes; acks are consumed internally.
+        assert!(link.accept(0, WireMsg::Heartbeat { nonce: 1 }).is_some());
+        assert!(link.accept(0, WireMsg::Ack { upto: 0 }).is_none());
+    }
+
+    #[test]
+    fn resume_retransmits_only_the_unacked_gap() {
+        let (mut a, b) = pair();
+        let mut link = Link::new();
+        for s in 0..4u64 {
+            link.send(
+                &mut a,
+                WireMsg::Open {
+                    session: s,
+                    seed: 0,
+                    max_steps: 1,
+                },
+            )
+            .unwrap();
+        }
+        drop(b); // connection dies
+                 // New connection; peer says it delivered up to seq 2.
+        let (mut a2, mut b2) = pair();
+        link.resume(&mut a2, 2).unwrap();
+        let mut dec = FrameDecoder::new();
+        let mut got = Vec::new();
+        while got.len() < 2 {
+            got.extend(drain(&mut b2, &mut dec));
+        }
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].0, 3);
+        assert_eq!(got[1].0, 4);
+        assert_eq!(
+            got[1].1,
+            WireMsg::Open {
+                session: 3,
+                seed: 0,
+                max_steps: 1
+            }
+        );
+        assert_eq!(link.stats.frames_resent, 2);
+        assert_eq!(link.stats.reconnects, 1);
+    }
+
+    #[test]
+    fn backoff_grows_jitters_and_exhausts() {
+        let mut b = Backoff::new(Duration::from_millis(10), Duration::from_millis(80), 5, 42);
+        let delays: Vec<Duration> = std::iter::from_fn(|| b.next_delay()).collect();
+        assert_eq!(delays.len(), 5, "budget not enforced");
+        // Jitter keeps every delay within [raw/2, raw*3/2] of the ideal curve.
+        for (i, d) in delays.iter().enumerate() {
+            let raw = (10u64 << i.min(3)).min(80) * 1000; // µs, capped
+            assert!(
+                d.as_micros() as u64 >= raw / 2,
+                "attempt {i}: {d:?} too small"
+            );
+            assert!(
+                d.as_micros() as u64 <= raw * 3 / 2,
+                "attempt {i}: {d:?} too large"
+            );
+        }
+        assert!(b.next_delay().is_none());
+        b.reset();
+        assert!(b.next_delay().is_some(), "reset did not refund the budget");
+    }
+
+    #[test]
+    fn two_seeds_jitter_differently() {
+        let mut b1 = Backoff::quick(1);
+        let mut b2 = Backoff::quick(2);
+        let d1: Vec<_> = (0..5).map(|_| b1.next_delay().unwrap()).collect();
+        let d2: Vec<_> = (0..5).map(|_| b2.next_delay().unwrap()).collect();
+        assert_ne!(d1, d2, "seeded jitter produced identical schedules");
+    }
+}

@@ -1,0 +1,419 @@
+//! The hub ↔ entity message vocabulary, layered on [`medium::codec`]
+//! frames.
+//!
+//! Every payload begins with a varint **link sequence number**: `0` marks
+//! unsequenced control traffic (handshake, heartbeats, acks) that is
+//! never retransmitted; sequenced messages are numbered `1, 2, …` per
+//! direction for the lifetime of the link, surviving reconnects — the
+//! resumption handshake ([`WireMsg::Hello`]/[`WireMsg::Welcome`])
+//! exchanges the last sequence number each side has seen, so the sender
+//! retransmits exactly the gap and the receiver drops duplicates. FIFO
+//! order and exactly-once delivery therefore hold across connection
+//! drops.
+//!
+//! Occurrence numbers travel as **site-tag paths**
+//! ([`semantics`-level §3.5 instance numbering]) rather than raw table
+//! indices: the raw numbers are demand-ordered per process and would
+//! disagree between address spaces, while the site-tag path of an
+//! instance is canonical. [`WireMsg::Data`] carries the path; each
+//! endpoint resolves it against its local table.
+
+use medium::codec::{self, encode_frame, put_str, put_varint, CodecError, Frame, FrameDecoder};
+use medium::Msg;
+use std::io;
+
+use crate::conn::{is_poll_timeout, Conn};
+
+/// A decoded wire message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireMsg {
+    /// Entity → hub on every (re)connect: which place this is and the
+    /// highest hub→entity sequence number already delivered.
+    Hello {
+        place: u8,
+        last_seen: u64,
+    },
+    /// Hub → entity handshake reply: the highest entity→hub sequence
+    /// number the hub has delivered — the entity retransmits the rest.
+    Welcome {
+        last_seen: u64,
+    },
+    /// Cumulative acknowledgement of sequenced traffic (buffer pruning).
+    Ack {
+        upto: u64,
+    },
+    Heartbeat {
+        nonce: u64,
+    },
+    HeartbeatAck {
+        nonce: u64,
+    },
+    /// Hub → entity: start interpreting a session.
+    Open {
+        session: u64,
+        seed: u64,
+        max_steps: u64,
+    },
+    /// A synchronization message of one session. `msg.occ` is the
+    /// *sender-local* occurrence number (informational); `path` is the
+    /// canonical site-tag path the receiver resolves locally.
+    Data {
+        session: u64,
+        msg: Msg,
+        path: Vec<u32>,
+    },
+    /// Entity → hub: a service primitive was executed.
+    Prim {
+        session: u64,
+        name: String,
+        place: u8,
+    },
+    /// Entity → hub: scheduling status for a session, sent on every
+    /// blocked/vote transition. `seen`/`consumed` count Data frames
+    /// delivered to / consumed by this entity for the session; the hub
+    /// treats the report as current only when `seen` matches its own
+    /// forwarded count.
+    Status {
+        session: u64,
+        seen: u64,
+        consumed: u64,
+        inbox_empty: bool,
+        vote: bool,
+        blocked: bool,
+        steps: u64,
+    },
+    /// Hub → entity: the session is over; drop its state. `end` encodes
+    /// the [`SessionEnd`-like] outcome for diagnostics.
+    Close {
+        session: u64,
+        end: u8,
+    },
+    /// Hub → entity: no more sessions; exit cleanly.
+    Shutdown,
+}
+
+const K_HELLO: u8 = 0;
+const K_WELCOME: u8 = 1;
+const K_ACK: u8 = 2;
+const K_HEARTBEAT: u8 = 3;
+const K_HEARTBEAT_ACK: u8 = 4;
+const K_OPEN: u8 = 5;
+const K_DATA: u8 = 6;
+const K_PRIM: u8 = 7;
+const K_STATUS: u8 = 8;
+const K_CLOSE: u8 = 9;
+const K_SHUTDOWN: u8 = 10;
+
+impl WireMsg {
+    /// Is this message sequenced (retransmitted on reconnect)?
+    pub fn sequenced(&self) -> bool {
+        !matches!(
+            self,
+            WireMsg::Hello { .. }
+                | WireMsg::Welcome { .. }
+                | WireMsg::Ack { .. }
+                | WireMsg::Heartbeat { .. }
+                | WireMsg::HeartbeatAck { .. }
+        )
+    }
+
+    /// Encode as one complete frame with the given sequence number
+    /// (`0` for control traffic).
+    pub fn encode(&self, seq: u64) -> Vec<u8> {
+        let mut p = Vec::with_capacity(24);
+        put_varint(&mut p, seq);
+        let kind = match self {
+            WireMsg::Hello { place, last_seen } => {
+                p.push(*place);
+                put_varint(&mut p, *last_seen);
+                K_HELLO
+            }
+            WireMsg::Welcome { last_seen } => {
+                put_varint(&mut p, *last_seen);
+                K_WELCOME
+            }
+            WireMsg::Ack { upto } => {
+                put_varint(&mut p, *upto);
+                K_ACK
+            }
+            WireMsg::Heartbeat { nonce } => {
+                put_varint(&mut p, *nonce);
+                K_HEARTBEAT
+            }
+            WireMsg::HeartbeatAck { nonce } => {
+                put_varint(&mut p, *nonce);
+                K_HEARTBEAT_ACK
+            }
+            WireMsg::Open {
+                session,
+                seed,
+                max_steps,
+            } => {
+                put_varint(&mut p, *session);
+                put_varint(&mut p, *seed);
+                put_varint(&mut p, *max_steps);
+                K_OPEN
+            }
+            WireMsg::Data { session, msg, path } => {
+                put_varint(&mut p, *session);
+                codec::encode_msg(msg, &mut p);
+                put_varint(&mut p, path.len() as u64);
+                for site in path {
+                    put_varint(&mut p, *site as u64);
+                }
+                K_DATA
+            }
+            WireMsg::Prim {
+                session,
+                name,
+                place,
+            } => {
+                put_varint(&mut p, *session);
+                p.push(*place);
+                put_str(&mut p, name);
+                K_PRIM
+            }
+            WireMsg::Status {
+                session,
+                seen,
+                consumed,
+                inbox_empty,
+                vote,
+                blocked,
+                steps,
+            } => {
+                put_varint(&mut p, *session);
+                put_varint(&mut p, *seen);
+                put_varint(&mut p, *consumed);
+                let flags = u8::from(*inbox_empty) | u8::from(*vote) << 1 | u8::from(*blocked) << 2;
+                p.push(flags);
+                put_varint(&mut p, *steps);
+                K_STATUS
+            }
+            WireMsg::Close { session, end } => {
+                put_varint(&mut p, *session);
+                p.push(*end);
+                K_CLOSE
+            }
+            WireMsg::Shutdown => K_SHUTDOWN,
+        };
+        let mut out = Vec::with_capacity(p.len() + 10);
+        encode_frame(kind, &p, &mut out);
+        out
+    }
+
+    /// Decode a frame into `(sequence number, message)`.
+    pub fn decode(frame: &Frame) -> Result<(u64, WireMsg), CodecError> {
+        let b = &frame.payload[..];
+        let mut at = 0usize;
+        let seq = rd_varint(b, &mut at)?;
+        let msg = match frame.kind {
+            K_HELLO => {
+                let place = rd_byte(b, &mut at)?;
+                let last_seen = rd_varint(b, &mut at)?;
+                WireMsg::Hello { place, last_seen }
+            }
+            K_WELCOME => WireMsg::Welcome {
+                last_seen: rd_varint(b, &mut at)?,
+            },
+            K_ACK => WireMsg::Ack {
+                upto: rd_varint(b, &mut at)?,
+            },
+            K_HEARTBEAT => WireMsg::Heartbeat {
+                nonce: rd_varint(b, &mut at)?,
+            },
+            K_HEARTBEAT_ACK => WireMsg::HeartbeatAck {
+                nonce: rd_varint(b, &mut at)?,
+            },
+            K_OPEN => {
+                let session = rd_varint(b, &mut at)?;
+                let seed = rd_varint(b, &mut at)?;
+                let max_steps = rd_varint(b, &mut at)?;
+                WireMsg::Open {
+                    session,
+                    seed,
+                    max_steps,
+                }
+            }
+            K_DATA => {
+                let session = rd_varint(b, &mut at)?;
+                let (msg, used) = codec::decode_msg(&b[at..])?;
+                at += used;
+                let n = rd_varint(b, &mut at)? as usize;
+                if n > 1024 {
+                    return Err(CodecError::Truncated);
+                }
+                let mut path = Vec::with_capacity(n);
+                for _ in 0..n {
+                    path.push(rd_varint(b, &mut at)? as u32);
+                }
+                WireMsg::Data { session, msg, path }
+            }
+            K_PRIM => {
+                let session = rd_varint(b, &mut at)?;
+                let place = rd_byte(b, &mut at)?;
+                let (name, _) = codec::get_str(&b[at..])?;
+                WireMsg::Prim {
+                    session,
+                    name,
+                    place,
+                }
+            }
+            K_STATUS => {
+                let session = rd_varint(b, &mut at)?;
+                let seen = rd_varint(b, &mut at)?;
+                let consumed = rd_varint(b, &mut at)?;
+                let flags = rd_byte(b, &mut at)?;
+                let steps = rd_varint(b, &mut at)?;
+                WireMsg::Status {
+                    session,
+                    seen,
+                    consumed,
+                    inbox_empty: flags & 1 != 0,
+                    vote: flags & 2 != 0,
+                    blocked: flags & 4 != 0,
+                    steps,
+                }
+            }
+            K_CLOSE => {
+                let session = rd_varint(b, &mut at)?;
+                let end = rd_byte(b, &mut at)?;
+                WireMsg::Close { session, end }
+            }
+            K_SHUTDOWN => WireMsg::Shutdown,
+            _ => return Err(CodecError::Truncated),
+        };
+        Ok((seq, msg))
+    }
+}
+
+fn rd_varint(b: &[u8], at: &mut usize) -> Result<u64, CodecError> {
+    let (v, n) = codec::get_varint(&b[*at..]).ok_or(CodecError::Truncated)?;
+    *at += n;
+    Ok(v)
+}
+
+fn rd_byte(b: &[u8], at: &mut usize) -> Result<u8, CodecError> {
+    let v = *b.get(*at).ok_or(CodecError::Truncated)?;
+    *at += 1;
+    Ok(v)
+}
+
+/// Read whatever bytes are available within the connection's read
+/// timeout, feed the frame decoder, and return the decoded messages.
+/// `Ok(..)` with an empty vec means the poll window elapsed quietly;
+/// `Err` means the connection is gone (EOF, reset, or corrupt stream).
+pub fn poll_messages(conn: &mut Conn, dec: &mut FrameDecoder) -> io::Result<Vec<(u64, WireMsg)>> {
+    let mut out = Vec::new();
+    let mut buf = [0u8; 16 * 1024];
+    match conn.read(&mut buf) {
+        Ok(0) => return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "peer closed")),
+        Ok(n) => dec.feed(&buf[..n]),
+        Err(e) if is_poll_timeout(&e) => return Ok(out),
+        Err(e) => return Err(e),
+    }
+    loop {
+        match dec.next() {
+            Ok(Some(frame)) => {
+                let decoded = WireMsg::decode(&frame)
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+                out.push(decoded);
+            }
+            Ok(None) => return Ok(out),
+            Err(e) => return Err(io::Error::new(io::ErrorKind::InvalidData, e.to_string())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lotos::event::{MsgId, SyncKind};
+
+    fn round_trip(m: WireMsg, seq: u64) {
+        let bytes = m.encode(seq);
+        let mut dec = FrameDecoder::new();
+        dec.feed(&bytes);
+        let frame = dec.next().unwrap().unwrap();
+        let (s, back) = WireMsg::decode(&frame).unwrap();
+        assert_eq!(s, seq);
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn all_variants_round_trip() {
+        round_trip(
+            WireMsg::Hello {
+                place: 3,
+                last_seen: 17,
+            },
+            0,
+        );
+        round_trip(WireMsg::Welcome { last_seen: 9 }, 0);
+        round_trip(WireMsg::Ack { upto: 1 << 40 }, 0);
+        round_trip(WireMsg::Heartbeat { nonce: 5 }, 0);
+        round_trip(WireMsg::HeartbeatAck { nonce: 5 }, 0);
+        round_trip(
+            WireMsg::Open {
+                session: 12,
+                seed: 0xC0FFEE,
+                max_steps: 100_000,
+            },
+            44,
+        );
+        round_trip(
+            WireMsg::Data {
+                session: 3,
+                msg: Msg {
+                    from: 1,
+                    to: 2,
+                    id: MsgId::Node(14),
+                    occ: 2,
+                    kind: SyncKind::Seq,
+                },
+                path: vec![7, 31, 7],
+            },
+            45,
+        );
+        round_trip(
+            WireMsg::Prim {
+                session: 3,
+                name: "conreq".into(),
+                place: 1,
+            },
+            46,
+        );
+        round_trip(
+            WireMsg::Status {
+                session: 3,
+                seen: 10,
+                consumed: 9,
+                inbox_empty: false,
+                vote: true,
+                blocked: true,
+                steps: 512,
+            },
+            47,
+        );
+        round_trip(WireMsg::Close { session: 3, end: 2 }, 48);
+        round_trip(WireMsg::Shutdown, 49);
+    }
+
+    #[test]
+    fn control_traffic_is_unsequenced() {
+        assert!(!WireMsg::Hello {
+            place: 1,
+            last_seen: 0
+        }
+        .sequenced());
+        assert!(!WireMsg::Ack { upto: 3 }.sequenced());
+        assert!(!WireMsg::Heartbeat { nonce: 1 }.sequenced());
+        assert!(WireMsg::Shutdown.sequenced());
+        assert!(WireMsg::Open {
+            session: 0,
+            seed: 0,
+            max_steps: 1
+        }
+        .sequenced());
+    }
+}
