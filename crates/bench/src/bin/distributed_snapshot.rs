@@ -37,6 +37,10 @@ fn faults_tag(f: Option<LinkFaults>) -> &'static str {
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    // CI artifacts default to the full workload; --quick is for local
+    // iteration, and every entry records which mode produced it so the
+    // two are never compared as equals.
+    let mode = if quick { "quick" } else { "full" };
     let sessions = if quick { 40 } else { 200 };
     let root = format!("{}/../..", env!("CARGO_MANIFEST_DIR"));
     let mut entries: Vec<String> = Vec::new();
@@ -131,7 +135,7 @@ fn main() {
             let mut e = String::new();
             write!(
                 e,
-                "    {{\"spec\":\"{name}\",\"link_faults\":\"{}\",\"sessions\":{},\
+                "    {{\"spec\":\"{name}\",\"mode\":\"{mode}\",\"link_faults\":\"{}\",\"sessions\":{},\
                  \"threads\":{THREADS},\"sessions_per_sec\":{:.1},\
                  \"latency_p50_us\":{},\"latency_p99_us\":{},\
                  \"messages\":{},\"kills\":{kills},\"reconnects\":{reconnects},\

@@ -13,7 +13,13 @@
 //! normal-completion regime of EXPERIMENTS.md E6 under which the §3.3
 //! deviation cannot occur.
 //!
-//! Usage: `cargo run --release -p bench --bin runtime-snapshot [--quick]`
+//! Usage: `cargo run --release -p bench --bin runtime-snapshot [--quick] [--record]`
+//!
+//! `--record` switches the per-thread flight recorders on for every
+//! run and prints the measured throughput WITHOUT writing
+//! `BENCH_runtime.json` — it is the recorder-overhead measurement mode
+//! (compare its stdout against the committed baseline), not a baseline
+//! producer.
 
 use protogen::Pipeline;
 use runtime::{FaultProfile, PipelineRun, RuntimeConfig};
@@ -41,6 +47,11 @@ fn profile_tag(p: FaultProfile) -> &'static str {
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    // CI artifacts default to the full workload; --quick is for local
+    // iteration, and every entry records which mode produced it so the
+    // two are never compared as equals.
+    let mode = if quick { "quick" } else { "full" };
+    let record = std::env::args().any(|a| a == "--record");
     let sessions = if quick { 200 } else { 2000 };
     let root = format!("{}/../..", env!("CARGO_MANIFEST_DIR"));
     let mut entries: Vec<String> = Vec::new();
@@ -56,7 +67,8 @@ fn main() {
                 .sessions(sessions)
                 .threads(THREADS)
                 .seed(SEED)
-                .faults(profile);
+                .faults(profile)
+                .record(record);
             for &(prim, place) in refuse {
                 cfg = cfg.refuse(prim, place);
             }
@@ -88,7 +100,7 @@ fn main() {
             let mut e = String::new();
             write!(
                 e,
-                "    {{\"spec\":\"{name}\",\"profile\":\"{}\",\"sessions\":{},\
+                "    {{\"spec\":\"{name}\",\"mode\":\"{mode}\",\"profile\":\"{}\",\"sessions\":{},\
                  \"threads\":{THREADS},\"sessions_per_sec\":{:.1},\
                  \"latency_p50_us\":{},\"latency_p99_us\":{},\
                  \"overhead_ratio\":{:.3},\"messages\":{},\"frames_lost\":{},\
@@ -108,6 +120,10 @@ fn main() {
         }
     }
 
+    if record {
+        println!("--record: overhead measurement only, BENCH_runtime.json untouched");
+        return;
+    }
     let json = format!(
         "{{\n  \"generated_by\": \"cargo run --release -p bench --bin runtime-snapshot\",\n  \
          \"config\": {{\"threads\":{THREADS},\"seed\":{SEED},\"quick\":{quick}}},\n  \

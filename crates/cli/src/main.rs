@@ -9,6 +9,7 @@
 //! protogen simulate <spec.lotos> [--seed S] [--runs K]
 //! protogen run      <spec.lotos> [--seed S] [--faults PROF]   one live session
 //! protogen load     <spec.lotos> --sessions N --threads T [--faults PROF]
+//! protogen trace    <spec.lotos> [run/load flags] | --inspect F | --validate F
 //! protogen serve    <spec.lotos> --place P --hub ADDR   one entity process
 //! protogen gen      [--seed S] [--places N] [--depth D] [--disable] [--rec]
 //! protogen central  <spec.lotos> [--server P]   §3 centralized baseline
@@ -23,15 +24,16 @@
 
 use lotos::place::PlaceId;
 use lotos::printer::{print_expr, print_spec};
+use obs::{EventKind, Recorder, Registry};
 use protogen::stats::{message_stats, operator_counts};
 use protogen::{Pipeline, PipelineConfig, ProtogenError};
-use runtime::{
-    DistributedConfig, FaultProfile, PipelineRun, RuntimeConfig, RuntimeReport, ServeConfig,
-};
+use runtime::{DistributedConfig, FaultProfile, RuntimeConfig, RuntimeReport, ServeConfig};
 use semantics::ExploreConfig;
 use sim::{simulate, SimConfig};
 use std::io::Read;
 use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
 use transport::{Addr, FaultProxy, LinkFaults};
 use verify::{PipelineVerify, VerifyConfig};
 
@@ -62,7 +64,7 @@ fn main() -> ExitCode {
 
 fn usage() -> ProtogenError {
     ProtogenError::Usage(
-        "usage: protogen <check|attrs|derive|verify|simulate|gen> [options] <spec.lotos|->\n\
+        "usage: protogen <check|attrs|derive|verify|simulate|trace|gen> [options] <spec.lotos|->\n\
          \n\
          check     parse and report restriction violations (R1, R2, R3, ...)\n\
          attrs     print the SP/EP/AP attribute table and node numbering\n\
@@ -95,6 +97,15 @@ fn usage() -> ProtogenError {
          \x20          --spawn         also fork one `protogen serve` per place\n\
          \x20          --link-faults <f>  with --spawn: route each entity through a\n\
          \x20                          seeded fault proxy (clean | flaky-link | partition-heal)\n\
+         \x20          --metrics <h:p> serve Prometheus text on /metrics (hub only)\n\
+         run/load/trace flight recording:\n\
+         \x20          --trace <file>  record the run and write Chrome trace JSON here\n\
+         trace     record a run into a merged causal trace, or inspect one\n\
+         \x20          (accepts all run/load flags; default output protogen-trace.json)\n\
+         \x20          --timeline      also print the per-session causal timeline\n\
+         \x20          --inspect <file>  print an existing trace (filters: --session\n\
+         \x20                          <n>, --place <p>) instead of recording\n\
+         \x20          --validate <file> parse-check an existing trace and exit\n\
          serve     run one protocol entity against a distributed hub\n\
          \x20          --place <p>     which entity (required)\n\
          \x20          --hub <a>       hub address (required), as for --listen\n\
@@ -142,6 +153,11 @@ const VALUE_FLAGS: &[&str] = &[
     "--hub",
     "--listen",
     "--link-faults",
+    "--trace",
+    "--metrics",
+    "--inspect",
+    "--validate",
+    "--session",
 ];
 
 /// Locate the spec argument (path or `-` for stdin), skipping over flag
@@ -282,11 +298,16 @@ fn write_report(
 
 /// Execute `run`/`load` as the distributed hub (`--distributed`):
 /// listen on `--listen` (default loopback TCP, OS-assigned port) and,
-/// with `--spawn`, fork one `protogen serve` child per place.
+/// with `--spawn`, fork one `protogen serve` child per place. With a
+/// registry the hub records at place 0, stamps its trace id into every
+/// session `Open`, and absorbs the entity-side recorder chunks; with
+/// `--metrics` it serves Prometheus text on `/metrics` for the run's
+/// duration (plus `/trace` when recording).
 fn run_distributed(
     derived: &protogen::pipeline::Derived,
     cfg: &RuntimeConfig,
     args: &[String],
+    registry: Option<Arc<Registry>>,
 ) -> Result<RuntimeReport, ProtogenError> {
     let d = derived.derivation();
     let listen = match flag_value(args, "--listen") {
@@ -297,7 +318,11 @@ fn run_distributed(
         path: listen.to_string(),
         message: e.to_string(),
     };
-    let dcfg = DistributedConfig::new(listen.clone());
+    let mut dcfg = DistributedConfig::new(listen.clone());
+    dcfg.metrics = flag_value(args, "--metrics").map(str::to_string);
+    if let Some(addr) = &dcfg.metrics {
+        eprintln!("hub: metrics exposition on http://{addr}/metrics");
+    }
     let listener = dcfg.listen.listen().map_err(io_err)?;
     let bound = listener.local_addr().map_err(io_err)?;
     eprintln!(
@@ -367,7 +392,7 @@ fn run_distributed(
         }
     }
 
-    let report = runtime::run_hub_on(d, cfg, &dcfg, listener).map_err(io_err);
+    let report = runtime::run_hub_obs(d, cfg, &dcfg, listener, registry).map_err(io_err);
     // Entities exit on Shutdown; whatever is still running once the
     // grace period lapses (e.g. after an aborted run) is cleaned up.
     let deadline = std::time::Instant::now() + std::time::Duration::from_secs(2);
@@ -392,6 +417,93 @@ fn run_distributed(
         proxy.stop();
     }
     report
+}
+
+/// Run one pipeline stage, timing it into `phases` and bracketing it
+/// with `PhaseStart`/`PhaseEnd` recorder events when recording.
+fn staged<T>(
+    rec: Option<&Recorder>,
+    phases: &mut Vec<(String, f64)>,
+    name: &str,
+    f: impl FnOnce() -> Result<T, ProtogenError>,
+) -> Result<T, ProtogenError> {
+    if let Some(r) = rec {
+        r.record_named(EventKind::PhaseStart, obs::NO_SESSION, 0, name, 0);
+    }
+    let t = Instant::now();
+    let out = f();
+    if let Some(r) = rec {
+        r.record_named(EventKind::PhaseEnd, obs::NO_SESSION, 0, name, 0);
+    }
+    phases.push((name.to_string(), t.elapsed().as_secs_f64() * 1000.0));
+    out
+}
+
+/// Shared `run`/`load`/`trace` executor: phase-timed pipeline stages,
+/// optional flight recording (`--trace <path>` or `trace_path`), local
+/// or distributed (`--distributed`) execution. Returns the report with
+/// measured phase timings plus the registry when the run recorded.
+fn execute_runtime(
+    rest: &[String],
+    single: bool,
+    trace_path: Option<&str>,
+) -> Result<(RuntimeReport, Option<Arc<Registry>>), ProtogenError> {
+    let mut cfg = runtime_config(rest)?;
+    if single {
+        cfg = cfg.sessions(1);
+    }
+    let registry = (trace_path.is_some() || cfg.record)
+        .then(|| Registry::new(runtime::trace_id_for(cfg.seed), obs::DEFAULT_CAPACITY));
+    if registry.is_some() {
+        cfg = cfg.record(true);
+    }
+    let rec = registry.as_ref().map(|r| r.recorder(0));
+    let rec = rec.as_ref();
+    let mut phases = Vec::new();
+
+    let pipeline = staged(rec, &mut phases, "parse", || load_pipeline(rest))?;
+    let checked = staged(rec, &mut phases, "attributes", || pipeline.check())?;
+    let derived = staged(rec, &mut phases, "derive", || checked.derive())?;
+
+    let distributed = rest.iter().any(|a| a == "--distributed");
+    if flag_value(rest, "--metrics").is_some() && !distributed {
+        return Err(ProtogenError::Usage(
+            "--metrics needs --distributed (the hub serves the exposition)".into(),
+        ));
+    }
+    let mut report = staged(rec, &mut phases, "run", || {
+        if distributed {
+            run_distributed(&derived, &cfg, rest, registry.clone())
+        } else {
+            Ok(runtime::run_obs(
+                derived.derivation(),
+                &cfg,
+                registry.clone(),
+            ))
+        }
+    })?;
+    report.phases = phases;
+
+    if let Some(reg) = &registry {
+        // Refresh the counts past the final PhaseEnd, then export.
+        let (rings, events, dropped) = reg.stats();
+        report.trace_meta = Some(runtime::TraceMeta {
+            trace_id: reg.trace_id,
+            rings,
+            events,
+            dropped,
+        });
+        if let Some(path) = trace_path {
+            std::fs::write(path, reg.snapshot().to_chrome_json()).map_err(|e| {
+                ProtogenError::Io {
+                    path: path.to_string(),
+                    message: e.to_string(),
+                }
+            })?;
+            eprintln!("trace: wrote {path} ({events} events)");
+        }
+    }
+    Ok((report, registry))
 }
 
 fn run(args: &[String]) -> Result<(), ProtogenError> {
@@ -561,13 +673,7 @@ fn run(args: &[String]) -> Result<(), ProtogenError> {
             }
         }
         "run" => {
-            let derived = load_pipeline(rest)?.check()?.derive()?;
-            let cfg = runtime_config(rest)?.sessions(1);
-            let report = if rest.iter().any(|a| a == "--distributed") {
-                run_distributed(&derived, &cfg, rest)?
-            } else {
-                derived.load_test(&cfg)
-            };
+            let (report, _) = execute_runtime(rest, true, flag_value(rest, "--trace"))?;
             let session = report
                 .reports
                 .first()
@@ -615,13 +721,7 @@ fn run(args: &[String]) -> Result<(), ProtogenError> {
             }
         }
         "load" => {
-            let derived = load_pipeline(rest)?.check()?.derive()?;
-            let cfg = runtime_config(rest)?;
-            let report = if rest.iter().any(|a| a == "--distributed") {
-                run_distributed(&derived, &cfg, rest)?
-            } else {
-                derived.load_test(&cfg)
-            };
+            let (report, _) = execute_runtime(rest, false, flag_value(rest, "--trace"))?;
             println!(
                 "engine={} sessions={} conforming={} terminated={} deadlocked={} \
                  step-limited={} violations={}",
@@ -665,6 +765,84 @@ fn run(args: &[String]) -> Result<(), ProtogenError> {
                     report.sessions - report.conforming,
                     report.sessions
                 )))
+            }
+        }
+        "trace" => {
+            let read_file = |path: &str| {
+                std::fs::read_to_string(path).map_err(|e| ProtogenError::Io {
+                    path: path.to_string(),
+                    message: e.to_string(),
+                })
+            };
+            if let Some(path) = flag_value(rest, "--validate") {
+                let events = obs::parse_chrome_json(&read_file(path)?)
+                    .map_err(|e| ProtogenError::Verification(format!("{path}: {e}")))?;
+                println!("{path}: valid Chrome trace JSON, {} events", events.len());
+                return Ok(());
+            }
+            if let Some(path) = flag_value(rest, "--inspect") {
+                let mut events = obs::parse_chrome_json(&read_file(path)?)
+                    .map_err(|e| ProtogenError::Verification(format!("{path}: {e}")))?;
+                if let Some(s) = parse_flag::<i64>(rest, "--session")? {
+                    events.retain(|e| e.session == s);
+                }
+                if let Some(p) = parse_flag::<u64>(rest, "--place")? {
+                    events.retain(|e| e.pid == p);
+                }
+                for e in &events {
+                    println!(
+                        "ts={:>12.3}us place={} session={:<3} lc={:<5} [{}] {}",
+                        e.ts_us, e.pid, e.session, e.lc, e.cat, e.name
+                    );
+                }
+                println!("{} events", events.len());
+                return Ok(());
+            }
+            // Record mode: run the spec (all run/load flags apply) with
+            // the flight recorder on and write the merged causal trace.
+            let path = flag_value(rest, "--trace")
+                .or_else(|| flag_value(rest, "--out"))
+                .unwrap_or("protogen-trace.json");
+            let (report, registry) = execute_runtime(rest, false, Some(path))?;
+            let registry = registry.expect("trace records by construction");
+            let log = registry.snapshot();
+            for (name, ms) in &report.phases {
+                println!("phase {name}: {ms:.3} ms");
+            }
+            println!(
+                "sessions={} conforming={} violations={} events={}",
+                report.sessions,
+                report.conforming,
+                report.violations.len(),
+                log.events.len(),
+            );
+            if rest.iter().any(|a| a == "--timeline") {
+                print!("{}", log.to_timeline());
+            }
+            let causal = log.causal_violations();
+            for c in &causal {
+                eprintln!("causal: {c}");
+            }
+            // `--out` names the trace file here; only `--report` writes
+            // the JSON report.
+            if let Some(path) = flag_value(rest, "--report") {
+                std::fs::write(path, report.to_json()).map_err(|e| ProtogenError::Io {
+                    path: path.to_string(),
+                    message: e.to_string(),
+                })?;
+                println!("report: {path}");
+            }
+            if !causal.is_empty() {
+                Err(ProtogenError::Verification(format!(
+                    "{} causal inconsistencies in the merged trace",
+                    causal.len()
+                )))
+            } else if report.passed() {
+                Ok(())
+            } else {
+                Err(ProtogenError::Verification(
+                    "run failed (violations or aborted sessions); see the report".into(),
+                ))
             }
         }
         "serve" => {

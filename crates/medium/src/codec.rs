@@ -10,8 +10,11 @@
 //! +----+----+---------+------+-----------------+---------+------------+
 //! ```
 //!
-//! * `version` is [`WIRE_VERSION`]; decoders reject other versions so a
-//!   protocol change can never be misread silently;
+//! * `version` is [`WIRE_VERSION`]; decoders accept the compatibility
+//!   window `[MIN_WIRE_VERSION, WIRE_VERSION]` and reject anything else
+//!   so a protocol change can never be misread silently — a new reader
+//!   still accepts old writers, while an old reader fails an
+//!   unknown-future frame with an explicit [`CodecError::BadVersion`];
 //! * `kind` is an application discriminant the codec carries opaquely
 //!   (the transport crate maps it to its message vocabulary);
 //! * `payload_len` is a LEB128 varint ([`put_varint`]); payloads above
@@ -28,8 +31,14 @@
 use crate::Msg;
 use lotos::event::{MsgId, SyncKind};
 
-/// Wire-format version. Bump on any incompatible layout change.
-pub const WIRE_VERSION: u8 = 1;
+/// Wire-format version written by this build. Bump on any layout
+/// change. History: v1 = original framing; v2 = trace context (trace id
+/// on session open, Lamport clocks on data/prim, recorder chunks).
+pub const WIRE_VERSION: u8 = 2;
+
+/// Oldest wire version this decoder still accepts. Version-dependent
+/// payload fields are resolved by the layer above via [`Frame::version`].
+pub const MIN_WIRE_VERSION: u8 = 1;
 
 /// Frame magic: `b"PG"`.
 pub const MAGIC: [u8; 2] = *b"PG";
@@ -136,19 +145,30 @@ pub fn crc32(data: &[u8]) -> u32 {
 
 // ---- frames -------------------------------------------------------------
 
-/// A decoded transport frame: an opaque `kind` plus payload bytes.
+/// A decoded transport frame: the wire version it arrived under, an
+/// opaque `kind`, and payload bytes. The version lets the layer above
+/// decode payloads whose trailing fields grew across versions.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Frame {
+    pub version: u8,
     pub kind: u8,
     pub payload: Vec<u8>,
 }
 
-/// Encode one frame (header, payload, checksum) into `out`.
+/// Encode one frame (header, payload, checksum) into `out` at the
+/// current [`WIRE_VERSION`].
 pub fn encode_frame(kind: u8, payload: &[u8], out: &mut Vec<u8>) {
+    encode_frame_versioned(WIRE_VERSION, kind, payload, out);
+}
+
+/// Encode one frame stamped with an explicit `version`. The payload must
+/// already be laid out for that version; this exists so compatibility
+/// tests (and down-level writers) can produce old-version frames.
+pub fn encode_frame_versioned(version: u8, kind: u8, payload: &[u8], out: &mut Vec<u8>) {
     debug_assert!(payload.len() <= MAX_PAYLOAD);
     out.extend_from_slice(&MAGIC);
     let body_start = out.len();
-    out.push(WIRE_VERSION);
+    out.push(version);
     out.push(kind);
     put_varint(out, payload.len() as u64);
     out.extend_from_slice(payload);
@@ -201,7 +221,7 @@ impl FrameDecoder {
             return Ok(None);
         }
         let version = b[2];
-        if version != WIRE_VERSION {
+        if !(MIN_WIRE_VERSION..=WIRE_VERSION).contains(&version) {
             return Err(CodecError::BadVersion(version));
         }
         let kind = b[3];
@@ -232,7 +252,11 @@ impl FrameDecoder {
             self.buf.drain(..self.start);
             self.start = 0;
         }
-        Ok(Some(Frame { kind, payload }))
+        Ok(Some(Frame {
+            version,
+            kind,
+            payload,
+        }))
     }
 }
 
@@ -441,12 +465,40 @@ mod tests {
     }
 
     #[test]
-    fn wrong_version_rejected() {
-        let mut bytes = msg_frame(2, &sample());
-        bytes[2] = WIRE_VERSION + 1;
+    fn future_version_rejected_explicitly() {
+        // An old reader facing a newer writer must fail loudly, never
+        // misread: patching the version byte past WIRE_VERSION breaks
+        // the crc too, but the version check fires first.
+        let mut payload = Vec::new();
+        encode_msg(&sample(), &mut payload);
+        let mut bytes = Vec::new();
+        encode_frame_versioned(WIRE_VERSION + 1, 2, &payload, &mut bytes);
         let mut dec = FrameDecoder::new();
         dec.feed(&bytes);
         assert_eq!(dec.next(), Err(CodecError::BadVersion(WIRE_VERSION + 1)));
+    }
+
+    #[test]
+    fn versions_in_compat_window_accepted() {
+        let mut payload = Vec::new();
+        encode_msg(&sample(), &mut payload);
+        for version in MIN_WIRE_VERSION..=WIRE_VERSION {
+            let mut bytes = Vec::new();
+            encode_frame_versioned(version, 7, &payload, &mut bytes);
+            let mut dec = FrameDecoder::new();
+            dec.feed(&bytes);
+            let frame = dec.next().unwrap().unwrap();
+            assert_eq!(frame.version, version);
+            assert_eq!(frame.kind, 7);
+        }
+        let mut bytes = Vec::new();
+        encode_frame_versioned(MIN_WIRE_VERSION - 1, 7, &payload, &mut bytes);
+        let mut dec = FrameDecoder::new();
+        dec.feed(&bytes);
+        assert_eq!(
+            dec.next(),
+            Err(CodecError::BadVersion(MIN_WIRE_VERSION - 1))
+        );
     }
 
     #[test]

@@ -1,0 +1,259 @@
+//! The typed event vocabulary of the flight recorders.
+//!
+//! Every recorded occurrence is one fixed-size [`Event`]: a kind byte,
+//! the emitting place, the session it belongs to, a per-session Lamport
+//! clock, a wall-clock offset from the recorder's epoch, and two
+//! kind-specific payload words. Events are plain `Copy` data — recording
+//! one is a handful of atomic stores, never an allocation — and string
+//! payloads (primitive and phase names) are interned once per registry
+//! and referenced by id.
+
+/// Session id used for events that are not scoped to a session (link
+/// lifecycle, pipeline phases).
+pub const NO_SESSION: u64 = u64::MAX;
+
+/// What an [`Event`] records. The discriminant is the wire encoding.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum EventKind {
+    /// A pipeline phase (parse/attributes/derive/verify/run) began.
+    /// `a` = interned phase name.
+    PhaseStart = 0,
+    /// A pipeline phase ended. `a` = interned phase name.
+    PhaseEnd = 1,
+    /// A session was opened. `a` = session seed.
+    SessionOpen = 2,
+    /// A session reached a verdict. `a` = end code (0 terminated,
+    /// 1 deadlock, 2 step-limit, 3 aborted), `b` = total steps.
+    SessionClose = 3,
+    /// A service primitive synchronized. `a` = interned primitive name,
+    /// `b` = executing place (the `place` field is the *recorder's*
+    /// place, which differs at the hub).
+    Prim = 4,
+    /// A primitive was offered but refused (`--refuse`): the session had
+    /// no other move. `a` = interned primitive name, `b` = offering
+    /// place.
+    PrimOffer = 5,
+    /// A synchronization message entered the medium. `a`/`b` pack the
+    /// message (see [`pack_msg`]).
+    MediumSend = 6,
+    /// A synchronization message left the medium. Same packing.
+    MediumRecv = 7,
+    /// The hub forwarded a message between entity links. Same packing.
+    Forward = 8,
+    /// A link came up for the first time. `a` = peer place.
+    LinkConnect = 9,
+    /// A link reconnected after a drop. `a` = peer place,
+    /// `b` = reconnect count so far.
+    LinkReconnect = 10,
+    /// Frames were retransmitted on resume. `a` = peer place,
+    /// `b` = frames resent in this resume.
+    LinkRetransmit = 11,
+    /// A link dropped (error, heartbeat death, injected kill).
+    /// `a` = peer place.
+    LinkDown = 12,
+    /// In-process fault-injection summary at session close.
+    /// `a` = frames lost, `b` = retransmissions.
+    FaultSummary = 13,
+    /// The conformance monitor rejected the session's trace.
+    /// `a` = interned primitive name, `b` = offending place.
+    Violation = 14,
+    /// The session was aborted by the runtime (lost entity, stall).
+    Abort = 15,
+}
+
+impl EventKind {
+    pub fn from_u8(b: u8) -> Option<EventKind> {
+        Some(match b {
+            0 => EventKind::PhaseStart,
+            1 => EventKind::PhaseEnd,
+            2 => EventKind::SessionOpen,
+            3 => EventKind::SessionClose,
+            4 => EventKind::Prim,
+            5 => EventKind::PrimOffer,
+            6 => EventKind::MediumSend,
+            7 => EventKind::MediumRecv,
+            8 => EventKind::Forward,
+            9 => EventKind::LinkConnect,
+            10 => EventKind::LinkReconnect,
+            11 => EventKind::LinkRetransmit,
+            12 => EventKind::LinkDown,
+            13 => EventKind::FaultSummary,
+            14 => EventKind::Violation,
+            15 => EventKind::Abort,
+            _ => return None,
+        })
+    }
+
+    /// Short lowercase tag used by the exporters.
+    pub fn tag(self) -> &'static str {
+        match self {
+            EventKind::PhaseStart => "phase-start",
+            EventKind::PhaseEnd => "phase-end",
+            EventKind::SessionOpen => "open",
+            EventKind::SessionClose => "close",
+            EventKind::Prim => "prim",
+            EventKind::PrimOffer => "offer-refused",
+            EventKind::MediumSend => "send",
+            EventKind::MediumRecv => "recv",
+            EventKind::Forward => "forward",
+            EventKind::LinkConnect => "link-connect",
+            EventKind::LinkReconnect => "link-reconnect",
+            EventKind::LinkRetransmit => "link-retransmit",
+            EventKind::LinkDown => "link-down",
+            EventKind::FaultSummary => "faults",
+            EventKind::Violation => "violation",
+            EventKind::Abort => "abort",
+        }
+    }
+}
+
+/// One recorded occurrence. Exactly 48 bytes of plain data; see
+/// [`EventKind`] for the meaning of `a` and `b` per kind.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Event {
+    pub kind: EventKind,
+    /// Place of the *recorder* that captured the event (0 = hub/driver).
+    pub place: u8,
+    /// Session id, or [`NO_SESSION`].
+    pub session: u64,
+    /// Per-session Lamport clock at emission; 0 = unclocked bookkeeping.
+    pub lc: u64,
+    /// Nanoseconds since the emitting registry's epoch. Only comparable
+    /// within one process; `lc` is the cross-process order.
+    pub wall_ns: u64,
+    pub a: u64,
+    pub b: u64,
+}
+
+impl Event {
+    /// Pack into the six words a ring slot stores.
+    pub(crate) fn to_words(self) -> [u64; 6] {
+        [
+            (self.kind as u64) | ((self.place as u64) << 8),
+            self.session,
+            self.lc,
+            self.wall_ns,
+            self.a,
+            self.b,
+        ]
+    }
+
+    /// Unpack from ring-slot words; `None` if the kind byte is invalid
+    /// (torn read that slipped past the seqlock check — never exported).
+    pub(crate) fn from_words(w: [u64; 6]) -> Option<Event> {
+        Some(Event {
+            kind: EventKind::from_u8((w[0] & 0xff) as u8)?,
+            place: ((w[0] >> 8) & 0xff) as u8,
+            session: w[1],
+            lc: w[2],
+            wall_ns: w[3],
+            a: w[4],
+            b: w[5],
+        })
+    }
+
+    /// Does `a` reference the interner? Used when chunks re-map name ids
+    /// across processes.
+    pub(crate) fn name_ref(&self) -> NameRef {
+        match self.kind {
+            EventKind::PhaseStart
+            | EventKind::PhaseEnd
+            | EventKind::Prim
+            | EventKind::PrimOffer
+            | EventKind::Violation => NameRef::Direct,
+            EventKind::MediumSend | EventKind::MediumRecv | EventKind::Forward
+                if self.b & NAMED_BIT != 0 =>
+            {
+                NameRef::Tagged
+            }
+            _ => NameRef::None,
+        }
+    }
+
+    /// Re-map the interner id in `a` (if any) through `f`.
+    pub(crate) fn remap_name(&mut self, mut f: impl FnMut(u32) -> u32) {
+        match self.name_ref() {
+            NameRef::Direct => self.a = f(self.a as u32) as u64,
+            NameRef::Tagged => {
+                let id = f((self.a & 0xffff_ffff) as u32) as u64;
+                self.a = (self.a & !0xffff_ffff) | id;
+            }
+            NameRef::None => {}
+        }
+    }
+}
+
+pub(crate) enum NameRef {
+    None,
+    /// `a` is an interner id.
+    Direct,
+    /// `a` is a packed message word whose id half is an interner id.
+    Tagged,
+}
+
+/// Bit in `b` marking `a`'s low half as an interner id (named message
+/// id) rather than a node number.
+const NAMED_BIT: u64 = 1 << 16;
+
+/// Pack a synchronization message for `MediumSend`/`MediumRecv`/
+/// `Forward`: `a` = `occ << 32 | id_or_name`,
+/// `b` = `from | to << 8 | named << 16`. `id_or_name` is the node
+/// number for numeric message ids, or an interner id for named ones.
+pub fn pack_msg(named: bool, id_or_name: u32, occ: u32, from: u8, to: u8) -> (u64, u64) {
+    let a = ((occ as u64) << 32) | id_or_name as u64;
+    let b = (from as u64) | ((to as u64) << 8) | if named { NAMED_BIT } else { 0 };
+    (a, b)
+}
+
+/// Inverse of [`pack_msg`]: `(named, id_or_name, occ, from, to)`.
+pub fn unpack_msg(a: u64, b: u64) -> (bool, u32, u32, u8, u8) {
+    (
+        b & NAMED_BIT != 0,
+        (a & 0xffff_ffff) as u32,
+        (a >> 32) as u32,
+        (b & 0xff) as u8,
+        ((b >> 8) & 0xff) as u8,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn words_round_trip() {
+        let ev = Event {
+            kind: EventKind::MediumSend,
+            place: 3,
+            session: 17,
+            lc: 42,
+            wall_ns: 123_456,
+            a: 99,
+            b: 7,
+        };
+        assert_eq!(Event::from_words(ev.to_words()), Some(ev));
+        assert_eq!(Event::from_words([0xff; 6]), None);
+    }
+
+    #[test]
+    fn msg_packing_round_trips() {
+        for (named, id, occ, from, to) in [
+            (false, 14, 0, 1, 2),
+            (true, 7, 3, 2, 1),
+            (false, u32::MAX, u32::MAX, 255, 255),
+        ] {
+            let (a, b) = pack_msg(named, id, occ, from, to);
+            assert_eq!(unpack_msg(a, b), (named, id, occ, from, to));
+        }
+    }
+
+    #[test]
+    fn kind_codes_round_trip() {
+        for code in 0..=15u8 {
+            let k = EventKind::from_u8(code).unwrap();
+            assert_eq!(k as u8, code);
+        }
+        assert_eq!(EventKind::from_u8(16), None);
+    }
+}

@@ -1,0 +1,129 @@
+//! A deliberately tiny HTTP/1.1 responder for the hub's `--metrics`
+//! listener: GET-only, fixed route table, one thread, no keep-alive.
+//! Enough for a Prometheus scraper and `curl`; anything fancier belongs
+//! in a real server.
+
+use std::io::{Read, Write};
+use std::net::TcpListener;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A route handler: returns `(content_type, body)`.
+pub type Handler = Arc<dyn Fn() -> (String, String) + Send + Sync>;
+
+/// A background HTTP listener. Dropping it leaves the thread running
+/// until [`MetricsServer::stop`] or process exit; the hub stops it
+/// explicitly when the run finishes.
+pub struct MetricsServer {
+    pub addr: std::net::SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Bind `addr` (e.g. `127.0.0.1:9464`; port 0 picks a free one) and
+    /// serve `routes` — `(path, handler)` pairs — until stopped. Unknown
+    /// paths get 404; non-GET requests get 405.
+    pub fn spawn(addr: &str, routes: Vec<(String, Handler)>) -> std::io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        let bound = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = stop.clone();
+        let handle = std::thread::Builder::new()
+            .name("obs-metrics".to_string())
+            .spawn(move || {
+                while !stop2.load(Ordering::Relaxed) {
+                    match listener.accept() {
+                        Ok((mut conn, _)) => {
+                            let _ = conn.set_read_timeout(Some(Duration::from_millis(500)));
+                            let _ = conn.set_nonblocking(false);
+                            let mut req = [0u8; 1024];
+                            let n = conn.read(&mut req).unwrap_or(0);
+                            let (status, ctype, body) =
+                                respond(&String::from_utf8_lossy(&req[..n]), &routes);
+                            let _ = write!(
+                                conn,
+                                "HTTP/1.1 {status}\r\nContent-Type: {ctype}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+                                body.len(),
+                            );
+                            let _ = conn.flush();
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(20));
+                        }
+                        Err(_) => break,
+                    }
+                }
+            })?;
+        Ok(MetricsServer {
+            addr: bound,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// Stop the listener thread and join it.
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn respond(req: &str, routes: &[(String, Handler)]) -> (&'static str, String, String) {
+    let mut parts = req.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("/").split('?').next().unwrap_or("/");
+    if method != "GET" {
+        return (
+            "405 Method Not Allowed",
+            "text/plain".into(),
+            "GET only\n".into(),
+        );
+    }
+    for (route, handler) in routes {
+        if route == path {
+            let (ctype, body) = handler();
+            return ("200 OK", ctype, body);
+        }
+    }
+    (
+        "404 Not Found",
+        "text/plain".into(),
+        "no such route\n".into(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
+
+    fn get(addr: std::net::SocketAddr, path: &str) -> String {
+        let mut conn = TcpStream::connect(addr).unwrap();
+        write!(conn, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut out = String::new();
+        conn.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn serves_routes_and_404s() {
+        let routes: Vec<(String, Handler)> = vec![(
+            "/metrics".to_string(),
+            Arc::new(|| ("text/plain; version=0.0.4".to_string(), "x 1\n".to_string())),
+        )];
+        let server = MetricsServer::spawn("127.0.0.1:0", routes).unwrap();
+        let ok = get(server.addr, "/metrics");
+        assert!(ok.starts_with("HTTP/1.1 200 OK"), "{ok}");
+        assert!(ok.ends_with("x 1\n"));
+        let missing = get(server.addr, "/nope");
+        assert!(missing.starts_with("HTTP/1.1 404"));
+        server.stop();
+    }
+}

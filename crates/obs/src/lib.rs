@@ -1,0 +1,35 @@
+//! Causal flight recorders for derived-protocol runs.
+//!
+//! The paper's correctness claim is an equivalence of behaviours —
+//! `S ≈ hide G in ((PE_1 ||| … ||| PE_n) |[G]| Medium)` — and when a
+//! conformance run fails, the question is always *which interleaving*
+//! of primitives, medium messages, and link faults got there. This
+//! crate records exactly that, cheaply enough to leave on under load:
+//!
+//! * [`event`] — the typed vocabulary: one fixed-size [`Event`] per
+//!   occurrence, stamped `(trace_id, session, place, lc, wall_ns)`
+//!   where `lc` is a per-session Lamport clock;
+//! * [`ring`] — per-thread seqlock rings (fixed capacity,
+//!   overwrite-oldest, no allocation when recording) behind a shared
+//!   [`Registry`] that interns names and merges remote [`Chunk`]s
+//!   into one log;
+//! * [`export`] — Chrome `trace_event` JSON, a human timeline, the
+//!   per-session tail used for violation reports, and the
+//!   causal-consistency checker;
+//! * [`http`] — the minimal GET responder behind the hub's
+//!   `--metrics` endpoint.
+//!
+//! The runtime crate wires recorders into its engines; this crate knows
+//! nothing about entities or sessions beyond their ids, so it can sit
+//! below `transport` (which ships [`Chunk`]s in wire frames) without a
+//! dependency cycle.
+
+pub mod event;
+pub mod export;
+pub mod http;
+pub mod ring;
+
+pub use event::{pack_msg, unpack_msg, Event, EventKind, NO_SESSION};
+pub use export::{parse_chrome_json, ChromeEvent, TraceEvent, TraceLog};
+pub use http::{Handler, MetricsServer};
+pub use ring::{Chunk, Recorder, Registry, DEFAULT_CAPACITY};

@@ -119,6 +119,11 @@ pub struct RuntimeConfig {
     /// Primitives the service users never offer (see
     /// [`sim::des::SimConfig::refuse`]).
     pub refuse: Vec<(String, PlaceId)>,
+    /// Flight-record the run: every engine thread captures its causal
+    /// event tail into a lock-free ring (see the `obs` crate) and
+    /// violation/abort reports carry the offending session's tail.
+    /// Off by default — disabled recording costs one branch per event.
+    pub record: bool,
 }
 
 impl Default for RuntimeConfig {
@@ -131,6 +136,7 @@ impl Default for RuntimeConfig {
             max_steps: 100_000,
             faults: FaultProfile::None,
             refuse: Vec::new(),
+            record: false,
         }
     }
 }
@@ -182,6 +188,12 @@ impl RuntimeConfig {
         self
     }
 
+    /// Enable or disable flight recording.
+    pub fn record(mut self, on: bool) -> Self {
+        self.record = on;
+        self
+    }
+
     /// The seed session `k` runs under (matches the CLI's
     /// `simulate --runs` convention, so `threads 1` reproduces DES runs).
     pub fn session_seed(&self, k: usize) -> u64 {
@@ -192,8 +204,14 @@ impl RuntimeConfig {
     pub fn to_json(&self) -> String {
         format!(
             "{{\"sessions\":{},\"threads\":{},\"seed\":{},\"capacity\":{},\
-             \"max_steps\":{},\"faults\":\"{}\"}}",
-            self.sessions, self.threads, self.seed, self.capacity, self.max_steps, self.faults
+             \"max_steps\":{},\"faults\":\"{}\",\"record\":{}}}",
+            self.sessions,
+            self.threads,
+            self.seed,
+            self.capacity,
+            self.max_steps,
+            self.faults,
+            self.record
         )
     }
 
@@ -221,6 +239,9 @@ impl RuntimeConfig {
         }
         if let Some(p) = semantics::jsonish::get_str(s, "faults") {
             cfg.faults = FaultProfile::parse(p)?;
+        }
+        if let Some(b) = semantics::jsonish::get_bool(s, "record") {
+            cfg.record = b;
         }
         Ok(cfg)
     }
@@ -261,7 +282,8 @@ mod tests {
             .seed(42)
             .capacity(8)
             .max_steps(9000)
-            .faults(FaultProfile::Lossy { loss: 0.25 });
+            .faults(FaultProfile::Lossy { loss: 0.25 })
+            .record(true);
         let back = RuntimeConfig::from_json(&cfg.to_json()).unwrap();
         assert_eq!(back.sessions, 500);
         assert_eq!(back.threads, 4);
@@ -269,6 +291,10 @@ mod tests {
         assert_eq!(back.capacity, 8);
         assert_eq!(back.max_steps, 9000);
         assert_eq!(back.faults, FaultProfile::Lossy { loss: 0.25 });
+        assert!(back.record);
+        // Documents written before the `record` key keep the default.
+        let old = RuntimeConfig::from_json("{\"sessions\":3}").unwrap();
+        assert!(!old.record);
     }
 
     #[test]

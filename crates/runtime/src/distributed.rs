@@ -48,12 +48,14 @@
 //! `serve` process the same way.
 
 use crate::config::RuntimeConfig;
-use crate::exec::{replay_conformance, Tally};
+use crate::entity::pack_msg_event;
+use crate::exec::{replay_conformance, trace_id_for, Tally};
 use crate::metrics::{LinkReport, Metrics, RuntimeReport, SessionReport, ViolationRecord};
 use crate::session::SessionEnd;
 use lotos::ast::Spec;
 use lotos::place::PlaceId;
 use medium::Msg;
+use obs::{EventKind, Recorder, Registry};
 use protogen::derive::Derivation;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -89,6 +91,11 @@ pub struct DistributedConfig {
     /// Global no-progress guard: if *nothing* happens for this long the
     /// run aborts every live session rather than hang.
     pub stall_timeout: Duration,
+    /// TCP address for the live observability listener (`--metrics`):
+    /// serves Prometheus text exposition at `/metrics` and, when the run
+    /// is recorded, a Chrome-trace snapshot of the merged log at
+    /// `/trace`. `None` = no listener.
+    pub metrics: Option<String>,
 }
 
 impl Default for DistributedConfig {
@@ -102,6 +109,7 @@ impl Default for DistributedConfig {
             handshake_timeout: Duration::from_secs(2),
             poll: Duration::from_millis(2),
             stall_timeout: Duration::from_secs(20),
+            metrics: None,
         }
     }
 }
@@ -158,6 +166,10 @@ struct HubSession {
     messages: usize,
     started: Instant,
     last_prim: Option<Instant>,
+    /// Hub-side Lamport clock for the session: merged with every wire
+    /// clock that arrives, so the hub's recorded observations order
+    /// consistently with the entities' own events.
+    lc: u64,
 }
 
 impl HubSession {
@@ -171,6 +183,7 @@ impl HubSession {
             messages: 0,
             started: Instant::now(),
             last_prim: None,
+            lc: 0,
         }
     }
 
@@ -302,6 +315,24 @@ pub fn run_hub_on(
     dcfg: &DistributedConfig,
     listener: transport::Listener,
 ) -> io::Result<RuntimeReport> {
+    let registry = cfg
+        .record
+        .then(|| Registry::new(trace_id_for(cfg.seed), obs::DEFAULT_CAPACITY));
+    run_hub_obs(d, cfg, dcfg, listener, registry)
+}
+
+/// [`run_hub_on`] recording into a caller-supplied flight-recorder
+/// registry. The hub propagates its trace id in every `Open` frame (wire
+/// v2), absorbs the [`WireMsg::Trace`] chunks entities flush at
+/// shutdown, and merges everything into one causal log; violation and
+/// abort reports carry their session's tail.
+pub fn run_hub_obs(
+    d: &Derivation,
+    cfg: &RuntimeConfig,
+    dcfg: &DistributedConfig,
+    listener: transport::Listener,
+    registry: Option<Arc<Registry>>,
+) -> io::Result<RuntimeReport> {
     let started = Instant::now();
     listener.set_nonblocking(true)?;
 
@@ -312,7 +343,35 @@ pub fn run_hub_on(
     let now = Instant::now();
     let mut links: Vec<EntityLink> = places.iter().map(|&p| EntityLink::new(p, now)).collect();
 
-    let metrics = Metrics::for_service(&d.service);
+    let metrics = Arc::new(Metrics::for_service(&d.service));
+    // The hub's recorder observes at place 0; entity processes record at
+    // their own places and ship chunks back at shutdown.
+    let rec = registry.as_ref().map(|r| r.recorder(0));
+    let trace_id = registry.as_ref().map(|r| r.trace_id).unwrap_or(0);
+    let server = match &dcfg.metrics {
+        Some(addr) => {
+            let m = Arc::clone(&metrics);
+            let mut routes: Vec<(String, obs::Handler)> = vec![(
+                "/metrics".to_string(),
+                Arc::new(move || ("text/plain; version=0.0.4".to_string(), m.to_prometheus()))
+                    as obs::Handler,
+            )];
+            if let Some(reg) = &registry {
+                let reg = Arc::clone(reg);
+                routes.push((
+                    "/trace".to_string(),
+                    Arc::new(move || {
+                        (
+                            "application/json".to_string(),
+                            reg.snapshot().to_chrome_json(),
+                        )
+                    }),
+                ));
+            }
+            Some(obs::MetricsServer::spawn(addr, routes)?)
+        }
+        None => None,
+    };
     let mut tally = Tally::new();
     let mut events: Vec<String> = Vec::new();
     let mut sessions: BTreeMap<u64, HubSession> = BTreeMap::new();
@@ -331,6 +390,9 @@ pub fn run_hub_on(
         while next < cfg.sessions && sessions.len() < window {
             let id = next as u64;
             let seed = cfg.session_seed(next);
+            if let Some(rec) = &rec {
+                rec.record(EventKind::SessionOpen, id, 0, seed, 0);
+            }
             sessions.insert(id, HubSession::new(id, seed, n));
             for link in links.iter_mut() {
                 link.push(
@@ -338,6 +400,7 @@ pub fn run_hub_on(
                         session: id,
                         seed,
                         max_steps: cfg.max_steps as u64,
+                        trace: trace_id,
                     },
                     &mut events,
                 );
@@ -360,6 +423,7 @@ pub fn run_hub_on(
                     let welcome = WireMsg::Welcome {
                         last_seen: link.link.last_delivered(),
                     };
+                    let resent_before = link.link.stats.frames_resent;
                     let hello_ok = chan.conn.write_all(&welcome.encode(0)).is_ok()
                         && link.link.resume(&mut chan.conn, last_seen).is_ok();
                     if !hello_ok {
@@ -374,6 +438,21 @@ pub fn run_hub_on(
                     if was_connected {
                         events.push(format!("link place:{place}: reconnected and resumed"));
                     }
+                    if let Some(rec) = &rec {
+                        if was_connected {
+                            rec.record_global(
+                                EventKind::LinkReconnect,
+                                place as u64,
+                                link.link.stats.reconnects.saturating_sub(1),
+                            );
+                        } else {
+                            rec.record_global(EventKind::LinkConnect, place as u64, 0);
+                        }
+                        let resent = link.link.stats.frames_resent - resent_before;
+                        if resent > 0 {
+                            rec.record_global(EventKind::LinkRetransmit, place as u64, resent);
+                        }
+                    }
                     last_progress = Instant::now();
                     let mut closed = Vec::new();
                     for (seq, m) in leftovers {
@@ -383,11 +462,13 @@ pub fn run_hub_on(
                                 idx,
                                 &mut links,
                                 &mut sessions,
-                                &metrics,
+                                metrics.as_ref(),
                                 &mut messages,
                                 &mut events,
                                 &mut closed,
                                 cfg,
+                                rec.as_ref(),
+                                registry.as_ref(),
                             );
                         }
                     }
@@ -398,8 +479,9 @@ pub fn run_hub_on(
                         &mut sessions,
                         &mut links,
                         &mut events,
-                        &metrics,
+                        metrics.as_ref(),
                         &mut tally,
+                        rec.as_ref(),
                     );
                 }
                 Err(e) => events.push(format!("handshake failed: {e}")),
@@ -425,11 +507,13 @@ pub fn run_hub_on(
                                 idx,
                                 &mut links,
                                 &mut sessions,
-                                &metrics,
+                                metrics.as_ref(),
                                 &mut messages,
                                 &mut events,
                                 &mut closed,
                                 cfg,
+                                rec.as_ref(),
+                                registry.as_ref(),
                             );
                         }
                     }
@@ -442,6 +526,9 @@ pub fn run_hub_on(
                     }
                 }
                 Err(e) => {
+                    if let Some(rec) = &rec {
+                        rec.record_global(EventKind::LinkDown, links[idx].place as u64, 0);
+                    }
                     links[idx].drop_conn(&mut events, &e.to_string());
                 }
             }
@@ -453,8 +540,9 @@ pub fn run_hub_on(
             &mut sessions,
             &mut links,
             &mut events,
-            &metrics,
+            metrics.as_ref(),
             &mut tally,
+            rec.as_ref(),
         );
 
         // Heartbeats and supervision.
@@ -462,6 +550,9 @@ pub fn run_hub_on(
         for link in links.iter_mut() {
             if link.chan.is_some() {
                 if now.duration_since(link.last_heard) > dcfg.dead_after {
+                    if let Some(rec) = &rec {
+                        rec.record_global(EventKind::LinkDown, link.place as u64, 0);
+                    }
                     link.drop_conn(&mut events, "heartbeat silence");
                 } else if now.duration_since(link.last_heartbeat) >= dcfg.heartbeat {
                     link.last_heartbeat = now;
@@ -530,7 +621,15 @@ pub fn run_hub_on(
                 &mut events,
             );
         }
-        finalize_hub_session(d, cfg, s, SessionEnd::Aborted, &metrics, &mut tally);
+        finalize_hub_session(
+            d,
+            cfg,
+            s,
+            SessionEnd::Aborted,
+            metrics.as_ref(),
+            &mut tally,
+            rec.as_ref(),
+        );
     }
 
     // Orderly shutdown of surviving entities, with a bounded drain: the
@@ -564,7 +663,19 @@ pub fn run_hub_on(
             {
                 link.chan = Some(chan);
                 for (seq, m) in leftovers {
-                    let _ = link.link.accept(seq, m);
+                    // Trace chunks are the one payload still expected
+                    // during drain — an entity flushes its recorder
+                    // right before exiting.
+                    if let Some(WireMsg::Trace { chunk }) = link.link.accept(seq, m) {
+                        if let Some(reg) = &registry {
+                            reg.absorb(&chunk);
+                        }
+                    }
+                }
+                // Ack what the resume delivered so the entity can
+                // retire its resend buffer and exit promptly.
+                if let Some(ch) = link.chan.as_mut() {
+                    let _ = link.link.maybe_ack(&mut ch.conn, true);
                 }
             }
         }
@@ -579,8 +690,15 @@ pub fn run_hub_on(
             match poll_messages(&mut ch.conn, &mut ch.dec) {
                 Ok(batch) => {
                     for (seq, m) in batch {
-                        let _ = link.link.accept(seq, m);
+                        if let Some(WireMsg::Trace { chunk }) = link.link.accept(seq, m) {
+                            if let Some(reg) = &registry {
+                                reg.absorb(&chunk);
+                            }
+                        }
                     }
+                    // Force-ack so a lingering entity sees delivery and
+                    // exits instead of waiting out its flush window.
+                    let _ = link.link.maybe_ack(&mut ch.conn, true);
                 }
                 Err(_) => {
                     if let Some(ch) = link.chan.take() {
@@ -602,7 +720,7 @@ pub fn run_hub_on(
         .collect();
 
     let wall_s = started.elapsed().as_secs_f64();
-    let report = RuntimeReport {
+    let mut report = RuntimeReport {
         engine: "distributed",
         schema_version: crate::metrics::REPORT_SCHEMA_VERSION,
         config: cfg.clone(),
@@ -634,8 +752,17 @@ pub fn run_hub_on(
             .iter()
             .map(|(k, h)| (k.clone(), h.summary()))
             .collect(),
+        phases: Vec::new(),
+        trace_meta: None,
+        abort_tails: BTreeMap::new(),
         reports: std::mem::take(&mut tally.reports),
     };
+    if let Some(reg) = &registry {
+        crate::exec::attach_recorder_artifacts(&mut report, reg);
+    }
+    if let Some(srv) = server {
+        srv.stop();
+    }
     Ok(report)
 }
 
@@ -681,22 +808,34 @@ fn hub_handle(
     events: &mut Vec<String>,
     closed: &mut Vec<(u64, SessionEnd)>,
     cfg: &RuntimeConfig,
+    rec: Option<&Recorder>,
+    registry: Option<&Arc<Registry>>,
 ) {
     match msg {
         WireMsg::Prim {
             session,
             name,
             place,
+            lc,
         } => {
             if let Some(s) = sessions.get_mut(&session) {
                 let now = Instant::now();
                 let since = s.last_prim.unwrap_or(s.started);
                 metrics.record_prim(&name, now.duration_since(since).as_micros() as u64);
                 s.last_prim = Some(now);
+                s.lc = s.lc.max(lc) + 1;
+                if let Some(rec) = rec {
+                    rec.record_named(EventKind::Prim, session, s.lc, &name, place as u64);
+                }
                 s.trace.push((name, place));
             }
         }
-        WireMsg::Data { session, msg, path } => {
+        WireMsg::Data {
+            session,
+            msg,
+            path,
+            lc,
+        } => {
             let Some(s) = sessions.get_mut(&session) else {
                 return; // late traffic of a closed session
             };
@@ -708,7 +847,25 @@ fn hub_handle(
             s.forwarded[dest] += 1;
             s.messages += 1;
             *messages += 1;
-            links[dest].push(WireMsg::Data { session, msg, path }, events);
+            s.lc = s.lc.max(lc) + 1;
+            if let Some(rec) = rec {
+                let (a, b) = pack_msg_event(rec, &msg.id, msg.occ, msg.from, msg.to);
+                rec.record(EventKind::Forward, session, s.lc, a, b);
+            }
+            links[dest].push(
+                WireMsg::Data {
+                    session,
+                    msg,
+                    path,
+                    lc,
+                },
+                events,
+            );
+        }
+        WireMsg::Trace { chunk } => {
+            if let Some(reg) = registry {
+                reg.absorb(&chunk);
+            }
         }
         WireMsg::Status {
             session,
@@ -754,6 +911,7 @@ fn finish_closed(
     events: &mut Vec<String>,
     metrics: &Metrics,
     tally: &mut Tally,
+    rec: Option<&Recorder>,
 ) {
     for (id, end) in closed {
         let Some(s) = sessions.remove(&id) else {
@@ -768,7 +926,7 @@ fn finish_closed(
                 events,
             );
         }
-        finalize_hub_session(d, cfg, s, end, metrics, tally);
+        finalize_hub_session(d, cfg, s, end, metrics, tally, rec);
     }
 }
 
@@ -780,11 +938,27 @@ fn finalize_hub_session(
     end: SessionEnd,
     metrics: &Metrics,
     tally: &mut Tally,
+    rec: Option<&Recorder>,
 ) {
     let latency_us = s.started.elapsed().as_micros() as u64;
     metrics.session_latency.record(latency_us);
     let (violation, may_terminate) = replay_conformance(&d.service, &s.trace);
     let conforms = violation.is_none() && end == SessionEnd::Terminated && may_terminate;
+    if let Some(rec) = rec {
+        if let Some((name, place, _)) = &violation {
+            rec.record_named(EventKind::Violation, s.id, s.lc, name, *place as u64);
+        }
+        if end == SessionEnd::Aborted {
+            rec.record(EventKind::Abort, s.id, s.lc, 0, 0);
+        }
+        rec.record(
+            EventKind::SessionClose,
+            s.id,
+            s.lc,
+            end_to_byte(end) as u64,
+            0,
+        );
+    }
     if let Some((name, place, at)) = &violation {
         tally.violations.push(ViolationRecord {
             session: s.id,
@@ -793,6 +967,7 @@ fn finalize_hub_session(
             place: *place,
             at: *at,
             trace: s.trace.clone(),
+            tail: Vec::new(),
         });
     }
     let keep_trace = violation.is_some() || cfg.sessions == 1 || end == SessionEnd::Aborted;
@@ -871,6 +1046,29 @@ struct EntSession {
     steps: u64,
     max_steps: u64,
     parked: bool,
+    /// Per-session Lamport clock: merged with the wire clock of every
+    /// arriving `Data` frame, +1 per executed move, and stamped on every
+    /// outgoing `Prim`/`Data` frame and recorded event.
+    lc: u64,
+}
+
+/// Entity-side flight-recorder state: created lazily when the first
+/// `Open` carries a nonzero trace id (the hub is recording), so an
+/// untraced hub costs the entity nothing.
+#[derive(Default)]
+struct EntObs {
+    registry: Option<Arc<Registry>>,
+    rec: Option<Recorder>,
+}
+
+impl EntObs {
+    fn ensure(&mut self, trace: u64, place: PlaceId) {
+        if trace != 0 && self.registry.is_none() {
+            let reg = Registry::new(trace, obs::DEFAULT_CAPACITY);
+            self.rec = Some(reg.recorder(place));
+            self.registry = Some(reg);
+        }
+    }
 }
 
 /// Moves executed per session per scheduling slice.
@@ -894,7 +1092,10 @@ pub fn serve_entity(entity: &Spec, cfg: &ServeConfig) -> Result<ServeOutcome, St
     let mut sessions: BTreeMap<u64, EntSession> = BTreeMap::new();
     let mut runnable: BTreeSet<u64> = BTreeSet::new();
     let mut outcome = ServeOutcome::default();
+    let mut obs = EntObs::default();
     let mut shutdown = false;
+    let mut trace_flushed = false;
+    let mut flush_deadline = Instant::now();
     let mut last_heard = Instant::now();
     let mut last_hb = Instant::now();
     let mut outbox: Vec<WireMsg> = Vec::new();
@@ -902,6 +1103,13 @@ pub fn serve_entity(entity: &Spec, cfg: &ServeConfig) -> Result<ServeOutcome, St
     loop {
         // (Re)connect under the backoff policy.
         if chan.is_none() {
+            if trace_flushed && Instant::now() >= flush_deadline {
+                // The run is over and the tail flush is best-effort:
+                // don't burn the whole retry budget chasing a hub that
+                // already closed its drain window.
+                outcome.link = stats_of(&link);
+                return Ok(outcome);
+            }
             match entity_connect(cfg, &mut link, &mut backoff) {
                 Ok((c, leftovers)) => {
                     chan = Some(c);
@@ -919,11 +1127,19 @@ pub fn serve_entity(entity: &Spec, cfg: &ServeConfig) -> Result<ServeOutcome, St
                                 &mut outcome,
                                 &mut shutdown,
                                 &mut outbox,
+                                &mut obs,
                             );
                         }
                     }
                 }
                 Err(e) => {
+                    if trace_flushed {
+                        // Completed run, unreachable hub: exit cleanly
+                        // rather than report a transport failure just
+                        // because the trace tail could not land.
+                        outcome.link = stats_of(&link);
+                        return Ok(outcome);
+                    }
                     return Err(format!(
                         "place {}: link to hub {} is dead: {e}",
                         cfg.place, cfg.hub
@@ -952,6 +1168,7 @@ pub fn serve_entity(entity: &Spec, cfg: &ServeConfig) -> Result<ServeOutcome, St
                                 &mut outcome,
                                 &mut shutdown,
                                 &mut outbox,
+                                &mut obs,
                             );
                         }
                     }
@@ -970,13 +1187,43 @@ pub fn serve_entity(entity: &Spec, cfg: &ServeConfig) -> Result<ServeOutcome, St
         }
 
         if shutdown && sessions.is_empty() {
-            // Final cumulative ack so the hub can tell a clean exit
-            // (everything delivered) from a dying link.
-            if let Some(ch) = chan.as_mut() {
-                let _ = link.maybe_ack(&mut ch.conn, true);
+            // Ship the flight-recorder tail home: the hub absorbs these
+            // chunks into the merged causal log during its drain window.
+            // Trace frames are sequenced, so a send that dies mid-flush
+            // leaves the rest in the resend buffer — flush exactly once,
+            // then linger (reconnect + resume at the loop top) until the
+            // hub has acked everything or a bounded deadline passes.
+            if !trace_flushed {
+                trace_flushed = true;
+                flush_deadline = Instant::now() + cfg.dead_after.max(Duration::from_secs(2));
+                if let Some(reg) = &obs.registry {
+                    for chunk in reg.drain_chunks(512) {
+                        let m = WireMsg::Trace { chunk };
+                        match chan.as_mut() {
+                            Some(ch) => {
+                                if link.send(&mut ch.conn, m).is_err() {
+                                    link.note_fault();
+                                    if let Some(ch) = chan.take() {
+                                        ch.conn.shutdown();
+                                    }
+                                }
+                            }
+                            None => {
+                                link.buffer(m);
+                            }
+                        }
+                    }
+                }
             }
-            outcome.link = stats_of(&link);
-            return Ok(outcome);
+            if link.unacked_len() == 0 || Instant::now() >= flush_deadline {
+                // Final cumulative ack so the hub can tell a clean exit
+                // (everything delivered) from a dying link.
+                if let Some(ch) = chan.as_mut() {
+                    let _ = link.maybe_ack(&mut ch.conn, true);
+                }
+                outcome.link = stats_of(&link);
+                return Ok(outcome);
+            }
         }
 
         // Interpret runnable sessions, collecting wire traffic.
@@ -986,23 +1233,33 @@ pub fn serve_entity(entity: &Spec, cfg: &ServeConfig) -> Result<ServeOutcome, St
             let Some(s) = sessions.get_mut(&id) else {
                 continue;
             };
-            if step_session(id, s, cfg, &engine, &occ, &mut outcome, &mut outbox) {
+            if step_session(
+                id,
+                s,
+                cfg,
+                &engine,
+                &occ,
+                &mut outcome,
+                &mut outbox,
+                obs.rec.as_ref(),
+            ) {
                 runnable.insert(id);
             }
         }
 
         // Flush outbox + heartbeat + hub-death detection.
         for m in outbox.drain(..) {
-            match chan.as_mut() {
-                Some(ch) => {
-                    if link.send(&mut ch.conn, m).is_err() {
-                        if let Some(ch) = chan.take() {
-                            ch.conn.shutdown();
-                        }
-                    }
-                }
-                None => {
+            let Some(ch) = chan.as_mut() else {
+                // Control replies (heartbeat acks) are ephemeral — only
+                // sequenced traffic is worth carrying across the gap.
+                if m.sequenced() {
                     link.buffer(m);
+                }
+                continue;
+            };
+            if link.send(&mut ch.conn, m).is_err() {
+                if let Some(ch) = chan.take() {
+                    ch.conn.shutdown();
                 }
             }
         }
@@ -1127,13 +1384,19 @@ fn entity_handle(
     outcome: &mut ServeOutcome,
     shutdown: &mut bool,
     outbox: &mut Vec<WireMsg>,
+    obs: &mut EntObs,
 ) {
     match msg {
         WireMsg::Open {
             session,
             seed,
             max_steps,
+            trace,
         } => {
+            obs.ensure(trace, cfg.place);
+            if let Some(rec) = &obs.rec {
+                rec.record(EventKind::SessionOpen, session, 0, seed, 0);
+            }
             let rng = StdRng::seed_from_u64(fx_hash(&(seed, session, cfg.place)));
             sessions.insert(
                 session,
@@ -1146,6 +1409,7 @@ fn entity_handle(
                     steps: 0,
                     max_steps,
                     parked: false,
+                    lc: 0,
                 },
             );
             runnable.insert(session);
@@ -1155,6 +1419,7 @@ fn entity_handle(
             session,
             mut msg,
             path,
+            lc,
         } => {
             // Resolve the canonical site path to this process's local
             // occurrence number; the sender's raw number is meaningless
@@ -1165,6 +1430,9 @@ fn entity_handle(
             msg.occ = occ.lock().expect("occ table poisoned").resolve_path(&path);
             s.seen += 1;
             s.parked = false;
+            // Lamport merge: everything this session does next is causally
+            // after the sender's clock at send time.
+            s.lc = s.lc.max(lc);
             s.inbox.entry(msg.from).or_default().push_back(msg);
             runnable.insert(session);
         }
@@ -1189,6 +1457,7 @@ fn entity_handle(
 /// Interpret up to [`SLICE`] moves of one session. Returns `true` when
 /// the session still has work (reschedule), `false` when it parked (a
 /// `Status` was pushed) .
+#[allow(clippy::too_many_arguments)]
 fn step_session(
     id: u64,
     s: &mut EntSession,
@@ -1197,6 +1466,7 @@ fn step_session(
     occ: &Arc<Mutex<OccTable>>,
     outcome: &mut ServeOutcome,
     outbox: &mut Vec<WireMsg>,
+    rec: Option<&Recorder>,
 ) -> bool {
     for _ in 0..SLICE {
         let trans = engine.transitions(s.term);
@@ -1235,14 +1505,19 @@ fn step_session(
         };
         let (label, next) = trans[enabled[k]].clone();
         s.steps += 1;
+        s.lc += 1;
         match label {
             Label::I | Label::Delta => {}
             Label::Prim { name, place } => {
                 outcome.primitives += 1;
+                if let Some(rec) = rec {
+                    rec.record_named(EventKind::Prim, id, s.lc, &name, place as u64);
+                }
                 outbox.push(WireMsg::Prim {
                     session: id,
                     name,
                     place,
+                    lc: s.lc,
                 });
             }
             Label::Send {
@@ -1256,21 +1531,31 @@ fn step_session(
                     .expect("occ table poisoned")
                     .path_of(o)
                     .unwrap_or_default();
+                let m = Msg {
+                    from: cfg.place,
+                    to,
+                    id: msg,
+                    occ: o,
+                    kind,
+                };
+                if let Some(rec) = rec {
+                    let (a, b) = pack_msg_event(rec, &m.id, m.occ, m.from, m.to);
+                    rec.record(EventKind::MediumSend, id, s.lc, a, b);
+                }
                 outbox.push(WireMsg::Data {
                     session: id,
-                    msg: Msg {
-                        from: cfg.place,
-                        to,
-                        id: msg,
-                        occ: o,
-                        kind,
-                    },
+                    msg: m,
                     path,
+                    lc: s.lc,
                 });
             }
             Label::Recv { from, .. } => {
                 let q = s.inbox.get_mut(&from).expect("classified enabled");
-                q.pop_front().expect("classified enabled");
+                let m = q.pop_front().expect("classified enabled");
+                if let Some(rec) = rec {
+                    let (a, b) = pack_msg_event(rec, &m.id, m.occ, m.from, cfg.place);
+                    rec.record(EventKind::MediumRecv, id, s.lc, a, b);
+                }
                 s.consumed += 1;
             }
         }
@@ -1309,6 +1594,7 @@ mod tests {
             handshake_timeout: Duration::from_secs(2),
             poll: Duration::from_millis(2),
             stall_timeout: Duration::from_secs(10),
+            metrics: None,
         }
     }
 

@@ -30,8 +30,10 @@
 use crate::config::RuntimeConfig;
 use crate::metrics::Metrics;
 use crate::session::{SessionEnd, SessionSlot};
+use lotos::event::MsgId;
 use lotos::place::PlaceId;
 use medium::Msg;
+use obs::{EventKind, Recorder};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use semantics::engine::{Engine, TermId};
@@ -162,6 +164,22 @@ enum StepOutcome {
 /// sessions (bounds per-session lock tenancy and keeps the run fair).
 const SLICE: usize = 64;
 
+/// Pack a synchronization message into recorder event words, interning
+/// named message ids through the recorder's registry.
+pub(crate) fn pack_msg_event(
+    rec: &Recorder,
+    msg: &MsgId,
+    occ: u32,
+    from: PlaceId,
+    to: PlaceId,
+) -> (u64, u64) {
+    let (named, id) = match msg {
+        MsgId::Named(n) => (true, rec.intern(n)),
+        MsgId::Node(n) => (false, *n),
+    };
+    obs::pack_msg(named, id, occ, from, to)
+}
+
 /// One protocol-entity actor.
 pub struct EntityWorker {
     /// Dense index of this entity (bit position in vote/blocked masks).
@@ -177,6 +195,9 @@ pub struct EntityWorker {
     pub place_index: BTreeMap<PlaceId, usize>,
     pub completions: Arc<CompletionQueue>,
     pub metrics: Arc<Metrics>,
+    /// Flight recorder for this thread (`None` = recording disabled, one
+    /// branch per event).
+    pub rec: Option<Recorder>,
 }
 
 impl EntityWorker {
@@ -242,6 +263,7 @@ impl EntityWorker {
                 // Classify which of the term's transitions are enabled in
                 // the current medium state.
                 let mut has_delta = false;
+                let mut refused: Option<(&str, PlaceId)> = None;
                 let mut en = Vec::with_capacity(trans.len());
                 for (i, (label, _)) in trans.iter().enumerate() {
                     match label {
@@ -254,6 +276,8 @@ impl EntityWorker {
                                 .any(|(n, p)| n == name && *p == *place)
                             {
                                 en.push(i);
+                            } else if refused.is_none() {
+                                refused = Some((name, *place));
                             }
                         }
                         Label::Send { to, .. } => {
@@ -280,6 +304,23 @@ impl EntityWorker {
                 enabled = en;
 
                 if enabled.is_empty() && !vote_available {
+                    // Blocked against a refused offer: remember it so a
+                    // later deadlock verdict can name the primitive the
+                    // conformance monitor never got to see.
+                    if let Some((name, place)) = refused {
+                        if core.refused_offer.is_none() {
+                            if let Some(rec) = &self.rec {
+                                rec.record_named(
+                                    EventKind::PrimOffer,
+                                    id,
+                                    core.steps as u64,
+                                    name,
+                                    place as u64,
+                                );
+                            }
+                            core.refused_offer = Some((name.to_string(), place));
+                        }
+                    }
                     core.set_blocked(self.idx);
                     if !core.all_blocked(self.n) {
                         return StepOutcome::Blocked;
@@ -350,8 +391,21 @@ impl EntityWorker {
                         core.last_prim = Some(now);
                         core.trace.push((name.clone(), place));
                         self.metrics.record_prim(name, gap_us);
+                        if let Some(rec) = &self.rec {
+                            rec.record_named(
+                                EventKind::Prim,
+                                id,
+                                core.steps as u64,
+                                name,
+                                place as u64,
+                            );
+                        }
                     }
                     Label::Send { to, msg, occ, kind } => {
+                        if let Some(rec) = &self.rec {
+                            let (a, b) = pack_msg_event(rec, &msg, occ, self.place, to);
+                            rec.record(EventKind::MediumSend, id, core.steps as u64, a, b);
+                        }
                         core.send(Msg {
                             from: self.place,
                             to,
@@ -374,6 +428,10 @@ impl EntityWorker {
                     Label::Recv { from, msg, occ, .. } => {
                         core.receive(from, self.place, &msg, occ)
                             .expect("classified receivable, then gone: session lock was held");
+                        if let Some(rec) = &self.rec {
+                            let (a, b) = pack_msg_event(rec, &msg, occ, from, self.place);
+                            rec.record(EventKind::MediumRecv, id, core.steps as u64, a, b);
+                        }
                         self.metrics
                             .messages_delivered
                             .fetch_add(1, Ordering::Relaxed);

@@ -14,11 +14,12 @@
 
 use crate::config::{FaultProfile, RuntimeConfig};
 use crate::entity::{CompletionQueue, EntityWorker, Notifier};
-use crate::metrics::{Metrics, RuntimeReport, SessionReport, ViolationRecord};
+use crate::metrics::{Metrics, RuntimeReport, SessionReport, TraceMeta, ViolationRecord};
 use crate::session::{SessionCore, SessionEnd, SessionSlot};
 use lotos::ast::Spec;
 use lotos::event::SyncKind;
 use lotos::place::PlaceId;
+use obs::{EventKind, Recorder, Registry};
 use protogen::derive::Derivation;
 use semantics::engine::{Engine, TermArena};
 use semantics::term::OccTable;
@@ -36,10 +37,61 @@ const ENTITY_STACK: usize = 64 << 20;
 /// Run `cfg.sessions` independent sessions of the derived protocol and
 /// report. Engine selection is by `cfg.threads` (see the module docs).
 pub fn run(d: &Derivation, cfg: &RuntimeConfig) -> RuntimeReport {
-    if cfg.threads <= 1 {
-        run_deterministic(d, cfg)
+    run_obs(d, cfg, None)
+}
+
+/// Lines of flight-recorder tail attached to violation and abort reports.
+const TAIL_LINES: usize = 64;
+
+/// Nonzero trace id derived from the run seed (zero means "untraced" in
+/// the wire protocol's `Open.trace` field).
+pub fn trace_id_for(seed: u64) -> u64 {
+    semantics::hash::fx_hash(&(seed, 0x0b5_7ace_u64)).max(1)
+}
+
+/// Like [`run`], but recording into a caller-supplied flight-recorder
+/// registry, so the CLI can merge pipeline-phase spans and the run into
+/// one trace. With `registry: None` and `cfg.record` set, a private
+/// registry is created; either way the report carries the recorder
+/// metadata and every violation/abort gets its session's tail attached.
+pub fn run_obs(
+    d: &Derivation,
+    cfg: &RuntimeConfig,
+    registry: Option<Arc<Registry>>,
+) -> RuntimeReport {
+    let registry = registry.or_else(|| {
+        cfg.record
+            .then(|| Registry::new(trace_id_for(cfg.seed), obs::DEFAULT_CAPACITY))
+    });
+    let mut report = if cfg.threads <= 1 {
+        run_deterministic(d, cfg, registry.as_ref())
     } else {
-        run_concurrent(d, cfg)
+        run_concurrent(d, cfg, registry.as_ref())
+    };
+    if let Some(reg) = &registry {
+        attach_recorder_artifacts(&mut report, reg);
+    }
+    report
+}
+
+/// Post-run recorder export: embed the trace metadata in the report and
+/// attach each violating/aborted session's flight-recorder tail.
+pub(crate) fn attach_recorder_artifacts(report: &mut RuntimeReport, registry: &Arc<Registry>) {
+    let log = registry.snapshot();
+    let (rings, events, dropped) = registry.stats();
+    report.trace_meta = Some(TraceMeta {
+        trace_id: registry.trace_id,
+        rings,
+        events,
+        dropped,
+    });
+    for v in &mut report.violations {
+        v.tail = log.tail(v.session, TAIL_LINES);
+    }
+    for s in &report.reports {
+        if s.end == SessionEnd::Aborted {
+            report.abort_tails.insert(s.id, log.tail(s.id, TAIL_LINES));
+        }
     }
 }
 
@@ -100,7 +152,11 @@ impl Tally {
     }
 }
 
-fn run_concurrent(d: &Derivation, cfg: &RuntimeConfig) -> RuntimeReport {
+fn run_concurrent(
+    d: &Derivation,
+    cfg: &RuntimeConfig,
+    registry: Option<&Arc<Registry>>,
+) -> RuntimeReport {
     let started = Instant::now();
     let places: Vec<PlaceId> = d.entities.iter().map(|(p, _)| *p).collect();
     let n = places.len();
@@ -130,6 +186,7 @@ fn run_concurrent(d: &Derivation, cfg: &RuntimeConfig) -> RuntimeReport {
                 place_index: place_index.clone(),
                 completions: Arc::clone(&completions),
                 metrics: Arc::clone(&metrics),
+                rec: registry.map(|r| r.recorder(*place)),
             };
             std::thread::Builder::new()
                 .name(format!("entity-{place}"))
@@ -139,11 +196,23 @@ fn run_concurrent(d: &Derivation, cfg: &RuntimeConfig) -> RuntimeReport {
         }
 
         // The multiplexer: keep a window of `threads` sessions in flight.
+        // Its recorder captures session lifecycle at place 0 (the driver);
+        // entity threads record their own moves at their own places.
+        let mux_rec = registry.map(|r| r.recorder(0));
         let window = cfg.threads.max(1);
         let mut next = 0usize;
         let mut in_flight = 0usize;
         while next < cfg.sessions || in_flight > 0 {
             while next < cfg.sessions && in_flight < window {
+                if let Some(rec) = &mux_rec {
+                    rec.record(
+                        EventKind::SessionOpen,
+                        next as u64,
+                        0,
+                        cfg.session_seed(next),
+                        0,
+                    );
+                }
                 let core = SessionCore::new(next as u64, cfg.session_seed(next), cfg, &channels);
                 let slot = Arc::new(SessionSlot::new(core));
                 for nt in &notifiers {
@@ -154,7 +223,7 @@ fn run_concurrent(d: &Derivation, cfg: &RuntimeConfig) -> RuntimeReport {
             }
             let slot = completions.pop();
             in_flight -= 1;
-            let rep = finalize_session(d, cfg, &slot, &metrics, &mut tally);
+            let rep = finalize_session(d, cfg, &slot, &metrics, &mut tally, mux_rec.as_ref());
             tally.absorb(rep);
         }
         for nt in &notifiers {
@@ -195,7 +264,20 @@ fn run_concurrent(d: &Derivation, cfg: &RuntimeConfig) -> RuntimeReport {
             .iter()
             .map(|(k, h)| (k.clone(), h.summary()))
             .collect(),
+        phases: Vec::new(),
+        trace_meta: None,
+        abort_tails: BTreeMap::new(),
         reports: tally.reports,
+    }
+}
+
+/// [`obs::EventKind::SessionClose`] end code for a session verdict.
+fn end_code(end: SessionEnd) -> u64 {
+    match end {
+        SessionEnd::Terminated => 0,
+        SessionEnd::Deadlock => 1,
+        SessionEnd::StepLimit => 2,
+        SessionEnd::Aborted => 3,
     }
 }
 
@@ -207,6 +289,7 @@ fn finalize_session(
     slot: &SessionSlot,
     metrics: &Metrics,
     tally: &mut Tally,
+    rec: Option<&Recorder>,
 ) -> SessionReport {
     let core = slot.core.lock().expect("session poisoned");
     let end = core.completed.expect("finalized session not completed");
@@ -229,9 +312,26 @@ fn finalize_session(
         *tally.per_kind.entry(*k).or_default() += c;
     }
 
-    let (violation, may_terminate) = replay_conformance(&d.service, &core.trace);
+    let (mut violation, may_terminate) = replay_conformance(&d.service, &core.trace);
     let conforms = violation.is_none() && end == SessionEnd::Terminated && may_terminate;
+    // A deadlock against a refused offer is a conformance failure the
+    // monitor cannot see (the primitive never executed): surface the
+    // offer an entity recorded while blocked as a synthesized violation.
+    if violation.is_none() && end == SessionEnd::Deadlock {
+        if let Some((name, place)) = core.refused_offer.clone() {
+            violation = Some((name, place, core.trace.len()));
+        }
+    }
     if let Some((name, place, at)) = &violation {
+        if let Some(rec) = rec {
+            rec.record_named(
+                EventKind::Violation,
+                core.id,
+                core.steps as u64,
+                name,
+                *place as u64,
+            );
+        }
         tally.violations.push(ViolationRecord {
             session: core.id,
             seed: core.seed,
@@ -239,7 +339,26 @@ fn finalize_session(
             place: *place,
             at: *at,
             trace: core.trace.clone(),
+            tail: Vec::new(),
         });
+    }
+    if let Some(rec) = rec {
+        rec.record(
+            EventKind::SessionClose,
+            core.id,
+            core.steps as u64,
+            end_code(end),
+            core.steps as u64,
+        );
+        if lost + retx > 0 {
+            rec.record(
+                EventKind::FaultSummary,
+                core.id,
+                0,
+                lost as u64,
+                retx as u64,
+            );
+        }
     }
     SessionReport {
         id: core.id,
@@ -285,9 +404,17 @@ fn des_config(cfg: &RuntimeConfig, session: usize) -> SimConfig {
     sc
 }
 
-fn run_deterministic(d: &Derivation, cfg: &RuntimeConfig) -> RuntimeReport {
+fn run_deterministic(
+    d: &Derivation,
+    cfg: &RuntimeConfig,
+    registry: Option<&Arc<Registry>>,
+) -> RuntimeReport {
     let started = Instant::now();
     let metrics = Metrics::for_service(&d.service);
+    // The DES engine is single-threaded: one recorder at place 0 replays
+    // each session's primitive trace into the ring (lc = trace index + 1,
+    // matching the concurrent engine's per-session step clocks).
+    let rec = registry.map(|r| r.recorder(0));
     let mut tally = Tally::new();
     let mut primitives = 0usize;
     let mut messages = 0usize;
@@ -323,7 +450,43 @@ fn run_deterministic(d: &Derivation, cfg: &RuntimeConfig) -> RuntimeReport {
             SimResult::StepLimit => SessionEnd::StepLimit,
         };
         let conforms = outcome.conforms() && end == SessionEnd::Terminated;
-        if let Some((name, place)) = &outcome.violation {
+        let mut violation = outcome.violation.clone();
+        // Mirror the concurrent engine's refusal synthesis: a fault-free
+        // DES deadlock under `--refuse` is the refusal biting (verified
+        // derivations are otherwise deadlock-free), attributed to the
+        // first refused primitive.
+        if violation.is_none() && end == SessionEnd::Deadlock && !cfg.refuse.is_empty() {
+            violation = Some(cfg.refuse[0].clone());
+        }
+        if let Some(rec) = &rec {
+            rec.record(EventKind::SessionOpen, k as u64, 0, cfg.session_seed(k), 0);
+            for (i, (name, place)) in outcome.trace.iter().enumerate() {
+                rec.record_named(
+                    EventKind::Prim,
+                    k as u64,
+                    (i + 1) as u64,
+                    name,
+                    *place as u64,
+                );
+            }
+            if let Some((name, place)) = &violation {
+                rec.record_named(
+                    EventKind::Violation,
+                    k as u64,
+                    outcome.trace.len() as u64,
+                    name,
+                    *place as u64,
+                );
+            }
+            rec.record(
+                EventKind::SessionClose,
+                k as u64,
+                outcome.trace.len() as u64,
+                end_code(end),
+                outcome.metrics.steps as u64,
+            );
+        }
+        if let Some((name, place)) = &violation {
             tally.violations.push(ViolationRecord {
                 session: k as u64,
                 seed: cfg.session_seed(k),
@@ -331,6 +494,7 @@ fn run_deterministic(d: &Derivation, cfg: &RuntimeConfig) -> RuntimeReport {
                 place: *place,
                 at: outcome.trace.len().saturating_sub(1),
                 trace: outcome.trace.clone(),
+                tail: Vec::new(),
             });
         }
         tally.absorb(SessionReport {
@@ -338,12 +502,12 @@ fn run_deterministic(d: &Derivation, cfg: &RuntimeConfig) -> RuntimeReport {
             seed: cfg.session_seed(k),
             end,
             conforms,
-            violation: outcome.violation.clone(),
+            violation: violation.clone(),
             primitives: outcome.trace.len(),
             messages: outcome.metrics.messages,
             steps: outcome.metrics.steps,
             latency_us,
-            trace: if outcome.violation.is_some() || cfg.sessions == 1 {
+            trace: if violation.is_some() || cfg.sessions == 1 {
                 outcome.trace.clone()
             } else {
                 Vec::new()
@@ -382,6 +546,9 @@ fn run_deterministic(d: &Derivation, cfg: &RuntimeConfig) -> RuntimeReport {
         // Per-primitive wall-latency is an inter-thread measurement; the
         // sequential engine reports session-level latency only.
         per_prim: BTreeMap::new(),
+        phases: Vec::new(),
+        trace_meta: None,
+        abort_tails: BTreeMap::new(),
         reports: tally.reports,
     }
 }

@@ -54,13 +54,13 @@ pub mod session;
 
 pub use config::{FaultProfile, RuntimeConfig};
 pub use distributed::{
-    run_hub, run_hub_on, serve_entity, DistributedConfig, ServeConfig, ServeOutcome,
+    run_hub, run_hub_obs, run_hub_on, serve_entity, DistributedConfig, ServeConfig, ServeOutcome,
 };
-pub use exec::run;
+pub use exec::{run, run_obs, trace_id_for};
 pub use faults::FaultLink;
 pub use metrics::{
-    HistSummary, Histogram, LinkReport, Metrics, RuntimeReport, SessionReport, ViolationRecord,
-    REPORT_SCHEMA_VERSION,
+    HistSummary, Histogram, LinkReport, Metrics, ReportSummary, RuntimeReport, SessionReport,
+    TraceMeta, ViolationRecord, REPORT_SCHEMA_VERSION,
 };
 pub use pipeline_ext::PipelineRun;
 pub use session::{SessionCore, SessionEnd, SessionSlot};

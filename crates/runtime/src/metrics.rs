@@ -91,6 +91,11 @@ impl Histogram {
         self.max.load(Ordering::Relaxed) as f64
     }
 
+    /// Sum of all recorded values.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
     /// Snapshot for reporting.
     pub fn summary(&self) -> HistSummary {
         let count = self.count();
@@ -178,6 +183,106 @@ impl Metrics {
             h.record(latency_us);
         }
     }
+
+    /// Render the live counters in Prometheus text exposition format
+    /// (version 0.0.4) — what the hub's `--metrics` endpoint serves.
+    /// Histograms export as summaries (the buckets are log-scale
+    /// internal detail; quantiles are what dashboards want).
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        let counters: [(&str, &str, usize); 8] = [
+            (
+                "protogen_sessions_completed_total",
+                "Sessions driven to a verdict",
+                self.sessions_completed.load(Ordering::Relaxed),
+            ),
+            (
+                "protogen_primitives_total",
+                "Service primitives executed",
+                self.primitives.load(Ordering::Relaxed),
+            ),
+            (
+                "protogen_messages_sent_total",
+                "Synchronization messages sent into the medium",
+                self.messages_sent.load(Ordering::Relaxed),
+            ),
+            (
+                "protogen_messages_delivered_total",
+                "Synchronization messages delivered",
+                self.messages_delivered.load(Ordering::Relaxed),
+            ),
+            (
+                "protogen_internal_actions_total",
+                "Internal (hidden) actions executed",
+                self.internal_actions.load(Ordering::Relaxed),
+            ),
+            (
+                "protogen_frames_lost_total",
+                "Frames dropped by fault injection",
+                self.frames_lost.load(Ordering::Relaxed),
+            ),
+            (
+                "protogen_retransmissions_total",
+                "Frames retransmitted by recovery",
+                self.retransmissions.load(Ordering::Relaxed),
+            ),
+            (
+                "protogen_max_queue_depth",
+                "High-water mark of medium queue depth",
+                self.max_queue_depth.load(Ordering::Relaxed),
+            ),
+        ];
+        for (name, help, value) in counters {
+            let kind = if name.ends_with("_total") {
+                "counter"
+            } else {
+                "gauge"
+            };
+            out.push_str(&format!(
+                "# HELP {name} {help}\n# TYPE {name} {kind}\n{name} {value}\n"
+            ));
+        }
+        push_summary(
+            &mut out,
+            "protogen_session_latency_us",
+            "End-to-end session latency",
+            None,
+            &self.session_latency,
+        );
+        for (prim, h) in &self.per_prim {
+            push_summary(
+                &mut out,
+                "protogen_primitive_latency_us",
+                "Inter-arrival latency per primitive",
+                Some(prim),
+                h,
+            );
+        }
+        out
+    }
+}
+
+fn push_summary(out: &mut String, name: &str, help: &str, label: Option<&str>, h: &Histogram) {
+    if !out.contains(&format!("# TYPE {name} ")) {
+        out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} summary\n"));
+    }
+    let tag = |q: &str| match label {
+        Some(l) => format!("{{primitive=\"{l}\",quantile=\"{q}\"}}"),
+        None => format!("{{quantile=\"{q}\"}}"),
+    };
+    let suffix = match label {
+        Some(l) => format!("{{primitive=\"{l}\"}}"),
+        None => String::new(),
+    };
+    for (q, v) in [
+        ("0.5", h.quantile(0.50)),
+        ("0.9", h.quantile(0.90)),
+        ("0.99", h.quantile(0.99)),
+    ] {
+        out.push_str(&format!("{name}{} {v:.1}\n", tag(q)));
+    }
+    out.push_str(&format!("{name}_sum{suffix} {}\n", h.sum()));
+    out.push_str(&format!("{name}_count{suffix} {}\n", h.count()));
 }
 
 /// Every distinct `(name, place)` primitive of a specification, in
@@ -204,7 +309,35 @@ pub fn service_primitives(spec: &Spec) -> Vec<(String, PlaceId)> {
 /// * 1 — the original report (implicit; reports without the field).
 /// * 2 — adds `schema_version`, `aborted`, `per_link`, and
 ///   `transport_events`.
-pub const REPORT_SCHEMA_VERSION: u32 = 2;
+/// * 3 — adds `phases` (per-phase pipeline timings), `trace` (flight
+///   recorder metadata, `null` when recording is off),
+///   `recorder_tails` (per-session tails of aborted sessions), and a
+///   `tail` array on each violation. Every v2 field is unchanged, so
+///   v2 consumers keep working; [`ReportSummary::from_json`] parses
+///   both.
+pub const REPORT_SCHEMA_VERSION: u32 = 3;
+
+/// Flight-recorder metadata embedded in a v3 report when recording was
+/// enabled for the run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TraceMeta {
+    pub trace_id: u64,
+    /// Recorder rings that contributed (threads + absorbed processes').
+    pub rings: usize,
+    /// Events captured over the whole run (including absorbed chunks).
+    pub events: u64,
+    /// Events that aged out of a ring before export.
+    pub dropped: u64,
+}
+
+impl TraceMeta {
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"trace_id\":{},\"rings\":{},\"events\":{},\"dropped\":{}}}",
+            self.trace_id, self.rings, self.events, self.dropped
+        )
+    }
+}
 
 /// Fault and recovery counters of one link, accumulated over a whole
 /// run. In-process runs key links by directed channel (`"1->2"`); the
@@ -246,6 +379,9 @@ pub struct ViolationRecord {
     pub at: usize,
     /// The full primitive trace of the violating session.
     pub trace: Vec<(String, PlaceId)>,
+    /// Flight-recorder tail for the session (rendered timeline lines),
+    /// attached automatically when recording was enabled.
+    pub tail: Vec<String>,
 }
 
 /// Outcome of one session.
@@ -301,6 +437,15 @@ pub struct RuntimeReport {
     pub sessions_per_sec: f64,
     pub session_latency: HistSummary,
     pub per_prim: BTreeMap<String, HistSummary>,
+    /// Pipeline phase timings `(phase, milliseconds)` in execution order
+    /// (parse/attributes/derive/…), filled by the CLI driver; empty when
+    /// the report came from a bare library call.
+    pub phases: Vec<(String, f64)>,
+    /// Flight-recorder metadata; `None` when recording was off.
+    pub trace_meta: Option<TraceMeta>,
+    /// Flight-recorder tails of *aborted* sessions (violating sessions
+    /// carry theirs on the [`ViolationRecord`]), keyed by session id.
+    pub abort_tails: BTreeMap<u64, Vec<String>>,
     /// Per-session outcomes, in completion order.
     pub reports: Vec<SessionReport>,
 }
@@ -348,6 +493,7 @@ impl RuntimeReport {
             .iter()
             .map(|e| format!("\"{}\"", e.replace('\\', "\\\\").replace('"', "\\\"")))
             .collect();
+        let quoted = |s: &str| format!("\"{}\"", s.replace('\\', "\\\\").replace('"', "\\\""));
         let violations: Vec<String> = self
             .violations
             .iter()
@@ -357,16 +503,35 @@ impl RuntimeReport {
                     .iter()
                     .map(|(n, p)| format!("\"{n}@{p}\""))
                     .collect();
+                let tail: Vec<String> = v.tail.iter().map(|l| quoted(l)).collect();
                 format!(
                     "{{\"session\":{},\"seed\":{},\"primitive\":\"{}\",\"place\":{},\
-                     \"at\":{},\"trace\":[{}]}}",
+                     \"at\":{},\"trace\":[{}],\"tail\":[{}]}}",
                     v.session,
                     v.seed,
                     v.primitive,
                     v.place,
                     v.at,
-                    trace.join(",")
+                    trace.join(","),
+                    tail.join(",")
                 )
+            })
+            .collect();
+        let phases: Vec<String> = self
+            .phases
+            .iter()
+            .map(|(name, ms)| format!("\"{name}\":{ms:.3}"))
+            .collect();
+        let trace_meta = match &self.trace_meta {
+            Some(t) => t.to_json(),
+            None => "null".to_string(),
+        };
+        let recorder_tails: Vec<String> = self
+            .abort_tails
+            .iter()
+            .map(|(session, lines)| {
+                let lines: Vec<String> = lines.iter().map(|l| quoted(l)).collect();
+                format!("\"{session}\":[{}]", lines.join(","))
             })
             .collect();
         format!(
@@ -378,7 +543,9 @@ impl RuntimeReport {
              \"max_queue_depth\":{},\"frames_lost\":{},\"retransmissions\":{},\
              \"per_link\":{{{}}},\"transport_events\":[{}],\
              \"wall_s\":{:.4},\"sessions_per_sec\":{:.1},\
-             \"session_latency\":{},\"per_prim\":{{{}}},\"violations\":[{}]}}",
+             \"session_latency\":{},\"per_prim\":{{{}}},\
+             \"phases\":{{{}}},\"trace\":{},\"recorder_tails\":{{{}}},\
+             \"violations\":[{}]}}",
             self.schema_version,
             self.engine,
             self.config.to_json(),
@@ -402,8 +569,94 @@ impl RuntimeReport {
             self.sessions_per_sec,
             self.session_latency.to_json(),
             per_prim.join(","),
+            phases.join(","),
+            trace_meta,
+            recorder_tails.join(","),
             violations.join(",")
         )
+    }
+}
+
+/// The slice of a [`RuntimeReport`] JSON document downstream tooling
+/// (bench snapshots, CI checks) actually dispatches on, parseable from
+/// every schema version: fields introduced later decode to their empty
+/// defaults from older documents.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ReportSummary {
+    /// 1 when the document predates the `schema_version` field.
+    pub schema_version: u32,
+    pub engine: String,
+    pub sessions: u64,
+    pub conforming: u64,
+    pub aborted: u64,
+    /// v3+; empty for older documents.
+    pub phases: Vec<(String, f64)>,
+    /// v3+; `None` for older documents or untraced runs.
+    pub trace_meta: Option<TraceMeta>,
+}
+
+impl ReportSummary {
+    /// Parse from report JSON of any schema version. `None` only when
+    /// the document lacks the mandatory `sessions` field.
+    pub fn from_json(json: &str) -> Option<ReportSummary> {
+        use semantics::jsonish::{get_str, get_u64};
+        // The embedded config object carries its own "sessions" key and
+        // precedes the top-level counters; scope those lookups past it.
+        // The config object is flat, so its first `}` closes it.
+        let counters = match json.find("\"config\"") {
+            Some(at) => {
+                let rest = &json[at..];
+                match rest
+                    .find('{')
+                    .and_then(|o| rest[o..].find('}').map(|c| o + c))
+                {
+                    Some(close) => &rest[close..],
+                    None => json,
+                }
+            }
+            None => json,
+        };
+        let sessions = get_u64(counters, "sessions")?;
+        let phases = match json.find("\"phases\"") {
+            None => Vec::new(),
+            Some(at) => {
+                let body = &json[at..];
+                let open = body.find('{')?;
+                let close = body[open..].find('}')? + open;
+                body[open + 1..close]
+                    .split(',')
+                    .filter_map(|kv| {
+                        let (k, v) = kv.split_once(':')?;
+                        Some((
+                            k.trim().trim_matches('"').to_string(),
+                            v.trim().parse().ok()?,
+                        ))
+                    })
+                    .collect()
+            }
+        };
+        // `"trace"` also names the per-violation trace array in v2
+        // documents, so recorder metadata is keyed on `trace_id` — a
+        // field only the v3 meta object carries — and its absence is
+        // simply "no recording", never a parse failure.
+        let trace_meta = json.find("\"trace\"").and_then(|at| {
+            let body = &json[at..];
+            Some(TraceMeta {
+                trace_id: get_u64(body, "trace_id")?,
+                rings: get_u64(body, "rings")? as usize,
+                events: get_u64(body, "events")?,
+                dropped: get_u64(body, "dropped")?,
+            })
+        });
+        Some(ReportSummary {
+            schema_version: get_u64(json, "schema_version").unwrap_or(1) as u32,
+            engine: get_str(json, "engine").unwrap_or("").to_string(),
+            sessions,
+            conforming: get_u64(counters, "conforming").unwrap_or(0),
+            aborted: get_u64(counters, "aborted").unwrap_or(0),
+            phases,
+            trace_meta,
+        })
     }
 }
 
@@ -440,6 +693,106 @@ mod tests {
             assert!(b >= last, "bucket({v}) regressed");
             last = b;
         }
+    }
+
+    /// `bucket_value` is a fixed point of `bucket_of`: mapping a value
+    /// to its bucket and back lands in the same bucket, and the
+    /// representative never exceeds the value it stands for by more
+    /// than one sub-bucket width (≈ 25%).
+    #[test]
+    fn histogram_bucket_of_and_value_round_trip() {
+        for v in [
+            1u64,
+            2,
+            3,
+            4,
+            5,
+            7,
+            8,
+            15,
+            16,
+            100,
+            1000,
+            4097,
+            1 << 30,
+            1 << 62,
+        ] {
+            let b = Histogram::bucket_of(v);
+            let rep = Histogram::bucket_value(b);
+            assert_eq!(
+                Histogram::bucket_of(rep as u64),
+                b,
+                "representative of bucket {b} (value {v}) maps elsewhere"
+            );
+            assert!(
+                rep <= v as f64 && v as f64 <= rep * 1.25 + 1.0,
+                "value {v} not within its bucket [{rep}, {})",
+                rep * 1.25
+            );
+        }
+    }
+
+    /// Quantile extraction is monotone in q — p50 ≤ p99 on every shape,
+    /// including heavily skewed ones.
+    #[test]
+    fn histogram_percentiles_monotone_in_q() {
+        let shapes: [&[u64]; 3] = [
+            &[1, 1, 1, 1, 1000],
+            &[5; 100],
+            &[1, 10, 100, 1000, 10_000, 100_000],
+        ];
+        for values in shapes {
+            let h = Histogram::new();
+            for &v in values {
+                h.record(v);
+            }
+            let mut last = 0.0f64;
+            for q in [0.0, 0.1, 0.5, 0.9, 0.99, 1.0] {
+                let at = h.quantile(q);
+                assert!(at >= last, "quantile({q}) = {at} < {last} on {values:?}");
+                last = at;
+            }
+        }
+    }
+
+    /// Values beyond the last octave saturate into the top bucket
+    /// rather than indexing out of bounds, and the quantile falls back
+    /// to the exact recorded max.
+    #[test]
+    fn histogram_saturates_at_top_bucket() {
+        assert_eq!(Histogram::bucket_of(u64::MAX), BUCKETS - 1);
+        // 2^63 has zero fraction bits: first sub-bucket of the top octave.
+        assert_eq!(Histogram::bucket_of(1 << 63), BUCKETS - SUB);
+        let h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX - 1);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.summary().max, u64::MAX);
+        assert!(h.quantile(0.99) > 0.0);
+    }
+
+    #[test]
+    fn prometheus_exposition_has_counters_and_summaries() {
+        let spec = lotos::parser::parse_spec("SPEC conreq1; conind2; exit ENDSPEC").unwrap();
+        let m = Metrics::for_service(&spec);
+        m.sessions_completed.store(12, Ordering::Relaxed);
+        m.record_prim("conreq", 40);
+        m.session_latency.record(900);
+        let text = m.to_prometheus();
+        assert!(text.contains("# TYPE protogen_sessions_completed_total counter"));
+        assert!(text.contains("protogen_sessions_completed_total 12"));
+        assert!(text.contains("# TYPE protogen_session_latency_us summary"));
+        assert!(text.contains("protogen_session_latency_us_count 1"));
+        assert!(
+            text.contains("protogen_primitive_latency_us{primitive=\"conreq\",quantile=\"0.5\"}")
+        );
+        assert!(text.contains("protogen_primitive_latency_us_count{primitive=\"conreq\"} 1"));
+        // One TYPE line per metric family, even with several primitives.
+        assert_eq!(
+            text.matches("# TYPE protogen_primitive_latency_us ")
+                .count(),
+            1
+        );
     }
 
     #[test]
@@ -479,6 +832,14 @@ mod tests {
             sessions_per_sec: 14.0,
             session_latency: HistSummary::default(),
             per_prim: BTreeMap::new(),
+            phases: vec![("parse".to_string(), 1.25), ("derive".to_string(), 3.5)],
+            trace_meta: Some(TraceMeta {
+                trace_id: 77,
+                rings: 3,
+                events: 420,
+                dropped: 0,
+            }),
+            abort_tails: BTreeMap::from([(4u64, vec!["lc=9 place=1 prim a@1".to_string()])]),
             reports: Vec::new(),
         };
         let json = report.to_json();
@@ -499,6 +860,49 @@ mod tests {
         assert!(json.contains("link place:2 declared dead"), "{json}");
         // An aborted session fails the run even with zero violations.
         assert!(!report.passed());
+        // v3 additions are present and machine-readable.
+        let summary = ReportSummary::from_json(&json).unwrap();
+        assert_eq!(summary.schema_version, REPORT_SCHEMA_VERSION);
+        assert_eq!(summary.sessions, 7);
+        assert_eq!(
+            summary.phases,
+            vec![("parse".to_string(), 1.25), ("derive".to_string(), 3.5)]
+        );
+        assert_eq!(summary.trace_meta.unwrap().events, 420);
+        assert!(json.contains("\"recorder_tails\":{\"4\":[\"lc=9 place=1 prim a@1\"]}"));
+    }
+
+    /// Schema v2 documents (no phases/trace/recorder_tails, violations
+    /// without tails) must keep parsing — downstream bench tooling
+    /// reads stored snapshots. The literal below is a verbatim slice of
+    /// a v2 report as the previous release wrote it.
+    #[test]
+    fn schema_v2_reports_still_parse() {
+        let v2 = "{\"schema_version\":2,\"engine\":\"concurrent\",\
+            \"config\":{\"sessions\":200,\"threads\":4,\"seed\":49374,\"capacity\":64,\
+            \"max_steps\":100000,\"faults\":\"none\"},\"sessions\":200,\"conforming\":200,\
+            \"terminated\":200,\"deadlocked\":0,\"step_limited\":0,\"aborted\":0,\
+            \"primitives\":1200,\"messages\":1800,\"delivered\":1800,\
+            \"overhead_ratio\":1.500,\"messages_per_kind\":{\"seq\":1800},\
+            \"max_queue_depth\":3,\"frames_lost\":0,\"retransmissions\":0,\
+            \"per_link\":{},\"transport_events\":[],\
+            \"wall_s\":0.0373,\"sessions_per_sec\":5367.1,\
+            \"session_latency\":{\"count\":200,\"mean_us\":150.0,\"p50_us\":128.0,\
+            \"p90_us\":256.0,\"p99_us\":320.0,\"max_us\":400},\
+            \"per_prim\":{},\"violations\":[]}";
+        let summary = ReportSummary::from_json(v2).unwrap();
+        assert_eq!(summary.schema_version, 2);
+        assert_eq!(summary.engine, "concurrent");
+        assert_eq!(summary.sessions, 200);
+        assert_eq!(summary.conforming, 200);
+        assert_eq!(summary.aborted, 0);
+        assert!(summary.phases.is_empty());
+        assert_eq!(summary.trace_meta, None);
+        // v1 documents (no schema_version at all) default to 1.
+        let v1 = "{\"engine\":\"deterministic\",\"sessions\":5,\"conforming\":5}";
+        let summary = ReportSummary::from_json(v1).unwrap();
+        assert_eq!(summary.schema_version, 1);
+        assert_eq!(summary.sessions, 5);
     }
 
     #[test]

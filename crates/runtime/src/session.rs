@@ -71,6 +71,11 @@ pub struct SessionCore {
     /// Wall-clock moment of the most recent primitive (per-primitive
     /// inter-arrival latency).
     pub last_prim: Option<Instant>,
+    /// Last primitive an entity *would* have executed but for the
+    /// `--refuse` table, noted when the entity had no other move. A
+    /// deadlock with this set is a refusal-induced conformance failure
+    /// and is reported as a violation naming this primitive.
+    pub refused_offer: Option<(String, PlaceId)>,
 }
 
 impl SessionCore {
@@ -110,6 +115,7 @@ impl SessionCore {
             started: Instant::now(),
             ended: None,
             last_prim: None,
+            refused_offer: None,
         }
     }
 

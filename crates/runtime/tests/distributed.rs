@@ -148,6 +148,7 @@ fn run_one(
         handshake_timeout: Duration::from_secs(2),
         poll: Duration::from_millis(2),
         stall_timeout: Duration::from_secs(30),
+        metrics: None,
     };
     let listener = dcfg.listen.listen().expect("hub bind");
     let hub_addr = listener.local_addr().expect("hub addr");
@@ -303,6 +304,7 @@ fn dead_entity_aborts_sessions_with_diagnostics() {
         handshake_timeout: Duration::from_secs(2),
         poll: Duration::from_millis(2),
         stall_timeout: Duration::from_secs(20),
+        metrics: None,
     };
     let listener = dcfg.listen.listen().unwrap();
     let hub_addr = listener.local_addr().unwrap();

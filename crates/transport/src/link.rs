@@ -308,6 +308,7 @@ mod tests {
                 session: 1,
                 seed: 2,
                 max_steps: 3,
+                trace: 0,
             },
         )
         .unwrap();
@@ -353,6 +354,7 @@ mod tests {
                     session: s,
                     seed: 0,
                     max_steps: 1,
+                    trace: 0,
                 },
             )
             .unwrap();
@@ -374,7 +376,8 @@ mod tests {
             WireMsg::Open {
                 session: 3,
                 seed: 0,
-                max_steps: 1
+                max_steps: 1,
+                trace: 0
             }
         );
         assert_eq!(link.stats.frames_resent, 2);

@@ -17,8 +17,20 @@
 //! disagree between address spaces, while the site-tag path of an
 //! instance is canonical. [`WireMsg::Data`] carries the path; each
 //! endpoint resolves it against its local table.
+//!
+//! **Trace context (wire v2).** [`WireMsg::Open`] carries the run's
+//! trace id (0 = recording off), [`WireMsg::Data`]/[`WireMsg::Prim`]
+//! carry the sender's per-session Lamport clock, and
+//! [`WireMsg::Trace`] ships flight-recorder chunks back to the hub at
+//! shutdown, so one process can merge a causal log of the whole run.
+//! The fields are appended to the v1 payloads: a v2 reader decodes v1
+//! frames with zeroed trace context (interop), while a v1 reader
+//! rejects v2 frames explicitly at the codec layer ([`CodecError::BadVersion`]).
 
-use medium::codec::{self, encode_frame, put_str, put_varint, CodecError, Frame, FrameDecoder};
+use medium::codec::{
+    self, encode_frame_versioned, put_str, put_varint, CodecError, Frame, FrameDecoder,
+    WIRE_VERSION,
+};
 use medium::Msg;
 use std::io;
 
@@ -48,25 +60,33 @@ pub enum WireMsg {
     HeartbeatAck {
         nonce: u64,
     },
-    /// Hub → entity: start interpreting a session.
+    /// Hub → entity: start interpreting a session. `trace` is the run's
+    /// trace id; non-zero asks the entity to flight-record the session
+    /// (wire v2; decodes as 0 from v1 frames).
     Open {
         session: u64,
         seed: u64,
         max_steps: u64,
+        trace: u64,
     },
     /// A synchronization message of one session. `msg.occ` is the
     /// *sender-local* occurrence number (informational); `path` is the
-    /// canonical site-tag path the receiver resolves locally.
+    /// canonical site-tag path the receiver resolves locally. `lc` is
+    /// the sender's per-session Lamport clock at the send (wire v2;
+    /// 0 from v1 frames or when recording is off).
     Data {
         session: u64,
         msg: Msg,
         path: Vec<u32>,
+        lc: u64,
     },
-    /// Entity → hub: a service primitive was executed.
+    /// Entity → hub: a service primitive was executed. `lc` as on
+    /// [`WireMsg::Data`].
     Prim {
         session: u64,
         name: String,
         place: u8,
+        lc: u64,
     },
     /// Entity → hub: scheduling status for a session, sent on every
     /// blocked/vote transition. `seen`/`consumed` count Data frames
@@ -90,6 +110,11 @@ pub enum WireMsg {
     },
     /// Hub → entity: no more sessions; exit cleanly.
     Shutdown,
+    /// Entity → hub: a flight-recorder chunk, flushed at shutdown so the
+    /// hub can merge one causal log across processes (wire v2).
+    Trace {
+        chunk: obs::Chunk,
+    },
 }
 
 const K_HELLO: u8 = 0;
@@ -103,6 +128,7 @@ const K_PRIM: u8 = 7;
 const K_STATUS: u8 = 8;
 const K_CLOSE: u8 = 9;
 const K_SHUTDOWN: u8 = 10;
+const K_TRACE: u8 = 11;
 
 impl WireMsg {
     /// Is this message sequenced (retransmitted on reconnect)?
@@ -118,8 +144,17 @@ impl WireMsg {
     }
 
     /// Encode as one complete frame with the given sequence number
-    /// (`0` for control traffic).
+    /// (`0` for control traffic) at the current wire version.
     pub fn encode(&self, seq: u64) -> Vec<u8> {
+        self.encode_versioned(seq, WIRE_VERSION)
+    }
+
+    /// Encode laid out for an explicit wire `version` — `1` omits the
+    /// trace-context fields. Down-level layouts exist for the
+    /// cross-version interop tests; production traffic uses
+    /// [`WireMsg::encode`].
+    pub fn encode_versioned(&self, seq: u64, version: u8) -> Vec<u8> {
+        let v2 = version >= 2;
         let mut p = Vec::with_capacity(24);
         put_varint(&mut p, seq);
         let kind = match self {
@@ -148,18 +183,30 @@ impl WireMsg {
                 session,
                 seed,
                 max_steps,
+                trace,
             } => {
                 put_varint(&mut p, *session);
                 put_varint(&mut p, *seed);
                 put_varint(&mut p, *max_steps);
+                if v2 {
+                    put_varint(&mut p, *trace);
+                }
                 K_OPEN
             }
-            WireMsg::Data { session, msg, path } => {
+            WireMsg::Data {
+                session,
+                msg,
+                path,
+                lc,
+            } => {
                 put_varint(&mut p, *session);
                 codec::encode_msg(msg, &mut p);
                 put_varint(&mut p, path.len() as u64);
                 for site in path {
                     put_varint(&mut p, *site as u64);
+                }
+                if v2 {
+                    put_varint(&mut p, *lc);
                 }
                 K_DATA
             }
@@ -167,10 +214,14 @@ impl WireMsg {
                 session,
                 name,
                 place,
+                lc,
             } => {
                 put_varint(&mut p, *session);
                 p.push(*place);
                 put_str(&mut p, name);
+                if v2 {
+                    put_varint(&mut p, *lc);
+                }
                 K_PRIM
             }
             WireMsg::Status {
@@ -196,14 +247,20 @@ impl WireMsg {
                 K_CLOSE
             }
             WireMsg::Shutdown => K_SHUTDOWN,
+            WireMsg::Trace { chunk } => {
+                chunk.encode(&mut p);
+                K_TRACE
+            }
         };
         let mut out = Vec::with_capacity(p.len() + 10);
-        encode_frame(kind, &p, &mut out);
+        encode_frame_versioned(version, kind, &p, &mut out);
         out
     }
 
-    /// Decode a frame into `(sequence number, message)`.
+    /// Decode a frame into `(sequence number, message)`. Trace-context
+    /// fields exist from wire v2 on; v1 frames decode them as zero.
     pub fn decode(frame: &Frame) -> Result<(u64, WireMsg), CodecError> {
+        let v2 = frame.version >= 2;
         let b = &frame.payload[..];
         let mut at = 0usize;
         let seq = rd_varint(b, &mut at)?;
@@ -229,10 +286,12 @@ impl WireMsg {
                 let session = rd_varint(b, &mut at)?;
                 let seed = rd_varint(b, &mut at)?;
                 let max_steps = rd_varint(b, &mut at)?;
+                let trace = if v2 { rd_varint(b, &mut at)? } else { 0 };
                 WireMsg::Open {
                     session,
                     seed,
                     max_steps,
+                    trace,
                 }
             }
             K_DATA => {
@@ -247,16 +306,25 @@ impl WireMsg {
                 for _ in 0..n {
                     path.push(rd_varint(b, &mut at)? as u32);
                 }
-                WireMsg::Data { session, msg, path }
+                let lc = if v2 { rd_varint(b, &mut at)? } else { 0 };
+                WireMsg::Data {
+                    session,
+                    msg,
+                    path,
+                    lc,
+                }
             }
             K_PRIM => {
                 let session = rd_varint(b, &mut at)?;
                 let place = rd_byte(b, &mut at)?;
-                let (name, _) = codec::get_str(&b[at..])?;
+                let (name, used) = codec::get_str(&b[at..])?;
+                at += used;
+                let lc = if v2 { rd_varint(b, &mut at)? } else { 0 };
                 WireMsg::Prim {
                     session,
                     name,
                     place,
+                    lc,
                 }
             }
             K_STATUS => {
@@ -281,6 +349,10 @@ impl WireMsg {
                 WireMsg::Close { session, end }
             }
             K_SHUTDOWN => WireMsg::Shutdown,
+            K_TRACE => {
+                let (chunk, _) = obs::Chunk::decode(&b[at..]).ok_or(CodecError::Truncated)?;
+                WireMsg::Trace { chunk }
+            }
             _ => return Err(CodecError::Truncated),
         };
         Ok((seq, msg))
@@ -358,6 +430,7 @@ mod tests {
                 session: 12,
                 seed: 0xC0FFEE,
                 max_steps: 100_000,
+                trace: 0xBEEF,
             },
             44,
         );
@@ -372,6 +445,7 @@ mod tests {
                     kind: SyncKind::Seq,
                 },
                 path: vec![7, 31, 7],
+                lc: 99,
             },
             45,
         );
@@ -380,8 +454,26 @@ mod tests {
                 session: 3,
                 name: "conreq".into(),
                 place: 1,
+                lc: 1 << 33,
             },
             46,
+        );
+        round_trip(
+            WireMsg::Trace {
+                chunk: obs::Chunk {
+                    names: vec!["conreq".into()],
+                    events: vec![obs::Event {
+                        kind: obs::EventKind::Prim,
+                        place: 1,
+                        session: 3,
+                        lc: 4,
+                        wall_ns: 123,
+                        a: 0,
+                        b: 1,
+                    }],
+                },
+            },
+            50,
         );
         round_trip(
             WireMsg::Status {
@@ -412,8 +504,121 @@ mod tests {
         assert!(WireMsg::Open {
             session: 0,
             seed: 0,
-            max_steps: 1
+            max_steps: 1,
+            trace: 0
         }
         .sequenced());
+    }
+
+    /// A v2 reader accepts v1 frames: the trace-context fields decode as
+    /// zero and everything else is preserved.
+    #[test]
+    fn v1_frames_decode_with_zeroed_trace_context() {
+        let msgs = [
+            WireMsg::Open {
+                session: 12,
+                seed: 7,
+                max_steps: 1000,
+                trace: 0xDEAD,
+            },
+            WireMsg::Data {
+                session: 3,
+                msg: Msg {
+                    from: 1,
+                    to: 2,
+                    id: MsgId::Named("x".into()),
+                    occ: 2,
+                    kind: SyncKind::Alt,
+                },
+                path: vec![4, 2],
+                lc: 55,
+            },
+            WireMsg::Prim {
+                session: 3,
+                name: "conreq".into(),
+                place: 1,
+                lc: 9,
+            },
+        ];
+        for m in msgs {
+            let bytes = m.encode_versioned(8, 1);
+            let mut dec = FrameDecoder::new();
+            dec.feed(&bytes);
+            let frame = dec.next().unwrap().unwrap();
+            assert_eq!(frame.version, 1);
+            let (seq, back) = WireMsg::decode(&frame).unwrap();
+            assert_eq!(seq, 8);
+            let expected = match m {
+                WireMsg::Open {
+                    trace: _,
+                    session,
+                    seed,
+                    max_steps,
+                } => WireMsg::Open {
+                    session,
+                    seed,
+                    max_steps,
+                    trace: 0,
+                },
+                WireMsg::Data {
+                    lc: _,
+                    session,
+                    msg,
+                    path,
+                } => WireMsg::Data {
+                    session,
+                    msg,
+                    path,
+                    lc: 0,
+                },
+                WireMsg::Prim {
+                    lc: _,
+                    session,
+                    name,
+                    place,
+                } => WireMsg::Prim {
+                    session,
+                    name,
+                    place,
+                    lc: 0,
+                },
+                other => other,
+            };
+            assert_eq!(back, expected);
+        }
+    }
+
+    /// One byte stream may interleave frame versions (a peer that
+    /// restarted under an older build mid-conversation): each frame
+    /// resolves its trace-context fields per its own stamped version.
+    #[test]
+    fn mixed_version_stream_resolves_context_per_frame() {
+        let prim = WireMsg::Prim {
+            session: 9,
+            name: "datind".into(),
+            place: 2,
+            lc: 77,
+        };
+        let mut stream = Vec::new();
+        stream.extend_from_slice(&prim.encode_versioned(1, 2));
+        stream.extend_from_slice(&prim.encode_versioned(2, 1));
+        stream.extend_from_slice(&prim.encode_versioned(3, 2));
+
+        let mut dec = FrameDecoder::new();
+        dec.feed(&stream);
+        let mut lcs = Vec::new();
+        while let Ok(Some(frame)) = dec.next() {
+            let (seq, back) = WireMsg::decode(&frame).unwrap();
+            match back {
+                WireMsg::Prim { lc, session, .. } => {
+                    assert_eq!(session, 9);
+                    lcs.push((seq, lc));
+                }
+                other => panic!("unexpected message: {other:?}"),
+            }
+        }
+        // The v1 frame in the middle loses its logical clock; the v2
+        // frames around it keep theirs.
+        assert_eq!(lcs, vec![(1, 77), (2, 0), (3, 77)]);
     }
 }
