@@ -94,6 +94,7 @@ fn main() {
                         None => hub_addr.clone(),
                     };
                     let mut scfg = ServeConfig::new(entity_hub, *p);
+                    scfg.backend = cfg.backend;
                     scfg.seed = SEED;
                     scfg.backoff_base = Duration::from_millis(15);
                     scfg.backoff_cap = Duration::from_millis(300);
@@ -135,12 +136,14 @@ fn main() {
             let mut e = String::new();
             write!(
                 e,
-                "    {{\"spec\":\"{name}\",\"mode\":\"{mode}\",\"link_faults\":\"{}\",\"sessions\":{},\
+                "    {{\"spec\":\"{name}\",\"mode\":\"{mode}\",\"link_faults\":\"{}\",\
+                 \"backend\":\"{}\",\"sessions\":{},\
                  \"threads\":{THREADS},\"sessions_per_sec\":{:.1},\
                  \"latency_p50_us\":{},\"latency_p99_us\":{},\
                  \"messages\":{},\"kills\":{kills},\"reconnects\":{reconnects},\
                  \"retransmissions\":{retx}}}",
                 faults_tag(faults),
+                report.backend,
                 report.sessions,
                 report.sessions_per_sec,
                 report.session_latency.p50,

@@ -22,7 +22,7 @@
 //! producer.
 
 use protogen::Pipeline;
-use runtime::{FaultProfile, PipelineRun, RuntimeConfig};
+use runtime::{BackendChoice, FaultProfile, PipelineRun, RuntimeConfig};
 use std::fmt::Write as _;
 
 const THREADS: usize = 4;
@@ -62,61 +62,73 @@ fn main() {
             .and_then(|c| c.derive())
             .unwrap_or_else(|e| panic!("specs/{name}: {e}"));
 
-        for profile in [FaultProfile::None, FaultProfile::Lossy { loss: 0.2 }] {
-            let mut cfg = RuntimeConfig::new()
-                .sessions(sessions)
-                .threads(THREADS)
-                .seed(SEED)
-                .faults(profile)
-                .record(record);
-            for &(prim, place) in refuse {
-                cfg = cfg.refuse(prim, place);
+        // Backend axis: `Interpreted` forces the original path,
+        // `Auto` compiles each entity to tables where it lowers. The
+        // entry's `backend` field records what actually ran
+        // (interpreted / compiled / mixed), so numbers from different
+        // backends are never compared as equals.
+        for backend in [BackendChoice::Interpreted, BackendChoice::Auto] {
+            for profile in [FaultProfile::None, FaultProfile::Lossy { loss: 0.2 }] {
+                let mut cfg = RuntimeConfig::new()
+                    .sessions(sessions)
+                    .threads(THREADS)
+                    .seed(SEED)
+                    .faults(profile)
+                    .backend(backend)
+                    .record(record);
+                for &(prim, place) in refuse {
+                    cfg = cfg.refuse(prim, place);
+                }
+                // Warm-up pass (thread spawn + arena population), then the
+                // measured pass.
+                derived.load_test(&cfg.clone().sessions(sessions / 10 + 1));
+                let report = derived.load_test(&cfg);
+                assert!(
+                    report.passed(),
+                    "{name} [{}/{}]: {}/{} sessions conforming",
+                    profile_tag(profile),
+                    report.backend,
+                    report.conforming,
+                    report.sessions
+                );
+
+                println!(
+                    "{name:28} {:8} {:11} {sessions:>5} sessions x {THREADS} threads | \
+                     {:>9.0} sessions/s | latency p50 {:>5}µs p99 {:>5}µs | \
+                     overhead {:.2} | lost {:>4} retx {:>4}",
+                    profile_tag(profile),
+                    report.backend,
+                    report.sessions_per_sec,
+                    report.session_latency.p50,
+                    report.session_latency.p99,
+                    report.overhead_ratio(),
+                    report.frames_lost,
+                    report.retransmissions,
+                );
+
+                let mut e = String::new();
+                write!(
+                    e,
+                    "    {{\"spec\":\"{name}\",\"mode\":\"{mode}\",\"profile\":\"{}\",\
+                     \"backend\":\"{}\",\"sessions\":{},\
+                     \"threads\":{THREADS},\"sessions_per_sec\":{:.1},\
+                     \"latency_p50_us\":{},\"latency_p99_us\":{},\
+                     \"overhead_ratio\":{:.3},\"messages\":{},\"frames_lost\":{},\
+                     \"retransmissions\":{}}}",
+                    profile_tag(profile),
+                    report.backend,
+                    report.sessions,
+                    report.sessions_per_sec,
+                    report.session_latency.p50,
+                    report.session_latency.p99,
+                    report.overhead_ratio(),
+                    report.messages,
+                    report.frames_lost,
+                    report.retransmissions,
+                )
+                .unwrap();
+                entries.push(e);
             }
-            // Warm-up pass (thread spawn + arena population), then the
-            // measured pass.
-            derived.load_test(&cfg.clone().sessions(sessions / 10 + 1));
-            let report = derived.load_test(&cfg);
-            assert!(
-                report.passed(),
-                "{name} [{}]: {}/{} sessions conforming",
-                profile_tag(profile),
-                report.conforming,
-                report.sessions
-            );
-
-            println!(
-                "{name:28} {:8} {sessions:>5} sessions x {THREADS} threads | \
-                 {:>9.0} sessions/s | latency p50 {:>5}µs p99 {:>5}µs | \
-                 overhead {:.2} | lost {:>4} retx {:>4}",
-                profile_tag(profile),
-                report.sessions_per_sec,
-                report.session_latency.p50,
-                report.session_latency.p99,
-                report.overhead_ratio(),
-                report.frames_lost,
-                report.retransmissions,
-            );
-
-            let mut e = String::new();
-            write!(
-                e,
-                "    {{\"spec\":\"{name}\",\"mode\":\"{mode}\",\"profile\":\"{}\",\"sessions\":{},\
-                 \"threads\":{THREADS},\"sessions_per_sec\":{:.1},\
-                 \"latency_p50_us\":{},\"latency_p99_us\":{},\
-                 \"overhead_ratio\":{:.3},\"messages\":{},\"frames_lost\":{},\
-                 \"retransmissions\":{}}}",
-                profile_tag(profile),
-                report.sessions,
-                report.sessions_per_sec,
-                report.session_latency.p50,
-                report.session_latency.p99,
-                report.overhead_ratio(),
-                report.messages,
-                report.frames_lost,
-                report.retransmissions,
-            )
-            .unwrap();
-            entries.push(e);
         }
     }
 

@@ -11,6 +11,7 @@
 //! protogen load     <spec.lotos> --sessions N --threads T [--faults PROF]
 //! protogen trace    <spec.lotos> [run/load flags] | --inspect F | --validate F
 //! protogen serve    <spec.lotos> --place P --hub ADDR   one entity process
+//! protogen codegen  <spec.lotos> [--place P] [--rust]   compiled entity tables
 //! protogen gen      [--seed S] [--places N] [--depth D] [--disable] [--rec]
 //! protogen central  <spec.lotos> [--server P]   §3 centralized baseline
 //! protogen lts      <spec.lotos> [-m]           service LTS (minimized with -m)
@@ -27,7 +28,9 @@ use lotos::printer::{print_expr, print_spec};
 use obs::{EventKind, Recorder, Registry};
 use protogen::stats::{message_stats, operator_counts};
 use protogen::{Pipeline, PipelineConfig, ProtogenError};
-use runtime::{DistributedConfig, FaultProfile, RuntimeConfig, RuntimeReport, ServeConfig};
+use runtime::{
+    BackendChoice, DistributedConfig, FaultProfile, RuntimeConfig, RuntimeReport, ServeConfig,
+};
 use semantics::ExploreConfig;
 use sim::{simulate, SimConfig};
 use std::io::Read;
@@ -64,7 +67,7 @@ fn main() -> ExitCode {
 
 fn usage() -> ProtogenError {
     ProtogenError::Usage(
-        "usage: protogen <check|attrs|derive|verify|simulate|trace|gen> [options] <spec.lotos|->\n\
+        "usage: protogen <check|attrs|derive|verify|simulate|trace|codegen|gen> [options] <spec.lotos|->\n\
          \n\
          check     parse and report restriction violations (R1, R2, R3, ...)\n\
          attrs     print the SP/EP/AP attribute table and node numbering\n\
@@ -84,9 +87,11 @@ fn usage() -> ProtogenError {
          \x20          --report <file> write the JSON RuntimeReport here\n\
          load      drive many concurrent sessions and report load metrics\n\
          \x20          --sessions <n>  session count (default 1)\n\
-         \x20          --threads <t>   entity threads / multiplexer window\n\
+         \x20          --threads <t>   entity threads (scales the in-flight window)\n\
          \x20          --faults <f>    fault profile (as for run)\n\
          \x20          --seed <s> --capacity <c> --max-steps <m>\n\
+         \x20          --backend <b>   interpreted | compiled | auto (default: auto\n\
+         \x20                          compiles each entity to tables where possible)\n\
          \x20          --report <file> write the JSON RuntimeReport here (alias: --out)\n\
          \x20          --refuse <a@p>  primitive the place-p user never offers (repeatable)\n\
          \n\
@@ -111,6 +116,11 @@ fn usage() -> ProtogenError {
          \x20          --hub <a>       hub address (required), as for --listen\n\
          \x20          --refuse <a@p>  refused primitive (repeatable)\n\
          \x20          --seed <s>      reconnect-jitter seed\n\
+         \x20          --backend <b>   as for run/load\n\
+         codegen   lower each entity to flat transition tables and emit them\n\
+         \x20          --place <p>     only this place\n\
+         \x20          --out <file>    write here instead of stdout\n\
+         \x20          --rust          emit a standalone Rust module instead of JSON\n\
          gen       emit a random well-formed service specification\n\
          \x20          --seed <s> --places <n> --depth <d> --disable --rec\n\
          central   derive the Section-3 centralized-server baseline\n\
@@ -144,6 +154,7 @@ const VALUE_FLAGS: &[&str] = &[
     "--sessions",
     "--threads",
     "--faults",
+    "--backend",
     "--capacity",
     "--max-steps",
     "--out",
@@ -269,6 +280,10 @@ fn runtime_config(args: &[String]) -> Result<RuntimeConfig, ProtogenError> {
             .map_err(|e| ProtogenError::Usage(format!("bad --faults value: {e}")))?;
         cfg = cfg.faults(profile);
     }
+    if let Some(b) = flag_value(args, "--backend") {
+        let choice = BackendChoice::parse(b).map_err(ProtogenError::Usage)?;
+        cfg = cfg.backend(choice);
+    }
     for (name, place) in refusals(args)? {
         cfg = cfg.refuse(&name, place);
     }
@@ -380,6 +395,7 @@ fn run_distributed(
                 .args(["--place", &p.to_string()])
                 .args(["--hub", &hub_addr.to_string()])
                 .args(["--seed", &cfg.seed.to_string()])
+                .args(["--backend", &cfg.backend.to_string()])
                 .stdout(std::process::Stdio::null());
             for (name, place) in &cfg.refuse {
                 cmd.args(["--refuse", &format!("{name}@{place}")]);
@@ -475,11 +491,11 @@ fn execute_runtime(
         if distributed {
             run_distributed(&derived, &cfg, rest, registry.clone())
         } else {
-            Ok(runtime::run_obs(
-                derived.derivation(),
-                &cfg,
-                registry.clone(),
-            ))
+            let mut cfg = cfg.clone();
+            if let Some(reg) = &registry {
+                cfg = cfg.registry(Arc::clone(reg));
+            }
+            runtime::try_run(derived.derivation(), &cfg).map_err(ProtogenError::Usage)
         }
     })?;
     report.phases = phases;
@@ -865,6 +881,9 @@ fn run(args: &[String]) -> Result<(), ProtogenError> {
             if let Some(s) = parse_flag(rest, "--seed")? {
                 scfg.seed = s;
             }
+            if let Some(b) = flag_value(rest, "--backend") {
+                scfg.backend = BackendChoice::parse(b).map_err(ProtogenError::Usage)?;
+            }
             scfg.refuse = refusals(rest)?;
             eprintln!("serve: place {place} connecting to {}", scfg.hub);
             match runtime::serve_entity(entity, &scfg) {
@@ -881,6 +900,67 @@ fn run(args: &[String]) -> Result<(), ProtogenError> {
                 }
                 Err(e) => Err(ProtogenError::Transport(e)),
             }
+        }
+        "codegen" => {
+            let derived = load_pipeline(rest)?.check()?.derive()?;
+            let d = derived.derivation();
+            let only: Option<PlaceId> = parse_flag(rest, "--place")?;
+            let entities: Vec<(PlaceId, lotos::ast::Spec)> = d
+                .entities
+                .iter()
+                .filter(|(p, _)| only.is_none_or(|q| *p == q))
+                .cloned()
+                .collect();
+            if entities.is_empty() {
+                return Err(ProtogenError::Derive(format!(
+                    "the service has no place {}",
+                    only.expect("unfiltered derivations are never empty")
+                )));
+            }
+            let cfg = semantics::lower::LowerConfig::default();
+            let set = semantics::lower::lower_entities(&entities, &cfg).map_err(|e| {
+                ProtogenError::Derive(format!(
+                    "lowering failed: {e} (such entities can only run on the \
+                     interpreted backend; see docs/COMPILED.md)"
+                ))
+            })?;
+            let out = if rest.iter().any(|a| a == "--rust") {
+                let name = spec_arg(rest)
+                    .map(|p| p.as_str())
+                    .filter(|p| *p != "-")
+                    .and_then(|p| std::path::Path::new(p).file_stem())
+                    .and_then(|s| s.to_str())
+                    .unwrap_or("service");
+                semantics::lower::emit_rust_module(&set, name)
+            } else {
+                let mut s = String::from("{\"schema\": \"protogen-tables-v1\", \"entities\": [");
+                for (i, (_, e)) in set.entities.iter().enumerate() {
+                    if i > 0 {
+                        s.push(',');
+                    }
+                    s.push('\n');
+                    s.push_str(&e.to_json());
+                }
+                s.push_str("\n]}\n");
+                s
+            };
+            eprintln!(
+                "codegen: {} entit{} lowered, {} states total",
+                set.entities.len(),
+                if set.entities.len() == 1 { "y" } else { "ies" },
+                set.total_states()
+            );
+            match flag_value(rest, "--out") {
+                Some(path) => {
+                    std::fs::write(path, &out).map_err(|e| ProtogenError::Io {
+                        path: path.to_string(),
+                        message: e.to_string(),
+                    })?;
+                    println!("tables: {path}");
+                }
+                None => print!("{out}"),
+            }
+            Ok(())
         }
         "gen" => {
             let mut cfg = specgen::GenConfig::default();

@@ -325,7 +325,8 @@ fn distributed_spawn_run_conforms_over_tcp() {
     std::fs::remove_file(&report).ok();
     std::fs::remove_file(&spec).ok();
     assert!(json.contains("\"engine\":\"distributed\""), "{json}");
-    assert!(json.contains("\"schema_version\":3"), "{json}");
+    assert!(json.contains("\"schema_version\":4"), "{json}");
+    assert!(json.contains("\"backend\":"), "{json}");
     assert!(json.contains("\"per_link\""), "{json}");
 }
 

@@ -2,7 +2,9 @@
 //! concurrent executor (mirrors `ExploreConfig`/`SimConfig`/`VerifyConfig`).
 
 use lotos::place::PlaceId;
+use obs::Registry;
 use std::fmt;
+use std::sync::Arc;
 
 /// A seeded channel-fault profile applied to every directed channel.
 ///
@@ -96,9 +98,48 @@ impl fmt::Display for FaultProfile {
     }
 }
 
+/// Which entity-stepping backend the executors use (see
+/// `docs/COMPILED.md` and [`crate::compiled`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum BackendChoice {
+    /// Interpret hash-consed behaviour terms (the original path).
+    Interpreted,
+    /// Walk pre-lowered transition tables; a hard error for entities
+    /// that cannot be lowered.
+    Compiled,
+    /// Per entity: compiled where lowering succeeds, interpreted where
+    /// it does not (unbounded recursion unrolling).
+    #[default]
+    Auto,
+}
+
+impl BackendChoice {
+    /// Parse a CLI backend string: `interpreted`, `compiled`, or `auto`.
+    pub fn parse(s: &str) -> Result<BackendChoice, String> {
+        match s {
+            "interpreted" => Ok(BackendChoice::Interpreted),
+            "compiled" => Ok(BackendChoice::Compiled),
+            "auto" => Ok(BackendChoice::Auto),
+            _ => Err(format!(
+                "unknown backend `{s}` (try interpreted, compiled, auto)"
+            )),
+        }
+    }
+}
+
+impl fmt::Display for BackendChoice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            BackendChoice::Interpreted => "interpreted",
+            BackendChoice::Compiled => "compiled",
+            BackendChoice::Auto => "auto",
+        })
+    }
+}
+
 /// Configuration for [`crate::run`] — how many sessions to drive, how
 /// concurrently, over which medium discipline, under which faults.
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct RuntimeConfig {
     /// Independent service sessions to run.
     pub sessions: usize,
@@ -124,6 +165,29 @@ pub struct RuntimeConfig {
     /// violation/abort reports carry the offending session's tail.
     /// Off by default — disabled recording costs one branch per event.
     pub record: bool,
+    /// Entity-stepping backend (see [`BackendChoice`]).
+    pub backend: BackendChoice,
+    /// Record into this caller-supplied flight-recorder registry instead
+    /// of a run-private one, so pipeline-phase spans and the run merge
+    /// into one trace. Implies recording when set; not serialized.
+    pub registry: Option<Arc<Registry>>,
+}
+
+impl fmt::Debug for RuntimeConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RuntimeConfig")
+            .field("sessions", &self.sessions)
+            .field("threads", &self.threads)
+            .field("seed", &self.seed)
+            .field("capacity", &self.capacity)
+            .field("max_steps", &self.max_steps)
+            .field("faults", &self.faults)
+            .field("refuse", &self.refuse)
+            .field("record", &self.record)
+            .field("backend", &self.backend)
+            .field("registry", &self.registry.as_ref().map(|_| "<registry>"))
+            .finish()
+    }
 }
 
 impl Default for RuntimeConfig {
@@ -137,6 +201,8 @@ impl Default for RuntimeConfig {
             faults: FaultProfile::None,
             refuse: Vec::new(),
             record: false,
+            backend: BackendChoice::default(),
+            registry: None,
         }
     }
 }
@@ -194,6 +260,18 @@ impl RuntimeConfig {
         self
     }
 
+    /// Select the entity-stepping backend.
+    pub fn backend(mut self, b: BackendChoice) -> Self {
+        self.backend = b;
+        self
+    }
+
+    /// Record into a caller-supplied registry (implies recording).
+    pub fn registry(mut self, r: Arc<Registry>) -> Self {
+        self.registry = Some(r);
+        self
+    }
+
     /// The seed session `k` runs under (matches the CLI's
     /// `simulate --runs` convention, so `threads 1` reproduces DES runs).
     pub fn session_seed(&self, k: usize) -> u64 {
@@ -204,14 +282,15 @@ impl RuntimeConfig {
     pub fn to_json(&self) -> String {
         format!(
             "{{\"sessions\":{},\"threads\":{},\"seed\":{},\"capacity\":{},\
-             \"max_steps\":{},\"faults\":\"{}\",\"record\":{}}}",
+             \"max_steps\":{},\"faults\":\"{}\",\"record\":{},\"backend\":\"{}\"}}",
             self.sessions,
             self.threads,
             self.seed,
             self.capacity,
             self.max_steps,
             self.faults,
-            self.record
+            self.record,
+            self.backend
         )
     }
 
@@ -242,6 +321,9 @@ impl RuntimeConfig {
         }
         if let Some(b) = semantics::jsonish::get_bool(s, "record") {
             cfg.record = b;
+        }
+        if let Some(b) = semantics::jsonish::get_str(s, "backend") {
+            cfg.backend = BackendChoice::parse(b)?;
         }
         Ok(cfg)
     }
@@ -283,7 +365,8 @@ mod tests {
             .capacity(8)
             .max_steps(9000)
             .faults(FaultProfile::Lossy { loss: 0.25 })
-            .record(true);
+            .record(true)
+            .backend(BackendChoice::Compiled);
         let back = RuntimeConfig::from_json(&cfg.to_json()).unwrap();
         assert_eq!(back.sessions, 500);
         assert_eq!(back.threads, 4);
@@ -292,9 +375,25 @@ mod tests {
         assert_eq!(back.max_steps, 9000);
         assert_eq!(back.faults, FaultProfile::Lossy { loss: 0.25 });
         assert!(back.record);
+        assert_eq!(back.backend, BackendChoice::Compiled);
         // Documents written before the `record` key keep the default.
         let old = RuntimeConfig::from_json("{\"sessions\":3}").unwrap();
         assert!(!old.record);
+        assert_eq!(old.backend, BackendChoice::Auto);
+    }
+
+    #[test]
+    fn parse_backends() {
+        assert_eq!(
+            BackendChoice::parse("interpreted").unwrap(),
+            BackendChoice::Interpreted
+        );
+        assert_eq!(
+            BackendChoice::parse("compiled").unwrap(),
+            BackendChoice::Compiled
+        );
+        assert_eq!(BackendChoice::parse("auto").unwrap(), BackendChoice::Auto);
+        assert!(BackendChoice::parse("jit").is_err());
     }
 
     #[test]

@@ -47,9 +47,10 @@
 //! budget ([`transport::Backoff`]); an exhausted budget fails the
 //! `serve` process the same way.
 
-use crate::config::RuntimeConfig;
+use crate::compiled::{lower_for, make_backend, BState, Backend, EntityBackend, OfferView};
+use crate::config::{BackendChoice, RuntimeConfig};
 use crate::entity::pack_msg_event;
-use crate::exec::{replay_conformance, trace_id_for, Tally};
+use crate::exec::{backend_desc, replay_conformance, trace_id_for, Tally};
 use crate::metrics::{LinkReport, Metrics, RuntimeReport, SessionReport, ViolationRecord};
 use crate::session::SessionEnd;
 use lotos::ast::Spec;
@@ -59,7 +60,7 @@ use obs::{EventKind, Recorder, Registry};
 use protogen::derive::Derivation;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use semantics::engine::{Engine, TermArena, TermId};
+use semantics::engine::TermArena;
 use semantics::hash::fx_hash;
 use semantics::term::{Label, OccTable};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
@@ -334,6 +335,13 @@ pub fn run_hub_obs(
     registry: Option<Arc<Registry>>,
 ) -> io::Result<RuntimeReport> {
     let started = Instant::now();
+    // The entities run in their own processes, but they are launched from
+    // the same derivation with the same backend choice — so the hub's
+    // `backend` field reports what `cfg.backend` lowers to, and a
+    // `--backend compiled` request that cannot be honored fails the run
+    // here, before any entity is awaited.
+    let lowered = lower_for(&d.entities, cfg.backend)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
     listener.set_nonblocking(true)?;
 
     let places: Vec<PlaceId> = d.entities.iter().map(|(p, _)| *p).collect();
@@ -722,6 +730,7 @@ pub fn run_hub_obs(
     let wall_s = started.elapsed().as_secs_f64();
     let mut report = RuntimeReport {
         engine: "distributed",
+        backend: backend_desc(&lowered),
         schema_version: crate::metrics::REPORT_SCHEMA_VERSION,
         config: cfg.clone(),
         sessions: tally.reports.len(),
@@ -994,6 +1003,10 @@ fn finalize_hub_session(
 pub struct ServeConfig {
     pub hub: Addr,
     pub place: PlaceId,
+    /// How the place-local behaviour is stepped (`Auto` compiles to
+    /// tables when the behaviour lowers, interprets otherwise — pass the
+    /// same choice to the hub so its report describes the entities).
+    pub backend: BackendChoice,
     /// Primitives this entity's users never offer.
     pub refuse: Vec<(String, PlaceId)>,
     /// Jitter seed for the reconnect backoff.
@@ -1014,6 +1027,7 @@ impl ServeConfig {
         ServeConfig {
             hub,
             place,
+            backend: BackendChoice::default(),
             refuse: Vec::new(),
             seed: 0xC0FFEE,
             poll: Duration::from_millis(2),
@@ -1036,9 +1050,9 @@ pub struct ServeOutcome {
     pub link: LinkReport,
 }
 
-/// One session as interpreted by an entity process.
+/// One session as stepped by an entity process.
 struct EntSession {
-    term: TermId,
+    state: BState,
     rng: StdRng,
     inbox: BTreeMap<PlaceId, VecDeque<Msg>>,
     seen: u64,
@@ -1080,7 +1094,13 @@ const SLICE: usize = 128;
 /// transport failure code.
 pub fn serve_entity(entity: &Spec, cfg: &ServeConfig) -> Result<ServeOutcome, String> {
     let occ = Arc::new(Mutex::new(OccTable::new()));
-    let engine = Engine::with_shared(entity.clone(), Arc::new(TermArena::new()), Arc::clone(&occ));
+    let lowered = lower_for(&[(cfg.place, entity.clone())], cfg.backend)?;
+    let mut backend = make_backend(
+        entity,
+        lowered.into_iter().next().flatten(),
+        &Arc::new(TermArena::new()),
+        &occ,
+    );
     let mut link = Link::new();
     let mut chan: Option<Channel> = None;
     let mut backoff = Backoff::new(
@@ -1120,7 +1140,7 @@ pub fn serve_entity(entity: &Spec, cfg: &ServeConfig) -> Result<ServeOutcome, St
                             entity_handle(
                                 m,
                                 cfg,
-                                &engine,
+                                &mut backend,
                                 &occ,
                                 &mut sessions,
                                 &mut runnable,
@@ -1161,7 +1181,7 @@ pub fn serve_entity(entity: &Spec, cfg: &ServeConfig) -> Result<ServeOutcome, St
                             entity_handle(
                                 m,
                                 cfg,
-                                &engine,
+                                &mut backend,
                                 &occ,
                                 &mut sessions,
                                 &mut runnable,
@@ -1237,7 +1257,7 @@ pub fn serve_entity(entity: &Spec, cfg: &ServeConfig) -> Result<ServeOutcome, St
                 id,
                 s,
                 cfg,
-                &engine,
+                &mut backend,
                 &occ,
                 &mut outcome,
                 &mut outbox,
@@ -1377,7 +1397,7 @@ fn try_connect(
 fn entity_handle(
     msg: WireMsg,
     cfg: &ServeConfig,
-    engine: &Engine,
+    backend: &mut Backend,
     occ: &Arc<Mutex<OccTable>>,
     sessions: &mut BTreeMap<u64, EntSession>,
     runnable: &mut BTreeSet<u64>,
@@ -1401,7 +1421,7 @@ fn entity_handle(
             sessions.insert(
                 session,
                 EntSession {
-                    term: engine.root(),
+                    state: backend.init(),
                     rng,
                     inbox: BTreeMap::new(),
                     seen: 0,
@@ -1454,7 +1474,7 @@ fn entity_handle(
     }
 }
 
-/// Interpret up to [`SLICE`] moves of one session. Returns `true` when
+/// Step up to [`SLICE`] moves of one session. Returns `true` when
 /// the session still has work (reschedule), `false` when it parked (a
 /// `Status` was pushed) .
 #[allow(clippy::too_many_arguments)]
@@ -1462,36 +1482,40 @@ fn step_session(
     id: u64,
     s: &mut EntSession,
     cfg: &ServeConfig,
-    engine: &Engine,
+    backend: &mut Backend,
     occ: &Arc<Mutex<OccTable>>,
     outcome: &mut ServeOutcome,
     outbox: &mut Vec<WireMsg>,
     rec: Option<&Recorder>,
 ) -> bool {
     for _ in 0..SLICE {
-        let trans = engine.transitions(s.term);
-        let mut enabled: Vec<usize> = Vec::with_capacity(trans.len());
+        let n_offers = backend.offers(&s.state);
+        let mut enabled: Vec<usize> = Vec::with_capacity(n_offers);
         let mut has_delta = false;
-        for (i, (label, _)) in trans.iter().enumerate() {
-            match label {
-                Label::I => enabled.push(i),
-                Label::Prim { name, place } => {
-                    if !cfg.refuse.iter().any(|(n, p)| n == name && *p == *place) {
+        for i in 0..n_offers {
+            match backend.offer(i) {
+                OfferView::I => enabled.push(i),
+                OfferView::Prim { name, place } => {
+                    if !cfg
+                        .refuse
+                        .iter()
+                        .any(|(n, p)| n.as_str() == name && *p == place)
+                    {
                         enabled.push(i);
                     }
                 }
-                Label::Send { .. } => enabled.push(i),
-                Label::Recv { from, msg, occ, .. } => {
+                OfferView::Send { .. } => enabled.push(i),
+                OfferView::Recv { from, msg, occ, .. } => {
                     let head_matches = s
                         .inbox
-                        .get(from)
+                        .get(&from)
                         .and_then(|q| q.front())
-                        .is_some_and(|m| m.id == *msg && m.occ == *occ);
+                        .is_some_and(|m| m.id == *msg && m.occ == occ);
                     if head_matches {
                         enabled.push(i);
                     }
                 }
-                Label::Delta => has_delta = true,
+                OfferView::Delta => has_delta = true,
             }
         }
         if enabled.is_empty() || s.steps >= s.max_steps {
@@ -1503,7 +1527,7 @@ fn step_session(
         } else {
             s.rng.gen_range(0..enabled.len())
         };
-        let (label, next) = trans[enabled[k]].clone();
+        let label = backend.label(enabled[k]);
         s.steps += 1;
         s.lc += 1;
         match label {
@@ -1559,7 +1583,7 @@ fn step_session(
                 s.consumed += 1;
             }
         }
-        s.term = next;
+        backend.step(&mut s.state, enabled[k]);
     }
     true
 }

@@ -27,6 +27,7 @@
 //!   ([`medium::Capacity::Bounded`] semantics) — the thread never parks
 //!   on one session's backpressure; it works other sessions.
 
+use crate::compiled::{BState, Backend, EntityBackend, OfferView};
 use crate::config::RuntimeConfig;
 use crate::metrics::Metrics;
 use crate::session::{SessionEnd, SessionSlot};
@@ -36,7 +37,6 @@ use medium::Msg;
 use obs::{EventKind, Recorder};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use semantics::engine::{Engine, TermId};
 use semantics::hash::{fx_hash, FxHashMap};
 use semantics::term::Label;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
@@ -57,8 +57,20 @@ struct NotifyState {
     wakes: BTreeSet<u64>,
 }
 
+impl NotifyState {
+    fn is_empty(&self) -> bool {
+        self.controls.is_empty() && self.wakes.is_empty()
+    }
+}
+
 /// Wake-up channel of one entity thread: session opens, shutdown, and
 /// "session `id` may have new work for you" pokes from peers.
+///
+/// Producers publish under the mutex but only signal the condvar on the
+/// empty → non-empty transition: a consumer that saw a non-empty state
+/// never parks (the wait loop rechecks under the same mutex), so
+/// intermediate signals would be futex traffic for threads that are
+/// already awake.
 #[derive(Default)]
 pub struct Notifier {
     state: Mutex<NotifyState>,
@@ -70,38 +82,35 @@ impl Notifier {
         Notifier::default()
     }
 
+    fn publish<F: FnOnce(&mut NotifyState)>(&self, f: F) {
+        let mut st = self.state.lock().expect("notifier poisoned");
+        let was_empty = st.is_empty();
+        f(&mut st);
+        drop(st);
+        if was_empty {
+            self.cv.notify_one();
+        }
+    }
+
     pub fn open(&self, slot: Arc<SessionSlot>) {
-        self.state
-            .lock()
-            .expect("notifier poisoned")
-            .controls
-            .push_back(Control::Open(slot));
-        self.cv.notify_one();
+        self.publish(|st| st.controls.push_back(Control::Open(slot)));
     }
 
     pub fn shutdown(&self) {
-        self.state
-            .lock()
-            .expect("notifier poisoned")
-            .controls
-            .push_back(Control::Shutdown);
-        self.cv.notify_one();
+        self.publish(|st| st.controls.push_back(Control::Shutdown));
     }
 
     pub fn wake(&self, session: u64) {
-        self.state
-            .lock()
-            .expect("notifier poisoned")
-            .wakes
-            .insert(session);
-        self.cv.notify_one();
+        self.publish(|st| {
+            st.wakes.insert(session);
+        });
     }
 
     /// Take everything pending; block until something arrives when
     /// `block` is set and nothing is pending.
     pub fn drain(&self, block: bool) -> (Vec<Control>, Vec<u64>) {
         let mut st = self.state.lock().expect("notifier poisoned");
-        while block && st.controls.is_empty() && st.wakes.is_empty() {
+        while block && st.is_empty() {
             st = self.cv.wait(st).expect("notifier poisoned");
         }
         let controls = st.controls.drain(..).collect();
@@ -124,11 +133,13 @@ impl CompletionQueue {
     }
 
     pub fn push(&self, slot: Arc<SessionSlot>) {
-        self.state
-            .lock()
-            .expect("completion queue poisoned")
-            .push_back(slot);
-        self.cv.notify_one();
+        let mut st = self.state.lock().expect("completion queue poisoned");
+        let was_empty = st.is_empty();
+        st.push_back(slot);
+        drop(st);
+        if was_empty {
+            self.cv.notify_one();
+        }
     }
 
     /// Block until a session completes.
@@ -146,7 +157,7 @@ impl CompletionQueue {
 /// Per-session state local to one entity thread.
 struct LocalSession {
     slot: Arc<SessionSlot>,
-    term: TermId,
+    state: BState,
     rng: StdRng,
 }
 
@@ -187,7 +198,9 @@ pub struct EntityWorker {
     pub place: PlaceId,
     /// Total number of entities.
     pub n: usize,
-    pub engine: Engine,
+    /// How this entity's behaviour is stepped: interpreted terms or a
+    /// compiled transition table (see [`crate::compiled`]).
+    pub backend: Backend,
     pub cfg: RuntimeConfig,
     /// Notifiers of *all* entities, indexed like the entity list.
     pub notifiers: Vec<Arc<Notifier>>,
@@ -202,7 +215,7 @@ pub struct EntityWorker {
 
 impl EntityWorker {
     /// The thread body: interpret every open session until shutdown.
-    pub fn run(self) {
+    pub fn run(mut self) {
         let mut sessions: FxHashMap<u64, LocalSession> = FxHashMap::default();
         let mut pending: BTreeSet<u64> = BTreeSet::new();
         let mut shutdown = false;
@@ -216,8 +229,8 @@ impl EntityWorker {
                     Control::Open(slot) => {
                         let id = slot.core.lock().expect("session poisoned").id;
                         let rng = StdRng::seed_from_u64(fx_hash(&(self.cfg.seed, id, self.place)));
-                        let term = self.engine.root();
-                        sessions.insert(id, LocalSession { slot, term, rng });
+                        let state = self.backend.init();
+                        sessions.insert(id, LocalSession { slot, state, rng });
                         pending.insert(id);
                     }
                     Control::Shutdown => shutdown = true,
@@ -247,9 +260,9 @@ impl EntityWorker {
 
     /// Run up to [`SLICE`] moves of one session. Returns how the slice
     /// ended.
-    fn step_session(&self, local: &mut LocalSession) -> StepOutcome {
+    fn step_session(&mut self, local: &mut LocalSession) -> StepOutcome {
         for _ in 0..SLICE {
-            let trans = self.engine.transitions(local.term);
+            let n_offers = self.backend.offers(&local.state);
             let id;
             let enabled: Vec<usize>;
             let mut vote_available = false;
@@ -260,37 +273,37 @@ impl EntityWorker {
                     return StepOutcome::Completed;
                 }
 
-                // Classify which of the term's transitions are enabled in
-                // the current medium state.
+                // Classify which of the backend's offered transitions are
+                // enabled in the current medium state.
                 let mut has_delta = false;
-                let mut refused: Option<(&str, PlaceId)> = None;
-                let mut en = Vec::with_capacity(trans.len());
-                for (i, (label, _)) in trans.iter().enumerate() {
-                    match label {
-                        Label::I => en.push(i),
-                        Label::Prim { name, place } => {
+                let mut refused: Option<(String, PlaceId)> = None;
+                let mut en = Vec::with_capacity(n_offers);
+                for i in 0..n_offers {
+                    match self.backend.offer(i) {
+                        OfferView::I => en.push(i),
+                        OfferView::Prim { name, place } => {
                             if !self
                                 .cfg
                                 .refuse
                                 .iter()
-                                .any(|(n, p)| n == name && *p == *place)
+                                .any(|(n, p)| n == name && *p == place)
                             {
                                 en.push(i);
                             } else if refused.is_none() {
-                                refused = Some((name, *place));
+                                refused = Some((name.to_string(), place));
                             }
                         }
-                        Label::Send { to, .. } => {
-                            if core.can_send(self.place, *to) {
+                        OfferView::Send { to, .. } => {
+                            if core.can_send(self.place, to) {
                                 en.push(i);
                             }
                         }
-                        Label::Recv { from, msg, occ, .. } => {
-                            if core.can_receive(*from, self.place, msg, *occ) {
+                        OfferView::Recv { from, msg, occ, .. } => {
+                            if core.can_receive(from, self.place, msg, occ) {
                                 en.push(i);
                             }
                         }
-                        Label::Delta => {
+                        OfferView::Delta => {
                             has_delta = true;
                             if !core.has_vote(self.idx) {
                                 vote_available = true;
@@ -314,11 +327,11 @@ impl EntityWorker {
                                     EventKind::PrimOffer,
                                     id,
                                     core.steps as u64,
-                                    name,
+                                    &name,
                                     place as u64,
                                 );
                             }
-                            core.refused_offer = Some((name.to_string(), place));
+                            core.refused_offer = Some((name, place));
                         }
                     }
                     core.set_blocked(self.idx);
@@ -372,7 +385,7 @@ impl EntityWorker {
                     continue;
                 }
 
-                let (label, next) = trans[enabled[k]].clone();
+                let label = self.backend.label(enabled[k]);
                 core.tick();
                 core.clear_vote(self.idx);
                 let step_limited = core.steps >= self.cfg.max_steps;
@@ -442,7 +455,7 @@ impl EntityWorker {
                         wake_peer = Some(peer);
                     }
                 }
-                local.term = next;
+                self.backend.step(&mut local.state, enabled[k]);
                 if step_limited {
                     core.complete(SessionEnd::StepLimit);
                     drop(core);

@@ -1,8 +1,9 @@
 //! The two execution engines and the session multiplexer.
 //!
 //! * **Concurrent** (`threads >= 2`): one OS thread per protocol entity
-//!   ([`crate::entity::EntityWorker`]), a window of `threads` sessions in
-//!   flight at once, and the calling thread as multiplexer — it opens
+//!   ([`crate::entity::EntityWorker`]), a pipelined window of sessions in
+//!   flight at once (`threads` × [`MUX_PIPELINE`]), and the calling
+//!   thread as multiplexer — it opens
 //!   sessions, collects completions, and replays each completed session's
 //!   primitive trace through [`sim::monitor::ServiceMonitor`] (the
 //!   monitor is single-threaded by construction, so conformance is
@@ -12,6 +13,7 @@
 //!   and byte-identical to `protogen simulate` for the same seed. This is
 //!   the reference engine the concurrent one is tested against.
 
+use crate::compiled::{lower_for, make_backend};
 use crate::config::{FaultProfile, RuntimeConfig};
 use crate::entity::{CompletionQueue, EntityWorker, Notifier};
 use crate::metrics::{Metrics, RuntimeReport, SessionReport, TraceMeta, ViolationRecord};
@@ -21,7 +23,9 @@ use lotos::event::SyncKind;
 use lotos::place::PlaceId;
 use obs::{EventKind, Recorder, Registry};
 use protogen::derive::Derivation;
-use semantics::engine::{Engine, TermArena};
+use semantics::engine::TermArena;
+use semantics::hash::FxHashMap;
+use semantics::lower::CompiledEntity;
 use semantics::term::OccTable;
 use sim::des::{LinkConfig, SimConfig, SimResult};
 use sim::monitor::ServiceMonitor;
@@ -34,10 +38,58 @@ use std::time::Instant;
 /// deep stacks (same idiom as `verify`'s big-stack harness).
 const ENTITY_STACK: usize = 64 << 20;
 
+/// Multiplexer pipelining: sessions kept in flight per configured
+/// thread. Each message exchange hands the session to its peer entity's
+/// thread, so a deep enough in-flight batch lets one OS timeslice of an
+/// entity thread advance many sessions before the scheduler flips to
+/// the peer — on few-core hosts the flip, not the stepping, is the
+/// dominant cost of a session.
+const MUX_PIPELINE: usize = 32;
+
 /// Run `cfg.sessions` independent sessions of the derived protocol and
-/// report. Engine selection is by `cfg.threads` (see the module docs).
+/// report. Engine selection is by `cfg.threads`, backend selection by
+/// `cfg.backend`, and tracing by `cfg.record` / `cfg.registry` (see the
+/// module docs and [`crate::compiled`]).
+///
+/// Panics when `cfg.backend` is [`crate::BackendChoice::Compiled`] and
+/// some entity cannot be lowered; use [`try_run`] to handle that case.
 pub fn run(d: &Derivation, cfg: &RuntimeConfig) -> RuntimeReport {
-    run_obs(d, cfg, None)
+    match try_run(d, cfg) {
+        Ok(report) => report,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// [`run`], with backend-selection failure as an `Err` instead of a
+/// panic (only `--backend compiled` on a non-lowerable entity fails).
+pub fn try_run(d: &Derivation, cfg: &RuntimeConfig) -> Result<RuntimeReport, String> {
+    let registry = cfg.registry.clone().or_else(|| {
+        cfg.record
+            .then(|| Registry::new(trace_id_for(cfg.seed), obs::DEFAULT_CAPACITY))
+    });
+    let lowered = lower_for(&d.entities, cfg.backend)?;
+    let mut report = if cfg.threads <= 1 {
+        run_deterministic(d, cfg, registry.as_ref(), &lowered)
+    } else {
+        run_concurrent(d, cfg, registry.as_ref(), &lowered)
+    };
+    if let Some(reg) = &registry {
+        attach_recorder_artifacts(&mut report, reg);
+    }
+    Ok(report)
+}
+
+/// What actually ran, for the report's `backend` field: `"compiled"`
+/// only when *every* entity stepped from tables.
+pub(crate) fn backend_desc(lowered: &[Option<Arc<CompiledEntity>>]) -> &'static str {
+    let n = lowered.iter().filter(|e| e.is_some()).count();
+    if n == 0 {
+        "interpreted"
+    } else if n == lowered.len() {
+        "compiled"
+    } else {
+        "mixed"
+    }
 }
 
 /// Lines of flight-recorder tail attached to violation and abort reports.
@@ -49,29 +101,24 @@ pub fn trace_id_for(seed: u64) -> u64 {
     semantics::hash::fx_hash(&(seed, 0x0b5_7ace_u64)).max(1)
 }
 
-/// Like [`run`], but recording into a caller-supplied flight-recorder
-/// registry, so the CLI can merge pipeline-phase spans and the run into
-/// one trace. With `registry: None` and `cfg.record` set, a private
-/// registry is created; either way the report carries the recorder
-/// metadata and every violation/abort gets its session's tail attached.
+/// Superseded spelling of "[`run`] into a caller-supplied registry":
+/// the registry now travels in the config
+/// ([`RuntimeConfig::registry`]), so one `run` entry point covers
+/// traced and untraced runs.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `run` with `RuntimeConfig::registry(..)` / `.record(true)` instead"
+)]
 pub fn run_obs(
     d: &Derivation,
     cfg: &RuntimeConfig,
     registry: Option<Arc<Registry>>,
 ) -> RuntimeReport {
-    let registry = registry.or_else(|| {
-        cfg.record
-            .then(|| Registry::new(trace_id_for(cfg.seed), obs::DEFAULT_CAPACITY))
-    });
-    let mut report = if cfg.threads <= 1 {
-        run_deterministic(d, cfg, registry.as_ref())
-    } else {
-        run_concurrent(d, cfg, registry.as_ref())
-    };
-    if let Some(reg) = &registry {
-        attach_recorder_artifacts(&mut report, reg);
+    let mut cfg = cfg.clone();
+    if let Some(r) = registry {
+        cfg.registry = Some(r);
     }
-    report
+    run(d, &cfg)
 }
 
 /// Post-run recorder export: embed the trace metadata in the report and
@@ -152,10 +199,17 @@ impl Tally {
     }
 }
 
+/// Memoized conformance replays, keyed by the full primitive trace.
+/// Load runs drive many sessions down identical traces; replaying the
+/// service monitor once per *distinct* trace instead of once per session
+/// takes conformance checking off the multiplexer's critical path.
+type ReplayCache = FxHashMap<Vec<(String, PlaceId)>, (Option<(String, PlaceId, usize)>, bool)>;
+
 fn run_concurrent(
     d: &Derivation,
     cfg: &RuntimeConfig,
     registry: Option<&Arc<Registry>>,
+    lowered: &[Option<Arc<CompiledEntity>>],
 ) -> RuntimeReport {
     let started = Instant::now();
     let places: Vec<PlaceId> = d.entities.iter().map(|(p, _)| *p).collect();
@@ -174,13 +228,14 @@ fn run_concurrent(
     let metrics = Arc::new(Metrics::for_service(&d.service));
 
     let mut tally = Tally::new();
+    let mut replay_cache = ReplayCache::default();
     std::thread::scope(|scope| {
         for (idx, (place, spec)) in d.entities.iter().enumerate() {
             let worker = EntityWorker {
                 idx,
                 place: *place,
                 n,
-                engine: Engine::with_shared(spec.clone(), Arc::clone(&arena), Arc::clone(&occ)),
+                backend: make_backend(spec, lowered[idx].clone(), &arena, &occ),
                 cfg: cfg.clone(),
                 notifiers: notifiers.clone(),
                 place_index: place_index.clone(),
@@ -195,35 +250,55 @@ fn run_concurrent(
                 .expect("spawn entity thread");
         }
 
-        // The multiplexer: keep a window of `threads` sessions in flight.
+        // The multiplexer: keep a pipelined window of sessions in flight.
         // Its recorder captures session lifecycle at place 0 (the driver);
         // entity threads record their own moves at their own places.
         let mux_rec = registry.map(|r| r.recorder(0));
-        let window = cfg.threads.max(1);
+        // In-flight session window. `threads` sets the concurrency the
+        // user asked for; the pipelining factor keeps each entity thread
+        // supplied with enough runnable sessions to absorb the scheduler
+        // round trips of the message ping-pong between entity threads —
+        // one OS timeslice advances a whole batch, not one session.
+        let window = cfg.threads.max(1) * MUX_PIPELINE;
         let mut next = 0usize;
         let mut in_flight = 0usize;
         while next < cfg.sessions || in_flight > 0 {
-            while next < cfg.sessions && in_flight < window {
-                if let Some(rec) = &mux_rec {
-                    rec.record(
-                        EventKind::SessionOpen,
-                        next as u64,
-                        0,
-                        cfg.session_seed(next),
-                        0,
-                    );
+            // Refill with hysteresis: top the window up only once it has
+            // drained below half, so opens (and the notifier traffic they
+            // cause) arrive in bursts the entity threads absorb in one
+            // wake-up each instead of once per completed session.
+            if in_flight <= window / 2 {
+                while next < cfg.sessions && in_flight < window {
+                    if let Some(rec) = &mux_rec {
+                        rec.record(
+                            EventKind::SessionOpen,
+                            next as u64,
+                            0,
+                            cfg.session_seed(next),
+                            0,
+                        );
+                    }
+                    let core =
+                        SessionCore::new(next as u64, cfg.session_seed(next), cfg, &channels);
+                    let slot = Arc::new(SessionSlot::new(core));
+                    for nt in &notifiers {
+                        nt.open(Arc::clone(&slot));
+                    }
+                    next += 1;
+                    in_flight += 1;
                 }
-                let core = SessionCore::new(next as u64, cfg.session_seed(next), cfg, &channels);
-                let slot = Arc::new(SessionSlot::new(core));
-                for nt in &notifiers {
-                    nt.open(Arc::clone(&slot));
-                }
-                next += 1;
-                in_flight += 1;
             }
             let slot = completions.pop();
             in_flight -= 1;
-            let rep = finalize_session(d, cfg, &slot, &metrics, &mut tally, mux_rec.as_ref());
+            let rep = finalize_session(
+                d,
+                cfg,
+                &slot,
+                &metrics,
+                &mut tally,
+                &mut replay_cache,
+                mux_rec.as_ref(),
+            );
             tally.absorb(rep);
         }
         for nt in &notifiers {
@@ -234,6 +309,7 @@ fn run_concurrent(
     let wall_s = started.elapsed().as_secs_f64();
     RuntimeReport {
         engine: "concurrent",
+        backend: backend_desc(lowered),
         schema_version: crate::metrics::REPORT_SCHEMA_VERSION,
         config: cfg.clone(),
         sessions: tally.reports.len(),
@@ -289,6 +365,7 @@ fn finalize_session(
     slot: &SessionSlot,
     metrics: &Metrics,
     tally: &mut Tally,
+    replay_cache: &mut ReplayCache,
     rec: Option<&Recorder>,
 ) -> SessionReport {
     let core = slot.core.lock().expect("session poisoned");
@@ -312,7 +389,14 @@ fn finalize_session(
         *tally.per_kind.entry(*k).or_default() += c;
     }
 
-    let (mut violation, may_terminate) = replay_conformance(&d.service, &core.trace);
+    let (mut violation, may_terminate) = match replay_cache.get(core.trace.as_slice()) {
+        Some(hit) => hit.clone(),
+        None => {
+            let v = replay_conformance(&d.service, &core.trace);
+            replay_cache.insert(core.trace.clone(), v.clone());
+            v
+        }
+    };
     let conforms = violation.is_none() && end == SessionEnd::Terminated && may_terminate;
     // A deadlock against a refused offer is a conformance failure the
     // monitor cannot see (the primitive never executed): surface the
@@ -408,9 +492,20 @@ fn run_deterministic(
     d: &Derivation,
     cfg: &RuntimeConfig,
     registry: Option<&Arc<Registry>>,
+    lowered: &[Option<Arc<CompiledEntity>>],
 ) -> RuntimeReport {
     let started = Instant::now();
     let metrics = Metrics::for_service(&d.service);
+    // The DES steps compiled tables only when *every* entity lowered —
+    // a per-entity mix would still pay the interpreter's engine setup
+    // per session, which is what compiled stepping is here to avoid.
+    let tables: Option<Vec<Arc<CompiledEntity>>> =
+        lowered.iter().cloned().collect::<Option<Vec<_>>>();
+    let backend = if tables.is_some() {
+        "compiled"
+    } else {
+        "interpreted"
+    };
     // The DES engine is single-threaded: one recorder at place 0 replays
     // each session's primitive trace into the ring (lc = trace index + 1,
     // matching the concurrent engine's per-session step clocks).
@@ -425,7 +520,10 @@ fn run_deterministic(
 
     for k in 0..cfg.sessions {
         let t0 = Instant::now();
-        let outcome = sim::des::simulate(d, des_config(cfg, k));
+        let outcome = match &tables {
+            Some(tables) => sim::des::simulate_compiled(d, des_config(cfg, k), tables),
+            None => sim::des::simulate(d, des_config(cfg, k)),
+        };
         let latency_us = t0.elapsed().as_micros() as u64;
         metrics.session_latency.record(latency_us);
 
@@ -518,6 +616,7 @@ fn run_deterministic(
     let wall_s = started.elapsed().as_secs_f64();
     RuntimeReport {
         engine: "deterministic",
+        backend,
         schema_version: crate::metrics::REPORT_SCHEMA_VERSION,
         config: cfg.clone(),
         sessions: tally.reports.len(),

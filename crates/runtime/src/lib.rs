@@ -43,6 +43,7 @@
 //! trace as `protogen simulate` — which is the reference the concurrent
 //! engine's conformance suite compares against. See `docs/RUNTIME.md`.
 
+pub mod compiled;
 pub mod config;
 pub mod distributed;
 pub mod entity;
@@ -52,11 +53,16 @@ pub mod metrics;
 pub mod pipeline_ext;
 pub mod session;
 
-pub use config::{FaultProfile, RuntimeConfig};
+pub use compiled::{
+    lower_for, make_backend, BState, Backend, BackendKind, EntityBackend, OfferView,
+};
+pub use config::{BackendChoice, FaultProfile, RuntimeConfig};
 pub use distributed::{
     run_hub, run_hub_obs, run_hub_on, serve_entity, DistributedConfig, ServeConfig, ServeOutcome,
 };
-pub use exec::{run, run_obs, trace_id_for};
+#[allow(deprecated)]
+pub use exec::run_obs;
+pub use exec::{run, trace_id_for, try_run};
 pub use faults::FaultLink;
 pub use metrics::{
     HistSummary, Histogram, LinkReport, Metrics, ReportSummary, RuntimeReport, SessionReport,

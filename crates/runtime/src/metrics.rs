@@ -315,7 +315,11 @@ pub fn service_primitives(spec: &Spec) -> Vec<(String, PlaceId)> {
 ///   `tail` array on each violation. Every v2 field is unchanged, so
 ///   v2 consumers keep working; [`ReportSummary::from_json`] parses
 ///   both.
-pub const REPORT_SCHEMA_VERSION: u32 = 3;
+/// * 4 — adds `backend` (which entity-stepping backend actually ran:
+///   `"interpreted"`, `"compiled"`, or `"mixed"` when an `auto` run
+///   lowered only some entities) and a `backend` key inside `config`.
+///   Older documents summarize with an empty backend string.
+pub const REPORT_SCHEMA_VERSION: u32 = 4;
 
 /// Flight-recorder metadata embedded in a v3 report when recording was
 /// enabled for the run.
@@ -409,6 +413,11 @@ pub struct RuntimeReport {
     /// Which engine ran: `"concurrent"` (threads ≥ 2) or
     /// `"deterministic"` (threads ≤ 1, DES-backed).
     pub engine: &'static str,
+    /// Which entity-stepping backend actually ran: `"interpreted"`,
+    /// `"compiled"`, or `"mixed"` (an `auto` run that lowered only some
+    /// entities). Distinct from `config.backend`, which records what was
+    /// *requested*.
+    pub backend: &'static str,
     /// JSON layout version ([`REPORT_SCHEMA_VERSION`]).
     pub schema_version: u32,
     pub config: RuntimeConfig,
@@ -535,7 +544,8 @@ impl RuntimeReport {
             })
             .collect();
         format!(
-            "{{\"schema_version\":{},\"engine\":\"{}\",\"config\":{},\"sessions\":{},\
+            "{{\"schema_version\":{},\"engine\":\"{}\",\"backend\":\"{}\",\
+             \"config\":{},\"sessions\":{},\
              \"conforming\":{},\
              \"terminated\":{},\"deadlocked\":{},\"step_limited\":{},\"aborted\":{},\
              \"primitives\":{},\"messages\":{},\"delivered\":{},\
@@ -548,6 +558,7 @@ impl RuntimeReport {
              \"violations\":[{}]}}",
             self.schema_version,
             self.engine,
+            self.backend,
             self.config.to_json(),
             self.sessions,
             self.conforming,
@@ -586,6 +597,8 @@ pub struct ReportSummary {
     /// 1 when the document predates the `schema_version` field.
     pub schema_version: u32,
     pub engine: String,
+    /// v4+; empty for older documents.
+    pub backend: String,
     pub sessions: u64,
     pub conforming: u64,
     pub aborted: u64,
@@ -651,6 +664,7 @@ impl ReportSummary {
         Some(ReportSummary {
             schema_version: get_u64(json, "schema_version").unwrap_or(1) as u32,
             engine: get_str(json, "engine").unwrap_or("").to_string(),
+            backend: get_str(json, "backend").unwrap_or("").to_string(),
             sessions,
             conforming: get_u64(counters, "conforming").unwrap_or(0),
             aborted: get_u64(counters, "aborted").unwrap_or(0),
@@ -810,6 +824,7 @@ mod tests {
         );
         let report = RuntimeReport {
             engine: "concurrent",
+            backend: "compiled",
             schema_version: REPORT_SCHEMA_VERSION,
             config: RuntimeConfig::new(),
             sessions: 7,
@@ -863,6 +878,7 @@ mod tests {
         // v3 additions are present and machine-readable.
         let summary = ReportSummary::from_json(&json).unwrap();
         assert_eq!(summary.schema_version, REPORT_SCHEMA_VERSION);
+        assert_eq!(summary.backend, "compiled");
         assert_eq!(summary.sessions, 7);
         assert_eq!(
             summary.phases,
@@ -893,6 +909,7 @@ mod tests {
         let summary = ReportSummary::from_json(v2).unwrap();
         assert_eq!(summary.schema_version, 2);
         assert_eq!(summary.engine, "concurrent");
+        assert_eq!(summary.backend, "");
         assert_eq!(summary.sessions, 200);
         assert_eq!(summary.conforming, 200);
         assert_eq!(summary.aborted, 0);

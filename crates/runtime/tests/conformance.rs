@@ -4,7 +4,7 @@
 //! monitor and the runtime must drain cleanly.
 
 use protogen::Pipeline;
-use runtime::{FaultProfile, PipelineRun, RuntimeConfig};
+use runtime::{BackendChoice, FaultProfile, PipelineRun, RuntimeConfig};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -127,38 +127,46 @@ fn corpus_conforms_under_all_fault_profiles() {
         for profile in profiles() {
             for seed in SEEDS {
                 for threads in [1, 4] {
-                    watchdog.enter(format!(
-                        "{name} profile={profile} seed={seed} threads={threads}"
-                    ));
-                    let mut cfg = RuntimeConfig::new()
-                        .sessions(SESSIONS)
-                        .threads(threads)
-                        .seed(seed)
-                        .faults(profile)
-                        .max_steps(20_000);
-                    for (prim, place) in refusals(&name) {
-                        cfg = cfg.refuse(prim, place);
+                    // Backend axis: `Auto` steps every entity that lowers
+                    // from compiled tables; `Interpreted` forces the
+                    // original path. Both must conform identically.
+                    for backend in [BackendChoice::Auto, BackendChoice::Interpreted] {
+                        watchdog.enter(format!(
+                            "{name} profile={profile} seed={seed} threads={threads} \
+                             backend={backend}"
+                        ));
+                        let mut cfg = RuntimeConfig::new()
+                            .sessions(SESSIONS)
+                            .threads(threads)
+                            .seed(seed)
+                            .faults(profile)
+                            .backend(backend)
+                            .max_steps(20_000);
+                        for (prim, place) in refusals(&name) {
+                            cfg = cfg.refuse(prim, place);
+                        }
+                        let report = derived.load_test(&cfg);
+                        assert!(
+                            report.passed(),
+                            "{name} profile={profile} seed={seed} threads={threads} \
+                             backend={backend}: \
+                             {}/{} conforming, {} violations, {} deadlocked, {} step-limited\n\
+                             first violation: {:?}",
+                            report.conforming,
+                            report.sessions,
+                            report.violations.len(),
+                            report.deadlocked,
+                            report.step_limited,
+                            report.violations.first().map(|v| (&v.primitive, &v.trace)),
+                        );
+                        assert_eq!(
+                            report.messages, report.delivered,
+                            "{name} profile={profile} seed={seed} threads={threads} \
+                             backend={backend}: messages stuck in a channel after a clean run"
+                        );
+                        assert_eq!(report.sessions, SESSIONS);
+                        assert_eq!(report.terminated, SESSIONS);
                     }
-                    let report = derived.load_test(&cfg);
-                    assert!(
-                        report.passed(),
-                        "{name} profile={profile} seed={seed} threads={threads}: \
-                         {}/{} conforming, {} violations, {} deadlocked, {} step-limited\n\
-                         first violation: {:?}",
-                        report.conforming,
-                        report.sessions,
-                        report.violations.len(),
-                        report.deadlocked,
-                        report.step_limited,
-                        report.violations.first().map(|v| (&v.primitive, &v.trace)),
-                    );
-                    assert_eq!(
-                        report.messages, report.delivered,
-                        "{name} profile={profile} seed={seed} threads={threads}: \
-                         messages stuck in a channel after a clean run"
-                    );
-                    assert_eq!(report.sessions, SESSIONS);
-                    assert_eq!(report.terminated, SESSIONS);
                 }
             }
         }

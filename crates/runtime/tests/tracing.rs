@@ -8,8 +8,8 @@
 use obs::EventKind;
 use protogen::Pipeline;
 use runtime::{
-    run_hub_obs, run_obs, serve_entity, trace_id_for, DistributedConfig, RuntimeConfig,
-    RuntimeReport, ServeConfig,
+    run_hub_obs, serve_entity, trace_id_for, DistributedConfig, RuntimeConfig, RuntimeReport,
+    ServeConfig,
 };
 use std::io::{Read, Write};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -194,7 +194,7 @@ fn refused_offer_attaches_flight_recorder_tail() {
             .seed(11)
             .record(true)
             .refuse("b", 2);
-        let report = run_obs(derived.derivation(), &cfg, None);
+        let report = runtime::run(derived.derivation(), &cfg);
         assert!(
             !report.passed(),
             "threads={threads}: refusing b@2 must fail the run"

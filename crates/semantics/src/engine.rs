@@ -55,6 +55,13 @@ impl TermId {
     pub fn raw(self) -> u32 {
         self.0
     }
+
+    /// Rebuild a [`TermId`] from [`TermId::raw`] output. Only valid for
+    /// values obtained from the *same* arena; anything else may panic or
+    /// resolve to an unrelated term.
+    pub fn from_raw(raw: u32) -> TermId {
+        TermId(raw)
+    }
 }
 
 /// One node of a hash-consed term. Children are [`TermId`]s, so structural

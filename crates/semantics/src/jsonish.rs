@@ -6,6 +6,27 @@
 //! helpers instead. Deliberately small: flat objects, no escapes inside
 //! strings, no nested arrays — exactly what the config surface needs.
 
+/// Quote a string as a JSON string literal, escaping the characters the
+/// emitters here can actually produce (quotes, backslashes, control
+/// bytes). Counterpart to the extraction helpers below.
+pub fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
 /// Extract an unsigned integer field: `"key": 123`.
 pub fn get_u64(json: &str, key: &str) -> Option<u64> {
     value_after(json, key)?

@@ -50,6 +50,7 @@ pub mod fxhash;
 /// seeds from a session seed).
 pub use fxhash as hash;
 pub mod jsonish;
+pub mod lower;
 pub mod lts;
 #[doc(hidden)]
 pub mod naive;
@@ -67,6 +68,10 @@ pub use dot::to_dot;
 pub use engine::{Engine, TermArena, TermId, TermNode};
 pub use explore::{build_lts, ExploreConfig, ParSystem};
 pub use failures::{failures, failures_equal, first_failure_difference, FailureSet};
+pub use lower::{
+    lower_entities, lower_entity, CompiledEntity, CompiledSet, LabelTpl, LowerConfig, LowerError,
+    OccBase, OccSrc,
+};
 pub use lts::{build_term_lts, Lts};
 pub use sos::transitions;
 pub use term::{hide, Env, Label, OccTable, RTerm};

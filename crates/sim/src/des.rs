@@ -21,11 +21,14 @@ use medium::{Msg, Order};
 use protogen::derive::Derivation;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use semantics::hash::FxHashMap;
+use semantics::lower::{CompiledEntity, OccBase, OccSrc};
 use semantics::sos::transitions;
 use semantics::term::{Env, Label, OccTable, RTerm};
 use std::cell::RefCell;
 use std::collections::{BTreeMap, VecDeque};
 use std::rc::Rc;
+use std::sync::Arc;
 
 /// Simulation configuration.
 #[derive(Clone, Debug)]
@@ -303,9 +306,8 @@ struct InFlight {
 
 /// The simulator.
 pub struct Simulator {
-    envs: Vec<Env>,
+    machines: Vec<EntityMachine>,
     places: Vec<PlaceId>,
-    terms: Vec<Rc<RTerm>>,
     channels: BTreeMap<(PlaceId, PlaceId), VecDeque<InFlight>>,
     /// Lossy-link state per directed channel (only with `cfg.link`).
     links: BTreeMap<(PlaceId, PlaceId), Link>,
@@ -337,28 +339,180 @@ impl Link {
     }
 }
 
+/// Where a move leads — an interpreted successor term, or an index into
+/// a compiled entity's transition array.
+enum Succ {
+    Term(Rc<RTerm>),
+    Row(usize),
+}
+
 enum Move {
-    Local(usize, Label, Rc<RTerm>),
-    Receive(usize, Label, Rc<RTerm>),
-    Terminate(Vec<Rc<RTerm>>),
+    Local(usize, Label, Succ),
+    Receive(usize, Label, Succ),
+    Terminate(Vec<Succ>),
+}
+
+/// One entity's behaviour, stepped either by interpreting its derived
+/// term under SOS or by walking a pre-lowered transition table. Both
+/// expose offers in the same (SOS) order, so a run draws the same move
+/// for the same seed whichever machine is underneath — the property the
+/// backend-parity suite pins down.
+enum EntityMachine {
+    Interp {
+        env: Env,
+        term: Rc<RTerm>,
+    },
+    Table {
+        ent: Arc<CompiledEntity>,
+        state: u32,
+        /// Occurrence registers of `state` (see `docs/COMPILED.md`).
+        regs: Vec<u32>,
+        /// The run-shared occurrence table: all entities intern through
+        /// it, so sender and receiver agree on instance numbers.
+        occ: Rc<RefCell<OccTable>>,
+        /// `(parent, site) → child` memo; interning is append-only, so
+        /// entries never go stale.
+        cache: FxHashMap<(u32, u32), u32>,
+    },
+}
+
+/// Evaluate an occurrence source against a register file, interning
+/// missing children through the shared table.
+fn eval_src(
+    src: &OccSrc,
+    regs: &[u32],
+    cache: &mut FxHashMap<(u32, u32), u32>,
+    occ: &RefCell<OccTable>,
+) -> u32 {
+    let mut v = match src.base {
+        OccBase::Root => 0,
+        OccBase::Reg(j) => regs[j as usize],
+    };
+    for &site in &src.sites {
+        v = *cache
+            .entry((v, site))
+            .or_insert_with(|| occ.borrow_mut().child(v, site));
+    }
+    v
+}
+
+impl EntityMachine {
+    /// The current state's offers, in SOS successor order.
+    fn offers(&mut self) -> Vec<(Label, Succ)> {
+        match self {
+            EntityMachine::Interp { env, term } => transitions(env, term)
+                .into_iter()
+                .map(|(l, t)| (l, Succ::Term(t)))
+                .collect(),
+            EntityMachine::Table {
+                ent,
+                state,
+                regs,
+                occ,
+                cache,
+            } => {
+                let base = ent.row_off[*state as usize] as usize;
+                ent.row(*state)
+                    .iter()
+                    .enumerate()
+                    .map(|(i, t)| {
+                        let v = eval_src(&t.occ, regs, cache, occ);
+                        let label = ent.labels[t.label as usize].materialize(v);
+                        (label, Succ::Row(base + i))
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    fn advance(&mut self, succ: Succ) {
+        match (self, succ) {
+            (EntityMachine::Interp { term, .. }, Succ::Term(t)) => *term = t,
+            (
+                EntityMachine::Table {
+                    ent,
+                    state,
+                    regs,
+                    occ,
+                    cache,
+                },
+                Succ::Row(i),
+            ) => {
+                let t = &ent.trans[i];
+                let next: Vec<u32> = t
+                    .regs
+                    .iter()
+                    .map(|s| eval_src(s, regs, cache, occ))
+                    .collect();
+                *regs = next;
+                *state = t.next;
+            }
+            _ => unreachable!("successor kind does not match machine kind"),
+        }
+    }
+
+    fn is_stop(&self) -> bool {
+        match self {
+            EntityMachine::Interp { term, .. } => matches!(&**term, RTerm::Stop),
+            EntityMachine::Table { ent, state, .. } => ent.is_stop[*state as usize],
+        }
+    }
 }
 
 impl Simulator {
-    /// Set up a simulator for a derivation.
+    /// Set up a simulator for a derivation (interpreted entities).
     pub fn new(d: &Derivation, cfg: SimConfig) -> Simulator {
         let occ = Rc::new(RefCell::new(OccTable::new()));
-        let mut envs = Vec::new();
+        let mut machines = Vec::new();
         let mut places = Vec::new();
         for (p, spec) in &d.entities {
-            envs.push(Env::with_occ(spec.clone(), Rc::clone(&occ)));
+            let env = Env::with_occ(spec.clone(), Rc::clone(&occ));
+            let term = env.root();
+            machines.push(EntityMachine::Interp { env, term });
             places.push(*p);
         }
-        let terms = envs.iter().map(|e| e.root()).collect();
+        Simulator::with_machines(d, cfg, machines, places)
+    }
+
+    /// Set up a simulator stepping pre-lowered transition tables, one per
+    /// entity of `d` (in `d.entities` order).
+    pub fn new_compiled(
+        d: &Derivation,
+        cfg: SimConfig,
+        tables: &[Arc<CompiledEntity>],
+    ) -> Simulator {
+        assert_eq!(
+            tables.len(),
+            d.entities.len(),
+            "one compiled table per entity"
+        );
+        let occ = Rc::new(RefCell::new(OccTable::new()));
+        let mut machines = Vec::new();
+        let mut places = Vec::new();
+        for ((p, _), ent) in d.entities.iter().zip(tables) {
+            let regs = ent.init_regs(&mut occ.borrow_mut());
+            machines.push(EntityMachine::Table {
+                ent: Arc::clone(ent),
+                state: 0,
+                regs,
+                occ: Rc::clone(&occ),
+                cache: FxHashMap::default(),
+            });
+            places.push(*p);
+        }
+        Simulator::with_machines(d, cfg, machines, places)
+    }
+
+    fn with_machines(
+        d: &Derivation,
+        cfg: SimConfig,
+        machines: Vec<EntityMachine>,
+        places: Vec<PlaceId>,
+    ) -> Simulator {
         let rng = StdRng::seed_from_u64(cfg.seed);
         Simulator {
-            envs,
+            machines,
             places,
-            terms,
             channels: BTreeMap::new(),
             links: BTreeMap::new(),
             clock: 0.0,
@@ -412,7 +566,9 @@ impl Simulator {
             let step = metrics.steps;
             match moves.into_iter().nth(choice).unwrap() {
                 Move::Terminate(next) => {
-                    self.terms = next;
+                    for (k, succ) in next.into_iter().enumerate() {
+                        self.machines[k].advance(succ);
+                    }
                     events.push(SimEvent {
                         time: self.clock,
                         step,
@@ -421,8 +577,8 @@ impl Simulator {
                     result = SimResult::Terminated;
                     break;
                 }
-                Move::Local(k, label, t2) => {
-                    self.terms[k] = t2;
+                Move::Local(k, label, succ) => {
+                    self.machines[k].advance(succ);
                     match label {
                         Label::Prim { name, place } => {
                             self.monitor.step(&name, place);
@@ -497,7 +653,7 @@ impl Simulator {
                         other => unreachable!("local move with label {other}"),
                     }
                 }
-                Move::Receive(k, label, t2) => {
+                Move::Receive(k, label, succ) => {
                     let Label::Recv { from, msg, occ, .. } = label else {
                         unreachable!()
                     };
@@ -507,7 +663,7 @@ impl Simulator {
                         let link = self.links.get_mut(&(from, here)).unwrap();
                         let delivered = link.arq.take_delivered().unwrap();
                         debug_assert!(delivered.id == msg && delivered.occ == occ);
-                        self.terms[k] = t2;
+                        self.machines[k].advance(succ);
                         events.push(SimEvent {
                             time: self.clock,
                             step,
@@ -529,7 +685,7 @@ impl Simulator {
                     if q.is_empty() {
                         self.channels.remove(&(from, here));
                     }
-                    self.terms[k] = t2;
+                    self.machines[k].advance(succ);
                     events.push(SimEvent {
                         time: self.clock,
                         step,
@@ -552,7 +708,7 @@ impl Simulator {
     }
 
     fn all_stopped(&self) -> bool {
-        self.terms.iter().all(|t| matches!(&**t, RTerm::Stop))
+        self.machines.iter().all(|m| m.is_stop())
     }
 
     /// Earliest in-flight arrival (or link-layer deadline) strictly after
@@ -633,29 +789,31 @@ impl Simulator {
         metrics.retransmissions = self.links.values().map(|l| l.arq.retransmissions).sum();
     }
 
-    fn enabled_moves(&self) -> Vec<Move> {
+    fn enabled_moves(&mut self) -> Vec<Move> {
         let mut out = Vec::new();
-        let mut deltas: Vec<Option<Rc<RTerm>>> = vec![None; self.terms.len()];
-        for (k, term) in self.terms.iter().enumerate() {
+        let mut deltas: Vec<Option<Succ>> = Vec::with_capacity(self.machines.len());
+        for k in 0..self.machines.len() {
             let here = self.places[k];
-            for (l, t2) in transitions(&self.envs[k], term) {
+            let mut delta = None;
+            for (l, succ) in self.machines[k].offers() {
                 match &l {
                     Label::Prim { name, place } => {
                         let refused = self.cfg.refuse.iter().any(|(n, p)| n == name && p == place);
                         if !refused {
-                            out.push(Move::Local(k, l, t2));
+                            out.push(Move::Local(k, l, succ));
                         }
                     }
-                    Label::I => out.push(Move::Local(k, l, t2)),
-                    Label::Send { .. } => out.push(Move::Local(k, l, t2)),
+                    Label::I => out.push(Move::Local(k, l, succ)),
+                    Label::Send { .. } => out.push(Move::Local(k, l, succ)),
                     Label::Recv { from, msg, occ, .. } => {
                         if self.receivable(*from, here, msg, *occ) {
-                            out.push(Move::Receive(k, l, t2));
+                            out.push(Move::Receive(k, l, succ));
                         }
                     }
-                    Label::Delta => deltas[k] = Some(t2),
+                    Label::Delta => delta = Some(succ),
                 }
             }
+            deltas.push(delta);
         }
         let in_flight: usize = self.channels.values().map(|q| q.len()).sum();
         if in_flight == 0 && deltas.iter().all(|d| d.is_some()) {
@@ -696,6 +854,19 @@ impl Simulator {
 /// Run one simulation of a derivation.
 pub fn simulate(d: &Derivation, cfg: SimConfig) -> SimOutcome {
     verify_stack(move || Simulator::new(d, cfg).run())
+}
+
+/// Run one simulation stepping pre-lowered transition tables (one per
+/// entity, in `d.entities` order) instead of interpreting terms. Same
+/// seed, same moves, same outcome as [`simulate`] — just faster per
+/// step. Entity stepping is iterative, but the conformance monitor
+/// still interprets the service term, so the big-stack harness stays.
+pub fn simulate_compiled(
+    d: &Derivation,
+    cfg: SimConfig,
+    tables: &[Arc<CompiledEntity>],
+) -> SimOutcome {
+    verify_stack(move || Simulator::new_compiled(d, cfg, tables).run())
 }
 
 /// Deeply recursive entities build deep terms; give the interpreter room.
