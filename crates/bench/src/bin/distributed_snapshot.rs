@@ -14,7 +14,7 @@
 //! Usage: `cargo run --release -p bench --bin distributed-snapshot [--quick]`
 
 use protogen::Pipeline;
-use runtime::{run_hub_on, DistributedConfig, RuntimeConfig, ServeConfig};
+use runtime::{run_hub_on, BackendChoice, DistributedConfig, RuntimeConfig, ServeConfig};
 use std::fmt::Write as _;
 use std::time::Duration;
 use transport::{Addr, FaultProxy, LinkFaults};
@@ -41,7 +41,12 @@ fn main() {
     // iteration, and every entry records which mode produced it so the
     // two are never compared as equals.
     let mode = if quick { "quick" } else { "full" };
-    let sessions = if quick { 40 } else { 200 };
+    // The batched transport finishes 200 sessions in tens of
+    // milliseconds — inside thread-spawn/connect overhead and shorter
+    // than a flaky proxy's first kill window. The full workload is sized
+    // so clean columns measure steady state and flaky columns actually
+    // contain kills.
+    let sessions = if quick { 40 } else { 2000 };
     let root = format!("{}/../..", env!("CARGO_MANIFEST_DIR"));
     let mut entries: Vec<String> = Vec::new();
 
@@ -59,12 +64,20 @@ fn main() {
                 life_ms: (60, 160),
             }),
         ];
-        for faults in profiles {
+        // Same backend axis as BENCH_runtime.json: the interpreted
+        // baseline plus `auto` (which lowers to `compiled` where it
+        // can), so the two snapshots line up column for column.
+        let backends = [BackendChoice::Interpreted, BackendChoice::Auto];
+        for (faults, backend) in profiles
+            .into_iter()
+            .flat_map(|f| backends.into_iter().map(move |b| (f, b)))
+        {
             let mut cfg = RuntimeConfig::new()
                 .sessions(sessions)
                 .threads(THREADS)
                 .seed(SEED)
                 .max_steps(20_000);
+            cfg.backend = backend;
             for &(prim, place) in refuse {
                 cfg = cfg.refuse(prim, place);
             }
@@ -114,7 +127,7 @@ fn main() {
             }
             assert!(
                 report.passed() && report.aborted == 0,
-                "{name} [{}]: {}/{} conforming, {} aborted",
+                "{name} [{} {backend}]: {}/{} conforming, {} aborted",
                 faults_tag(faults),
                 report.conforming,
                 report.sessions,
@@ -124,10 +137,11 @@ fn main() {
             let reconnects: usize = report.per_link.values().map(|l| l.reconnects).sum();
             let retx: usize = report.per_link.values().map(|l| l.retransmissions).sum();
             println!(
-                "{name:28} {:10} {sessions:>4} sessions x {THREADS} window | \
+                "{name:28} {:10} {:11} {sessions:>4} sessions x {THREADS} window | \
                  {:>8.0} sessions/s | latency p50 {:>6}µs p99 {:>6}µs | \
                  kills {kills:>2} reconnects {reconnects:>2} retx {retx:>3}",
                 faults_tag(faults),
+                format!("{backend}"),
                 report.sessions_per_sec,
                 report.session_latency.p50,
                 report.session_latency.p99,

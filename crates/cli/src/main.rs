@@ -103,6 +103,9 @@ fn usage() -> ProtogenError {
          \x20          --link-faults <f>  with --spawn: route each entity through a\n\
          \x20                          seeded fault proxy (clean | flaky-link | partition-heal)\n\
          \x20          --metrics <h:p> serve Prometheus text on /metrics (hub only)\n\
+         \x20          --batch-frames <n>  frames coalesced per link before a\n\
+         \x20                          mid-sweep flush (default 128; forwarded to\n\
+         \x20                          --spawn children)\n\
          run/load/trace flight recording:\n\
          \x20          --trace <file>  record the run and write Chrome trace JSON here\n\
          trace     record a run into a merged causal trace, or inspect one\n\
@@ -117,6 +120,7 @@ fn usage() -> ProtogenError {
          \x20          --refuse <a@p>  refused primitive (repeatable)\n\
          \x20          --seed <s>      reconnect-jitter seed\n\
          \x20          --backend <b>   as for run/load\n\
+         \x20          --batch-frames <n>  as for --distributed\n\
          codegen   lower each entity to flat transition tables and emit them\n\
          \x20          --place <p>     only this place\n\
          \x20          --out <file>    write here instead of stdout\n\
@@ -164,6 +168,7 @@ const VALUE_FLAGS: &[&str] = &[
     "--hub",
     "--listen",
     "--link-faults",
+    "--batch-frames",
     "--trace",
     "--metrics",
     "--inspect",
@@ -334,6 +339,15 @@ fn run_distributed(
         message: e.to_string(),
     };
     let mut dcfg = DistributedConfig::new(listen.clone());
+    let batch_frames: Option<usize> = parse_flag(args, "--batch-frames")?;
+    if let Some(n) = batch_frames {
+        if n == 0 {
+            return Err(ProtogenError::Usage(
+                "--batch-frames must be at least 1".into(),
+            ));
+        }
+        dcfg.batch_frames = n;
+    }
     dcfg.metrics = flag_value(args, "--metrics").map(str::to_string);
     if let Some(addr) = &dcfg.metrics {
         eprintln!("hub: metrics exposition on http://{addr}/metrics");
@@ -397,6 +411,9 @@ fn run_distributed(
                 .args(["--seed", &cfg.seed.to_string()])
                 .args(["--backend", &cfg.backend.to_string()])
                 .stdout(std::process::Stdio::null());
+            if let Some(n) = batch_frames {
+                cmd.args(["--batch-frames", &n.to_string()]);
+            }
             for (name, place) in &cfg.refuse {
                 cmd.args(["--refuse", &format!("{name}@{place}")]);
             }
@@ -883,6 +900,14 @@ fn run(args: &[String]) -> Result<(), ProtogenError> {
             }
             if let Some(b) = flag_value(rest, "--backend") {
                 scfg.backend = BackendChoice::parse(b).map_err(ProtogenError::Usage)?;
+            }
+            if let Some(n) = parse_flag::<usize>(rest, "--batch-frames")? {
+                if n == 0 {
+                    return Err(ProtogenError::Usage(
+                        "--batch-frames must be at least 1".into(),
+                    ));
+                }
+                scfg.batch_frames = n;
             }
             scfg.refuse = refusals(rest)?;
             eprintln!("serve: place {place} connecting to {}", scfg.hub);

@@ -33,8 +33,11 @@ use lotos::event::{MsgId, SyncKind};
 
 /// Wire-format version written by this build. Bump on any layout
 /// change. History: v1 = original framing; v2 = trace context (trace id
-/// on session open, Lamport clocks on data/prim, recorder chunks).
-pub const WIRE_VERSION: u8 = 2;
+/// on session open, Lamport clocks on data/prim, recorder chunks);
+/// v3 = a trailing piggybacked cumulative-ack varint on every payload,
+/// so data frames carry acknowledgements and pure ack frames become
+/// rare. v1/v2 streams stay in the decode-compat window.
+pub const WIRE_VERSION: u8 = 3;
 
 /// Oldest wire version this decoder still accepts. Version-dependent
 /// payload fields are resolved by the layer above via [`Frame::version`].
@@ -155,6 +158,16 @@ pub struct Frame {
     pub payload: Vec<u8>,
 }
 
+/// A [`Frame`] whose payload borrows the decoder's buffer — the
+/// zero-copy variant [`FrameDecoder::next_ref`] hands out, so the hot
+/// receive path never clones payload bytes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FrameRef<'a> {
+    pub version: u8,
+    pub kind: u8,
+    pub payload: &'a [u8],
+}
+
 /// Encode one frame (header, payload, checksum) into `out` at the
 /// current [`WIRE_VERSION`].
 pub fn encode_frame(kind: u8, payload: &[u8], out: &mut Vec<u8>) {
@@ -196,6 +209,12 @@ impl FrameDecoder {
         if self.start > 0 && self.start == self.buf.len() {
             self.buf.clear();
             self.start = 0;
+        } else if self.start > 4096 && self.start * 2 > self.buf.len() {
+            // Compact once the consumed prefix dominates the buffer —
+            // done here (not in `next_ref`) so borrowed payloads stay
+            // valid until the next feed.
+            self.buf.drain(..self.start);
+            self.start = 0;
         }
         self.buf.extend_from_slice(bytes);
     }
@@ -210,6 +229,18 @@ impl FrameDecoder {
     /// deliberately is not `Iterator::next`.)
     #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> Result<Option<Frame>, CodecError> {
+        Ok(self.next_ref()?.map(|f| Frame {
+            version: f.version,
+            kind: f.kind,
+            payload: f.payload.to_vec(),
+        }))
+    }
+
+    /// Zero-copy variant of [`FrameDecoder::next`]: the returned payload
+    /// borrows the decoder's buffer, valid until the next [`FrameDecoder::feed`].
+    /// The hot receive path decodes straight out of this slice, so
+    /// steady-state frame decoding allocates nothing at the codec layer.
+    pub fn next_ref(&mut self) -> Result<Option<FrameRef<'_>>, CodecError> {
         let b = &self.buf[self.start..];
         if b.len() < 2 {
             return Ok(None);
@@ -245,17 +276,12 @@ impl FrameDecoder {
         if crc32(&b[2..crc_at]) != crc_stored {
             return Err(CodecError::BadChecksum);
         }
-        let payload = b[payload_at..crc_at].to_vec();
+        let at = self.start;
         self.start += crc_at + 4;
-        // Compact once the consumed prefix dominates the buffer.
-        if self.start > 4096 && self.start * 2 > self.buf.len() {
-            self.buf.drain(..self.start);
-            self.start = 0;
-        }
-        Ok(Some(Frame {
+        Ok(Some(FrameRef {
             version,
             kind,
-            payload,
+            payload: &self.buf[at + payload_at..at + crc_at],
         }))
     }
 }

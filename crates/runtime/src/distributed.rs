@@ -65,9 +65,17 @@ use semantics::hash::fx_hash;
 use semantics::term::{Label, OccTable};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::io;
+use std::sync::atomic::Ordering;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
-use transport::{poll_messages, Addr, Backoff, Channel, Link, WireMsg};
+use transport::{
+    poll_messages, poll_messages_into, Addr, Backoff, BatchConfig, Channel, Link, WireMsg,
+};
+
+/// Read-poll window for links with work in flight: small enough that a
+/// sweep over every link stays cheap, the adaptive park supplies the
+/// idle waiting.
+const HOT_POLL: Duration = Duration::from_micros(50);
 
 /// Timing and address knobs of the distributed runtime. The defaults
 /// suit loopback; tests shrink them, WAN deployments stretch them.
@@ -87,11 +95,28 @@ pub struct DistributedConfig {
     pub join_deadline: Duration,
     /// Handshake (Hello/Welcome) timeout per connection.
     pub handshake_timeout: Duration,
-    /// Socket read-poll window (drives loop latency).
+    /// Socket read-poll window when a link is idle, and the cap on the
+    /// hub's adaptive park between empty sweeps (drives idle latency;
+    /// busy links are polled with a much smaller window).
     pub poll: Duration,
     /// Global no-progress guard: if *nothing* happens for this long the
     /// run aborts every live session rather than hang.
     pub stall_timeout: Duration,
+    /// Send-side coalescing: bytes per batch segment before it is
+    /// sealed for the vectored flush.
+    pub batch_bytes: usize,
+    /// Frames queued on a link before it is flushed mid-sweep instead
+    /// of waiting for the per-sweep flush.
+    pub batch_frames: usize,
+    /// Idle-ack timer: received traffic is acked this long after it
+    /// arrived if no outgoing frame piggybacked the ack first.
+    pub flush_interval: Duration,
+    /// Encode buffers pooled per link (steady-state sends allocate
+    /// nothing).
+    pub pool_bufs: usize,
+    /// Concurrent sessions the hub keeps open. `0` = auto:
+    /// `max(threads × 8, 32)` — batching thrives on in-flight work.
+    pub session_window: usize,
     /// TCP address for the live observability listener (`--metrics`):
     /// serves Prometheus text exposition at `/metrics` and, when the run
     /// is recorded, a Chrome-trace snapshot of the merged log at
@@ -110,6 +135,11 @@ impl Default for DistributedConfig {
             handshake_timeout: Duration::from_secs(2),
             poll: Duration::from_millis(2),
             stall_timeout: Duration::from_secs(20),
+            batch_bytes: 16 * 1024,
+            batch_frames: 128,
+            flush_interval: Duration::from_micros(500),
+            pool_bufs: 8,
+            session_window: 0,
             metrics: None,
         }
     }
@@ -120,6 +150,25 @@ impl DistributedConfig {
         DistributedConfig {
             listen,
             ..DistributedConfig::default()
+        }
+    }
+
+    /// The link-layer batching tunables this config implies.
+    pub fn batch_config(&self) -> BatchConfig {
+        BatchConfig {
+            batch_bytes: self.batch_bytes,
+            batch_frames: self.batch_frames,
+            flush_interval: self.flush_interval,
+            pool_bufs: self.pool_bufs,
+        }
+    }
+
+    /// The concurrent-session window for `threads` worker threads.
+    pub fn window(&self, threads: usize) -> usize {
+        if self.session_window > 0 {
+            self.session_window
+        } else {
+            (threads * 8).max(32)
         }
     }
 }
@@ -227,11 +276,11 @@ struct EntityLink {
 }
 
 impl EntityLink {
-    fn new(place: PlaceId, now: Instant) -> EntityLink {
+    fn new(place: PlaceId, now: Instant, bcfg: BatchConfig) -> EntityLink {
         EntityLink {
             place,
             chan: None,
-            link: Link::new(),
+            link: Link::with_batch(bcfg),
             last_heard: now,
             disconnected_at: Some(now),
             ever_connected: false,
@@ -239,12 +288,15 @@ impl EntityLink {
         }
     }
 
-    /// Queue a sequenced message: write it if connected (buffered for
-    /// resumption either way), or hold it for the next reconnect.
+    /// Queue a sequenced message into the link's batch (buffered for
+    /// resumption either way), or hold it for the next reconnect. The
+    /// batch goes out at the sweep's flush point — or here, once it has
+    /// grown past the configured frame budget.
     fn push(&mut self, msg: WireMsg, events: &mut Vec<String>) {
         match self.chan.as_mut() {
             Some(ch) => {
-                if self.link.send(&mut ch.conn, msg).is_err() {
+                self.link.queue(msg);
+                if self.link.wants_flush() && self.link.flush(&mut ch.conn).is_err() {
                     // The message is in the resume buffer; only the
                     // connection is lost.
                     self.drop_conn(events, "send failed");
@@ -256,18 +308,36 @@ impl EntityLink {
         }
     }
 
-    /// Send unsequenced control traffic (dropped if disconnected).
-    fn push_control(&mut self, msg: WireMsg, events: &mut Vec<String>) {
-        if let Some(ch) = self.chan.as_mut() {
-            if self.link.send(&mut ch.conn, msg).is_err() {
-                self.drop_conn(events, "send failed");
-            }
+    /// Queue unsequenced control traffic (dropped if disconnected).
+    fn push_control(&mut self, msg: WireMsg, _events: &mut Vec<String>) {
+        if self.chan.is_some() {
+            self.link.queue(msg);
         }
+    }
+
+    /// Sweep flush: push a pure ack if one is due, then write the
+    /// queued batch with one vectored call. Returns whether any frames
+    /// went out.
+    fn flush(&mut self, events: &mut Vec<String>) -> bool {
+        let Some(ch) = self.chan.as_mut() else {
+            return false;
+        };
+        let had_queued = self.link.queued_frames() > 0;
+        let ok = self.link.maybe_ack(&mut ch.conn, false).is_ok()
+            && self.link.flush(&mut ch.conn).is_ok();
+        if !ok {
+            self.drop_conn(events, "flush failed");
+        }
+        had_queued
     }
 
     fn drop_conn(&mut self, events: &mut Vec<String>, why: &str) {
         if let Some(ch) = self.chan.take() {
             ch.conn.shutdown();
+            // A half-encoded batch is dead with the socket; its
+            // sequenced frames are retransmitted from the ring on
+            // resume.
+            self.link.discard_batch();
             self.link.note_fault();
             self.disconnected_at = Some(Instant::now());
             events.push(format!(
@@ -278,14 +348,41 @@ impl EntityLink {
     }
 
     fn report(&self) -> LinkReport {
-        let s = &self.link.stats;
-        LinkReport {
-            lost: 0,
-            retransmissions: s.frames_resent as usize,
-            reconnects: s.reconnects.saturating_sub(1) as usize,
-            dup_dropped: s.dup_dropped as usize,
-            faults: s.faults_seen as usize,
-        }
+        report_of(&self.link)
+    }
+}
+
+/// Mirror the links' cumulative batching stats into the live metrics
+/// atomics the `/metrics` endpoint serves. Stats only grow, so a plain
+/// store of the sums is race-free against the scraping thread.
+fn publish_batch_counters(links: &[EntityLink], metrics: &Metrics) {
+    let (mut batches, mut bytes, mut piggy) = (0usize, 0usize, 0usize);
+    for link in links {
+        let s = &link.link.stats;
+        batches += s.batches_sent as usize;
+        bytes += s.bytes_sent as usize;
+        piggy += s.piggybacked_acks as usize;
+    }
+    metrics.batches_sent.store(batches, Ordering::Relaxed);
+    metrics.bytes_sent.store(bytes, Ordering::Relaxed);
+    metrics.piggybacked_acks.store(piggy, Ordering::Relaxed);
+}
+
+/// Project a transport link's counters into the report schema.
+fn report_of(link: &Link) -> LinkReport {
+    let s = &link.stats;
+    let (p50, p99) = link.batch_percentiles();
+    LinkReport {
+        lost: 0,
+        retransmissions: s.frames_resent as usize,
+        reconnects: s.reconnects.saturating_sub(1) as usize,
+        dup_dropped: s.dup_dropped as usize,
+        faults: s.faults_seen as usize,
+        batches: s.batches_sent as usize,
+        bytes_sent: s.bytes_sent as usize,
+        piggybacked_acks: s.piggybacked_acks as usize,
+        frames_per_batch_p50: p50,
+        frames_per_batch_p99: p99,
     }
 }
 
@@ -349,7 +446,11 @@ pub fn run_hub_obs(
     let place_index: BTreeMap<PlaceId, usize> =
         places.iter().enumerate().map(|(i, p)| (*p, i)).collect();
     let now = Instant::now();
-    let mut links: Vec<EntityLink> = places.iter().map(|&p| EntityLink::new(p, now)).collect();
+    let bcfg = dcfg.batch_config();
+    let mut links: Vec<EntityLink> = places
+        .iter()
+        .map(|&p| EntityLink::new(p, now, bcfg))
+        .collect();
 
     let metrics = Arc::new(Metrics::for_service(&d.service));
     // The hub's recorder observes at place 0; entity processes record at
@@ -383,16 +484,22 @@ pub fn run_hub_obs(
     let mut tally = Tally::new();
     let mut events: Vec<String> = Vec::new();
     let mut sessions: BTreeMap<u64, HubSession> = BTreeMap::new();
-    let window = cfg.threads.max(1);
+    let window = dcfg.window(cfg.threads.max(1));
     let mut next = 0usize;
     let mut messages = 0usize;
     let mut last_progress = Instant::now();
     let mut dead_entity: Option<PlaceId> = None;
+    // Adaptive park: consecutive sweeps that moved nothing. A few free
+    // yields first (traffic usually follows traffic), then exponential
+    // sleeps capped at `dcfg.poll`.
+    let mut idle_sweeps = 0u32;
+    let mut inbuf: Vec<(u64, WireMsg)> = Vec::new();
 
     'run: loop {
         if next >= cfg.sessions && sessions.is_empty() {
             break;
         }
+        let mut progress = false;
 
         // Keep the window full.
         while next < cfg.sessions && sessions.len() < window {
@@ -414,6 +521,7 @@ pub fn run_hub_obs(
                 );
             }
             next += 1;
+            progress = true;
         }
 
         // Accept (re)connections.
@@ -438,6 +546,9 @@ pub fn run_hub_obs(
                         chan.conn.shutdown();
                         continue;
                     }
+                    // Connected links are swept with a tiny poll window;
+                    // idle waiting is the adaptive park's job.
+                    let _ = chan.conn.set_read_timeout(Some(HOT_POLL));
                     let was_connected = link.ever_connected;
                     link.chan = Some(chan);
                     link.ever_connected = true;
@@ -462,6 +573,7 @@ pub fn run_hub_obs(
                         }
                     }
                     last_progress = Instant::now();
+                    progress = true;
                     let mut closed = Vec::new();
                     for (seq, m) in leftovers {
                         if let Some(m) = links[idx].link.accept(seq, m) {
@@ -496,19 +608,23 @@ pub fn run_hub_obs(
             }
         }
 
-        // Poll every connected link and process its traffic.
+        // Poll every connected link and process its traffic. Replies
+        // and forwards queue on the destination links; they go out in
+        // the flush phase below, one vectored write per link per sweep.
         let mut closed: Vec<(u64, SessionEnd)> = Vec::new();
         for idx in 0..n {
             let Some(ch) = links[idx].chan.as_mut() else {
                 continue;
             };
-            match poll_messages(&mut ch.conn, &mut ch.dec) {
-                Ok(batch) => {
-                    if !batch.is_empty() {
+            inbuf.clear();
+            match poll_messages_into(&mut ch.conn, &mut ch.dec, &mut inbuf) {
+                Ok(()) => {
+                    if !inbuf.is_empty() {
                         links[idx].last_heard = Instant::now();
                         last_progress = Instant::now();
+                        progress = true;
                     }
-                    for (seq, m) in batch {
+                    for (seq, m) in inbuf.drain(..) {
                         if let Some(m) = links[idx].link.accept(seq, m) {
                             hub_handle(
                                 m,
@@ -523,13 +639,6 @@ pub fn run_hub_obs(
                                 rec.as_ref(),
                                 registry.as_ref(),
                             );
-                        }
-                    }
-                    // Push a cumulative ack when due.
-                    let link = &mut links[idx];
-                    if let Some(ch) = link.chan.as_mut() {
-                        if link.link.maybe_ack(&mut ch.conn, false).is_err() {
-                            link.drop_conn(&mut events, "ack failed");
                         }
                     }
                 }
@@ -585,6 +694,14 @@ pub fn run_hub_obs(
             }
         }
 
+        // Flush phase: one vectored write per link per sweep carries
+        // everything this sweep queued (forwards, Opens, Closes,
+        // heartbeats) plus any due pure ack.
+        for link in links.iter_mut() {
+            progress |= link.flush(&mut events);
+        }
+        publish_batch_counters(&links, metrics.as_ref());
+
         // Global stall guard: nothing moved for too long — abort rather
         // than hang (this also catches bugs in quiescence accounting).
         if !sessions.is_empty() && now.duration_since(last_progress) > dcfg.stall_timeout {
@@ -599,7 +716,20 @@ pub fn run_hub_obs(
         if sessions.is_empty() && next >= cfg.sessions {
             break;
         }
-        std::thread::sleep(Duration::from_micros(300));
+
+        // Adaptive park: back off only when a full sweep moved nothing.
+        if progress {
+            idle_sweeps = 0;
+        } else {
+            idle_sweeps += 1;
+            if idle_sweeps <= 3 {
+                std::thread::yield_now();
+            } else {
+                let exp = (idle_sweeps - 3).min(6); // 100µs … 3.2ms pre-cap
+                let nap = Duration::from_micros(50u64 << exp).min(dcfg.poll);
+                std::thread::sleep(nap);
+            }
+        }
     }
 
     // Abort whatever is still live (dead entity or stall) — including
@@ -648,6 +778,10 @@ pub fn run_hub_obs(
     // else is capped by the reconnect deadline.
     for link in links.iter_mut() {
         link.push(WireMsg::Shutdown, &mut events);
+        // `push` only coalesces; force the batch out now — the Shutdown
+        // (and any abort-path Closes still queued) must not wait for the
+        // entity to time out and reconnect for its resume retransmit.
+        link.flush(&mut events);
     }
     let drain_deadline = Instant::now() + dcfg.reconnect_deadline;
     let mut done: Vec<bool> = links.iter().map(|l| Some(l.place) == dead_entity).collect();
@@ -1011,8 +1145,16 @@ pub struct ServeConfig {
     pub refuse: Vec<(String, PlaceId)>,
     /// Jitter seed for the reconnect backoff.
     pub seed: u64,
+    /// Read-poll window while idle — the entity parks inside this read,
+    /// so it doubles as the idle loop latency. Busy loops use a tiny
+    /// window instead.
     pub poll: Duration,
     pub heartbeat: Duration,
+    /// Send-side coalescing knobs, mirroring [`DistributedConfig`].
+    pub batch_bytes: usize,
+    pub batch_frames: usize,
+    pub flush_interval: Duration,
+    pub pool_bufs: usize,
     /// Silence from the hub before the connection is presumed dead.
     pub dead_after: Duration,
     pub connect_timeout: Duration,
@@ -1032,11 +1174,25 @@ impl ServeConfig {
             seed: 0xC0FFEE,
             poll: Duration::from_millis(2),
             heartbeat: Duration::from_millis(100),
+            batch_bytes: 16 * 1024,
+            batch_frames: 128,
+            flush_interval: Duration::from_micros(500),
+            pool_bufs: 8,
             dead_after: Duration::from_secs(2),
             connect_timeout: Duration::from_secs(1),
             backoff_base: Duration::from_millis(25),
             backoff_cap: Duration::from_secs(1),
             retry_budget: 40,
+        }
+    }
+
+    /// The link-layer batching tunables this config implies.
+    pub fn batch_config(&self) -> BatchConfig {
+        BatchConfig {
+            batch_bytes: self.batch_bytes,
+            batch_frames: self.batch_frames,
+            flush_interval: self.flush_interval,
+            pool_bufs: self.pool_bufs,
         }
     }
 }
@@ -1101,7 +1257,7 @@ pub fn serve_entity(entity: &Spec, cfg: &ServeConfig) -> Result<ServeOutcome, St
         &Arc::new(TermArena::new()),
         &occ,
     );
-    let mut link = Link::new();
+    let mut link = Link::with_batch(cfg.batch_config());
     let mut chan: Option<Channel> = None;
     let mut backoff = Backoff::new(
         cfg.backoff_base,
@@ -1119,6 +1275,11 @@ pub fn serve_entity(entity: &Spec, cfg: &ServeConfig) -> Result<ServeOutcome, St
     let mut last_heard = Instant::now();
     let mut last_hb = Instant::now();
     let mut outbox: Vec<WireMsg> = Vec::new();
+    let mut inbuf: Vec<(u64, WireMsg)> = Vec::new();
+    // The entity's one socket is its natural park: a long read timeout
+    // when no session is runnable (data wakes it instantly), a tiny one
+    // while work is in flight. Tracked to avoid redundant setsockopts.
+    let mut cur_poll = cfg.poll;
 
     loop {
         // (Re)connect under the backoff policy.
@@ -1133,6 +1294,7 @@ pub fn serve_entity(entity: &Spec, cfg: &ServeConfig) -> Result<ServeOutcome, St
             match entity_connect(cfg, &mut link, &mut backoff) {
                 Ok((c, leftovers)) => {
                     chan = Some(c);
+                    cur_poll = cfg.poll; // try_connect left it at cfg.poll
                     backoff.reset();
                     last_heard = Instant::now();
                     for (seq, m) in leftovers {
@@ -1168,15 +1330,27 @@ pub fn serve_entity(entity: &Spec, cfg: &ServeConfig) -> Result<ServeOutcome, St
             }
         }
 
-        // Drain the wire.
+        // Drain the wire. The read timeout adapts to the workload:
+        // while sessions are runnable (or a shutdown drain is pending)
+        // the read must not stall the stepping below, so it is tiny;
+        // once everything is parked, this read IS the idle wait.
         let mut dropped = false;
         if let Some(ch) = chan.as_mut() {
-            match poll_messages(&mut ch.conn, &mut ch.dec) {
-                Ok(batch) => {
-                    if !batch.is_empty() {
+            let want = if runnable.is_empty() && !shutdown && link.queued_frames() == 0 {
+                cfg.poll
+            } else {
+                HOT_POLL
+            };
+            if want != cur_poll && ch.conn.set_read_timeout(Some(want)).is_ok() {
+                cur_poll = want;
+            }
+            inbuf.clear();
+            match poll_messages_into(&mut ch.conn, &mut ch.dec, &mut inbuf) {
+                Ok(()) => {
+                    if !inbuf.is_empty() {
                         last_heard = Instant::now();
                     }
-                    for (seq, m) in batch {
+                    for (seq, m) in inbuf.drain(..) {
                         if let Some(m) = link.accept(seq, m) {
                             entity_handle(
                                 m,
@@ -1200,9 +1374,7 @@ pub fn serve_entity(entity: &Spec, cfg: &ServeConfig) -> Result<ServeOutcome, St
             }
         }
         if dropped {
-            if let Some(ch) = chan.take() {
-                ch.conn.shutdown();
-            }
+            drop_chan(&mut chan, &mut link);
             continue;
         }
 
@@ -1217,21 +1389,24 @@ pub fn serve_entity(entity: &Spec, cfg: &ServeConfig) -> Result<ServeOutcome, St
                 trace_flushed = true;
                 flush_deadline = Instant::now() + cfg.dead_after.max(Duration::from_secs(2));
                 if let Some(reg) = &obs.registry {
+                    // Chunks batch-encode into one (usually) vectored
+                    // flush; a flush that dies leaves them sequenced in
+                    // the resend buffer for the reconnect below.
                     for chunk in reg.drain_chunks(512) {
                         let m = WireMsg::Trace { chunk };
-                        match chan.as_mut() {
-                            Some(ch) => {
-                                if link.send(&mut ch.conn, m).is_err() {
-                                    link.note_fault();
-                                    if let Some(ch) = chan.take() {
-                                        ch.conn.shutdown();
-                                    }
-                                }
-                            }
-                            None => {
-                                link.buffer(m);
-                            }
+                        if chan.is_some() {
+                            link.queue(m);
+                        } else {
+                            link.buffer(m);
                         }
+                    }
+                    let flush_err = match chan.as_mut() {
+                        Some(ch) => link.flush(&mut ch.conn).is_err(),
+                        None => false,
+                    };
+                    if flush_err {
+                        link.note_fault();
+                        drop_chan(&mut chan, &mut link);
                     }
                 }
             }
@@ -1267,66 +1442,62 @@ pub fn serve_entity(entity: &Spec, cfg: &ServeConfig) -> Result<ServeOutcome, St
             }
         }
 
-        // Flush outbox + heartbeat + hub-death detection.
-        for m in outbox.drain(..) {
-            let Some(ch) = chan.as_mut() else {
+        // Queue this sweep's traffic; everything leaves in one flush.
+        if chan.is_some() {
+            for m in outbox.drain(..) {
+                link.queue(m);
+                if link.wants_flush() {
+                    if let Some(ch) = chan.as_mut() {
+                        if link.flush(&mut ch.conn).is_err() {
+                            drop_chan(&mut chan, &mut link);
+                        }
+                    }
+                }
+            }
+        } else {
+            for m in outbox.drain(..) {
                 // Control replies (heartbeat acks) are ephemeral — only
                 // sequenced traffic is worth carrying across the gap.
                 if m.sequenced() {
                     link.buffer(m);
                 }
-                continue;
-            };
-            if link.send(&mut ch.conn, m).is_err() {
-                if let Some(ch) = chan.take() {
-                    ch.conn.shutdown();
-                }
             }
         }
+        // Heartbeat + due acks + the sweep flush, then hub-death check.
         if let Some(ch) = chan.as_mut() {
-            if link.maybe_ack(&mut ch.conn, false).is_err() {
-                if let Some(ch) = chan.take() {
-                    ch.conn.shutdown();
-                }
-                link.note_fault();
-                continue;
-            }
             let now = Instant::now();
             if now.duration_since(last_hb) >= cfg.heartbeat {
                 last_hb = now;
-                let hb = WireMsg::Heartbeat {
+                link.queue(WireMsg::Heartbeat {
                     nonce: link.stats.frames_sent,
-                };
-                if link.send(&mut ch.conn, hb).is_err() {
-                    if let Some(ch) = chan.take() {
-                        ch.conn.shutdown();
-                    }
-                    link.note_fault();
-                    continue;
-                }
+                });
+            }
+            let sent_ok =
+                link.maybe_ack(&mut ch.conn, false).is_ok() && link.flush(&mut ch.conn).is_ok();
+            if !sent_ok {
+                link.note_fault();
+                drop_chan(&mut chan, &mut link);
+                continue;
             }
             if now.duration_since(last_heard) > cfg.dead_after {
-                if let Some(ch) = chan.take() {
-                    ch.conn.shutdown();
-                }
                 link.note_fault();
+                drop_chan(&mut chan, &mut link);
             }
-        }
-        if runnable.is_empty() {
-            std::thread::sleep(Duration::from_micros(300));
         }
     }
 }
 
-fn stats_of(link: &Link) -> LinkReport {
-    let s = &link.stats;
-    LinkReport {
-        lost: 0,
-        retransmissions: s.frames_resent as usize,
-        reconnects: s.reconnects.saturating_sub(1) as usize,
-        dup_dropped: s.dup_dropped as usize,
-        faults: s.faults_seen as usize,
+/// Tear down the entity's connection, discarding any half-encoded batch
+/// (its sequenced frames survive in the resend ring for the resume).
+fn drop_chan(chan: &mut Option<Channel>, link: &mut Link) {
+    if let Some(ch) = chan.take() {
+        ch.conn.shutdown();
     }
+    link.discard_batch();
+}
+
+fn stats_of(link: &Link) -> LinkReport {
+    report_of(link)
 }
 
 /// Connect + handshake + resume, retrying under the backoff schedule.
@@ -1618,6 +1789,11 @@ mod tests {
             handshake_timeout: Duration::from_secs(2),
             poll: Duration::from_millis(2),
             stall_timeout: Duration::from_secs(10),
+            batch_bytes: 16 * 1024,
+            batch_frames: 128,
+            flush_interval: Duration::from_micros(500),
+            pool_bufs: 8,
+            session_window: 0,
             metrics: None,
         }
     }

@@ -148,6 +148,13 @@ pub struct Metrics {
     pub max_queue_depth: AtomicUsize,
     pub frames_lost: AtomicUsize,
     pub retransmissions: AtomicUsize,
+    /// Coalesced transport batches flushed (distributed hub links).
+    pub batches_sent: AtomicUsize,
+    /// Payload bytes flushed over distributed links.
+    pub bytes_sent: AtomicUsize,
+    /// Cumulative acks that rode on outgoing data frames instead of
+    /// costing a dedicated `Ack` frame (wire v3 piggybacking).
+    pub piggybacked_acks: AtomicUsize,
     /// End-to-end session latency (wall µs).
     pub session_latency: Histogram,
     /// Per-primitive inter-arrival latency (wall µs between consecutive
@@ -172,6 +179,9 @@ impl Metrics {
             max_queue_depth: AtomicUsize::new(0),
             frames_lost: AtomicUsize::new(0),
             retransmissions: AtomicUsize::new(0),
+            batches_sent: AtomicUsize::new(0),
+            bytes_sent: AtomicUsize::new(0),
+            piggybacked_acks: AtomicUsize::new(0),
             session_latency: Histogram::new(),
             per_prim,
         }
@@ -190,7 +200,7 @@ impl Metrics {
     /// internal detail; quantiles are what dashboards want).
     pub fn to_prometheus(&self) -> String {
         let mut out = String::with_capacity(1024);
-        let counters: [(&str, &str, usize); 8] = [
+        let counters: [(&str, &str, usize); 11] = [
             (
                 "protogen_sessions_completed_total",
                 "Sessions driven to a verdict",
@@ -225,6 +235,21 @@ impl Metrics {
                 "protogen_retransmissions_total",
                 "Frames retransmitted by recovery",
                 self.retransmissions.load(Ordering::Relaxed),
+            ),
+            (
+                "protogen_batches_sent_total",
+                "Coalesced transport batches flushed",
+                self.batches_sent.load(Ordering::Relaxed),
+            ),
+            (
+                "protogen_bytes_sent_total",
+                "Payload bytes flushed over distributed links",
+                self.bytes_sent.load(Ordering::Relaxed),
+            ),
+            (
+                "protogen_piggybacked_acks_total",
+                "Acks carried on outgoing data frames",
+                self.piggybacked_acks.load(Ordering::Relaxed),
             ),
             (
                 "protogen_max_queue_depth",
@@ -319,7 +344,12 @@ pub fn service_primitives(spec: &Spec) -> Vec<(String, PlaceId)> {
 ///   `"interpreted"`, `"compiled"`, or `"mixed"` when an `auto` run
 ///   lowered only some entities) and a `backend` key inside `config`.
 ///   Older documents summarize with an empty backend string.
-pub const REPORT_SCHEMA_VERSION: u32 = 4;
+/// * 5 — each `per_link` entry gains `batches`, `bytes_sent`,
+///   `piggybacked_acks`, and `frames_per_batch_p50`/`_p99` from the
+///   batched vectored-I/O transport path. All v4 fields are unchanged;
+///   v4 consumers that ignore unknown keys keep working and
+///   [`ReportSummary::from_json`] still parses v4 documents.
+pub const REPORT_SCHEMA_VERSION: u32 = 5;
 
 /// Flight-recorder metadata embedded in a v3 report when recording was
 /// enabled for the run.
@@ -359,14 +389,35 @@ pub struct LinkReport {
     pub dup_dropped: usize,
     /// Send/receive failures observed (distributed).
     pub faults: usize,
+    /// Coalesced batches flushed (v5; distributed links).
+    pub batches: usize,
+    /// Payload bytes flushed (v5; distributed links).
+    pub bytes_sent: usize,
+    /// Acks carried on outgoing data frames (v5; distributed links).
+    pub piggybacked_acks: usize,
+    /// Median frames per flushed batch (v5; 0 when no batch flushed).
+    pub frames_per_batch_p50: u32,
+    /// 99th-percentile frames per flushed batch (v5).
+    pub frames_per_batch_p99: u32,
 }
 
 impl LinkReport {
     pub fn to_json(&self) -> String {
         format!(
             "{{\"lost\":{},\"retransmissions\":{},\"reconnects\":{},\
-             \"dup_dropped\":{},\"faults\":{}}}",
-            self.lost, self.retransmissions, self.reconnects, self.dup_dropped, self.faults
+             \"dup_dropped\":{},\"faults\":{},\"batches\":{},\"bytes_sent\":{},\
+             \"piggybacked_acks\":{},\"frames_per_batch_p50\":{},\
+             \"frames_per_batch_p99\":{}}}",
+            self.lost,
+            self.retransmissions,
+            self.reconnects,
+            self.dup_dropped,
+            self.faults,
+            self.batches,
+            self.bytes_sent,
+            self.piggybacked_acks,
+            self.frames_per_batch_p50,
+            self.frames_per_batch_p99
         )
     }
 }
@@ -820,6 +871,11 @@ mod tests {
                 reconnects: 1,
                 dup_dropped: 2,
                 faults: 4,
+                batches: 6,
+                bytes_sent: 4096,
+                piggybacked_acks: 9,
+                frames_per_batch_p50: 7,
+                frames_per_batch_p99: 31,
             },
         );
         let report = RuntimeReport {
@@ -872,6 +928,12 @@ mod tests {
         assert_eq!(get_u64(link_json, "reconnects"), Some(1));
         assert_eq!(get_u64(link_json, "dup_dropped"), Some(2));
         assert_eq!(get_u64(link_json, "faults"), Some(4));
+        // v5 batching counters ride in the same per-link object.
+        assert_eq!(get_u64(link_json, "batches"), Some(6));
+        assert_eq!(get_u64(link_json, "bytes_sent"), Some(4096));
+        assert_eq!(get_u64(link_json, "piggybacked_acks"), Some(9));
+        assert_eq!(get_u64(link_json, "frames_per_batch_p50"), Some(7));
+        assert_eq!(get_u64(link_json, "frames_per_batch_p99"), Some(31));
         assert!(json.contains("link place:2 declared dead"), "{json}");
         // An aborted session fails the run even with zero violations.
         assert!(!report.passed());
@@ -920,6 +982,39 @@ mod tests {
         let summary = ReportSummary::from_json(v1).unwrap();
         assert_eq!(summary.schema_version, 1);
         assert_eq!(summary.sessions, 5);
+    }
+
+    /// Schema v4 documents — per_link entries without the v5 batching
+    /// counters — must keep round-tripping through [`ReportSummary`]:
+    /// stored bench snapshots from the previous release are v4. The
+    /// literal is a verbatim slice of a v4 report as that release wrote
+    /// it.
+    #[test]
+    fn schema_v4_reports_still_parse() {
+        let v4 = "{\"schema_version\":4,\"engine\":\"concurrent\",\"backend\":\"compiled\",\
+            \"config\":{\"sessions\":100,\"threads\":3,\"seed\":7,\"capacity\":64,\
+            \"max_steps\":100000,\"faults\":\"none\",\"backend\":\"auto\"},\
+            \"sessions\":100,\"conforming\":100,\
+            \"terminated\":100,\"deadlocked\":0,\"step_limited\":0,\"aborted\":0,\
+            \"primitives\":600,\"messages\":900,\"delivered\":900,\
+            \"overhead_ratio\":1.500,\"messages_per_kind\":{\"seq\":900},\
+            \"max_queue_depth\":3,\"frames_lost\":0,\"retransmissions\":2,\
+            \"per_link\":{\"place:1\":{\"lost\":0,\"retransmissions\":2,\"reconnects\":1,\
+            \"dup_dropped\":0,\"faults\":1}},\"transport_events\":[],\
+            \"wall_s\":0.1200,\"sessions_per_sec\":833.3,\
+            \"session_latency\":{\"count\":100,\"mean_us\":150.0,\"p50_us\":128.0,\
+            \"p90_us\":256.0,\"p99_us\":320.0,\"max_us\":400},\"per_prim\":{},\
+            \"phases\":{\"parse\":0.200},\"trace\":null,\"recorder_tails\":{},\
+            \"violations\":[]}";
+        let summary = ReportSummary::from_json(v4).unwrap();
+        assert_eq!(summary.schema_version, 4);
+        assert_eq!(summary.engine, "concurrent");
+        assert_eq!(summary.backend, "compiled");
+        assert_eq!(summary.sessions, 100);
+        assert_eq!(summary.conforming, 100);
+        assert_eq!(summary.aborted, 0);
+        assert_eq!(summary.phases, vec![("parse".to_string(), 0.2)]);
+        assert_eq!(summary.trace_meta, None);
     }
 
     #[test]

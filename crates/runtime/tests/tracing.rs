@@ -31,7 +31,6 @@ fn transport2() -> String {
 
 fn dcfg(listen: Addr) -> DistributedConfig {
     DistributedConfig {
-        listen,
         heartbeat: Duration::from_millis(20),
         dead_after: Duration::from_millis(700),
         reconnect_deadline: Duration::from_secs(5),
@@ -39,7 +38,7 @@ fn dcfg(listen: Addr) -> DistributedConfig {
         handshake_timeout: Duration::from_secs(2),
         poll: Duration::from_millis(2),
         stall_timeout: Duration::from_secs(30),
-        metrics: None,
+        ..DistributedConfig::new(listen)
     }
 }
 

@@ -11,7 +11,11 @@
 //!   the checksummed frames of `medium::codec`;
 //! * [`link`] — sequence-numbered send/receive with cumulative acks,
 //!   exactly-once resumption across reconnects, and the seeded
-//!   exponential [`Backoff`] policy with a retry budget;
+//!   exponential [`Backoff`] policy with a retry budget. Sends coalesce
+//!   into a batch ([`BatchConfig`]) flushed with one vectored write,
+//!   acks piggyback on outgoing frames (wire v3), and buffers recycle
+//!   through a [`BufPool`] so the steady state allocates nothing;
+//! * [`pool`] — the bounded buffer free-list behind the batch path;
 //! * [`proxy`] — a seeded connection-level fault injector
 //!   ([`FaultProxy`]) for conformance runs: flaky links that kill
 //!   connections, partitions that blackhole and heal.
@@ -25,11 +29,13 @@
 pub mod addr;
 pub mod conn;
 pub mod link;
+pub mod pool;
 pub mod proxy;
 pub mod wire;
 
 pub use addr::{Addr, Listener};
 pub use conn::{is_poll_timeout, Conn};
-pub use link::{Backoff, Channel, Link, LinkStats};
+pub use link::{Backoff, BatchConfig, Channel, Link, LinkStats};
+pub use pool::BufPool;
 pub use proxy::{FaultProxy, LinkFaults};
-pub use wire::{poll_messages, WireMsg};
+pub use wire::{poll_messages, poll_messages_into, WireMsg};

@@ -19,17 +19,51 @@
 
 use std::collections::VecDeque;
 use std::io;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use medium::codec::FrameDecoder;
 use rand::{rngs::StdRng, Rng, SeedableRng};
 
 use crate::conn::Conn;
+use crate::pool::BufPool;
 use crate::wire::WireMsg;
 
 /// How often (in sequenced frames received) a cumulative ack is pushed
-/// without waiting for other traffic.
+/// without waiting for other traffic. With wire v3 this is a backstop:
+/// acks normally piggyback on outgoing frames, and an idle receiver
+/// acks on [`BatchConfig::flush_interval`] instead.
 const ACK_EVERY: u64 = 64;
+
+/// Bins of the frames-per-batch histogram: exact counts 0..=63, with
+/// the last bin aggregating every larger batch.
+const BATCH_HIST: usize = 65;
+
+/// Tunables of the send-side coalescing batch.
+#[derive(Clone, Copy, Debug)]
+pub struct BatchConfig {
+    /// Seal the output buffer once it holds this many bytes; a flush
+    /// writes all sealed segments with one vectored write.
+    pub batch_bytes: usize,
+    /// Frames queued before [`Link::wants_flush`] asks the driving loop
+    /// to flush early (bounds batching latency under sustained load).
+    pub batch_frames: usize,
+    /// Idle timer for pure acks: traffic received while nothing flows
+    /// the other way is acknowledged this long after it arrived.
+    pub flush_interval: Duration,
+    /// Buffers [`BufPool`] retains for reuse.
+    pub pool_bufs: usize,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig {
+            batch_bytes: 16 * 1024,
+            batch_frames: 128,
+            flush_interval: Duration::from_micros(500),
+            pool_bufs: 8,
+        }
+    }
+}
 
 /// Counters a link accumulates over its lifetime, across reconnects.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -42,15 +76,100 @@ pub struct LinkStats {
     pub frames_resent: u64,
     /// Incoming duplicates dropped by the dedup filter.
     pub dup_dropped: u64,
-    /// Cumulative acks pushed to the peer.
+    /// Pure cumulative-ack frames pushed to the peer.
     pub acks_sent: u64,
+    /// Cumulative acks that rode an outgoing frame instead of costing a
+    /// pure ack frame (wire v3).
+    pub piggybacked_acks: u64,
+    /// Batches flushed to the socket.
+    pub batches_sent: u64,
+    /// Payload bytes flushed (framing included).
+    pub bytes_sent: u64,
     /// Send/receive failures observed (each one precedes a reconnect or
     /// link death).
     pub faults_seen: u64,
 }
 
+/// The send-side coalescing buffer: frames are encoded back to back
+/// into one pooled output buffer, sealed into further segments past
+/// [`BatchConfig::batch_bytes`], and flushed with a single vectored
+/// write. Buffers cycle through the pool, so steady-state encoding
+/// allocates nothing.
+#[derive(Debug)]
+struct BatchBuf {
+    pool: BufPool,
+    /// Full segments awaiting flush, oldest first.
+    sealed: Vec<Vec<u8>>,
+    /// The segment currently being filled.
+    cur: Vec<u8>,
+    /// Payload scratch shared by every encode.
+    scratch: Vec<u8>,
+    frames: u32,
+    batch_bytes: usize,
+}
+
+impl BatchBuf {
+    fn new(cfg: &BatchConfig) -> BatchBuf {
+        let mut pool = BufPool::new(cfg.pool_bufs, cfg.batch_bytes);
+        let cur = pool.get();
+        BatchBuf {
+            pool,
+            sealed: Vec::new(),
+            cur,
+            scratch: Vec::with_capacity(64),
+            frames: 0,
+            batch_bytes: cfg.batch_bytes.max(1),
+        }
+    }
+
+    fn encode(&mut self, msg: &WireMsg, seq: u64, ack: u64) {
+        msg.encode_into(seq, ack, &mut self.scratch, &mut self.cur);
+        self.frames += 1;
+        if self.cur.len() >= self.batch_bytes {
+            let full = std::mem::replace(&mut self.cur, self.pool.get());
+            self.sealed.push(full);
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.frames == 0
+    }
+
+    /// Write the whole batch: one `write_vectored` over the segments
+    /// (plain `write_all` when there is only one). Success or failure,
+    /// the batch is consumed and its buffers return to the pool —
+    /// sequenced frames survive any failure in the unacked ring.
+    fn flush(&mut self, conn: &mut Conn) -> io::Result<(u32, u64)> {
+        if self.frames == 0 {
+            return Ok((0, 0));
+        }
+        let bytes = (self.sealed.iter().map(|s| s.len()).sum::<usize>() + self.cur.len()) as u64;
+        let res = if self.sealed.is_empty() {
+            conn.write_all(&self.cur)
+        } else {
+            let mut segs: Vec<&[u8]> = Vec::with_capacity(self.sealed.len() + 1);
+            segs.extend(self.sealed.iter().map(|s| s.as_slice()));
+            if !self.cur.is_empty() {
+                segs.push(&self.cur);
+            }
+            conn.write_vectored_all(&segs)
+        };
+        let frames = self.frames;
+        self.discard();
+        res.map(|_| (frames, bytes))
+    }
+
+    fn discard(&mut self) {
+        self.frames = 0;
+        for b in self.sealed.drain(..) {
+            self.pool.put(b);
+        }
+        self.cur.clear();
+    }
+}
+
 /// One endpoint of a sequenced, resumable link.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Link {
     /// Sequence number assigned to the next outgoing sequenced message.
     next_seq: u64,
@@ -61,16 +180,44 @@ pub struct Link {
     unacked: VecDeque<(u64, WireMsg, bool)>,
     /// Highest incoming sequence number delivered to the application.
     last_delivered: u64,
-    /// Sequenced frames received since the last ack was pushed.
+    /// Sequenced frames received since the last ack (pure or
+    /// piggybacked) went out.
     since_ack: u64,
+    /// When a pure ack for the traffic behind `since_ack` is owed
+    /// ([`BatchConfig::flush_interval`] after it started accruing);
+    /// `None` when nothing is owed.
+    ack_due: Option<Instant>,
+    out: BatchBuf,
+    cfg: BatchConfig,
+    /// Frames-per-flushed-batch histogram (last bin = 64+).
+    batch_hist: [u64; BATCH_HIST],
     pub stats: LinkStats,
+}
+
+impl Default for Link {
+    fn default() -> Self {
+        Link::new()
+    }
 }
 
 impl Link {
     pub fn new() -> Link {
+        Link::with_batch(BatchConfig::default())
+    }
+
+    /// A link with explicit batching tunables (the distributed runtime
+    /// passes its config through here).
+    pub fn with_batch(cfg: BatchConfig) -> Link {
         Link {
             next_seq: 1,
-            ..Link::default()
+            unacked: VecDeque::new(),
+            last_delivered: 0,
+            since_ack: 0,
+            ack_due: None,
+            out: BatchBuf::new(&cfg),
+            cfg,
+            batch_hist: [0; BATCH_HIST],
+            stats: LinkStats::default(),
         }
     }
 
@@ -85,25 +232,105 @@ impl Link {
         self.unacked.len()
     }
 
-    /// Send a message. Sequenced messages get the next sequence number
-    /// and are buffered for retransmission; control messages go out with
-    /// sequence 0 and are never buffered. A send error leaves the
-    /// message buffered (if sequenced), so a later [`Link::resume`]
-    /// retransmits it.
-    pub fn send(&mut self, conn: &mut Conn, msg: WireMsg) -> io::Result<()> {
-        let seq = if msg.sequenced() {
+    /// Queue a message into the outgoing batch without flushing it.
+    /// Sequenced messages get the next sequence number and are buffered
+    /// for retransmission; control messages carry sequence 0 and are
+    /// never buffered. Every frame piggybacks the cumulative ack (wire
+    /// v3), so queueing while acks are owed settles them for free.
+    pub fn queue(&mut self, msg: WireMsg) {
+        let ack = self.last_delivered;
+        if self.since_ack > 0 {
+            self.stats.piggybacked_acks += 1;
+            self.since_ack = 0;
+            self.ack_due = None;
+        }
+        if msg.sequenced() {
             let s = self.next_seq;
             self.next_seq += 1;
-            self.unacked.push_back((s, msg.clone(), true));
             self.stats.frames_sent += 1;
-            s
+            self.unacked.push_back((s, msg, true));
+            // Encode straight out of the ring — no clone of the message.
+            let (seq, m, _) = self.unacked.back().expect("just pushed");
+            self.out.encode(m, *seq, ack);
         } else {
-            0
-        };
-        let bytes = msg.encode(seq);
-        conn.write_all(&bytes).inspect_err(|_| {
-            self.stats.faults_seen += 1;
-        })
+            self.out.encode(&msg, 0, ack);
+        }
+    }
+
+    /// Flush the queued batch with one vectored write. On error the
+    /// batch is dropped (sequenced frames survive in the unacked ring
+    /// for the next [`Link::resume`]) and the fault is counted.
+    pub fn flush(&mut self, conn: &mut Conn) -> io::Result<()> {
+        if self.out.is_empty() {
+            return Ok(());
+        }
+        match self.out.flush(conn) {
+            Ok((frames, bytes)) => {
+                self.stats.batches_sent += 1;
+                self.stats.bytes_sent += bytes;
+                self.batch_hist[(frames as usize).min(BATCH_HIST - 1)] += 1;
+                Ok(())
+            }
+            Err(e) => {
+                self.stats.faults_seen += 1;
+                Err(e)
+            }
+        }
+    }
+
+    /// Frames queued but not yet flushed.
+    pub fn queued_frames(&self) -> u32 {
+        self.out.frames
+    }
+
+    /// Has the batch grown enough that the driving loop should flush
+    /// now rather than keep coalescing?
+    pub fn wants_flush(&self) -> bool {
+        self.out.frames as usize >= self.cfg.batch_frames
+    }
+
+    /// Drop any queued-but-unflushed frames, returning their buffers to
+    /// the pool. Must be called when the connection is torn down:
+    /// sequenced frames are retransmitted from the unacked ring on
+    /// resume, so flushing a stale batch afterwards would duplicate
+    /// them.
+    pub fn discard_batch(&mut self) {
+        self.out.discard();
+    }
+
+    /// `(p50, p99)` of frames per flushed batch over the link's
+    /// lifetime; `(0, 0)` before the first flush. The top bin
+    /// aggregates batches of 64 frames and larger.
+    pub fn batch_percentiles(&self) -> (u32, u32) {
+        let total: u64 = self.batch_hist.iter().sum();
+        if total == 0 {
+            return (0, 0);
+        }
+        let (t50, t99) = (total.div_ceil(2), (total * 99).div_ceil(100));
+        let (mut p50, mut p99) = (0u32, 0u32);
+        let mut seen = 0u64;
+        let mut got50 = false;
+        for (i, n) in self.batch_hist.iter().enumerate() {
+            seen += n;
+            if !got50 && seen >= t50 {
+                p50 = i as u32;
+                got50 = true;
+            }
+            if seen >= t99 {
+                p99 = i as u32;
+                break;
+            }
+        }
+        (p50, p99)
+    }
+
+    /// Send a message immediately: queue it and flush the batch (along
+    /// with anything already queued). Sequenced messages are buffered
+    /// for retransmission; a send error leaves them buffered, so a
+    /// later [`Link::resume`] retransmits.
+    pub fn send(&mut self, conn: &mut Conn, msg: WireMsg) -> io::Result<()> {
+        self.queue(msg);
+        self.flush(conn)
     }
 
     /// Assign the next sequence number and buffer a sequenced message
@@ -149,40 +376,59 @@ impl Link {
         );
         self.last_delivered = seq;
         self.since_ack += 1;
+        if self.ack_due.is_none() {
+            self.ack_due = Some(Instant::now() + self.cfg.flush_interval);
+        }
         Some(msg)
     }
 
-    /// Push a cumulative ack if enough sequenced traffic has arrived
-    /// since the last one (or unconditionally with `force`).
+    /// Push a pure cumulative ack if one is owed: unconditionally with
+    /// `force`, after [`ACK_EVERY`] sequenced frames as a backstop, or
+    /// once the idle timer ([`BatchConfig::flush_interval`]) expires
+    /// with no outgoing frame having piggybacked the ack meanwhile.
     pub fn maybe_ack(&mut self, conn: &mut Conn, force: bool) -> io::Result<()> {
-        if self.since_ack == 0 || (!force && self.since_ack < ACK_EVERY) {
+        if self.since_ack == 0 {
+            return Ok(());
+        }
+        let due = self.since_ack >= ACK_EVERY || self.ack_due.is_some_and(|t| Instant::now() >= t);
+        if !force && !due {
             return Ok(());
         }
         self.since_ack = 0;
+        self.ack_due = None;
         self.stats.acks_sent += 1;
         let upto = self.last_delivered;
-        self.send(conn, WireMsg::Ack { upto })
+        self.queue(WireMsg::Ack { upto });
+        self.flush(conn)
     }
 
     /// Resume after a reconnect: the peer reported having delivered
     /// everything up to `peer_last_seen`, so prune that prefix and
-    /// retransmit the rest with their original sequence numbers.
+    /// retransmit the rest with their original sequence numbers — all
+    /// encoded in place from the unacked ring into one batch, one
+    /// flush, no per-frame clone.
     pub fn resume(&mut self, conn: &mut Conn, peer_last_seen: u64) -> io::Result<()> {
         self.on_ack(peer_last_seen);
         self.stats.reconnects += 1;
-        // Clone out to satisfy the borrow checker; retransmission is rare.
-        let pending: Vec<(u64, WireMsg, bool)> = self.unacked.iter().cloned().collect();
-        for (i, (seq, msg, sent_before)) in pending.into_iter().enumerate() {
-            if sent_before {
+        // Anything still queued was encoded for the dead connection; the
+        // sequenced frames it held live on in the unacked ring.
+        self.out.discard();
+        let ack = self.last_delivered;
+        let mut encoded = 0u64;
+        for (seq, msg, sent_before) in self.unacked.iter_mut() {
+            if *sent_before {
                 self.stats.frames_resent += 1;
             }
-            self.unacked[i].2 = true;
-            let bytes = msg.encode(seq);
-            conn.write_all(&bytes).inspect_err(|_| {
-                self.stats.faults_seen += 1;
-            })?;
+            *sent_before = true;
+            self.out.encode(msg, *seq, ack);
+            encoded += 1;
         }
-        Ok(())
+        if encoded > 0 && self.since_ack > 0 {
+            self.stats.piggybacked_acks += 1;
+            self.since_ack = 0;
+            self.ack_due = None;
+        }
+        self.flush(conn)
     }
 
     /// Note a receive-side failure (EOF, reset, corrupt stream) for the
@@ -382,6 +628,120 @@ mod tests {
         );
         assert_eq!(link.stats.frames_resent, 2);
         assert_eq!(link.stats.reconnects, 1);
+    }
+
+    #[test]
+    fn batched_frames_arrive_in_order_with_piggybacked_ack() {
+        let (mut a, mut b) = pair();
+        let mut la = Link::new();
+        let mut lb = Link::new();
+        // b sends first so a owes an ack.
+        lb.send(&mut b, WireMsg::Shutdown).unwrap();
+        let mut dec_a = FrameDecoder::new();
+        let mut got_a = Vec::new();
+        while got_a.is_empty() {
+            got_a = drain(&mut a, &mut dec_a);
+        }
+        for (seq, msg) in got_a {
+            assert!(la.accept(seq, msg).is_some());
+        }
+        // a queues a batch; the first frame piggybacks the ack for b's
+        // Shutdown, so b's unacked ring empties without a pure Ack.
+        for s in 0..3u64 {
+            la.queue(WireMsg::Close { session: s, end: 0 });
+        }
+        assert_eq!(la.queued_frames(), 3);
+        la.flush(&mut a).unwrap();
+        assert_eq!(la.queued_frames(), 0);
+        assert_eq!(la.stats.batches_sent, 1);
+        assert_eq!(la.stats.piggybacked_acks, 1);
+        assert!(la.stats.bytes_sent > 0);
+        assert_eq!(la.batch_percentiles(), (3, 3));
+        let mut dec_b = FrameDecoder::new();
+        let mut delivered = Vec::new();
+        while delivered.len() < 3 {
+            for (seq, msg) in drain(&mut b, &mut dec_b) {
+                if let Some(m) = lb.accept(seq, msg) {
+                    delivered.push((seq, m));
+                }
+            }
+        }
+        assert_eq!(
+            delivered.iter().map(|(s, _)| *s).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
+        assert_eq!(lb.unacked_len(), 0, "piggybacked ack did not prune");
+        assert_eq!(lb.stats.acks_sent, 0);
+    }
+
+    #[test]
+    fn big_batches_seal_segments_and_survive_one_flush() {
+        let (mut a, mut b) = pair();
+        // Tiny segments force multiple seals → the vectored path.
+        let mut la = Link::with_batch(BatchConfig {
+            batch_bytes: 64,
+            ..BatchConfig::default()
+        });
+        let n = 40u64;
+        for s in 0..n {
+            la.queue(WireMsg::Open {
+                session: s,
+                seed: s,
+                max_steps: 9,
+                trace: 0,
+            });
+        }
+        la.flush(&mut a).unwrap();
+        assert_eq!(la.stats.batches_sent, 1);
+        let mut dec = FrameDecoder::new();
+        let mut got = Vec::new();
+        while got.len() < n as usize {
+            got.extend(drain(&mut b, &mut dec));
+        }
+        for (i, (seq, msg)) in got.iter().enumerate() {
+            assert_eq!(*seq, i as u64 + 1);
+            assert!(matches!(msg, WireMsg::Open { session, .. } if *session == i as u64));
+        }
+    }
+
+    #[test]
+    fn idle_timer_triggers_pure_ack() {
+        let (mut a, _b) = pair();
+        let mut link = Link::with_batch(BatchConfig {
+            flush_interval: Duration::from_millis(5),
+            ..BatchConfig::default()
+        });
+        assert!(link.accept(1, WireMsg::Shutdown).is_some());
+        // Not yet due: no backstop count, timer still running.
+        link.maybe_ack(&mut a, false).unwrap();
+        assert_eq!(link.stats.acks_sent, 0);
+        std::thread::sleep(Duration::from_millis(10));
+        link.maybe_ack(&mut a, false).unwrap();
+        assert_eq!(link.stats.acks_sent, 1);
+        // Nothing further owed.
+        link.maybe_ack(&mut a, true).unwrap();
+        assert_eq!(link.stats.acks_sent, 1);
+    }
+
+    #[test]
+    fn discard_batch_drops_queued_frames_but_keeps_them_resumable() {
+        let (a, b) = pair();
+        let mut link = Link::new();
+        link.queue(WireMsg::Close { session: 7, end: 1 });
+        link.discard_batch();
+        assert_eq!(link.queued_frames(), 0);
+        assert_eq!(link.unacked_len(), 1);
+        drop(b);
+        let (mut a2, mut b2) = pair();
+        drop(a);
+        link.resume(&mut a2, 0).unwrap();
+        let mut dec = FrameDecoder::new();
+        let mut got = Vec::new();
+        while got.is_empty() {
+            got = drain(&mut b2, &mut dec);
+        }
+        assert_eq!(got[0].0, 1);
+        assert_eq!(got[0].1, WireMsg::Close { session: 7, end: 1 });
     }
 
     #[test]

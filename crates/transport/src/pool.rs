@@ -1,0 +1,85 @@
+//! A tiny free-list of reusable byte buffers.
+//!
+//! The batched send path encodes frames into pooled `Vec<u8>`s and the
+//! flush returns them here, so steady-state encoding allocates nothing:
+//! after warm-up every buffer a [`crate::Link`] seals or flushes came
+//! out of — and goes back into — this pool.
+
+/// Bounded pool of cleared, pre-sized byte buffers.
+#[derive(Debug)]
+pub struct BufPool {
+    free: Vec<Vec<u8>>,
+    /// Buffers kept across [`BufPool::put`]; extras are dropped.
+    max_bufs: usize,
+    /// Capacity a fresh buffer starts with (and the ceiling above which
+    /// a returned buffer is shrunk rather than hoarded).
+    buf_cap: usize,
+}
+
+impl BufPool {
+    pub fn new(max_bufs: usize, buf_cap: usize) -> BufPool {
+        BufPool {
+            free: Vec::with_capacity(max_bufs),
+            max_bufs,
+            buf_cap,
+        }
+    }
+
+    /// Take a cleared buffer, reusing a pooled one when available.
+    pub fn get(&mut self) -> Vec<u8> {
+        self.free
+            .pop()
+            .unwrap_or_else(|| Vec::with_capacity(self.buf_cap))
+    }
+
+    /// Return a buffer for reuse. Cleared here; dropped if the pool is
+    /// full or the buffer grew far beyond its target capacity (a rare
+    /// giant frame must not pin its allocation forever).
+    pub fn put(&mut self, mut buf: Vec<u8>) {
+        if self.free.len() >= self.max_bufs || buf.capacity() > self.buf_cap * 4 {
+            return;
+        }
+        buf.clear();
+        self.free.push(buf);
+    }
+
+    /// Buffers currently pooled (for tests and diagnostics).
+    pub fn available(&self) -> usize {
+        self.free.len()
+    }
+}
+
+impl Default for BufPool {
+    fn default() -> Self {
+        BufPool::new(8, 16 * 1024)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reuses_buffers_up_to_the_cap() {
+        let mut pool = BufPool::new(2, 64);
+        let mut a = pool.get();
+        a.extend_from_slice(b"hello");
+        let cap_a = a.capacity();
+        pool.put(a);
+        assert_eq!(pool.available(), 1);
+        let b = pool.get();
+        assert!(b.is_empty(), "pooled buffer not cleared");
+        assert_eq!(b.capacity(), cap_a, "pooled buffer not reused");
+        pool.put(b);
+        pool.put(Vec::new());
+        pool.put(Vec::new()); // over max_bufs: dropped
+        assert_eq!(pool.available(), 2);
+    }
+
+    #[test]
+    fn oversized_buffers_are_not_hoarded() {
+        let mut pool = BufPool::new(4, 16);
+        pool.put(Vec::with_capacity(1024));
+        assert_eq!(pool.available(), 0);
+    }
+}

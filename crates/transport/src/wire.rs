@@ -26,6 +26,17 @@
 //! The fields are appended to the v1 payloads: a v2 reader decodes v1
 //! frames with zeroed trace context (interop), while a v1 reader
 //! rejects v2 frames explicitly at the codec layer ([`CodecError::BadVersion`]).
+//!
+//! **Piggybacked acks (wire v3).** Every v3 payload ends with a
+//! trailing cumulative-ack varint: the sender's `last_delivered`
+//! high-water mark for *incoming* sequenced traffic rides on every
+//! outgoing frame, so a busy link almost never spends a frame on a pure
+//! [`WireMsg::Ack`]. [`poll_messages`] surfaces a nonzero trailing ack
+//! as a synthetic `(0, Ack)` entry ahead of the message it rode on, so
+//! link bookkeeping is identical for pure and piggybacked acks. v1/v2
+//! frames decode with ack 0; a v2 reader handed a v3-laid-out payload
+//! ignores the trailing field (readers stop at the fields their version
+//! knows), which is what keeps the `[1, 3]` compat window sound.
 
 use medium::codec::{
     self, encode_frame_versioned, put_str, put_varint, CodecError, Frame, FrameDecoder,
@@ -144,39 +155,76 @@ impl WireMsg {
     }
 
     /// Encode as one complete frame with the given sequence number
-    /// (`0` for control traffic) at the current wire version.
+    /// (`0` for control traffic) at the current wire version, with no
+    /// piggybacked ack.
     pub fn encode(&self, seq: u64) -> Vec<u8> {
         self.encode_versioned(seq, WIRE_VERSION)
     }
 
     /// Encode laid out for an explicit wire `version` — `1` omits the
-    /// trace-context fields. Down-level layouts exist for the
-    /// cross-version interop tests; production traffic uses
-    /// [`WireMsg::encode`].
+    /// trace-context fields, `< 3` omits the trailing ack. Down-level
+    /// layouts exist for the cross-version interop tests; production
+    /// traffic uses [`WireMsg::encode`] or the batched
+    /// [`WireMsg::encode_into`].
     pub fn encode_versioned(&self, seq: u64, version: u8) -> Vec<u8> {
+        self.encode_versioned_with_ack(seq, version, 0)
+    }
+
+    /// [`WireMsg::encode_versioned`] with an explicit piggybacked
+    /// cumulative ack (written for `version >= 3` only).
+    pub fn encode_versioned_with_ack(&self, seq: u64, version: u8, ack: u64) -> Vec<u8> {
+        let mut scratch = Vec::with_capacity(24);
+        let mut out = Vec::with_capacity(34);
+        self.encode_frame_into(seq, ack, version, &mut scratch, &mut out);
+        out
+    }
+
+    /// Append one complete frame to `out`, reusing `scratch` for the
+    /// payload bytes — the allocation-free path the batch encoder and
+    /// resume retransmission run on. `ack` is the piggybacked cumulative
+    /// ack (v3+; ignored for older layouts).
+    pub fn encode_into(&self, seq: u64, ack: u64, scratch: &mut Vec<u8>, out: &mut Vec<u8>) {
+        self.encode_frame_into(seq, ack, WIRE_VERSION, scratch, out);
+    }
+
+    fn encode_frame_into(
+        &self,
+        seq: u64,
+        ack: u64,
+        version: u8,
+        scratch: &mut Vec<u8>,
+        out: &mut Vec<u8>,
+    ) {
+        scratch.clear();
+        let kind = self.encode_payload(seq, ack, version, scratch);
+        encode_frame_versioned(version, kind, scratch, out);
+    }
+
+    /// Write the payload bytes for `version` into `p` (appended) and
+    /// return the frame kind.
+    fn encode_payload(&self, seq: u64, ack: u64, version: u8, p: &mut Vec<u8>) -> u8 {
         let v2 = version >= 2;
-        let mut p = Vec::with_capacity(24);
-        put_varint(&mut p, seq);
+        put_varint(p, seq);
         let kind = match self {
             WireMsg::Hello { place, last_seen } => {
                 p.push(*place);
-                put_varint(&mut p, *last_seen);
+                put_varint(p, *last_seen);
                 K_HELLO
             }
             WireMsg::Welcome { last_seen } => {
-                put_varint(&mut p, *last_seen);
+                put_varint(p, *last_seen);
                 K_WELCOME
             }
             WireMsg::Ack { upto } => {
-                put_varint(&mut p, *upto);
+                put_varint(p, *upto);
                 K_ACK
             }
             WireMsg::Heartbeat { nonce } => {
-                put_varint(&mut p, *nonce);
+                put_varint(p, *nonce);
                 K_HEARTBEAT
             }
             WireMsg::HeartbeatAck { nonce } => {
-                put_varint(&mut p, *nonce);
+                put_varint(p, *nonce);
                 K_HEARTBEAT_ACK
             }
             WireMsg::Open {
@@ -185,11 +233,11 @@ impl WireMsg {
                 max_steps,
                 trace,
             } => {
-                put_varint(&mut p, *session);
-                put_varint(&mut p, *seed);
-                put_varint(&mut p, *max_steps);
+                put_varint(p, *session);
+                put_varint(p, *seed);
+                put_varint(p, *max_steps);
                 if v2 {
-                    put_varint(&mut p, *trace);
+                    put_varint(p, *trace);
                 }
                 K_OPEN
             }
@@ -199,14 +247,14 @@ impl WireMsg {
                 path,
                 lc,
             } => {
-                put_varint(&mut p, *session);
-                codec::encode_msg(msg, &mut p);
-                put_varint(&mut p, path.len() as u64);
+                put_varint(p, *session);
+                codec::encode_msg(msg, p);
+                put_varint(p, path.len() as u64);
                 for site in path {
-                    put_varint(&mut p, *site as u64);
+                    put_varint(p, *site as u64);
                 }
                 if v2 {
-                    put_varint(&mut p, *lc);
+                    put_varint(p, *lc);
                 }
                 K_DATA
             }
@@ -216,11 +264,11 @@ impl WireMsg {
                 place,
                 lc,
             } => {
-                put_varint(&mut p, *session);
+                put_varint(p, *session);
                 p.push(*place);
-                put_str(&mut p, name);
+                put_str(p, name);
                 if v2 {
-                    put_varint(&mut p, *lc);
+                    put_varint(p, *lc);
                 }
                 K_PRIM
             }
@@ -233,38 +281,58 @@ impl WireMsg {
                 blocked,
                 steps,
             } => {
-                put_varint(&mut p, *session);
-                put_varint(&mut p, *seen);
-                put_varint(&mut p, *consumed);
+                put_varint(p, *session);
+                put_varint(p, *seen);
+                put_varint(p, *consumed);
                 let flags = u8::from(*inbox_empty) | u8::from(*vote) << 1 | u8::from(*blocked) << 2;
                 p.push(flags);
-                put_varint(&mut p, *steps);
+                put_varint(p, *steps);
                 K_STATUS
             }
             WireMsg::Close { session, end } => {
-                put_varint(&mut p, *session);
+                put_varint(p, *session);
                 p.push(*end);
                 K_CLOSE
             }
             WireMsg::Shutdown => K_SHUTDOWN,
             WireMsg::Trace { chunk } => {
-                chunk.encode(&mut p);
+                chunk.encode(p);
                 K_TRACE
             }
         };
-        let mut out = Vec::with_capacity(p.len() + 10);
-        encode_frame_versioned(version, kind, &p, &mut out);
-        out
+        if version >= 3 {
+            put_varint(p, ack);
+        }
+        kind
     }
 
-    /// Decode a frame into `(sequence number, message)`. Trace-context
-    /// fields exist from wire v2 on; v1 frames decode them as zero.
+    /// Decode a frame into `(sequence number, message)`, discarding any
+    /// piggybacked ack. Trace-context fields exist from wire v2 on; v1
+    /// frames decode them as zero.
     pub fn decode(frame: &Frame) -> Result<(u64, WireMsg), CodecError> {
-        let v2 = frame.version >= 2;
-        let b = &frame.payload[..];
+        let (seq, msg, _ack) = Self::decode_parts(frame.version, frame.kind, &frame.payload)?;
+        Ok((seq, msg))
+    }
+
+    /// Decode a frame into `(sequence number, message, piggybacked ack)`.
+    /// The ack is the trailing cumulative-ack varint of wire v3; v1/v2
+    /// frames decode it as zero.
+    pub fn decode_full(frame: &Frame) -> Result<(u64, WireMsg, u64), CodecError> {
+        Self::decode_parts(frame.version, frame.kind, &frame.payload)
+    }
+
+    /// [`WireMsg::decode_full`] on borrowed frame parts — what the
+    /// zero-copy receive path ([`poll_messages_into`]) uses.
+    pub fn decode_parts(
+        version: u8,
+        kind: u8,
+        payload: &[u8],
+    ) -> Result<(u64, WireMsg, u64), CodecError> {
+        let v2 = version >= 2;
+        let b = payload;
         let mut at = 0usize;
         let seq = rd_varint(b, &mut at)?;
-        let msg = match frame.kind {
+        let msg = match kind {
             K_HELLO => {
                 let place = rd_byte(b, &mut at)?;
                 let last_seen = rd_varint(b, &mut at)?;
@@ -350,12 +418,18 @@ impl WireMsg {
             }
             K_SHUTDOWN => WireMsg::Shutdown,
             K_TRACE => {
-                let (chunk, _) = obs::Chunk::decode(&b[at..]).ok_or(CodecError::Truncated)?;
+                let (chunk, used) = obs::Chunk::decode(&b[at..]).ok_or(CodecError::Truncated)?;
+                at += used;
                 WireMsg::Trace { chunk }
             }
             _ => return Err(CodecError::Truncated),
         };
-        Ok((seq, msg))
+        let ack = if version >= 3 {
+            rd_varint(b, &mut at)?
+        } else {
+            0
+        };
+        Ok((seq, msg, ack))
     }
 }
 
@@ -375,23 +449,44 @@ fn rd_byte(b: &[u8], at: &mut usize) -> Result<u8, CodecError> {
 /// timeout, feed the frame decoder, and return the decoded messages.
 /// `Ok(..)` with an empty vec means the poll window elapsed quietly;
 /// `Err` means the connection is gone (EOF, reset, or corrupt stream).
+///
+/// A frame carrying a nonzero piggybacked ack yields a synthetic
+/// `(0, WireMsg::Ack)` entry *before* the message itself, so callers
+/// route every ack — pure or piggybacked — through the same
+/// [`crate::Link::accept`] bookkeeping.
 pub fn poll_messages(conn: &mut Conn, dec: &mut FrameDecoder) -> io::Result<Vec<(u64, WireMsg)>> {
     let mut out = Vec::new();
+    poll_messages_into(conn, dec, &mut out)?;
+    Ok(out)
+}
+
+/// [`poll_messages`] appending into a caller-owned vec — the hot loops
+/// reuse one vec per link so a steady-state poll allocates nothing for
+/// framing (message payloads still own their strings/paths).
+pub fn poll_messages_into(
+    conn: &mut Conn,
+    dec: &mut FrameDecoder,
+    out: &mut Vec<(u64, WireMsg)>,
+) -> io::Result<()> {
     let mut buf = [0u8; 16 * 1024];
     match conn.read(&mut buf) {
         Ok(0) => return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "peer closed")),
         Ok(n) => dec.feed(&buf[..n]),
-        Err(e) if is_poll_timeout(&e) => return Ok(out),
+        Err(e) if is_poll_timeout(&e) => return Ok(()),
         Err(e) => return Err(e),
     }
     loop {
-        match dec.next() {
+        match dec.next_ref() {
             Ok(Some(frame)) => {
-                let decoded = WireMsg::decode(&frame)
-                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
-                out.push(decoded);
+                let (seq, msg, ack) =
+                    WireMsg::decode_parts(frame.version, frame.kind, frame.payload)
+                        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+                if ack > 0 {
+                    out.push((0, WireMsg::Ack { upto: ack }));
+                }
+                out.push((seq, msg));
             }
-            Ok(None) => return Ok(out),
+            Ok(None) => return Ok(()),
             Err(e) => return Err(io::Error::new(io::ErrorKind::InvalidData, e.to_string())),
         }
     }
@@ -620,5 +715,130 @@ mod tests {
         // The v1 frame in the middle loses its logical clock; the v2
         // frames around it keep theirs.
         assert_eq!(lcs, vec![(1, 77), (2, 0), (3, 77)]);
+    }
+
+    /// Wire v3 round-trips the trailing piggybacked ack; `decode`
+    /// discards it, `decode_full` surfaces it.
+    #[test]
+    fn v3_round_trips_piggybacked_ack() {
+        let m = WireMsg::Data {
+            session: 5,
+            msg: Msg {
+                from: 1,
+                to: 2,
+                id: MsgId::Node(3),
+                occ: 1,
+                kind: SyncKind::Seq,
+            },
+            path: vec![2, 9],
+            lc: 12,
+        };
+        let bytes = m.encode_versioned_with_ack(41, WIRE_VERSION, 1 << 33);
+        let mut dec = FrameDecoder::new();
+        dec.feed(&bytes);
+        let frame = dec.next().unwrap().unwrap();
+        assert_eq!(frame.version, WIRE_VERSION);
+        let (seq, back, ack) = WireMsg::decode_full(&frame).unwrap();
+        assert_eq!((seq, ack), (41, 1 << 33));
+        assert_eq!(back, m);
+        let (seq, back) = WireMsg::decode(&frame).unwrap();
+        assert_eq!(seq, 41);
+        assert_eq!(back, m);
+    }
+
+    /// v1 and v2 frames (no trailing field) decode with ack 0 — the old
+    /// half of the `[1, 3]` compat window.
+    #[test]
+    fn v1_and_v2_frames_decode_with_zero_ack() {
+        let m = WireMsg::Close { session: 9, end: 1 };
+        for version in [1u8, 2] {
+            let bytes = m.encode_versioned(6, version);
+            let mut dec = FrameDecoder::new();
+            dec.feed(&bytes);
+            let frame = dec.next().unwrap().unwrap();
+            let (seq, back, ack) = WireMsg::decode_full(&frame).unwrap();
+            assert_eq!((seq, ack), (6, 0), "version {version}");
+            assert_eq!(back, m);
+        }
+    }
+
+    /// An old (v2-era) reader handed a payload that happens to carry the
+    /// v3 trailing ack ignores it: decoders stop at the fields their
+    /// stamped version knows and never inspect trailing bytes. This is
+    /// the property that makes appending the ack a compatible change.
+    #[test]
+    fn old_reader_ignores_trailing_ack_bytes() {
+        let m = WireMsg::Prim {
+            session: 4,
+            name: "disind".into(),
+            place: 2,
+            lc: 31,
+        };
+        // v3-laid-out payload (trailing ack present) stamped as a v2
+        // frame — exactly what a v2 decoder would be asked to read.
+        let mut payload = Vec::new();
+        let kind = m.encode_payload(17, 999, 3, &mut payload);
+        let mut bytes = Vec::new();
+        encode_frame_versioned(2, kind, &payload, &mut bytes);
+        let mut dec = FrameDecoder::new();
+        dec.feed(&bytes);
+        let frame = dec.next().unwrap().unwrap();
+        assert_eq!(frame.version, 2);
+        let (seq, back, ack) = WireMsg::decode_full(&frame).unwrap();
+        assert_eq!(seq, 17);
+        assert_eq!(back, m, "v2 decode misread known fields");
+        assert_eq!(ack, 0, "v2 decode must not interpret trailing bytes");
+    }
+
+    /// One stream interleaving all three versions: each frame resolves
+    /// trace context *and* piggybacked ack per its own stamped version.
+    #[test]
+    fn mixed_v1_v2_v3_stream_decodes_per_frame() {
+        let prim = WireMsg::Prim {
+            session: 2,
+            name: "dtreq".into(),
+            place: 1,
+            lc: 50,
+        };
+        let mut stream = Vec::new();
+        stream.extend_from_slice(&prim.encode_versioned(1, 1));
+        stream.extend_from_slice(&prim.encode_versioned(2, 2));
+        stream.extend_from_slice(&prim.encode_versioned_with_ack(3, 3, 7));
+        let mut dec = FrameDecoder::new();
+        dec.feed(&stream);
+        let mut got = Vec::new();
+        while let Ok(Some(frame)) = dec.next() {
+            got.push(WireMsg::decode_full(&frame).unwrap());
+        }
+        assert_eq!(got.len(), 3);
+        assert!(matches!(got[0], (1, WireMsg::Prim { lc: 0, .. }, 0)));
+        assert!(matches!(got[1], (2, WireMsg::Prim { lc: 50, .. }, 0)));
+        assert!(matches!(got[2], (3, WireMsg::Prim { lc: 50, .. }, 7)));
+    }
+
+    /// A frame with a nonzero piggybacked ack surfaces through
+    /// `poll_messages` as a synthetic `(0, Ack)` ahead of the message.
+    #[test]
+    fn poll_messages_synthesizes_ack_from_piggyback() {
+        use crate::addr::Addr;
+        use std::time::Duration;
+        let l = Addr::parse("tcp:127.0.0.1:0").unwrap().listen().unwrap();
+        let addr = l.local_addr().unwrap();
+        let mut a = addr.connect(Duration::from_secs(1)).unwrap();
+        let mut b = l.accept().unwrap().unwrap();
+        b.set_read_timeout(Some(Duration::from_millis(50))).unwrap();
+        let m = WireMsg::Close { session: 1, end: 0 };
+        a.write_all(&m.encode_versioned_with_ack(4, WIRE_VERSION, 9))
+            .unwrap();
+        let mut dec = FrameDecoder::new();
+        let mut got = Vec::new();
+        for _ in 0..20 {
+            got.extend(poll_messages(&mut b, &mut dec).unwrap());
+            if got.len() >= 2 {
+                break;
+            }
+        }
+        assert_eq!(got[0], (0, WireMsg::Ack { upto: 9 }));
+        assert_eq!(got[1], (4, m));
     }
 }
