@@ -15,6 +15,7 @@
 //! protogen gen      [--seed S] [--places N] [--depth D] [--disable] [--rec]
 //! protogen central  <spec.lotos> [--server P]   §3 centralized baseline
 //! protogen lts      <spec.lotos> [-m]           service LTS (minimized with -m)
+//! protogen top      <host:port> [--interval MS] [--once]   live hub dashboard
 //! ```
 //!
 //! `<spec.lotos>` may be `-` for standard input.
@@ -39,6 +40,8 @@ use std::sync::Arc;
 use std::time::Instant;
 use transport::{Addr, FaultProxy, LinkFaults};
 use verify::{PipelineVerify, VerifyConfig};
+
+mod top;
 
 fn main() -> ExitCode {
     // Exit quietly when stdout is closed early (`protogen ... | head`):
@@ -94,6 +97,8 @@ fn usage() -> ProtogenError {
          \x20                          compiles each entity to tables where possible)\n\
          \x20          --report <file> write the JSON RuntimeReport here (alias: --out)\n\
          \x20          --refuse <a@p>  primitive the place-p user never offers (repeatable)\n\
+         \x20          --stall-after <ms>  flag sessions older than this with stall\n\
+         \x20                          forensics (default: derived from the live p99)\n\
          \n\
          run/load can execute over real sockets instead of in-process:\n\
          \x20          --distributed   run as the hub: entities connect over TCP/UDS\n\
@@ -102,7 +107,8 @@ fn usage() -> ProtogenError {
          \x20          --spawn         also fork one `protogen serve` per place\n\
          \x20          --link-faults <f>  with --spawn: route each entity through a\n\
          \x20                          seeded fault proxy (clean | flaky-link | partition-heal)\n\
-         \x20          --metrics <h:p> serve Prometheus text on /metrics (hub only)\n\
+         \x20          --metrics <h:p> serve Prometheus text on /metrics and a\n\
+         \x20                          JSON snapshot on /health (hub only)\n\
          \x20          --batch-frames <n>  frames coalesced per link before a\n\
          \x20                          mid-sweep flush (default 128; forwarded to\n\
          \x20                          --spawn children)\n\
@@ -132,6 +138,9 @@ fn usage() -> ProtogenError {
          lts       print the service's labelled transition system\n\
          \x20          -m            minimize by strong bisimilarity first\n\
          \x20          --dot         emit Graphviz DOT instead of text\n\
+         top       live dashboard over a hub's --metrics endpoint\n\
+         \x20          --interval <ms>  poll period (default 1000)\n\
+         \x20          --once           print one frame and exit\n\
          \n\
          -j <threads> on derive/verify/lts selects exploration parallelism\n\
          (0 = auto-detect; default 1). Exit codes: 2 parse error, 3\n\
@@ -174,6 +183,8 @@ const VALUE_FLAGS: &[&str] = &[
     "--inspect",
     "--validate",
     "--session",
+    "--stall-after",
+    "--interval",
 ];
 
 /// Locate the spec argument (path or `-` for stdin), skipping over flag
@@ -288,6 +299,14 @@ fn runtime_config(args: &[String]) -> Result<RuntimeConfig, ProtogenError> {
     if let Some(b) = flag_value(args, "--backend") {
         let choice = BackendChoice::parse(b).map_err(ProtogenError::Usage)?;
         cfg = cfg.backend(choice);
+    }
+    if let Some(ms) = parse_flag::<u64>(args, "--stall-after")? {
+        if ms == 0 {
+            return Err(ProtogenError::Usage(
+                "--stall-after must be at least 1 (ms)".into(),
+            ));
+        }
+        cfg = cfg.stall_after(std::time::Duration::from_millis(ms));
     }
     for (name, place) in refusals(args)? {
         cfg = cfg.refuse(&name, place);
@@ -1061,6 +1080,7 @@ fn run(args: &[String]) -> Result<(), ProtogenError> {
             }
             Ok(())
         }
+        "top" => top::top(rest),
         "help" | "--help" | "-h" => {
             let ProtogenError::Usage(text) = usage() else {
                 unreachable!()

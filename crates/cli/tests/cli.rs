@@ -325,7 +325,10 @@ fn distributed_spawn_run_conforms_over_tcp() {
     std::fs::remove_file(&report).ok();
     std::fs::remove_file(&spec).ok();
     assert!(json.contains("\"engine\":\"distributed\""), "{json}");
-    assert!(json.contains("\"schema_version\":4"), "{json}");
+    let version = format!("\"schema_version\":{}", runtime::REPORT_SCHEMA_VERSION);
+    assert!(json.contains(&version), "{json}");
+    assert!(json.contains("\"stages\":"), "{json}");
+    assert!(json.contains("\"gauges\":"), "{json}");
     assert!(json.contains("\"backend\":"), "{json}");
     assert!(json.contains("\"per_link\""), "{json}");
 }
@@ -384,7 +387,7 @@ fn distributed_dead_entity_exits_with_transport_code() {
             "--listen",
             "tcp:127.0.0.1:0",
             "--sessions",
-            "200",
+            "50000",
             "--threads",
             "1",
             "--seed",
@@ -421,6 +424,14 @@ fn distributed_dead_entity_exits_with_transport_code() {
     e2.kill().unwrap();
     e2.wait().unwrap();
 
+    // Drain hub stderr from a thread: per-session abort diagnostics can
+    // overflow the pipe buffer and would otherwise block the hub's exit.
+    let drain = std::thread::spawn(move || {
+        let mut rest = String::new();
+        hub_err.read_to_string(&mut rest).ok();
+        rest
+    });
+
     // The hub must declare place 2 dead after its reconnect deadline and
     // abort the remaining sessions; well under the 30s guard here.
     let deadline = Instant::now() + Duration::from_secs(30);
@@ -434,8 +445,7 @@ fn distributed_dead_entity_exits_with_transport_code() {
         }
         std::thread::sleep(Duration::from_millis(50));
     };
-    let mut rest = String::new();
-    hub_err.read_to_string(&mut rest).unwrap();
+    let rest = drain.join().unwrap();
     std::fs::remove_file(&spec).ok();
     assert_eq!(
         status.code(),

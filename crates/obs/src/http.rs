@@ -91,6 +91,16 @@ fn respond(req: &str, routes: &[(String, Handler)]) -> (&'static str, String, St
             return ("200 OK", ctype, body);
         }
     }
+    // Bare `/` (unless explicitly routed) indexes the route table, so a
+    // curl at the listener discovers /metrics and /health.
+    if path == "/" {
+        let mut body = String::new();
+        for (route, _) in routes {
+            body.push_str(route);
+            body.push('\n');
+        }
+        return ("200 OK", "text/plain".into(), body);
+    }
     (
         "404 Not Found",
         "text/plain".into(),
@@ -124,6 +134,27 @@ mod tests {
         assert!(ok.ends_with("x 1\n"));
         let missing = get(server.addr, "/nope");
         assert!(missing.starts_with("HTTP/1.1 404"));
+        server.stop();
+    }
+
+    #[test]
+    fn root_indexes_the_route_table() {
+        let routes: Vec<(String, Handler)> = vec![
+            (
+                "/metrics".to_string(),
+                Arc::new(|| ("text/plain".to_string(), "x 1\n".to_string())),
+            ),
+            (
+                "/health".to_string(),
+                Arc::new(|| ("application/json".to_string(), "{}".to_string())),
+            ),
+        ];
+        let server = MetricsServer::spawn("127.0.0.1:0", routes).unwrap();
+        let index = get(server.addr, "/");
+        assert!(index.starts_with("HTTP/1.1 200 OK"), "{index}");
+        assert!(index.ends_with("/metrics\n/health\n"), "{index}");
+        let health = get(server.addr, "/health");
+        assert!(health.contains("application/json"), "{health}");
         server.stop();
     }
 }

@@ -5,6 +5,7 @@ use lotos::place::PlaceId;
 use obs::Registry;
 use std::fmt;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// A seeded channel-fault profile applied to every directed channel.
 ///
@@ -167,6 +168,10 @@ pub struct RuntimeConfig {
     pub record: bool,
     /// Entity-stepping backend (see [`BackendChoice`]).
     pub backend: BackendChoice,
+    /// Stall-forensics deadline: flag (and forensically capture) any
+    /// session still live after this long. `None` derives a deadline
+    /// from the run's own p99 once enough sessions completed.
+    pub stall_after: Option<Duration>,
     /// Record into this caller-supplied flight-recorder registry instead
     /// of a run-private one, so pipeline-phase spans and the run merge
     /// into one trace. Implies recording when set; not serialized.
@@ -185,6 +190,7 @@ impl fmt::Debug for RuntimeConfig {
             .field("refuse", &self.refuse)
             .field("record", &self.record)
             .field("backend", &self.backend)
+            .field("stall_after", &self.stall_after)
             .field("registry", &self.registry.as_ref().map(|_| "<registry>"))
             .finish()
     }
@@ -202,6 +208,7 @@ impl Default for RuntimeConfig {
             refuse: Vec::new(),
             record: false,
             backend: BackendChoice::default(),
+            stall_after: None,
             registry: None,
         }
     }
@@ -266,6 +273,12 @@ impl RuntimeConfig {
         self
     }
 
+    /// Flag sessions still live after `d` for stall forensics.
+    pub fn stall_after(mut self, d: Duration) -> Self {
+        self.stall_after = Some(d);
+        self
+    }
+
     /// Record into a caller-supplied registry (implies recording).
     pub fn registry(mut self, r: Arc<Registry>) -> Self {
         self.registry = Some(r);
@@ -282,7 +295,8 @@ impl RuntimeConfig {
     pub fn to_json(&self) -> String {
         format!(
             "{{\"sessions\":{},\"threads\":{},\"seed\":{},\"capacity\":{},\
-             \"max_steps\":{},\"faults\":\"{}\",\"record\":{},\"backend\":\"{}\"}}",
+             \"max_steps\":{},\"faults\":\"{}\",\"record\":{},\"backend\":\"{}\",\
+             \"stall_after_ms\":{}}}",
             self.sessions,
             self.threads,
             self.seed,
@@ -290,7 +304,8 @@ impl RuntimeConfig {
             self.max_steps,
             self.faults,
             self.record,
-            self.backend
+            self.backend,
+            self.stall_after.map_or(0, |d| d.as_millis())
         )
     }
 
@@ -324,6 +339,9 @@ impl RuntimeConfig {
         }
         if let Some(b) = semantics::jsonish::get_str(s, "backend") {
             cfg.backend = BackendChoice::parse(b)?;
+        }
+        if let Some(ms) = semantics::jsonish::get_u64(s, "stall_after_ms") {
+            cfg.stall_after = (ms > 0).then(|| Duration::from_millis(ms));
         }
         Ok(cfg)
     }
@@ -366,7 +384,8 @@ mod tests {
             .max_steps(9000)
             .faults(FaultProfile::Lossy { loss: 0.25 })
             .record(true)
-            .backend(BackendChoice::Compiled);
+            .backend(BackendChoice::Compiled)
+            .stall_after(Duration::from_millis(250));
         let back = RuntimeConfig::from_json(&cfg.to_json()).unwrap();
         assert_eq!(back.sessions, 500);
         assert_eq!(back.threads, 4);
@@ -376,10 +395,15 @@ mod tests {
         assert_eq!(back.faults, FaultProfile::Lossy { loss: 0.25 });
         assert!(back.record);
         assert_eq!(back.backend, BackendChoice::Compiled);
-        // Documents written before the `record` key keep the default.
+        assert_eq!(back.stall_after, Some(Duration::from_millis(250)));
+        // Documents written before the `record` key keep the default,
+        // and `stall_after_ms: 0` means "no configured deadline".
         let old = RuntimeConfig::from_json("{\"sessions\":3}").unwrap();
         assert!(!old.record);
         assert_eq!(old.backend, BackendChoice::Auto);
+        assert_eq!(old.stall_after, None);
+        let zero = RuntimeConfig::from_json("{\"stall_after_ms\":0}").unwrap();
+        assert_eq!(zero.stall_after, None);
     }
 
     #[test]

@@ -51,8 +51,12 @@ use crate::compiled::{lower_for, make_backend, BState, Backend, EntityBackend, O
 use crate::config::{BackendChoice, RuntimeConfig};
 use crate::entity::pack_msg_event;
 use crate::exec::{backend_desc, replay_conformance, trace_id_for, Tally};
-use crate::metrics::{LinkReport, Metrics, RuntimeReport, SessionReport, ViolationRecord};
+use crate::metrics::{
+    GaugeSnapshot, LinkReport, Metrics, RuntimeReport, SessionReport, StageBreakdown, StallRecord,
+    ViolationRecord,
+};
 use crate::session::SessionEnd;
+use crate::stall::{StallTracker, MAX_STALLS};
 use lotos::ast::Spec;
 use lotos::place::PlaceId;
 use medium::Msg;
@@ -206,16 +210,41 @@ struct StatusRec {
     steps: u64,
 }
 
+/// What the hub just observed for a session — drives which stage the
+/// interval since the previous observation is attributed to.
+#[derive(Clone, Copy)]
+enum Mark {
+    /// Work arrived (a `Prim` or a `Data` frame): the entities were
+    /// stepping.
+    Step,
+    /// A scheduling report arrived (`Status`) or the session closed:
+    /// the entities were parked or parking.
+    Notify,
+}
+
 struct HubSession {
     id: u64,
     seed: u64,
     trace: Vec<(String, PlaceId)>,
     /// Data frames forwarded to each entity (by dense index).
     forwarded: Vec<u64>,
+    /// Data frames each entity has *reported seeing* (its latest
+    /// `Status.seen`) — `Σforwarded − Σacked` is the hub's estimate of
+    /// frames still on the wire.
+    acked: Vec<u64>,
     status: Vec<Option<StatusRec>>,
     messages: usize,
     started: Instant,
     last_prim: Option<Instant>,
+    /// Stage attribution: the hub cannot see inside the entity
+    /// processes, so it classifies each interval between consecutive
+    /// observations by what the observation implies (see [`Mark`]).
+    last_mark: Instant,
+    observed: bool,
+    queue_ns: u64,
+    step_ns: u64,
+    wire_ns: u64,
+    notify_ns: u64,
     /// Hub-side Lamport clock for the session: merged with every wire
     /// clock that arrives, so the hub's recorded observations order
     /// consistently with the entities' own events.
@@ -224,16 +253,50 @@ struct HubSession {
 
 impl HubSession {
     fn new(id: u64, seed: u64, n: usize) -> HubSession {
+        let now = Instant::now();
         HubSession {
             id,
             seed,
             trace: Vec::new(),
             forwarded: vec![0; n],
+            acked: vec![0; n],
             status: vec![None; n],
             messages: 0,
-            started: Instant::now(),
+            started: now,
             last_prim: None,
+            last_mark: now,
+            observed: false,
+            queue_ns: 0,
+            step_ns: 0,
+            wire_ns: 0,
+            notify_ns: 0,
             lc: 0,
+        }
+    }
+
+    /// Attribute the interval since the previous observation: before
+    /// anything is observed the session is queued (Opens still in
+    /// flight, entities not yet stepping it); while forwarded data is
+    /// unaccounted for the wire owns the interval; otherwise the kind
+    /// of the observation decides (stepping vs parked).
+    fn mark(&mut self, now: Instant, kind: Mark) {
+        let dt = now.saturating_duration_since(self.last_mark).as_nanos() as u64;
+        self.last_mark = now;
+        let in_flight = self
+            .forwarded
+            .iter()
+            .sum::<u64>()
+            .saturating_sub(self.acked.iter().sum::<u64>());
+        if !self.observed {
+            self.observed = true;
+            self.queue_ns += dt;
+        } else if in_flight > 0 {
+            self.wire_ns += dt;
+        } else {
+            match kind {
+                Mark::Step => self.step_ns += dt,
+                Mark::Notify => self.notify_ns += dt,
+            }
         }
     }
 
@@ -368,6 +431,28 @@ fn publish_batch_counters(links: &[EntityLink], metrics: &Metrics) {
     metrics.piggybacked_acks.store(piggy, Ordering::Relaxed);
 }
 
+/// Refresh the queue/backlog gauges: aggregate outbound backlog (queued
+/// plus unacked frames) across links, encode-pool utilization, and the
+/// session-window occupancy.
+fn publish_gauges(links: &[EntityLink], open_sessions: usize, metrics: &Metrics) {
+    let mut backlog = 0usize;
+    let (mut free, mut total) = (0usize, 0usize);
+    for l in links {
+        backlog += l.link.queued_frames() as usize + l.link.unacked_len();
+        let (f, t) = l.link.pool_available();
+        free += f;
+        total += t;
+    }
+    metrics
+        .link_backlog_frames
+        .store(backlog, Ordering::Relaxed);
+    metrics.pool_bufs_free.store(free, Ordering::Relaxed);
+    metrics.pool_bufs_total.store(total, Ordering::Relaxed);
+    metrics
+        .window_occupancy
+        .store(open_sessions, Ordering::Relaxed);
+}
+
 /// Project a transport link's counters into the report schema.
 fn report_of(link: &Link) -> LinkReport {
     let s = &link.stats;
@@ -465,6 +550,16 @@ pub fn run_hub_obs(
                 Arc::new(move || ("text/plain; version=0.0.4".to_string(), m.to_prometheus()))
                     as obs::Handler,
             )];
+            let mh = Arc::clone(&metrics);
+            routes.push((
+                "/health".to_string(),
+                Arc::new(move || {
+                    (
+                        "application/json".to_string(),
+                        mh.health_json(started.elapsed().as_secs_f64()),
+                    )
+                }),
+            ));
             if let Some(reg) = &registry {
                 let reg = Arc::clone(reg);
                 routes.push((
@@ -485,6 +580,11 @@ pub fn run_hub_obs(
     let mut events: Vec<String> = Vec::new();
     let mut sessions: BTreeMap<u64, HubSession> = BTreeMap::new();
     let window = dcfg.window(cfg.threads.max(1));
+    metrics.window_size.store(window, Ordering::Relaxed);
+    let mut stall_flagged: BTreeSet<u64> = BTreeSet::new();
+    let mut stall_records: Vec<StallRecord> = Vec::new();
+    let mut last_stall_check = Instant::now();
+    let mut last_backlog_refresh = Instant::now();
     let mut next = 0usize;
     let mut messages = 0usize;
     let mut last_progress = Instant::now();
@@ -701,6 +801,65 @@ pub fn run_hub_obs(
             progress |= link.flush(&mut events);
         }
         publish_batch_counters(&links, metrics.as_ref());
+        publish_gauges(&links, sessions.len(), metrics.as_ref());
+        // The labeled per-link map takes a lock the scraper shares;
+        // refresh it on a throttle, not every sweep.
+        if now.duration_since(last_backlog_refresh) >= Duration::from_millis(50) {
+            last_backlog_refresh = now;
+            let mut map = metrics.link_backlogs.lock().expect("gauge map poisoned");
+            map.clear();
+            for l in links.iter() {
+                map.insert(
+                    format!("place:{}", l.place),
+                    l.link.queued_frames() as u64 + l.link.unacked_len() as u64,
+                );
+            }
+        }
+
+        // Stall forensics (hub side): flag sessions past the configured
+        // or p99-derived deadline, once each, with the stage split and
+        // backlog gauges captured at flag time.
+        if now.duration_since(last_stall_check) >= Duration::from_millis(5) {
+            last_stall_check = now;
+            if let Some(deadline) = StallTracker::deadline(cfg, &metrics) {
+                for s in sessions.values() {
+                    if stall_records.len() >= MAX_STALLS {
+                        break;
+                    }
+                    let age = now.saturating_duration_since(s.started);
+                    if age < deadline || !stall_flagged.insert(s.id) {
+                        continue;
+                    }
+                    let age_us = age.as_micros() as u64;
+                    stall_records.push(StallRecord {
+                        session: s.id,
+                        age_us,
+                        deadline_us: deadline.as_micros() as u64,
+                        stages: StageBreakdown::attribute(
+                            age_us,
+                            s.queue_ns / 1000,
+                            s.step_ns / 1000,
+                            s.wire_ns / 1000,
+                            Some(s.notify_ns / 1000),
+                        ),
+                        // The hub cannot see backend states; each
+                        // entity's last reported step count is the
+                        // closest forensic analogue.
+                        entity_state: s
+                            .status
+                            .iter()
+                            .enumerate()
+                            .map(|(i, st)| (i as u32, st.map(|r| r.steps).unwrap_or(0)))
+                            .collect(),
+                        gauges: GaugeSnapshot::capture(&metrics),
+                        tail: registry
+                            .as_ref()
+                            .map(|r| r.snapshot().tail(s.id, 16))
+                            .unwrap_or_default(),
+                    });
+                }
+            }
+        }
 
         // Global stall guard: nothing moved for too long — abort rather
         // than hang (this also catches bugs in quiescence accounting).
@@ -890,6 +1049,9 @@ pub fn run_hub_obs(
             0.0
         },
         session_latency: metrics.session_latency.summary(),
+        stages: metrics.stages.summaries(),
+        stalls: stall_records,
+        gauges: GaugeSnapshot::capture(&metrics),
         per_prim: metrics
             .per_prim
             .iter()
@@ -965,6 +1127,7 @@ fn hub_handle(
                 let now = Instant::now();
                 let since = s.last_prim.unwrap_or(s.started);
                 metrics.record_prim(&name, now.duration_since(since).as_micros() as u64);
+                s.mark(now, Mark::Step);
                 s.last_prim = Some(now);
                 s.lc = s.lc.max(lc) + 1;
                 if let Some(rec) = rec {
@@ -987,9 +1150,13 @@ fn hub_handle(
                 events.push(format!("data for unknown place {}", msg.to));
                 return;
             };
+            // Mark before the forward counts: the elapsed interval is
+            // classified by what was in flight *during* it.
+            s.mark(Instant::now(), Mark::Step);
             s.forwarded[dest] += 1;
             s.messages += 1;
             *messages += 1;
+            metrics.messages_sent.fetch_add(1, Ordering::Relaxed);
             s.lc = s.lc.max(lc) + 1;
             if let Some(rec) = rec {
                 let (a, b) = pack_msg_event(rec, &msg.id, msg.occ, msg.from, msg.to);
@@ -1019,6 +1186,12 @@ fn hub_handle(
             ..
         } => {
             if let Some(s) = sessions.get_mut(&session) {
+                s.mark(Instant::now(), Mark::Notify);
+                let newly_acked = seen.saturating_sub(s.acked[idx]);
+                metrics
+                    .messages_delivered
+                    .fetch_add(newly_acked as usize, Ordering::Relaxed);
+                s.acked[idx] = s.acked[idx].max(seen);
                 s.status[idx] = Some(StatusRec {
                     seen,
                     vote,
@@ -1077,14 +1250,24 @@ fn finish_closed(
 fn finalize_hub_session(
     d: &Derivation,
     cfg: &RuntimeConfig,
-    s: HubSession,
+    mut s: HubSession,
     end: SessionEnd,
     metrics: &Metrics,
     tally: &mut Tally,
     rec: Option<&Recorder>,
 ) {
+    s.mark(Instant::now(), Mark::Notify);
     let latency_us = s.started.elapsed().as_micros() as u64;
     metrics.session_latency.record(latency_us);
+    metrics.sessions_completed.fetch_add(1, Ordering::Relaxed);
+    let stages = StageBreakdown::attribute(
+        latency_us,
+        s.queue_ns / 1000,
+        s.step_ns / 1000,
+        s.wire_ns / 1000,
+        Some(s.notify_ns / 1000),
+    );
+    metrics.stages.record(&stages);
     let (violation, may_terminate) = replay_conformance(&d.service, &s.trace);
     let conforms = violation.is_none() && end == SessionEnd::Terminated && may_terminate;
     if let Some(rec) = rec {
@@ -1124,6 +1307,7 @@ fn finalize_hub_session(
         messages: s.messages,
         steps: 0,
         latency_us,
+        stages,
         trace: if keep_trace { s.trace } else { Vec::new() },
     });
 }

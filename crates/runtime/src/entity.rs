@@ -268,6 +268,11 @@ impl EntityWorker {
             let mut vote_available = false;
             {
                 let mut core = local.slot.core.lock().expect("session poisoned");
+                // Stage attribution: lock-held time of this move counts
+                // toward the session's `step` stage when a move (or a
+                // terminal verdict) actually executes; classification
+                // passes fall into the `notify_wait` residual.
+                let t0 = std::time::Instant::now();
                 id = core.id;
                 if core.completed.is_some() {
                     return StepOutcome::Completed;
@@ -341,6 +346,7 @@ impl EntityWorker {
                     // Global quiescence — this thread resolves it.
                     if has_delta && core.all_voted(self.n) && core.quiet() {
                         core.complete(SessionEnd::Terminated);
+                        core.credit_step(t0);
                         drop(core);
                         self.finish(local, id);
                         return StepOutcome::Completed;
@@ -359,6 +365,7 @@ impl EntityWorker {
                         continue;
                     }
                     core.complete(SessionEnd::Deadlock);
+                    core.credit_step(t0);
                     drop(core);
                     self.finish(local, id);
                     return StepOutcome::Completed;
@@ -378,6 +385,7 @@ impl EntityWorker {
                     core.vote(self.idx);
                     if core.all_voted(self.n) && core.quiet() {
                         core.complete(SessionEnd::Terminated);
+                        core.credit_step(t0);
                         drop(core);
                         self.finish(local, id);
                         return StepOutcome::Completed;
@@ -456,6 +464,8 @@ impl EntityWorker {
                     }
                 }
                 self.backend.step(&mut local.state, enabled[k]);
+                core.note_state(self.idx, local.state.id as u64);
+                core.credit_step(t0);
                 if step_limited {
                     core.complete(SessionEnd::StepLimit);
                     drop(core);

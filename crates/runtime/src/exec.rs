@@ -16,8 +16,12 @@
 use crate::compiled::{lower_for, make_backend};
 use crate::config::{FaultProfile, RuntimeConfig};
 use crate::entity::{CompletionQueue, EntityWorker, Notifier};
-use crate::metrics::{Metrics, RuntimeReport, SessionReport, TraceMeta, ViolationRecord};
+use crate::metrics::{
+    GaugeSnapshot, Metrics, RuntimeReport, SessionReport, StageBreakdown, TraceMeta,
+    ViolationRecord,
+};
 use crate::session::{SessionCore, SessionEnd, SessionSlot};
+use crate::stall::StallTracker;
 use lotos::ast::Spec;
 use lotos::event::SyncKind;
 use lotos::place::PlaceId;
@@ -226,6 +230,7 @@ fn run_concurrent(
     let notifiers: Vec<Arc<Notifier>> = (0..n).map(|_| Arc::new(Notifier::new())).collect();
     let completions = Arc::new(CompletionQueue::new());
     let metrics = Arc::new(Metrics::for_service(&d.service));
+    let stalls = Arc::new(StallTracker::new());
 
     let mut tally = Tally::new();
     let mut replay_cache = ReplayCache::default();
@@ -260,6 +265,19 @@ fn run_concurrent(
         // round trips of the message ping-pong between entity threads —
         // one OS timeslice advances a whole batch, not one session.
         let window = cfg.threads.max(1) * MUX_PIPELINE;
+        metrics.window_size.store(window, Ordering::Relaxed);
+        // Stall forensics: a sampler thread polls the open-session set
+        // against the configured or p99-derived deadline.
+        {
+            let stalls = Arc::clone(&stalls);
+            let metrics = Arc::clone(&metrics);
+            let registry = registry.cloned();
+            let cfg = cfg.clone();
+            std::thread::Builder::new()
+                .name("stall-sampler".to_string())
+                .spawn_scoped(scope, move || stalls.run(&cfg, &metrics, registry.as_ref()))
+                .expect("spawn stall sampler");
+        }
         let mut next = 0usize;
         let mut in_flight = 0usize;
         while next < cfg.sessions || in_flight > 0 {
@@ -281,15 +299,18 @@ fn run_concurrent(
                     let core =
                         SessionCore::new(next as u64, cfg.session_seed(next), cfg, &channels);
                     let slot = Arc::new(SessionSlot::new(core));
+                    stalls.insert(next as u64, Arc::clone(&slot));
                     for nt in &notifiers {
                         nt.open(Arc::clone(&slot));
                     }
                     next += 1;
                     in_flight += 1;
                 }
+                metrics.window_occupancy.store(in_flight, Ordering::Relaxed);
             }
             let slot = completions.pop();
             in_flight -= 1;
+            metrics.window_occupancy.store(in_flight, Ordering::Relaxed);
             let rep = finalize_session(
                 d,
                 cfg,
@@ -299,8 +320,10 @@ fn run_concurrent(
                 &mut replay_cache,
                 mux_rec.as_ref(),
             );
+            stalls.remove(rep.id);
             tally.absorb(rep);
         }
+        stalls.stop_sampler();
         for nt in &notifiers {
             nt.shutdown();
         }
@@ -335,6 +358,9 @@ fn run_concurrent(
             0.0
         },
         session_latency: metrics.session_latency.summary(),
+        stages: metrics.stages.summaries(),
+        stalls: stalls.take_records(),
+        gauges: GaugeSnapshot::capture(&metrics),
         per_prim: metrics
             .per_prim
             .iter()
@@ -376,6 +402,16 @@ fn finalize_session(
         .duration_since(core.started)
         .as_micros() as u64;
     metrics.session_latency.record(latency_us);
+    // Stage attribution: queue_wait runs from open to the first executed
+    // move; step is the lock-held stepping time the entity threads
+    // credited; wire is zero in-process; the residual is notify_wait
+    // (notifier queues, lock contention, scheduler round trips).
+    let queue_us = core
+        .first_step
+        .map(|t| t.saturating_duration_since(core.started).as_micros() as u64)
+        .unwrap_or(latency_us);
+    let stages = StageBreakdown::attribute(latency_us, queue_us, core.step_ns / 1000, 0, None);
+    metrics.stages.record(&stages);
     metrics.sessions_completed.fetch_add(1, Ordering::Relaxed);
     let (lost, retx) = core.link_totals();
     metrics.frames_lost.fetch_add(lost, Ordering::Relaxed);
@@ -454,6 +490,7 @@ fn finalize_session(
         messages: core.stats.sent,
         steps: core.steps,
         latency_us,
+        stages,
         trace: if violation.is_some() || cfg.sessions == 1 {
             core.trace.clone()
         } else {
@@ -526,6 +563,14 @@ fn run_deterministic(
         };
         let latency_us = t0.elapsed().as_micros() as u64;
         metrics.session_latency.record(latency_us);
+        // The DES runs a whole session inline: all of it is "step".
+        let stages = StageBreakdown {
+            queue_wait_us: 0,
+            step_us: latency_us,
+            notify_wait_us: 0,
+            wire_us: 0,
+        };
+        metrics.stages.record(&stages);
 
         primitives += outcome.metrics.primitives;
         messages += outcome.metrics.messages;
@@ -605,6 +650,7 @@ fn run_deterministic(
             messages: outcome.metrics.messages,
             steps: outcome.metrics.steps,
             latency_us,
+            stages,
             trace: if violation.is_some() || cfg.sessions == 1 {
                 outcome.trace.clone()
             } else {
@@ -642,6 +688,11 @@ fn run_deterministic(
             0.0
         },
         session_latency: metrics.session_latency.summary(),
+        stages: metrics.stages.summaries(),
+        // The sequential engine cannot stall (no threads to wait on) and
+        // has no queues to gauge.
+        stalls: Vec::new(),
+        gauges: GaugeSnapshot::default(),
         // Per-primitive wall-latency is an inter-thread measurement; the
         // sequential engine reports session-level latency only.
         per_prim: BTreeMap::new(),

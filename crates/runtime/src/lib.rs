@@ -52,6 +52,7 @@ pub mod faults;
 pub mod metrics;
 pub mod pipeline_ext;
 pub mod session;
+mod stall;
 
 pub use compiled::{
     lower_for, make_backend, BState, Backend, BackendKind, EntityBackend, OfferView,
@@ -65,8 +66,9 @@ pub use exec::run_obs;
 pub use exec::{run, trace_id_for, try_run};
 pub use faults::FaultLink;
 pub use metrics::{
-    HistSummary, Histogram, LinkReport, Metrics, ReportSummary, RuntimeReport, SessionReport,
-    TraceMeta, ViolationRecord, REPORT_SCHEMA_VERSION,
+    GaugeSnapshot, HistSummary, Histogram, LinkReport, Metrics, ReportSummary, RuntimeReport,
+    SessionReport, StageBreakdown, StageSet, StageSummaries, StallRecord, TraceMeta,
+    ViolationRecord, REPORT_SCHEMA_VERSION,
 };
 pub use pipeline_ext::PipelineRun;
 pub use session::{SessionCore, SessionEnd, SessionSlot};

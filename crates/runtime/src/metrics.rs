@@ -14,6 +14,7 @@ use lotos::event::{Event, SyncKind};
 use lotos::place::PlaceId;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Log₂ histogram with 4 sub-buckets per octave (≈ 19% bucket width),
 /// atomic throughout. Values are microseconds.
@@ -136,6 +137,226 @@ impl HistSummary {
     }
 }
 
+/// Decomposition of one session's end-to-end latency into pipeline
+/// stages (all microseconds):
+///
+/// * `queue_wait` — session open to its first executed entity move
+///   (multiplexer admission + scheduler pickup);
+/// * `step` — time actually spent executing entity moves under the
+///   session lock;
+/// * `notify_wait` — scheduler wake-up and blocked-on-peer time;
+/// * `wire` — frames in flight between processes (distributed runs
+///   only; exactly 0 for in-process engines).
+///
+/// Built through [`StageBreakdown::attribute`], which clamps each
+/// component so `sum_us() ≤` the end-to-end latency by construction.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StageBreakdown {
+    pub queue_wait_us: u64,
+    pub step_us: u64,
+    pub notify_wait_us: u64,
+    pub wire_us: u64,
+}
+
+impl StageBreakdown {
+    /// Clamp raw stage measurements into a breakdown whose sum never
+    /// exceeds `e2e_us`. Components are trimmed in order (queue, step,
+    /// wire); `notify` is the measured wake-up time when given,
+    /// otherwise the residual — local engines measure queue and step
+    /// directly and attribute the rest to scheduler wake-up.
+    pub fn attribute(
+        e2e_us: u64,
+        queue: u64,
+        step: u64,
+        wire: u64,
+        notify: Option<u64>,
+    ) -> StageBreakdown {
+        let queue_wait_us = queue.min(e2e_us);
+        let step_us = step.min(e2e_us - queue_wait_us);
+        let wire_us = wire.min(e2e_us - queue_wait_us - step_us);
+        let rem = e2e_us - queue_wait_us - step_us - wire_us;
+        let notify_wait_us = match notify {
+            Some(n) => n.min(rem),
+            None => rem,
+        };
+        StageBreakdown {
+            queue_wait_us,
+            step_us,
+            notify_wait_us,
+            wire_us,
+        }
+    }
+
+    pub fn sum_us(&self) -> u64 {
+        self.queue_wait_us + self.step_us + self.notify_wait_us + self.wire_us
+    }
+
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"queue_wait_us\":{},\"step_us\":{},\"notify_wait_us\":{},\"wire_us\":{}}}",
+            self.queue_wait_us, self.step_us, self.notify_wait_us, self.wire_us
+        )
+    }
+}
+
+/// One log₂ [`Histogram`] per latency stage, fed at session completion.
+#[derive(Debug, Default)]
+pub struct StageSet {
+    pub queue_wait: Histogram,
+    pub step: Histogram,
+    pub notify_wait: Histogram,
+    pub wire: Histogram,
+}
+
+impl StageSet {
+    pub fn record(&self, b: &StageBreakdown) {
+        self.queue_wait.record(b.queue_wait_us);
+        self.step.record(b.step_us);
+        self.notify_wait.record(b.notify_wait_us);
+        self.wire.record(b.wire_us);
+    }
+
+    /// `(stage label, histogram)` pairs in canonical order.
+    pub fn all(&self) -> [(&'static str, &Histogram); 4] {
+        [
+            ("queue_wait", &self.queue_wait),
+            ("step", &self.step),
+            ("notify_wait", &self.notify_wait),
+            ("wire", &self.wire),
+        ]
+    }
+
+    pub fn summaries(&self) -> StageSummaries {
+        StageSummaries {
+            queue_wait: self.queue_wait.summary(),
+            step: self.step.summary(),
+            notify_wait: self.notify_wait.summary(),
+            wire: self.wire.summary(),
+        }
+    }
+}
+
+/// Rendered per-stage summaries for the report (v6 `stages` object).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StageSummaries {
+    pub queue_wait: HistSummary,
+    pub step: HistSummary,
+    pub notify_wait: HistSummary,
+    pub wire: HistSummary,
+}
+
+impl StageSummaries {
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"queue_wait\":{},\"step\":{},\"notify_wait\":{},\"wire\":{}}}",
+            self.queue_wait.to_json(),
+            self.step.to_json(),
+            self.notify_wait.to_json(),
+            self.wire.to_json()
+        )
+    }
+}
+
+/// Point-in-time queue/backlog gauges (v6): multiplexer window
+/// occupancy, hub link outbound backlog, and batch-buffer-pool
+/// utilization.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct GaugeSnapshot {
+    /// Sessions currently in flight in the multiplexer window.
+    pub window_occupancy: usize,
+    /// The window's capacity (threads × pipeline depth).
+    pub window_size: usize,
+    /// Frames queued or awaiting ack summed over all hub links.
+    pub link_backlog_frames: usize,
+    /// Free batch buffers summed over all hub link pools.
+    pub pool_bufs_free: usize,
+    /// Total batch buffers summed over all hub link pools.
+    pub pool_bufs_total: usize,
+    /// Per-link outbound backlog (queued + unacked frames), keyed like
+    /// `per_link` (`"place:2"`). Empty for in-process runs.
+    pub per_link_backlog: BTreeMap<String, u64>,
+}
+
+impl GaugeSnapshot {
+    pub fn capture(m: &Metrics) -> GaugeSnapshot {
+        GaugeSnapshot {
+            window_occupancy: m.window_occupancy.load(Ordering::Relaxed),
+            window_size: m.window_size.load(Ordering::Relaxed),
+            link_backlog_frames: m.link_backlog_frames.load(Ordering::Relaxed),
+            pool_bufs_free: m.pool_bufs_free.load(Ordering::Relaxed),
+            pool_bufs_total: m.pool_bufs_total.load(Ordering::Relaxed),
+            per_link_backlog: m
+                .link_backlogs
+                .lock()
+                .map(|g| g.clone())
+                .unwrap_or_default(),
+        }
+    }
+
+    pub fn to_json(&self) -> String {
+        let per_link: Vec<String> = self
+            .per_link_backlog
+            .iter()
+            .map(|(k, v)| format!("\"{k}\":{v}"))
+            .collect();
+        format!(
+            "{{\"window_occupancy\":{},\"window_size\":{},\"link_backlog_frames\":{},\
+             \"pool_bufs_free\":{},\"pool_bufs_total\":{},\"per_link_backlog\":{{{}}}}}",
+            self.window_occupancy,
+            self.window_size,
+            self.link_backlog_frames,
+            self.pool_bufs_free,
+            self.pool_bufs_total,
+            per_link.join(",")
+        )
+    }
+}
+
+/// Forensic capture of one session that exceeded the stall deadline —
+/// enough context to explain *why* it was slow, not just that it was.
+#[derive(Clone, Debug)]
+pub struct StallRecord {
+    pub session: u64,
+    /// Session age when flagged (µs).
+    pub age_us: u64,
+    /// The deadline it exceeded (µs), configured or p99-derived.
+    pub deadline_us: u64,
+    /// Partial stage attribution at capture time.
+    pub stages: StageBreakdown,
+    /// Per-entity backend progress as `(entity index, state)`: locally
+    /// the backend `BState` id of the entity's most recent move; on the
+    /// hub the entity's cumulative reported steps.
+    pub entity_state: Vec<(u32, u64)>,
+    /// Queue/backlog gauges at capture time.
+    pub gauges: GaugeSnapshot,
+    /// Flight-recorder tail (rendered timeline lines); empty when
+    /// recording was off.
+    pub tail: Vec<String>,
+}
+
+impl StallRecord {
+    pub fn to_json(&self) -> String {
+        let quoted = |s: &str| format!("\"{}\"", s.replace('\\', "\\\\").replace('"', "\\\""));
+        let entity_state: Vec<String> = self
+            .entity_state
+            .iter()
+            .map(|(e, s)| format!("[{e},{s}]"))
+            .collect();
+        let tail: Vec<String> = self.tail.iter().map(|l| quoted(l)).collect();
+        format!(
+            "{{\"session\":{},\"age_us\":{},\"deadline_us\":{},\"stages\":{},\
+             \"entity_state\":[{}],\"gauges\":{},\"tail\":[{}]}}",
+            self.session,
+            self.age_us,
+            self.deadline_us,
+            self.stages.to_json(),
+            entity_state.join(","),
+            self.gauges.to_json(),
+            tail.join(",")
+        )
+    }
+}
+
 /// Shared live counters — everything entity threads touch is atomic.
 #[derive(Debug)]
 pub struct Metrics {
@@ -157,6 +378,21 @@ pub struct Metrics {
     pub piggybacked_acks: AtomicUsize,
     /// End-to-end session latency (wall µs).
     pub session_latency: Histogram,
+    /// Per-stage session latency attribution (wall µs; v6).
+    pub stages: StageSet,
+    /// Multiplexer in-flight window occupancy (live sessions).
+    pub window_occupancy: AtomicUsize,
+    /// Multiplexer in-flight window capacity.
+    pub window_size: AtomicUsize,
+    /// Frames queued or awaiting ack, summed over all hub links.
+    pub link_backlog_frames: AtomicUsize,
+    /// Free batch buffers summed over all hub link pools.
+    pub pool_bufs_free: AtomicUsize,
+    /// Total batch buffers summed over all hub link pools.
+    pub pool_bufs_total: AtomicUsize,
+    /// Per-link outbound backlog for labeled exposition, refreshed by
+    /// the hub on a throttle — the hot path never touches this lock.
+    pub link_backlogs: Mutex<BTreeMap<String, u64>>,
     /// Per-primitive inter-arrival latency (wall µs between consecutive
     /// primitives of a session, keyed by primitive name). Prebuilt — see
     /// the module docs.
@@ -183,6 +419,13 @@ impl Metrics {
             bytes_sent: AtomicUsize::new(0),
             piggybacked_acks: AtomicUsize::new(0),
             session_latency: Histogram::new(),
+            stages: StageSet::default(),
+            window_occupancy: AtomicUsize::new(0),
+            window_size: AtomicUsize::new(0),
+            link_backlog_frames: AtomicUsize::new(0),
+            pool_bufs_free: AtomicUsize::new(0),
+            pool_bufs_total: AtomicUsize::new(0),
+            link_backlogs: Mutex::new(BTreeMap::new()),
             per_prim,
         }
     }
@@ -200,7 +443,7 @@ impl Metrics {
     /// internal detail; quantiles are what dashboards want).
     pub fn to_prometheus(&self) -> String {
         let mut out = String::with_capacity(1024);
-        let counters: [(&str, &str, usize); 11] = [
+        let counters: [(&str, &str, usize); 16] = [
             (
                 "protogen_sessions_completed_total",
                 "Sessions driven to a verdict",
@@ -256,6 +499,33 @@ impl Metrics {
                 "High-water mark of medium queue depth",
                 self.max_queue_depth.load(Ordering::Relaxed),
             ),
+            (
+                "protogen_window_occupancy",
+                "Sessions in flight in the multiplexer window",
+                self.window_occupancy.load(Ordering::Relaxed),
+            ),
+            (
+                "protogen_window_size",
+                "Multiplexer in-flight window capacity",
+                self.window_size.load(Ordering::Relaxed),
+            ),
+            (
+                "protogen_link_backlog_frames",
+                "Frames queued or awaiting ack over all hub links",
+                self.link_backlog_frames.load(Ordering::Relaxed),
+            ),
+            (
+                "protogen_pool_bufs_free",
+                "Free batch buffers over all hub link pools",
+                self.pool_bufs_free.load(Ordering::Relaxed),
+            ),
+            (
+                // Not `_total`: that suffix marks counters, and this is
+                // a configured-capacity gauge.
+                "protogen_pool_bufs_capacity",
+                "Configured batch buffers over all hub link pools",
+                self.pool_bufs_total.load(Ordering::Relaxed),
+            ),
         ];
         for (name, help, value) in counters {
             let kind = if name.ends_with("_total") {
@@ -283,7 +553,80 @@ impl Metrics {
                 h,
             );
         }
+        push_histogram(
+            &mut out,
+            "protogen_session_latency_hist_us",
+            "End-to-end session latency (native histogram)",
+            None,
+            &self.session_latency,
+        );
+        for (stage, h) in self.stages.all() {
+            push_histogram(
+                &mut out,
+                "protogen_stage_latency_us",
+                "Per-stage session latency attribution",
+                Some(("stage", stage)),
+                h,
+            );
+        }
+        let backlogs = self
+            .link_backlogs
+            .lock()
+            .map(|g| g.clone())
+            .unwrap_or_default();
+        if !backlogs.is_empty() {
+            out.push_str(
+                "# HELP protogen_link_outbound_backlog_frames Queued + unacked frames per hub link\n\
+                 # TYPE protogen_link_outbound_backlog_frames gauge\n",
+            );
+            for (link, frames) in &backlogs {
+                out.push_str(&format!(
+                    "protogen_link_outbound_backlog_frames{{link=\"{link}\"}} {frames}\n"
+                ));
+            }
+        }
         out
+    }
+
+    /// The `/health` JSON document — a compact live snapshot for
+    /// `protogen top` and external probes: throughput, per-stage
+    /// latency quantiles, and queue/backlog gauges.
+    pub fn health_json(&self, uptime_s: f64) -> String {
+        let sessions = self.sessions_completed.load(Ordering::Relaxed);
+        let rate = if uptime_s > 0.0 {
+            sessions as f64 / uptime_s
+        } else {
+            0.0
+        };
+        let stages: Vec<String> = self
+            .stages
+            .all()
+            .iter()
+            .map(|(name, h)| {
+                format!(
+                    "\"{name}\":{{\"p50_us\":{:.1},\"p99_us\":{:.1},\"count\":{}}}",
+                    h.quantile(0.50),
+                    h.quantile(0.99),
+                    h.count()
+                )
+            })
+            .collect();
+        format!(
+            "{{\"status\":\"ok\",\"uptime_s\":{uptime_s:.3},\
+             \"sessions_completed\":{sessions},\"sessions_per_sec\":{rate:.1},\
+             \"primitives\":{},\"messages_sent\":{},\
+             \"session_p50_us\":{:.1},\"session_p99_us\":{:.1},\
+             \"stages\":{{{}}},\"gauges\":{},\
+             \"batches_sent\":{},\"bytes_sent\":{}}}",
+            self.primitives.load(Ordering::Relaxed),
+            self.messages_sent.load(Ordering::Relaxed),
+            self.session_latency.quantile(0.50),
+            self.session_latency.quantile(0.99),
+            stages.join(","),
+            GaugeSnapshot::capture(self).to_json(),
+            self.batches_sent.load(Ordering::Relaxed),
+            self.bytes_sent.load(Ordering::Relaxed),
+        )
     }
 }
 
@@ -308,6 +651,53 @@ fn push_summary(out: &mut String, name: &str, help: &str, label: Option<&str>, h
     }
     out.push_str(&format!("{name}_sum{suffix} {}\n", h.sum()));
     out.push_str(&format!("{name}_count{suffix} {}\n", h.count()));
+}
+
+/// Highest power-of-two `le` boundary exposed by [`push_histogram`]:
+/// 2^26 µs ≈ 67 s; anything slower lands in `+Inf`.
+const HIST_MAX_EXP: usize = 26;
+
+/// Render `h` as a native Prometheus `histogram` family with cumulative
+/// power-of-two `le` boundaries derived from the log₂ octaves. The
+/// boundary `le = 2^k` accumulates every sub-bucket up to and including
+/// the octave-k origin bucket — consistent with the lower-bound
+/// representative convention of [`Histogram::quantile`].
+fn push_histogram(
+    out: &mut String,
+    name: &str,
+    help: &str,
+    label: Option<(&str, &str)>,
+    h: &Histogram,
+) {
+    if !out.contains(&format!("# TYPE {name} ")) {
+        out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} histogram\n"));
+    }
+    let tag = |le: &str| match label {
+        Some((k, v)) => format!("{{{k}=\"{v}\",le=\"{le}\"}}"),
+        None => format!("{{le=\"{le}\"}}"),
+    };
+    let suffix = match label {
+        Some((k, v)) => format!("{{{k}=\"{v}\"}}"),
+        None => String::new(),
+    };
+    let mut cum = 0u64;
+    let mut next = 0usize;
+    for k in 0..=HIST_MAX_EXP {
+        while next <= k * SUB {
+            cum += h.buckets[next].load(Ordering::Relaxed);
+            next += 1;
+        }
+        out.push_str(&format!(
+            "{name}_bucket{} {cum}\n",
+            tag(&(1u64 << k).to_string())
+        ));
+    }
+    // `count` is bumped after the bucket in `record`; clamp so `+Inf`
+    // stays monotone when a scrape races a recording thread.
+    let total = h.count().max(cum);
+    out.push_str(&format!("{name}_bucket{} {total}\n", tag("+Inf")));
+    out.push_str(&format!("{name}_sum{suffix} {}\n", h.sum()));
+    out.push_str(&format!("{name}_count{suffix} {total}\n"));
 }
 
 /// Every distinct `(name, place)` primitive of a specification, in
@@ -349,7 +739,13 @@ pub fn service_primitives(spec: &Spec) -> Vec<(String, PlaceId)> {
 ///   batched vectored-I/O transport path. All v4 fields are unchanged;
 ///   v4 consumers that ignore unknown keys keep working and
 ///   [`ReportSummary::from_json`] still parses v4 documents.
-pub const REPORT_SCHEMA_VERSION: u32 = 5;
+/// * 6 — adds `stages` (per-stage latency summaries: `queue_wait` /
+///   `step` / `notify_wait` / `wire`), `stalls` (stall-forensics
+///   records with recorder tails and backlog gauges), and `gauges`
+///   (final queue/backlog gauge snapshot). All v5 fields are
+///   unchanged; v5 consumers that ignore unknown keys keep working and
+///   [`ReportSummary::from_json`] still parses v5 documents.
+pub const REPORT_SCHEMA_VERSION: u32 = 6;
 
 /// Flight-recorder metadata embedded in a v3 report when recording was
 /// enabled for the run.
@@ -453,6 +849,8 @@ pub struct SessionReport {
     pub steps: usize,
     /// Wall-clock session latency in microseconds.
     pub latency_us: u64,
+    /// Stage attribution of `latency_us` (v6; sums to ≤ `latency_us`).
+    pub stages: StageBreakdown,
     /// The primitive trace — kept for single-session runs and for
     /// violating sessions; empty otherwise (load runs would hoard memory).
     pub trace: Vec<(String, PlaceId)>,
@@ -496,6 +894,12 @@ pub struct RuntimeReport {
     pub wall_s: f64,
     pub sessions_per_sec: f64,
     pub session_latency: HistSummary,
+    /// Per-stage latency summaries (v6).
+    pub stages: StageSummaries,
+    /// Sessions flagged by stall forensics (v6); capped per run.
+    pub stalls: Vec<StallRecord>,
+    /// Final queue/backlog gauge snapshot (v6).
+    pub gauges: GaugeSnapshot,
     pub per_prim: BTreeMap<String, HistSummary>,
     /// Pipeline phase timings `(phase, milliseconds)` in execution order
     /// (parse/attributes/derive/…), filled by the CLI driver; empty when
@@ -594,6 +998,7 @@ impl RuntimeReport {
                 format!("\"{session}\":[{}]", lines.join(","))
             })
             .collect();
+        let stalls: Vec<String> = self.stalls.iter().map(|s| s.to_json()).collect();
         format!(
             "{{\"schema_version\":{},\"engine\":\"{}\",\"backend\":\"{}\",\
              \"config\":{},\"sessions\":{},\
@@ -604,8 +1009,9 @@ impl RuntimeReport {
              \"max_queue_depth\":{},\"frames_lost\":{},\"retransmissions\":{},\
              \"per_link\":{{{}}},\"transport_events\":[{}],\
              \"wall_s\":{:.4},\"sessions_per_sec\":{:.1},\
-             \"session_latency\":{},\"per_prim\":{{{}}},\
+             \"session_latency\":{},\"stages\":{},\"per_prim\":{{{}}},\
              \"phases\":{{{}}},\"trace\":{},\"recorder_tails\":{{{}}},\
+             \"stalls\":[{}],\"gauges\":{},\
              \"violations\":[{}]}}",
             self.schema_version,
             self.engine,
@@ -630,10 +1036,13 @@ impl RuntimeReport {
             self.wall_s,
             self.sessions_per_sec,
             self.session_latency.to_json(),
+            self.stages.to_json(),
             per_prim.join(","),
             phases.join(","),
             trace_meta,
             recorder_tails.join(","),
+            stalls.join(","),
+            self.gauges.to_json(),
             violations.join(",")
         )
     }
@@ -902,6 +1311,29 @@ mod tests {
             wall_s: 0.5,
             sessions_per_sec: 14.0,
             session_latency: HistSummary::default(),
+            stages: StageSummaries::default(),
+            stalls: vec![StallRecord {
+                session: 3,
+                age_us: 5000,
+                deadline_us: 2000,
+                stages: StageBreakdown {
+                    queue_wait_us: 100,
+                    step_us: 200,
+                    notify_wait_us: 300,
+                    wire_us: 400,
+                },
+                entity_state: vec![(0, 7), (1, 9)],
+                gauges: GaugeSnapshot::default(),
+                tail: vec!["lc=3 place=1 prim a@1".to_string()],
+            }],
+            gauges: GaugeSnapshot {
+                window_occupancy: 5,
+                window_size: 128,
+                link_backlog_frames: 11,
+                pool_bufs_free: 6,
+                pool_bufs_total: 8,
+                per_link_backlog: BTreeMap::from([("place:2".to_string(), 11u64)]),
+            },
             per_prim: BTreeMap::new(),
             phases: vec![("parse".to_string(), 1.25), ("derive".to_string(), 3.5)],
             trace_meta: Some(TraceMeta {
@@ -948,6 +1380,16 @@ mod tests {
         );
         assert_eq!(summary.trace_meta.unwrap().events, 420);
         assert!(json.contains("\"recorder_tails\":{\"4\":[\"lc=9 place=1 prim a@1\"]}"));
+        // v6 additions: stage summaries, stall records, gauges.
+        assert!(json.contains("\"stages\":{\"queue_wait\":{"), "{json}");
+        let stall_json = &json[json.find("\"stalls\"").unwrap()..];
+        assert_eq!(get_u64(stall_json, "age_us"), Some(5000));
+        assert_eq!(get_u64(stall_json, "deadline_us"), Some(2000));
+        assert!(stall_json.contains("\"entity_state\":[[0,7],[1,9]]"));
+        let gauge_json = &json[json.rfind("\"gauges\"").unwrap()..];
+        assert_eq!(get_u64(gauge_json, "window_occupancy"), Some(5));
+        assert_eq!(get_u64(gauge_json, "pool_bufs_total"), Some(8));
+        assert!(gauge_json.contains("\"per_link_backlog\":{\"place:2\":11}"));
     }
 
     /// Schema v2 documents (no phases/trace/recorder_tails, violations
@@ -1015,6 +1457,159 @@ mod tests {
         assert_eq!(summary.aborted, 0);
         assert_eq!(summary.phases, vec![("parse".to_string(), 0.2)]);
         assert_eq!(summary.trace_meta, None);
+    }
+
+    /// Schema v5 documents — per_link entries with batching counters
+    /// but no `stages`/`stalls`/`gauges` — must keep round-tripping
+    /// through [`ReportSummary`]: stored bench snapshots from the
+    /// previous release are v5. The literal is a verbatim slice of a v5
+    /// report as that release wrote it.
+    #[test]
+    fn schema_v5_reports_still_parse() {
+        let v5 = "{\"schema_version\":5,\"engine\":\"distributed\",\"backend\":\"interpreted\",\
+            \"config\":{\"sessions\":50,\"threads\":2,\"seed\":7,\"capacity\":64,\
+            \"max_steps\":100000,\"faults\":\"none\",\"backend\":\"interpreted\"},\
+            \"sessions\":50,\"conforming\":50,\
+            \"terminated\":50,\"deadlocked\":0,\"step_limited\":0,\"aborted\":0,\
+            \"primitives\":300,\"messages\":450,\"delivered\":450,\
+            \"overhead_ratio\":1.500,\"messages_per_kind\":{\"seq\":450},\
+            \"max_queue_depth\":0,\"frames_lost\":0,\"retransmissions\":1,\
+            \"per_link\":{\"place:1\":{\"lost\":0,\"retransmissions\":1,\"reconnects\":1,\
+            \"dup_dropped\":0,\"faults\":1,\"batches\":40,\"bytes_sent\":8192,\
+            \"piggybacked_acks\":12,\"frames_per_batch_p50\":4,\
+            \"frames_per_batch_p99\":16}},\"transport_events\":[],\
+            \"wall_s\":0.2100,\"sessions_per_sec\":238.1,\
+            \"session_latency\":{\"count\":50,\"mean_us\":900.0,\"p50_us\":768.0,\
+            \"p90_us\":1536.0,\"p99_us\":2048.0,\"max_us\":2500},\"per_prim\":{},\
+            \"phases\":{\"parse\":0.150},\"trace\":null,\"recorder_tails\":{},\
+            \"violations\":[]}";
+        let summary = ReportSummary::from_json(v5).unwrap();
+        assert_eq!(summary.schema_version, 5);
+        assert_eq!(summary.engine, "distributed");
+        assert_eq!(summary.backend, "interpreted");
+        assert_eq!(summary.sessions, 50);
+        assert_eq!(summary.conforming, 50);
+        assert_eq!(summary.aborted, 0);
+        assert_eq!(summary.phases, vec![("parse".to_string(), 0.15)]);
+        assert_eq!(summary.trace_meta, None);
+    }
+
+    /// `attribute` clamps components in order so the stage sum never
+    /// exceeds the end-to-end latency, whatever the raw measurements.
+    #[test]
+    fn stage_attribution_clamps_to_e2e() {
+        // Local shape: measured queue + step, residual notify.
+        let b = StageBreakdown::attribute(1000, 200, 300, 0, None);
+        assert_eq!(
+            b,
+            StageBreakdown {
+                queue_wait_us: 200,
+                step_us: 300,
+                notify_wait_us: 500,
+                wire_us: 0
+            }
+        );
+        assert_eq!(b.sum_us(), 1000);
+        // Oversized raw measurements are trimmed in order.
+        let b = StageBreakdown::attribute(100, 80, 50, 40, Some(90));
+        assert_eq!(b.queue_wait_us, 80);
+        assert_eq!(b.step_us, 20);
+        assert_eq!(b.wire_us, 0);
+        assert_eq!(b.notify_wait_us, 0);
+        assert!(b.sum_us() <= 100);
+        // Distributed shape with measured notify below the residual.
+        let b = StageBreakdown::attribute(1000, 100, 200, 300, Some(250));
+        assert_eq!(b.wire_us, 300);
+        assert_eq!(b.notify_wait_us, 250);
+        assert!(b.sum_us() <= 1000);
+        // Zero end-to-end stays all-zero.
+        assert_eq!(
+            StageBreakdown::attribute(0, 5, 5, 5, None),
+            StageBreakdown::default()
+        );
+    }
+
+    /// The native histogram exposition carries monotone cumulative
+    /// `_bucket` series ending at `+Inf == _count`, one family per
+    /// stage label.
+    #[test]
+    fn prometheus_native_histograms_are_cumulative() {
+        let spec = lotos::parser::parse_spec("SPEC a1; b2; exit ENDSPEC").unwrap();
+        let m = Metrics::for_service(&spec);
+        for v in [1u64, 3, 10, 100, 1000, 100_000_000] {
+            m.session_latency.record(v);
+            m.stages.record(&StageBreakdown {
+                queue_wait_us: v / 2,
+                step_us: v / 4,
+                notify_wait_us: v / 4,
+                wire_us: 0,
+            });
+        }
+        let text = m.to_prometheus();
+        assert!(text.contains("# TYPE protogen_session_latency_hist_us histogram"));
+        assert!(text.contains("# TYPE protogen_stage_latency_us histogram"));
+        // One TYPE line even though four stage series share the family.
+        assert_eq!(text.matches("# TYPE protogen_stage_latency_us ").count(), 1);
+        for stage in ["queue_wait", "step", "notify_wait", "wire"] {
+            assert!(
+                text.contains(&format!(
+                    "protogen_stage_latency_us_bucket{{stage=\"{stage}\",le=\"1\"}}"
+                )),
+                "{stage} missing from:\n{text}"
+            );
+            assert!(text.contains(&format!(
+                "protogen_stage_latency_us_count{{stage=\"{stage}\"}} 6"
+            )));
+        }
+        // Cumulative counts are monotone in `le` and end at +Inf = count.
+        let mut last = 0u64;
+        for line in text
+            .lines()
+            .filter(|l| l.starts_with("protogen_session_latency_hist_us_bucket"))
+        {
+            let v: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(v >= last, "bucket counts regressed: {line}");
+            last = v;
+        }
+        assert!(text.contains("protogen_session_latency_hist_us_bucket{le=\"+Inf\"} 6"));
+        assert!(text.contains("protogen_session_latency_hist_us_count 6"));
+        // 100s lands past the largest finite boundary (2^26 µs ≈ 67s)…
+        let le_max = format!(
+            "protogen_session_latency_hist_us_bucket{{le=\"{}\"}} 5",
+            1u64 << 26
+        );
+        assert!(text.contains(&le_max), "{text}");
+        // …and the gauges render with their declared types.
+        assert!(text.contains("# TYPE protogen_window_occupancy gauge"));
+        assert!(text.contains("# TYPE protogen_pool_bufs_capacity gauge"));
+    }
+
+    #[test]
+    fn health_json_is_parseable_and_live() {
+        let spec = lotos::parser::parse_spec("SPEC a1; b2; exit ENDSPEC").unwrap();
+        let m = Metrics::for_service(&spec);
+        m.sessions_completed.store(20, Ordering::Relaxed);
+        m.session_latency.record(800);
+        m.stages.record(&StageBreakdown {
+            queue_wait_us: 100,
+            step_us: 300,
+            notify_wait_us: 350,
+            wire_us: 50,
+        });
+        m.window_occupancy.store(4, Ordering::Relaxed);
+        m.window_size.store(64, Ordering::Relaxed);
+        m.link_backlogs
+            .lock()
+            .unwrap()
+            .insert("place:2".to_string(), 3);
+        let body = m.health_json(2.0);
+        use semantics::jsonish::{get_str, get_u64};
+        assert_eq!(get_str(&body, "status"), Some("ok"));
+        assert_eq!(get_u64(&body, "sessions_completed"), Some(20));
+        assert!(body.contains("\"sessions_per_sec\":10.0"), "{body}");
+        assert!(body.contains("\"queue_wait\":{\"p50_us\""), "{body}");
+        assert!(body.contains("\"window_occupancy\":4"));
+        assert!(body.contains("\"per_link_backlog\":{\"place:2\":3}"));
     }
 
     #[test]

@@ -68,6 +68,15 @@ pub struct SessionCore {
     pub completed: Option<SessionEnd>,
     pub started: Instant,
     pub ended: Option<Instant>,
+    /// Wall-clock moment of the first *executed* entity move — open to
+    /// here is the session's `queue_wait` stage.
+    pub first_step: Option<Instant>,
+    /// Nanoseconds spent executing entity moves under this lock — the
+    /// session's `step` stage (pure classification passes not counted).
+    pub step_ns: u64,
+    /// Backend state of each entity's most recent move, indexed by
+    /// entity; captured for stall forensics.
+    pub entity_states: Vec<u64>,
     /// Wall-clock moment of the most recent primitive (per-primitive
     /// inter-arrival latency).
     pub last_prim: Option<Instant>,
@@ -114,9 +123,29 @@ impl SessionCore {
             completed: None,
             started: Instant::now(),
             ended: None,
+            first_step: None,
+            step_ns: 0,
+            entity_states: Vec::new(),
             last_prim: None,
             refused_offer: None,
         }
+    }
+
+    /// Note entity `idx`'s current backend state (stall forensics).
+    pub fn note_state(&mut self, idx: usize, state: u64) {
+        if self.entity_states.len() <= idx {
+            self.entity_states.resize(idx + 1, 0);
+        }
+        self.entity_states[idx] = state;
+    }
+
+    /// Credit `t0 → now` to the step stage, stamping the first executed
+    /// move on the way (both called with the session lock held).
+    pub fn credit_step(&mut self, t0: Instant) {
+        if self.first_step.is_none() {
+            self.first_step = Some(t0);
+        }
+        self.step_ns += t0.elapsed().as_nanos() as u64;
     }
 
     /// Is a send on `from → to` enabled (capacity backpressure)? A send

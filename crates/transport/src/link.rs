@@ -232,6 +232,13 @@ impl Link {
         self.unacked.len()
     }
 
+    /// Encode-pool utilization as `(free, configured)` — buffers out on
+    /// loan are in sealed segments awaiting flush, so a persistently
+    /// small `free` means the writer is not keeping up.
+    pub fn pool_available(&self) -> (usize, usize) {
+        (self.out.pool.available(), self.cfg.pool_bufs)
+    }
+
     /// Queue a message into the outgoing batch without flushing it.
     /// Sequenced messages get the next sequence number and are buffered
     /// for retransmission; control messages carry sequence 0 and are
